@@ -1,0 +1,149 @@
+// Command risql is an interactive SQL shell over the reproduction's
+// embedded relational engine — handy for poking at the RI-tree's relations
+// the way the paper's DBA would through SQL*Plus.
+//
+//	risql [-db file.pages]
+//
+// The session pre-registers the ritree indextype, so the §5 path works
+// end to end:
+//
+//	sql> CREATE TABLE resv (room int, arrival int, departure int);
+//	sql> CREATE INDEX resv_iv ON resv (arrival, departure) INDEXTYPE IS ritree;
+//	sql> INSERT INTO resv VALUES (1, 10, 20);
+//	sql> SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
+//	sql> EXPLAIN SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
+//
+// Meta commands: \tables, \stats, \reset (zero I/O counters), \q.
+// Statements end with a semicolon and may span lines. Bind variables are
+// not available in the shell; inline the values.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+	"ritree/internal/ritree"
+	"ritree/internal/sqldb"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "page file to open or create (default: in-memory)")
+	flag.Parse()
+
+	var st *pagestore.Store
+	var db *rel.DB
+	var err error
+	if *dbPath == "" {
+		st = pagestore.NewMem(pagestore.Options{})
+		db, err = rel.CreateDB(st)
+	} else {
+		var be *pagestore.FileBackend
+		be, err = pagestore.OpenFileBackend(*dbPath, pagestore.DefaultPageSize)
+		if err == nil {
+			st, err = pagestore.New(be, pagestore.Options{})
+		}
+		if err == nil {
+			if st.NumAllocated() == 0 {
+				db, err = rel.CreateDB(st)
+			} else {
+				db, err = rel.OpenDB(st, 1)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "risql:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	eng := sqldb.NewEngine(db)
+	ritree.RegisterIndexType(eng)
+
+	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
+	fmt.Println(`type SQL ending with ';', or \tables \stats \reset \q`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch trimmed {
+			case `\q`, `\quit`:
+				return
+			case `\tables`:
+				for _, t := range db.Tables() {
+					tab, _ := db.Table(t)
+					fmt.Printf("  %-24s %8d rows, columns %v\n", t, tab.RowCount(), tab.Schema().Columns)
+				}
+			case `\stats`:
+				s := db.Stats()
+				fmt.Printf("  logical reads:   %d\n  physical reads:  %d\n  physical writes: %d\n",
+					s.LogicalReads, s.PhysicalReads, s.PhysicalWrites)
+			case `\reset`:
+				db.ResetStats()
+				fmt.Println("  counters zeroed")
+			default:
+				fmt.Println(`  unknown command; try \tables \stats \reset \q`)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		runStatement(eng, stmt)
+		prompt()
+	}
+}
+
+func runStatement(eng *sqldb.Engine, stmt string) {
+	res, err := eng.Exec(stmt, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	switch {
+	case res.Plan != "":
+		fmt.Print(res.Plan)
+	case res.Cols != nil:
+		for i, c := range res.Cols {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-12s", c)
+		}
+		fmt.Println()
+		for _, row := range res.Rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%-12d", v)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	default:
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+	}
+}

@@ -1,0 +1,74 @@
+// Command quickstart is the smallest end-to-end tour of the RI-tree public
+// API: create an index, insert intervals, run intersection and stabbing
+// queries, inspect the virtual backbone, and look at the Figure 9/10
+// SQL machinery under the hood.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ritree"
+)
+
+func main() {
+	idx, err := ritree.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// A handful of intervals: id -> [lower, upper].
+	data := map[int64]ritree.Interval{
+		1: ritree.NewInterval(2, 8),
+		2: ritree.NewInterval(5, 12),
+		3: ritree.NewInterval(10, 25),
+		4: ritree.Point(15),
+		5: ritree.NewInterval(0, 40),
+	}
+	for id, iv := range data {
+		if err := idx.Insert(iv, id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("index: %s\n\n", idx)
+
+	q := ritree.NewInterval(9, 14)
+	ids, err := idx.Intersecting(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("intervals intersecting %v:\n", q)
+	for _, id := range ids {
+		fmt.Printf("  id %d = %v\n", id, data[id])
+	}
+
+	stab, _ := idx.Stab(15)
+	fmt.Printf("\nintervals containing the point 15: %v\n", stab)
+
+	// Allen's fine-grained relations (paper §4.5): which intervals lie
+	// strictly inside the query?
+	inside, _ := idx.Query(ritree.During, ritree.NewInterval(1, 30))
+	fmt.Printf("intervals during [1, 30]: %v\n", inside)
+
+	// Deletion is a single relational statement (paper Figure 5).
+	if ok, _ := idx.Delete(ritree.NewInterval(5, 12), 2); ok {
+		fmt.Println("\ndeleted id 2")
+	}
+	left, _ := idx.Intersecting(q)
+	fmt.Printf("now intersecting %v: %v\n", q, left)
+
+	// Under the hood: the paper's Figure 9 two-fold SQL statement and its
+	// Figure 10 execution plan.
+	fmt.Printf("\nintersection SQL:\n%s\n", idx.IntersectionSQL())
+	plan, _ := idx.ExplainIntersection(q)
+	fmt.Printf("\nexecution plan:\n%s", plan)
+
+	// The paper's cost metric: physical block reads through the buffer
+	// cache (2 KB pages, 200-page cache by default).
+	idx.ResetStats()
+	idx.Intersecting(q)
+	st := idx.Stats()
+	fmt.Printf("\nquery cost: %d logical / %d physical page reads\n",
+		st.LogicalReads, st.PhysicalReads)
+}

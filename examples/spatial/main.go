@@ -1,0 +1,148 @@
+// Command spatial demonstrates the second workload from the paper's
+// introduction: intervals as "line segments on a space-filling curve in
+// spatial applications" [FR 89, BKK 99].
+//
+// Two-dimensional boxes on a 256x256 grid are mapped to runs of the
+// Z-order (Morton) curve; each run is one interval in the RI-tree. A
+// window query decomposes the query box into Z-runs the same way and asks
+// the RI-tree for intersecting stored runs; exact box-overlap is a final
+// refinement step. This is precisely the decomposition storage pattern the
+// Tile Index uses internally — here the intervals land in a dynamic,
+// redundancy-aware index instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ritree"
+)
+
+const gridBits = 8 // 256 x 256 grid, Z-values in [0, 65535]
+
+// zEncode interleaves the bits of x and y into a Morton code.
+func zEncode(x, y int64) int64 {
+	var z int64
+	for b := gridBits - 1; b >= 0; b-- {
+		z = z<<1 | (x>>b)&1
+		z = z<<1 | (y>>b)&1
+	}
+	return z
+}
+
+type box struct{ x0, y0, x1, y1 int64 } // inclusive corners
+
+func (b box) overlaps(o box) bool {
+	return b.x0 <= o.x1 && o.x0 <= b.x1 && b.y0 <= o.y1 && o.y0 <= b.y1
+}
+
+// zRuns decomposes a box into maximal Z-order curve runs by quadtree
+// recursion: a grid quadrant fully inside the box is one contiguous run of
+// the curve; partial quadrants recurse.
+func zRuns(b box) []ritree.Interval {
+	var runs []ritree.Interval
+	var rec func(qx, qy, size int64)
+	rec = func(qx, qy, size int64) {
+		q := box{qx, qy, qx + size - 1, qy + size - 1}
+		if !b.overlaps(q) {
+			return
+		}
+		if b.x0 <= q.x0 && q.x1 <= b.x1 && b.y0 <= q.y0 && q.y1 <= b.y1 {
+			lo := zEncode(qx, qy)
+			runs = append(runs, ritree.NewInterval(lo, lo+size*size-1))
+			return
+		}
+		if size == 1 {
+			return
+		}
+		h := size / 2
+		rec(qx, qy, h)
+		rec(qx, qy+h, h)
+		rec(qx+h, qy, h)
+		rec(qx+h, qy+h, h)
+	}
+	rec(0, 0, 1<<gridBits)
+	// Merge runs that happen to be adjacent on the curve.
+	merged := runs[:0]
+	for _, r := range runs {
+		if n := len(merged); n > 0 && merged[n-1].Upper+1 == r.Lower {
+			merged[n-1].Upper = r.Upper
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	return merged
+}
+
+func main() {
+	idx, err := ritree.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// A small map: buildings on the campus grid.
+	objects := map[int64]struct {
+		name string
+		b    box
+	}{
+		1: {"library", box{16, 16, 47, 39}},
+		2: {"lab", box{40, 32, 71, 63}},
+		3: {"cafeteria", box{100, 20, 131, 43}},
+		4: {"stadium", box{64, 128, 191, 223}},
+		5: {"gate", box{0, 0, 7, 7}},
+		6: {"tower", box{120, 120, 123, 131}},
+	}
+
+	// Store every object as its Z-curve runs, keyed by object id. The
+	// RI-tree happily holds several intervals per id.
+	totalRuns := 0
+	for id, obj := range objects {
+		for _, run := range zRuns(obj.b) {
+			if err := idx.Insert(run, id); err != nil {
+				log.Fatal(err)
+			}
+			totalRuns++
+		}
+	}
+	fmt.Printf("stored %d objects as %d Z-curve runs; index: %s\n\n",
+		len(objects), totalRuns, idx)
+
+	// Window query: decompose the window into Z-runs, collect candidate
+	// ids from the RI-tree, deduplicate, refine with the exact box test.
+	window := box{30, 30, 80, 70}
+	candidates := map[int64]bool{}
+	for _, run := range zRuns(window) {
+		err := idx.IntersectingFunc(run, func(id int64) bool {
+			candidates[id] = true
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("window query %v:\n", window)
+	for id := range candidates {
+		obj := objects[id]
+		mark := "refined away (curve hit, box miss)"
+		if obj.b.overlaps(window) {
+			mark = "HIT"
+		}
+		fmt.Printf("  candidate %-9s %-34s %v\n", obj.name, fmt.Sprintf("%v", obj.b), mark)
+	}
+
+	// Point query: which building stands at (121, 125)?
+	p := zEncode(121, 125)
+	ids, _ := idx.Stab(p)
+	fmt.Printf("\npoint (121,125) -> z=%d stabs: ", p)
+	for _, id := range ids {
+		if o := objects[id]; o.b.overlaps(box{121, 125, 121, 125}) {
+			fmt.Printf("%s ", o.name)
+		}
+	}
+	fmt.Println()
+
+	st := idx.Stats()
+	fmt.Printf("\nI/O so far: %d logical / %d physical page reads\n",
+		st.LogicalReads, st.PhysicalReads)
+}

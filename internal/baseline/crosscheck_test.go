@@ -1,0 +1,319 @@
+// Package baseline_test cross-checks every interval access method of the
+// reproduction — RI-tree, IST (D/V/H-order), MAP21, T-index, Window-List —
+// against a brute-force reference on identical workloads.
+package baseline_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ritree/internal/baseline/ist"
+	"ritree/internal/baseline/tile"
+	"ritree/internal/baseline/winlist"
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+	"ritree/internal/ritree"
+)
+
+type am interface {
+	Name() string
+	IntersectingFunc(q interval.Interval, fn func(id int64) bool) error
+}
+
+func collect(t *testing.T, m am, q interval.Interval) []int64 {
+	t.Helper()
+	var ids []int64
+	if err := m.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func newDB(t *testing.T) *rel.DB {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{PageSize: 2048, CacheSize: 256})
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func genWorkload(n int, domain, maxLen int64, seed int64) ([]interval.Interval, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]interval.Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := rng.Int63n(domain)
+		ln := int64(0)
+		if maxLen > 0 {
+			ln = rng.Int63n(maxLen)
+		}
+		ivs[i] = interval.New(lo, lo+ln)
+		ids[i] = int64(i)
+	}
+	return ivs, ids
+}
+
+func TestAllAccessMethodsAgree(t *testing.T) {
+	const n = 2000
+	ivs, ids := genWorkload(n, 1<<18, 2048, 77)
+
+	db := newDB(t)
+	rit, err := ritree.Create(db, "rit", ritree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rit.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	istD, err := ist.Create(db, "istd", ist.DOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := istD.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	istV, err := ist.Create(db, "istv", ist.VOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := istV.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	istH, err := ist.Create(db, "isth", ist.HOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := istH.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	m21, err := ist.CreateMap21(db, "m21", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ivs {
+		if err := m21.Insert(ivs[i], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ti, err := tile.Create(db, "tile", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := winlist.Build(db, "wl", ivs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	methods := []am{rit, istD, istV, istH, m21, ti, wl}
+
+	rng := rand.New(rand.NewSource(78))
+	for qi := 0; qi < 100; qi++ {
+		lo := rng.Int63n(1 << 18)
+		q := interval.New(lo, lo+rng.Int63n(8192))
+		if qi%10 == 0 {
+			q = interval.Point(lo) // stabbing queries too
+		}
+		var want []int64
+		for i, iv := range ivs {
+			if iv.Intersects(q) {
+				want = append(want, ids[i])
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, m := range methods {
+			got := collect(t, m, q)
+			if len(got) != len(want) {
+				t.Fatalf("%s query %v: %d results, brute force %d", m.Name(), q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s query %v: result %d = %d, want %d", m.Name(), q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStorageCharacteristics(t *testing.T) {
+	// Figure 12's qualitative shape: IST stores n entries, the RI-tree 2n,
+	// the T-index redundancy·n with redundancy > 2 for long intervals.
+	const n = 3000
+	ivs, ids := genWorkload(n, 1<<20, 4096, 12) // mean length ~2k (D1-like)
+
+	db := newDB(t)
+	rit, _ := ritree.Create(db, "rit", ritree.Options{})
+	rit.BulkLoad(ivs, ids)
+	istD, _ := ist.Create(db, "istd", ist.DOrder)
+	istD.BulkLoad(ivs, ids)
+	ti, _ := tile.Create(db, "tile", 8)
+	ti.BulkLoad(ivs, ids)
+
+	if got := istD.EntryCount(); got != n {
+		t.Fatalf("IST entries = %d, want %d", got, n)
+	}
+	if got := rit.IndexEntries(); got != 2*n {
+		t.Fatalf("RI-tree entries = %d, want %d", got, 2*n)
+	}
+	red := ti.Redundancy()
+	if red < 2 {
+		t.Fatalf("T-index redundancy = %.2f, want > 2 for 2k-length intervals", red)
+	}
+	if got := ti.EntryCount(); got < 2*n {
+		t.Fatalf("T-index entries = %d, want > %d", got, 2*n)
+	}
+}
+
+func TestTileDeleteAndInsert(t *testing.T) {
+	db := newDB(t)
+	ti, _ := tile.Create(db, "tile", 6)
+	iv := interval.New(100, 900)
+	if err := ti.Insert(iv, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Insert(interval.New(500, 600), 2); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := ti.Intersecting(interval.New(550, 560))
+	if len(ids) != 2 {
+		t.Fatalf("got %v", ids)
+	}
+	ok, err := ti.Delete(iv, 1)
+	if err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
+	}
+	ids, _ = ti.Intersecting(interval.New(550, 560))
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("after delete got %v", ids)
+	}
+	ok, _ = ti.Delete(iv, 1)
+	if ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestISTDeleteAndSweepAsymmetry(t *testing.T) {
+	db := newDB(t)
+	istD, _ := ist.Create(db, "istd", ist.DOrder)
+	ivs, ids := genWorkload(4000, 1<<20, 1024, 5)
+	istD.BulkLoad(ivs, ids)
+
+	// Delete a few and verify.
+	for i := 0; i < 5; i++ {
+		ok, err := istD.Delete(ivs[i], ids[i])
+		if err != nil || !ok {
+			t.Fatalf("delete %d = %v, %v", i, ok, err)
+		}
+	}
+	got, _ := istD.Intersecting(ivs[0])
+	for _, id := range got {
+		if id == ids[0] {
+			t.Fatal("deleted interval still returned")
+		}
+	}
+
+	// The D-order asymmetry (Figure 17): a stab near the domain's upper
+	// bound scans far fewer index entries than one near the lower bound.
+	db.ResetStats()
+	istD.Intersecting(interval.Point(interval.DomainMax - 10))
+	highIO := db.Stats().LogicalReads
+	db.ResetStats()
+	istD.Intersecting(interval.Point(interval.DomainMin + 10))
+	lowIO := db.Stats().LogicalReads
+	if lowIO < highIO*4 {
+		t.Fatalf("D-order sweep asymmetry missing: low-end %d reads vs high-end %d", lowIO, highIO)
+	}
+}
+
+func TestWindowListStatic(t *testing.T) {
+	db := newDB(t)
+	ivs, ids := genWorkload(1500, 1<<16, 512, 9)
+	wl, err := winlist.Build(db, "wl", ivs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Insert(interval.New(1, 2), 99); err != winlist.ErrStatic {
+		t.Fatalf("Insert = %v, want ErrStatic", err)
+	}
+	if _, err := wl.Delete(ivs[0], ids[0]); err != winlist.ErrStatic {
+		t.Fatalf("Delete = %v, want ErrStatic", err)
+	}
+	// O(n) space: window memberships bounded by a small multiple of n.
+	if wl.EntryCount() > 4*int64(len(ivs)) {
+		t.Fatalf("window-list entries = %d for n = %d: space blow-up", wl.EntryCount(), len(ivs))
+	}
+	if wl.Windows() < 2 {
+		t.Fatalf("expected multiple windows, got %d", wl.Windows())
+	}
+	// Reopen from catalog.
+	wl2, err := winlist.Open(db, "wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := interval.New(1000, 2000)
+	a, _ := wl.Intersecting(q)
+	b, _ := wl2.Intersecting(q)
+	if len(a) != len(b) {
+		t.Fatalf("reopened window list disagrees: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestMap21PartitionsBoundScans(t *testing.T) {
+	db := newDB(t)
+	m21, _ := ist.CreateMap21(db, "m21", 21)
+	// Mostly short intervals plus a handful of very long ones: partitions
+	// keep short-interval queries from paying for the long ones.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		lo := rng.Int63n(1 << 19)
+		m21.Insert(interval.New(lo, lo+rng.Int63n(64)), int64(i))
+	}
+	for i := 3000; i < 3010; i++ {
+		m21.Insert(interval.New(0, 1<<19), int64(i))
+	}
+	q := interval.New(1<<18, 1<<18+100)
+	got, err := m21.Intersecting(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range got {
+		if id >= 3000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("long spanning intervals missing from result")
+	}
+	if m21.Count() != 3010 {
+		t.Fatalf("Count = %d", m21.Count())
+	}
+}
+
+func TestHOrderLengthQueries(t *testing.T) {
+	db := newDB(t)
+	istH, _ := ist.Create(db, "isth", ist.HOrder)
+	for i := int64(0); i < 100; i++ {
+		istH.Insert(interval.New(i*10, i*10+i%20), i)
+	}
+	ids, err := istH.IntersectingWithLength(interval.New(0, 2000), 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		ln := id % 20
+		if ln < 5 || ln > 10 {
+			t.Fatalf("id %d has length %d outside [5,10]", id, ln)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no length-constrained results")
+	}
+}

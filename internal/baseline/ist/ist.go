@@ -1,0 +1,299 @@
+// Package ist implements the Interval-Spatial Transformation of Goh, Lu,
+// Ooi and Tan [GLOT 96], the paper's principal "composite index" competitor
+// (§2.3, §6), plus the closely related MAP21 mapping of Nascimento and
+// Dunham [ND 99].
+//
+// The paper observes (§2.3) that, aside from quantization, the IST's
+// space-filling orderings are equivalent to relational composite indexes:
+//
+//	D-ordering ≡ composite index on (upper, lower)
+//	V-ordering ≡ composite index on (lower, upper)
+//	H-ordering ≡ composite index on (upper − lower, lower)
+//
+// and evaluates the D-order variant: a range query is the single SQL
+// statement of Figure 11 — test both bounds for intersection — whose index
+// support degrades to O(n/b) when the selectivity lies on the "wrong"
+// (secondary) bound.
+package ist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// Order selects the space-filling ordering (the leading index column).
+type Order int
+
+const (
+	// DOrder indexes (upper, lower, id) — the variant evaluated in §6.
+	DOrder Order = iota
+	// VOrder indexes (lower, upper, id).
+	VOrder
+	// HOrder indexes (upper−lower, lower, id), "particularly supporting
+	// queries referring to the interval length" (§2.3).
+	HOrder
+)
+
+// String names the ordering.
+func (o Order) String() string {
+	switch o {
+	case DOrder:
+		return "D-order"
+	case VOrder:
+		return "V-order"
+	case HOrder:
+		return "H-order"
+	}
+	return "unknown"
+}
+
+// Index is an IST access method over one relation
+// (lower, upper, length, id) with a single composite index determined by
+// the chosen ordering. No redundancy is produced: one entry per interval.
+type Index struct {
+	name  string
+	order Order
+	db    *rel.DB
+	tab   *rel.Table
+	ix    *rel.Index
+}
+
+const (
+	colLower = 0
+	colUpper = 1
+	colLen   = 2
+	colID    = 3
+)
+
+func istIxName(name string) string { return name + "_ix" }
+
+func orderColumns(o Order) []string {
+	switch o {
+	case DOrder:
+		return []string{"upper", "lower", "id"}
+	case VOrder:
+		return []string{"lower", "upper", "id"}
+	default:
+		return []string{"length", "lower", "id"}
+	}
+}
+
+// Create instantiates a new IST relation and its ordering index.
+func Create(db *rel.DB, name string, order Order) (*Index, error) {
+	tab, err := db.CreateTable(name, []string{"lower", "upper", "length", "id"})
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.CreateIndex(istIxName(name), name, orderColumns(order))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{name: name, order: order, db: db, tab: tab, ix: ix}, nil
+}
+
+// Open attaches to an existing IST relation created with the same order.
+func Open(db *rel.DB, name string, order Order) (*Index, error) {
+	tab, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.Index(istIxName(name))
+	if err != nil {
+		return nil, err
+	}
+	return &Index{name: name, order: order, db: db, tab: tab, ix: ix}, nil
+}
+
+// Name returns the access method's display name.
+func (t *Index) Name() string { return "IST/" + t.order.String() }
+
+// Insert registers the interval under id.
+func (t *Index) Insert(iv interval.Interval, id int64) error {
+	if !iv.Valid() {
+		return fmt.Errorf("ist: invalid interval %v", iv)
+	}
+	_, err := t.tab.Insert([]int64{iv.Lower, iv.Upper, iv.Length(), id})
+	return err
+}
+
+// Delete removes one registration of (iv, id), reporting whether it existed.
+func (t *Index) Delete(iv interval.Interval, id int64) (bool, error) {
+	key := t.keyFor(iv, id)
+	var victim rel.RowID
+	found := false
+	err := t.ix.Scan(key, key, func(_ []int64, rid rel.RowID) bool {
+		victim = rid
+		found = true
+		return false
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	_, err = t.tab.DeleteRow(victim)
+	return err == nil, err
+}
+
+func (t *Index) keyFor(iv interval.Interval, id int64) []int64 {
+	switch t.order {
+	case DOrder:
+		return []int64{iv.Upper, iv.Lower, id}
+	case VOrder:
+		return []int64{iv.Lower, iv.Upper, id}
+	default:
+		return []int64{iv.Length(), iv.Lower, id}
+	}
+}
+
+// BulkLoad registers all intervals and rebuilds the ordering index with a
+// sorted bulk load ("the good clustering properties of the bulk loaded
+// indexes", §6.3).
+func (t *Index) BulkLoad(ivs []interval.Interval, ids []int64) error {
+	if len(ivs) != len(ids) {
+		return fmt.Errorf("ist: BulkLoad got %d intervals and %d ids", len(ivs), len(ids))
+	}
+	if err := t.db.DropIndex(istIxName(t.name)); err != nil {
+		return err
+	}
+	row := make([]int64, 4)
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			return fmt.Errorf("ist: invalid interval %v", iv)
+		}
+		row[0], row[1], row[2], row[3] = iv.Lower, iv.Upper, iv.Length(), ids[i]
+		if _, err := t.tab.Insert(row); err != nil {
+			return err
+		}
+	}
+	ix, err := t.db.CreateIndex(istIxName(t.name), t.name, orderColumns(t.order))
+	if err != nil {
+		return err
+	}
+	t.ix = ix
+	return nil
+}
+
+// IntersectingFunc reports every stored interval intersecting q — the
+// Figure 11 query:
+//
+//	SELECT id FROM Intervals i
+//	WHERE i.upper >= :lower AND i.lower <= :upper;
+//
+// Under the D-order index, "upper >= :lower" is the access predicate (an
+// index range scan to the end of the data space) and "lower <= :upper" a
+// residual filter — the cause of the linear degradation in Figure 17.
+// Under V-order the roles are symmetric; under H-order the statement runs
+// as a full scan of (length, lower) with both predicates residual.
+func (t *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return nil
+	}
+	switch t.order {
+	case DOrder:
+		return t.ix.Scan(
+			[]int64{q.Lower, math.MinInt64},
+			nil, // to the end of the index
+			func(key []int64, _ rel.RowID) bool {
+				if key[1] > q.Upper {
+					return true // residual: lower <= :upper
+				}
+				return fn(key[2])
+			})
+	case VOrder:
+		return t.ix.Scan(
+			nil, // from the start of the index
+			[]int64{q.Upper, math.MaxInt64},
+			func(key []int64, _ rel.RowID) bool {
+				if key[1] < q.Lower {
+					return true // residual: upper >= :lower
+				}
+				return fn(key[2])
+			})
+	default:
+		// H-order supports length-selective queries; plain intersection
+		// degenerates to a full index scan with residual filters.
+		return t.ix.Scan(nil, nil, func(key []int64, rid rel.RowID) bool {
+			lower := key[1]
+			upper := lower + key[0]
+			if upper < q.Lower || lower > q.Upper {
+				return true
+			}
+			return fn(key[2])
+		})
+	}
+}
+
+// Intersecting returns the ids of all stored intervals intersecting q,
+// sorted ascending.
+func (t *Index) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := t.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// IntersectingWithLength returns intersecting intervals whose length lies
+// in [minLen, maxLen] — the query class the H-ordering accelerates (§2.3).
+// Only meaningful for HOrder indexes; other orders apply the length test as
+// a residual filter.
+func (t *Index) IntersectingWithLength(q interval.Interval, minLen, maxLen int64) ([]int64, error) {
+	var ids []int64
+	if t.order == HOrder {
+		err := t.ix.Scan(
+			[]int64{minLen, math.MinInt64},
+			[]int64{maxLen, math.MaxInt64},
+			func(key []int64, _ rel.RowID) bool {
+				lower := key[1]
+				upper := lower + key[0]
+				if upper >= q.Lower && lower <= q.Upper {
+					ids = append(ids, key[2])
+				}
+				return true
+			})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		err := t.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true })
+		if err != nil {
+			return nil, err
+		}
+		// Non-H orders have no length column in the index; resolve the
+		// length test through the relation (a residual filter).
+		return t.filterByLength(ids, q, minLen, maxLen)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (t *Index) filterByLength(ids []int64, q interval.Interval, minLen, maxLen int64) ([]int64, error) {
+	want := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []int64
+	err := t.tab.Scan(func(_ rel.RowID, row []int64) bool {
+		if want[row[colID]] && row[colLen] >= minLen && row[colLen] <= maxLen {
+			out = append(out, row[colID])
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// EntryCount returns the number of index entries (one per interval — "no
+// redundancy is produced", §2.3): the Figure 12 storage metric.
+func (t *Index) EntryCount() int64 { return t.ix.Len() }
+
+// Count returns the number of stored intervals.
+func (t *Index) Count() int64 { return t.tab.RowCount() }

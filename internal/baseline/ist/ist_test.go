@@ -1,0 +1,214 @@
+package ist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+)
+
+func newDB(t *testing.T) *rel.DB {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 128})
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOrderNames(t *testing.T) {
+	if DOrder.String() != "D-order" || VOrder.String() != "V-order" || HOrder.String() != "H-order" {
+		t.Fatal("order names wrong")
+	}
+	if Order(99).String() != "unknown" {
+		t.Fatal("out-of-range order name")
+	}
+}
+
+func TestKeyMappingPerOrder(t *testing.T) {
+	db := newDB(t)
+	iv := interval.New(10, 25)
+	for _, o := range []Order{DOrder, VOrder, HOrder} {
+		ix, err := Create(db, "t"+o.String(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ix.keyFor(iv, 7)
+		switch o {
+		case DOrder:
+			if key[0] != 25 || key[1] != 10 {
+				t.Fatalf("D key = %v", key)
+			}
+		case VOrder:
+			if key[0] != 10 || key[1] != 25 {
+				t.Fatalf("V key = %v", key)
+			}
+		case HOrder:
+			if key[0] != 15 || key[1] != 10 {
+				t.Fatalf("H key = %v", key)
+			}
+		}
+	}
+}
+
+func TestVOrderSweepAsymmetryMirrorsD(t *testing.T) {
+	// The V-order (lower, upper) degrades at the *upper* end of the data
+	// space — the mirror image of Figure 17's D-order behaviour (§2.3:
+	// "these indexes reveal a poor query performance if the selectivity
+	// relies on the wrong bound").
+	db := newDB(t)
+	ix, _ := Create(db, "v", VOrder)
+	rng := rand.New(rand.NewSource(1))
+	ivs := make([]interval.Interval, 4000)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 20)
+		ivs[i] = interval.New(lo, lo+rng.Int63n(1024))
+	}
+	ids := make([]int64, len(ivs))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	if err := ix.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	ix.Intersecting(interval.Point(interval.DomainMin + 10))
+	lowIO := db.Stats().LogicalReads
+	db.ResetStats()
+	ix.Intersecting(interval.Point(interval.DomainMax - 10))
+	highIO := db.Stats().LogicalReads
+	if highIO < lowIO*4 {
+		t.Fatalf("V-order asymmetry missing: high-end %d reads vs low-end %d", highIO, lowIO)
+	}
+}
+
+func TestISTInvalidInterval(t *testing.T) {
+	db := newDB(t)
+	ix, _ := Create(db, "d", DOrder)
+	if err := ix.Insert(interval.New(5, 1), 1); err == nil {
+		t.Fatal("invalid interval accepted")
+	}
+	ids, err := ix.Intersecting(interval.New(5, 1))
+	if err != nil || ids != nil {
+		t.Fatalf("invalid query = %v, %v", ids, err)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	db := newDB(t)
+	ix, _ := Create(db, "d", DOrder)
+	ix.Insert(interval.New(1, 5), 42)
+	re, err := Open(db, "d", DOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := re.Intersecting(interval.New(2, 3))
+	if len(ids) != 1 || ids[0] != 42 {
+		t.Fatalf("reopened ids = %v", ids)
+	}
+	if re.Count() != 1 || re.EntryCount() != 1 {
+		t.Fatalf("counts = %d/%d", re.Count(), re.EntryCount())
+	}
+}
+
+func TestMap21ValueRoundTrip(t *testing.T) {
+	phi := uint(21)
+	f := func(a, b uint32) bool {
+		lo := int64(a % (1 << 20))
+		hi := lo + int64(b%(1<<20))
+		if hi > 1<<21-1 {
+			hi = 1<<21 - 1
+		}
+		v := lo<<phi + hi
+		gotLo := v >> phi
+		gotHi := v - gotLo<<phi
+		return gotLo == lo && gotHi == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMap21PartitionAssignment(t *testing.T) {
+	db := newDB(t)
+	m, err := CreateMap21(db, "m", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition maxima are increasing; partFor is monotone.
+	prev := -1
+	for _, ln := range []int64{0, 1, 2, 5, 100, 5000, 1 << 19} {
+		p := m.partFor(ln)
+		if p < prev {
+			t.Fatalf("partFor(%d) = %d decreased from %d", ln, p, prev)
+		}
+		prev = p
+		if ln > m.parts[p].maxLen {
+			t.Fatalf("length %d exceeds partition %d max %d", ln, p, m.parts[p].maxLen)
+		}
+	}
+}
+
+func TestMap21PhiValidation(t *testing.T) {
+	db := newDB(t)
+	if _, err := CreateMap21(db, "m0", 0); err == nil {
+		t.Fatal("phi 0 accepted")
+	}
+	if _, err := CreateMap21(db, "m32", 32); err == nil {
+		t.Fatal("phi 32 accepted")
+	}
+}
+
+func TestMap21DeleteAndCount(t *testing.T) {
+	db := newDB(t)
+	m, _ := CreateMap21(db, "m", 21)
+	iv := interval.New(100, 5000)
+	m.Insert(iv, 1)
+	m.Insert(interval.Point(200), 2)
+	if m.Count() != 2 || m.EntryCount() != 2 {
+		t.Fatalf("counts = %d/%d", m.Count(), m.EntryCount())
+	}
+	ok, err := m.Delete(iv, 1)
+	if err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
+	}
+	ok, _ = m.Delete(iv, 1)
+	if ok {
+		t.Fatal("double delete succeeded")
+	}
+	ids, _ := m.Intersecting(interval.New(0, 1<<20))
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestHOrderFullScanStillCorrect(t *testing.T) {
+	db := newDB(t)
+	ix, _ := Create(db, "h", HOrder)
+	rng := rand.New(rand.NewSource(9))
+	var ivs []interval.Interval
+	for i := 0; i < 300; i++ {
+		lo := rng.Int63n(10000)
+		iv := interval.New(lo, lo+rng.Int63n(100))
+		ivs = append(ivs, iv)
+		ix.Insert(iv, int64(i))
+	}
+	q := interval.New(4000, 6000)
+	got, err := ix.Intersecting(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, iv := range ivs {
+		if iv.Intersects(q) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("H-order returned %d, want %d", len(got), want)
+	}
+}

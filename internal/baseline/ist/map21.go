@@ -1,0 +1,178 @@
+package ist
+
+import (
+	"fmt"
+
+	"sort"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// Map21 implements the MAP21 access method of Nascimento and Dunham
+// [ND 99]: each interval is mapped to the single value
+//
+//	lower · 2^φ + upper        (φ = bits of the data-space width)
+//
+// indexed by a plain single-column B+-tree, "while the composite index
+// (lower, upper) is implemented by a single-column index" (§2.3). MAP21
+// additionally introduces a static partitioning by interval length so that
+// an intersection query in a partition with maximum length M only scans
+// lower ∈ [q.lower − M, q.upper]. The paper notes it "behaves very similar
+// to the IST" and still needs O(n/b) I/Os when many long intervals exist.
+type Map21 struct {
+	name string
+	db   *rel.DB
+	phi  uint
+	// partitions[i] covers interval lengths in [2^i−1 … 2^(i+1)−2]; each
+	// has its own relation and mapped-value index.
+	parts []*m21part
+}
+
+type m21part struct {
+	tab    *rel.Table
+	ix     *rel.Index
+	maxLen int64
+}
+
+// map21Partitions is the number of static length partitions.
+const map21Partitions = 21
+
+// CreateMap21 instantiates the partitioned MAP21 structure. phi must be
+// large enough that upper < 2^phi for all stored intervals (21 for the
+// paper's [0, 2^20−1] domain).
+func CreateMap21(db *rel.DB, name string, phi uint) (*Map21, error) {
+	if phi < 1 || phi > 31 {
+		return nil, fmt.Errorf("map21: phi %d out of range", phi)
+	}
+	m := &Map21{name: name, db: db, phi: phi}
+	for i := 0; i < map21Partitions; i++ {
+		tname := fmt.Sprintf("%s_p%d", name, i)
+		tab, err := db.CreateTable(tname, []string{"mapval", "lower", "upper", "id"})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := db.CreateIndex(tname+"_ix", tname, []string{"mapval", "id"})
+		if err != nil {
+			return nil, err
+		}
+		m.parts = append(m.parts, &m21part{tab: tab, ix: ix, maxLen: (int64(1) << uint(i+1)) - 2})
+	}
+	return m, nil
+}
+
+// Name returns the access method's display name.
+func (m *Map21) Name() string { return "MAP21" }
+
+func (m *Map21) mapval(iv interval.Interval) int64 {
+	return iv.Lower<<m.phi + iv.Upper
+}
+
+func (m *Map21) partFor(length int64) int {
+	for i, p := range m.parts {
+		if length <= p.maxLen {
+			return i
+		}
+	}
+	return len(m.parts) - 1
+}
+
+// Insert registers the interval under id in its length partition.
+func (m *Map21) Insert(iv interval.Interval, id int64) error {
+	if !iv.Valid() {
+		return fmt.Errorf("map21: invalid interval %v", iv)
+	}
+	p := m.parts[m.partFor(iv.Length())]
+	_, err := p.tab.Insert([]int64{m.mapval(iv), iv.Lower, iv.Upper, id})
+	return err
+}
+
+// Delete removes one registration of (iv, id).
+func (m *Map21) Delete(iv interval.Interval, id int64) (bool, error) {
+	if !iv.Valid() {
+		return false, nil
+	}
+	p := m.parts[m.partFor(iv.Length())]
+	key := []int64{m.mapval(iv), id}
+	var victim rel.RowID
+	found := false
+	err := p.ix.Scan(key, key, func(_ []int64, rid rel.RowID) bool {
+		victim = rid
+		found = true
+		return false
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	_, err = p.tab.DeleteRow(victim)
+	return err == nil, err
+}
+
+// IntersectingFunc reports every stored interval intersecting q. Each
+// partition with maximum length M is scanned over the mapped range
+// [(q.lower−M)·2^φ, (q.upper+1)·2^φ) with the exact intersection test as a
+// residual filter.
+func (m *Map21) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return nil
+	}
+	for _, p := range m.parts {
+		if p.ix.Len() == 0 {
+			continue
+		}
+		loVal := (q.Lower - p.maxLen) << m.phi
+		hiVal := (q.Upper + 1) << m.phi
+		stop := false
+		err := p.ix.Scan(
+			[]int64{loVal},
+			[]int64{hiVal - 1},
+			func(key []int64, rid rel.RowID) bool {
+				lower := key[0] >> m.phi
+				upper := key[0] - lower<<m.phi
+				if upper >= q.Lower && lower <= q.Upper {
+					if !fn(key[1]) {
+						stop = true
+						return false
+					}
+				}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Intersecting returns the ids of all stored intervals intersecting q,
+// sorted ascending.
+func (m *Map21) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := m.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// EntryCount returns the total number of index entries across partitions.
+func (m *Map21) EntryCount() int64 {
+	var n int64
+	for _, p := range m.parts {
+		n += p.ix.Len()
+	}
+	return n
+}
+
+// Count returns the number of stored intervals.
+func (m *Map21) Count() int64 {
+	var n int64
+	for _, p := range m.parts {
+		n += p.tab.RowCount()
+	}
+	return n
+}

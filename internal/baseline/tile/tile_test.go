@@ -1,0 +1,158 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+)
+
+func newIx(t *testing.T, level uint) *Index {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 64})
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Create(db, "t", level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestDecomposeCoversExactly(t *testing.T) {
+	ix := newIx(t, 6) // tile size 64
+	f := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(a)+int64(b%2000)
+		cells := ix.decompose(lo, hi)
+		// Cells must tile [lo, hi] exactly, in order, without gaps or
+		// overlaps, each within a single fixed tile and sized <= 64.
+		cur := lo
+		for _, c := range cells {
+			if c.lo != cur || c.hi < c.lo {
+				return false
+			}
+			if c.hi-c.lo+1 > 64 {
+				return false
+			}
+			if c.lo>>6 != c.tile || c.hi>>6 != c.tile {
+				return false
+			}
+			cur = c.hi + 1
+		}
+		return cur == hi+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposePoint(t *testing.T) {
+	ix := newIx(t, 8)
+	cells := ix.decompose(12345, 12345)
+	if len(cells) != 1 || cells[0].lo != 12345 || cells[0].hi != 12345 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestDecomposeAlignedBlock(t *testing.T) {
+	ix := newIx(t, 8)               // tile size 256
+	cells := ix.decompose(512, 767) // exactly one aligned 256-block
+	if len(cells) != 1 || cells[0].tile != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestCountCellsMatchesDecompose(t *testing.T) {
+	ix := newIx(t, 7)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		lo := rng.Int63n(1 << 18)
+		hi := lo + rng.Int63n(5000)
+		if got, want := countCells(lo, hi, 1<<7), len(ix.decompose(lo, hi)); got != want {
+			t.Fatalf("countCells(%d,%d) = %d, decompose = %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestRedundancyShapes(t *testing.T) {
+	// Redundancy ~1 for points, >> 1 for long intervals (Figures 12/16).
+	points := newIx(t, 8)
+	long := newIx(t, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		lo := rng.Int63n(1 << 19)
+		points.Insert(interval.Point(lo), int64(i))
+		long.Insert(interval.New(lo, lo+2000), int64(i))
+	}
+	if r := points.Redundancy(); r != 1 {
+		t.Fatalf("point redundancy = %v, want 1", r)
+	}
+	if r := long.Redundancy(); r < 5 {
+		t.Fatalf("long-interval redundancy = %v, want >> 1", r)
+	}
+}
+
+func TestTunePicksReasonableLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var sample, queries []interval.Interval
+	for i := 0; i < 1000; i++ {
+		lo := rng.Int63n(1 << 20)
+		sample = append(sample, interval.New(lo, lo+rng.Int63n(4000)))
+		queries = append(queries, interval.New(lo, lo+4000))
+	}
+	level := Tune(sample, queries, 50)
+	if level < 2 || level > 16 {
+		t.Fatalf("tuned level %d out of range", level)
+	}
+	// Defaults on empty input.
+	if Tune(nil, nil, 50) != 8 {
+		t.Fatal("empty-input default level changed")
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 64})
+	db, _ := rel.CreateDB(st)
+	if _, err := Create(db, "t", MaxLevel+1); err == nil {
+		t.Fatal("level above MaxLevel accepted")
+	}
+}
+
+func TestNegativeBoundsRejected(t *testing.T) {
+	ix := newIx(t, 8)
+	if err := ix.Insert(interval.New(-5, 10), 1); err == nil {
+		t.Fatal("negative lower bound accepted (tiling domain starts at 0)")
+	}
+	// Queries clip gracefully.
+	ix.Insert(interval.New(0, 10), 2)
+	ids, err := ix.Intersecting(interval.New(-100, 5))
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("clipped query = %v, %v", ids, err)
+	}
+	ids, _ = ix.Intersecting(interval.New(-100, -50))
+	if len(ids) != 0 {
+		t.Fatalf("fully negative query returned %v", ids)
+	}
+}
+
+func TestEntryCountEqualsCells(t *testing.T) {
+	ix := newIx(t, 6)
+	total := 0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		lo := rng.Int63n(1 << 16)
+		iv := interval.New(lo, lo+rng.Int63n(1000))
+		total += len(ix.decompose(iv.Lower, iv.Upper))
+		if err := ix.Insert(iv, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.EntryCount() != int64(total) {
+		t.Fatalf("EntryCount = %d, want %d", ix.EntryCount(), total)
+	}
+}

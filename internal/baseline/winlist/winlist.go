@@ -1,0 +1,288 @@
+// Package winlist implements the Window-List technique of Ramaswamy
+// [Ram 97]: a *static* interval storage structure built on plain B+-trees
+// that achieves the optimal O(n/b) space and O(log_b n + r/b) stabbing
+// query bound (§2.3).
+//
+// Construction follows the filtering-search windowing the technique is
+// built on: the data space is cut into windows; every window's list holds
+// all intervals that overlap the window. Window boundaries are chosen
+// greedily while sweeping the intervals in lower-bound order — a window is
+// closed once the number of intervals starting inside it reaches the number
+// alive at its start (plus a block-size floor), which bounds the total list
+// volume by O(n).
+//
+// An intersection query [ql, qu] is answered as a stabbing query at ql
+// (locate ql's window, scan its list, filter) plus one range scan over the
+// intervals with lower bound in (ql, qu].
+//
+// As in the paper: "updates do not seem to have non-trivial upper bounds,
+// and adding as well as deleting arbitrary intervals can deteriorate the
+// query efficiency" — Insert and Delete return ErrStatic.
+package winlist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// ErrStatic is returned by update operations: the Window-List is a static
+// structure (paper §2.3 and §6.1).
+var ErrStatic = errors.New("winlist: static structure does not support updates")
+
+// minWindowFill is the block-size floor for the greedy window construction.
+const minWindowFill = 64
+
+// Index is a built Window-List.
+type Index struct {
+	name string
+	db   *rel.DB
+	// windows relation (win, lower, upper, id): the per-window lists, one
+	// row per (window, interval) membership; covering composite index.
+	winTab *rel.Table
+	winIx  *rel.Index
+	// base relation (lower, upper, id): every interval once, covering
+	// index on (lower, upper, id) for the non-stabbing query part.
+	baseTab *rel.Table
+	baseIx  *rel.Index
+	// bounds[i] is the inclusive start of window i; windows span
+	// [bounds[i], bounds[i+1]). Loaded into memory on open (O(n/b) values).
+	bounds []int64
+}
+
+// Build constructs a Window-List over the given intervals.
+func Build(db *rel.DB, name string, ivs []interval.Interval, ids []int64) (*Index, error) {
+	if len(ivs) != len(ids) {
+		return nil, fmt.Errorf("winlist: %d intervals, %d ids", len(ivs), len(ids))
+	}
+	w := &Index{name: name, db: db}
+	var err error
+	if w.winTab, err = db.CreateTable(name+"_windows", []string{"win", "lower", "upper", "id"}); err != nil {
+		return nil, err
+	}
+	if w.baseTab, err = db.CreateTable(name+"_base", []string{"lower", "upper", "id"}); err != nil {
+		return nil, err
+	}
+	boundTab, err := db.CreateTable(name+"_bounds", []string{"win", "start"})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sort by lower bound for the sweep.
+	ord := make([]int, len(ivs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ivs[ord[a]], ivs[ord[b]]
+		if ia.Lower != ib.Lower {
+			return ia.Lower < ib.Lower
+		}
+		return ia.Upper < ib.Upper
+	})
+
+	type member struct {
+		iv interval.Interval
+		id int64
+	}
+	var alive []member // intervals alive at the current window's start
+	var started []member
+	var windowStart int64 = math.MinInt64
+	win := int64(0)
+
+	flush := func() error {
+		for _, m := range alive {
+			if _, err := w.winTab.Insert([]int64{win, m.iv.Lower, m.iv.Upper, m.id}); err != nil {
+				return err
+			}
+		}
+		for _, m := range started {
+			if _, err := w.winTab.Insert([]int64{win, m.iv.Lower, m.iv.Upper, m.id}); err != nil {
+				return err
+			}
+		}
+		if _, err := boundTab.Insert([]int64{win, windowStart}); err != nil {
+			return err
+		}
+		w.bounds = append(w.bounds, windowStart)
+		return nil
+	}
+
+	for _, idx := range ord {
+		iv, id := ivs[idx], ids[idx]
+		if !iv.Valid() {
+			return nil, fmt.Errorf("winlist: invalid interval %v", iv)
+		}
+		if _, err := w.baseTab.Insert([]int64{iv.Lower, iv.Upper, id}); err != nil {
+			return nil, err
+		}
+		threshold := len(alive)
+		if threshold < minWindowFill {
+			threshold = minWindowFill
+		}
+		if len(started) >= threshold {
+			// Close the current window at this interval's lower bound and
+			// open the next one.
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			win++
+			windowStart = iv.Lower
+			// The intervals alive at the new window's start: previous
+			// members still extending past windowStart.
+			var stillAlive []member
+			for _, m := range alive {
+				if m.iv.Upper >= windowStart {
+					stillAlive = append(stillAlive, m)
+				}
+			}
+			for _, m := range started {
+				if m.iv.Upper >= windowStart {
+					stillAlive = append(stillAlive, m)
+				}
+			}
+			alive, started = stillAlive, nil
+		}
+		started = append(started, member{iv, id})
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	if w.winIx, err = db.CreateIndex(name+"_windows_ix", name+"_windows", []string{"win", "lower", "upper", "id"}); err != nil {
+		return nil, err
+	}
+	if w.baseIx, err = db.CreateIndex(name+"_base_ix", name+"_base", []string{"lower", "upper", "id"}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Open attaches to a previously built Window-List, reloading the window
+// boundary directory.
+func Open(db *rel.DB, name string) (*Index, error) {
+	w := &Index{name: name, db: db}
+	var err error
+	if w.winTab, err = db.Table(name + "_windows"); err != nil {
+		return nil, err
+	}
+	if w.baseTab, err = db.Table(name + "_base"); err != nil {
+		return nil, err
+	}
+	if w.winIx, err = db.Index(name + "_windows_ix"); err != nil {
+		return nil, err
+	}
+	if w.baseIx, err = db.Index(name + "_base_ix"); err != nil {
+		return nil, err
+	}
+	boundTab, err := db.Table(name + "_bounds")
+	if err != nil {
+		return nil, err
+	}
+	type bound struct{ win, start int64 }
+	var bs []bound
+	err = boundTab.Scan(func(_ rel.RowID, row []int64) bool {
+		bs = append(bs, bound{row[0], row[1]})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].win < bs[j].win })
+	for _, b := range bs {
+		w.bounds = append(w.bounds, b.start)
+	}
+	if len(w.bounds) == 0 {
+		return nil, fmt.Errorf("winlist: %s has no windows", name)
+	}
+	return w, nil
+}
+
+// Name returns the access method's display name.
+func (w *Index) Name() string { return "Window-List" }
+
+// Insert is unsupported: the Window-List is static.
+func (w *Index) Insert(interval.Interval, int64) error { return ErrStatic }
+
+// Delete is unsupported: the Window-List is static.
+func (w *Index) Delete(interval.Interval, int64) (bool, error) { return false, ErrStatic }
+
+// windowOf returns the index of the window containing p.
+func (w *Index) windowOf(p int64) int64 {
+	// First window starts at -inf; binary search the greatest start <= p.
+	i := sort.Search(len(w.bounds), func(i int) bool { return w.bounds[i] > p })
+	return int64(i - 1)
+}
+
+// IntersectingFunc reports every stored interval intersecting q: a stabbing
+// query at q.Lower through the window directory plus a range scan over
+// intervals beginning inside (q.Lower, q.Upper].
+func (w *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return nil
+	}
+	stop := false
+	// Stab q.Lower: scan the containing window's list, filter to actual
+	// stabbers.
+	win := w.windowOf(q.Lower)
+	err := w.winIx.Scan(
+		[]int64{win},
+		[]int64{win},
+		func(key []int64, _ rel.RowID) bool {
+			lower, upper, id := key[1], key[2], key[3]
+			if lower <= q.Lower && q.Lower <= upper {
+				if !fn(id) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+	if err != nil || stop {
+		return err
+	}
+	// Intervals starting strictly after q.Lower and at or before q.Upper.
+	if q.Upper > q.Lower {
+		err = w.baseIx.Scan(
+			[]int64{q.Lower + 1},
+			[]int64{q.Upper, math.MaxInt64},
+			func(key []int64, _ rel.RowID) bool {
+				return fn(key[2])
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Intersecting returns the ids of all stored intervals intersecting q,
+// sorted ascending.
+func (w *Index) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := w.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// Stab returns the ids of all stored intervals containing p.
+func (w *Index) Stab(p int64) ([]int64, error) {
+	return w.Intersecting(interval.Point(p))
+}
+
+// EntryCount returns the total number of index entries (window memberships
+// plus base entries).
+func (w *Index) EntryCount() int64 { return w.winIx.Len() + w.baseIx.Len() }
+
+// Windows returns the number of windows.
+func (w *Index) Windows() int { return len(w.bounds) }
+
+// Count returns the number of stored intervals.
+func (w *Index) Count() int64 { return w.baseTab.RowCount() }

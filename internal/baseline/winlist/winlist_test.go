@@ -1,0 +1,146 @@
+package winlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+)
+
+func newDB(t *testing.T) *rel.DB {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 128})
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func gen(n int, seed int64) ([]interval.Interval, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]interval.Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 16)
+		ivs[i] = interval.New(lo, lo+rng.Int63n(2048))
+		ids[i] = int64(i)
+	}
+	return ivs, ids
+}
+
+func TestStabExhaustive(t *testing.T) {
+	db := newDB(t)
+	ivs, ids := gen(800, 1)
+	w, err := Build(db, "w", ivs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		p := rng.Int63n(1 << 16)
+		got, err := w.Stab(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, iv := range ivs {
+			if iv.ContainsPoint(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("stab %d: got %d, want %d", p, len(got), want)
+		}
+	}
+}
+
+func TestSpaceLinear(t *testing.T) {
+	// The windowing must keep total storage O(n) even with heavy overlap.
+	db := newDB(t)
+	n := 4000
+	ivs := make([]interval.Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		// Nested intervals: worst case for naive per-point bucketing
+		// (the Time Index's O(n^2) failure mode, §2.2).
+		ivs[i] = interval.New(int64(i), int64(2*n-i))
+		ids[i] = int64(i)
+	}
+	w, err := Build(db, "w", ivs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.EntryCount() > int64(5*n) {
+		t.Fatalf("entries = %d for n = %d: super-linear space", w.EntryCount(), n)
+	}
+	// Deep stab returns everything.
+	got, _ := w.Stab(int64(n))
+	if len(got) != n {
+		t.Fatalf("deep stab found %d, want %d", len(got), n)
+	}
+}
+
+func TestWindowCount(t *testing.T) {
+	db := newDB(t)
+	ivs, ids := gen(3000, 3)
+	w, _ := Build(db, "w", ivs, ids)
+	if w.Windows() < 3000/(2*minWindowFill) {
+		t.Fatalf("only %d windows for 3000 intervals", w.Windows())
+	}
+	if w.Count() != 3000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	db := newDB(t)
+	w, err := Build(db, "w", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := w.Intersecting(interval.New(0, 1000))
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty query = %v, %v", ids, err)
+	}
+}
+
+func TestMismatchedInput(t *testing.T) {
+	db := newDB(t)
+	if _, err := Build(db, "w", []interval.Interval{{Lower: 0, Upper: 1}}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Build(db, "w2", []interval.Interval{{Lower: 5, Upper: 1}}, []int64{1}); err == nil {
+		t.Fatal("invalid interval accepted")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	db := newDB(t)
+	if _, err := Open(db, "nope"); err == nil {
+		t.Fatal("Open of missing structure succeeded")
+	}
+}
+
+func TestDuplicateBoundsAndPoints(t *testing.T) {
+	db := newDB(t)
+	ivs := []interval.Interval{
+		interval.Point(100), interval.Point(100), interval.Point(100),
+		interval.New(100, 100), interval.New(50, 150),
+	}
+	ids := []int64{1, 2, 3, 4, 5}
+	w, err := Build(db, "w", ivs, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.Stab(100)
+	if len(got) != 5 {
+		t.Fatalf("stab(100) = %v", got)
+	}
+	got, _ = w.Stab(99)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("stab(99) = %v", got)
+	}
+}

@@ -1,0 +1,567 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ritree/internal/pagestore"
+)
+
+func newTestTree(t *testing.T, ncols int) *Tree {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 64})
+	tr, err := Create(st, ncols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEncodeOrdering(t *testing.T) {
+	vals := []int64{math.MinInt64, -1 << 40, -2, -1, 0, 1, 2, 1 << 40, math.MaxInt64}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			a := EncodeKey(nil, []int64{vals[i]})
+			b := EncodeKey(nil, []int64{vals[j]})
+			got := compareEncoded(a, b)
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("compare(%d,%d) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		enc := EncodeKey(nil, []int64{a, b, c})
+		out := make([]int64, 3)
+		DecodeKey(out, enc)
+		return out[0] == a && out[1] == b && out[2] == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeLexicographic(t *testing.T) {
+	// Property: encoded comparison equals tuple comparison.
+	f := func(a1, a2, b1, b2 int64) bool {
+		x := EncodeKey(nil, []int64{a1, a2})
+		y := EncodeKey(nil, []int64{b1, b2})
+		want := 0
+		switch {
+		case a1 < b1 || (a1 == b1 && a2 < b2):
+			want = -1
+		case a1 > b1 || (a1 == b1 && a2 > b2):
+			want = 1
+		}
+		return compareEncoded(x, y) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	tr := newTestTree(t, 2)
+	ins, err := tr.Insert([]int64{10, 1})
+	if err != nil || !ins {
+		t.Fatalf("Insert = %v, %v", ins, err)
+	}
+	ins, err = tr.Insert([]int64{10, 1})
+	if err != nil || ins {
+		t.Fatalf("duplicate Insert = %v, %v; want false", ins, err)
+	}
+	ok, err := tr.Contains([]int64{10, 1})
+	if err != nil || !ok {
+		t.Fatalf("Contains = %v, %v", ok, err)
+	}
+	ok, err = tr.Contains([]int64{10, 2})
+	if err != nil || ok {
+		t.Fatalf("Contains absent = %v, %v", ok, err)
+	}
+	del, err := tr.Delete([]int64{10, 1})
+	if err != nil || !del {
+		t.Fatalf("Delete = %v, %v", del, err)
+	}
+	del, err = tr.Delete([]int64{10, 1})
+	if err != nil || del {
+		t.Fatalf("second Delete = %v, %v; want false", del, err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestWrongWidth(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if _, err := tr.Insert([]int64{1}); err != ErrWidth {
+		t.Fatalf("Insert width err = %v", err)
+	}
+	if _, err := tr.Delete([]int64{1, 2, 3}); err != ErrWidth {
+		t.Fatalf("Delete width err = %v", err)
+	}
+	if _, err := tr.Contains([]int64{1, 2, 3}); err != ErrWidth {
+		t.Fatalf("Contains width err = %v", err)
+	}
+}
+
+func TestAscendingInsertScan(t *testing.T) {
+	tr := newTestTree(t, 1)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := tr.Insert([]int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	want := int64(0)
+	err := tr.Scan(nil, nil, func(k []int64) bool {
+		if k[0] != want {
+			t.Fatalf("scan got %d, want %d", k[0], want)
+		}
+		want++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != n {
+		t.Fatalf("scanned %d entries, want %d", want, n)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d; expected splits with %d entries", tr.Height(), n)
+	}
+}
+
+func TestDescendingInsertScan(t *testing.T) {
+	tr := newTestTree(t, 1)
+	const n = 2000
+	for i := n - 1; i >= 0; i-- {
+		if _, err := tr.Insert([]int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	if err := tr.Scan(nil, nil, func(k []int64) bool { got = append(got, k[0]); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d, want %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 3; j++ {
+			if _, err := tr.Insert([]int64{int64(i), int64(j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Prefix range [10, 20] inclusive on first column.
+	var got [][2]int64
+	err := tr.Scan([]int64{10}, []int64{20}, func(k []int64) bool {
+		got = append(got, [2]int64{k[0], k[1]})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 11*3 {
+		t.Fatalf("range scan returned %d entries, want %d", len(got), 11*3)
+	}
+	if got[0] != [2]int64{10, 0} || got[len(got)-1] != [2]int64{20, 2} {
+		t.Fatalf("range endpoints wrong: %v .. %v", got[0], got[len(got)-1])
+	}
+	// Composite bound: (10,1) .. (11,0).
+	got = got[:0]
+	err = tr.Scan([]int64{10, 1}, []int64{11, 0}, func(k []int64) bool {
+		got = append(got, [2]int64{k[0], k[1]})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{10, 1}, {10, 2}, {11, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("composite scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("composite scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newTestTree(t, 1)
+	for i := 0; i < 500; i++ {
+		tr.Insert([]int64{int64(i)})
+	}
+	n := 0
+	tr.Scan(nil, nil, func(k []int64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop scanned %d, want 10", n)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	tr := newTestTree(t, 1)
+	for i := 0; i < 1000; i += 2 { // evens
+		tr.Insert([]int64{int64(i)})
+	}
+	n, err := tr.Count([]int64{100}, []int64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 51 {
+		t.Fatalf("Count[100,200] = %d, want 51", n)
+	}
+}
+
+func TestEmptyTreeOps(t *testing.T) {
+	tr := newTestTree(t, 1)
+	if del, _ := tr.Delete([]int64{1}); del {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if ok, _ := tr.Contains([]int64{1}); ok {
+		t.Fatal("Contains on empty tree returned true")
+	}
+	n := 0
+	tr.Scan(nil, nil, func([]int64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("scan of empty tree yielded entries")
+	}
+}
+
+func TestMinMaxKeys(t *testing.T) {
+	tr := newTestTree(t, 1)
+	keys := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	for _, k := range keys {
+		if _, err := tr.Insert([]int64{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	tr.Scan(nil, nil, func(k []int64) bool { got = append(got, k[0]); return true })
+	if len(got) != len(keys) {
+		t.Fatalf("got %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestDeleteManyRebalances(t *testing.T) {
+	tr := newTestTree(t, 1)
+	const n = 3000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, v := range perm {
+		if _, err := tr.Insert([]int64{int64(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hBefore := tr.Height()
+	// Delete all but 10 in a different random order.
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for _, v := range perm2[:n-10] {
+		del, err := tr.Delete([]int64{int64(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !del {
+			t.Fatalf("Delete(%d) = false", v)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if tr.Height() >= hBefore && hBefore > 1 {
+		t.Fatalf("height did not shrink: before %d, after %d", hBefore, tr.Height())
+	}
+	// The survivors are the last 10 of perm2.
+	survivors := append([]int(nil), perm2[n-10:]...)
+	sort.Ints(survivors)
+	var got []int64
+	tr.Scan(nil, nil, func(k []int64) bool { got = append(got, k[0]); return true })
+	if len(got) != 10 {
+		t.Fatalf("scan found %d, want 10", len(got))
+	}
+	for i, s := range survivors {
+		if got[i] != int64(s) {
+			t.Fatalf("survivor %d = %d, want %d", i, got[i], s)
+		}
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := newTestTree(t, 2)
+	model := make(map[[2]int64]bool)
+	keys := func() [][2]int64 {
+		out := make([][2]int64, 0, len(model))
+		for k := range model {
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+		return out
+	}
+	domain := int64(200)
+	for step := 0; step < 20000; step++ {
+		k := [2]int64{rng.Int63n(domain), rng.Int63n(domain)}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert
+			ins, err := tr.Insert(k[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ins == model[k] {
+				t.Fatalf("step %d: Insert(%v) = %v, model has %v", step, k, ins, model[k])
+			}
+			model[k] = true
+		case 6, 7, 8: // delete
+			del, err := tr.Delete(k[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if del != model[k] {
+				t.Fatalf("step %d: Delete(%v) = %v, model %v", step, k, del, model[k])
+			}
+			delete(model, k)
+		default: // contains
+			ok, err := tr.Contains(k[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != model[k] {
+				t.Fatalf("step %d: Contains(%v) = %v, model %v", step, k, ok, model[k])
+			}
+		}
+		if int64(len(model)) != tr.Len() {
+			t.Fatalf("step %d: Len = %d, model %d", step, tr.Len(), len(model))
+		}
+		if step%2500 == 0 {
+			want := keys()
+			var got [][2]int64
+			tr.Scan(nil, nil, func(k []int64) bool {
+				got = append(got, [2]int64{k[0], k[1]})
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("step %d: scan %d entries, model %d", step, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: scan[%d] = %v, want %v", step, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPersistenceViaOpen(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, err := Create(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Insert([]int64{int64(i % 37), int64(i)})
+	}
+	meta := tr.Meta()
+	wantLen := tr.Len()
+
+	tr2, err := Open(st, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != wantLen || tr2.Cols() != 2 {
+		t.Fatalf("reopened: Len=%d Cols=%d, want %d/2", tr2.Len(), tr2.Cols(), wantLen)
+	}
+	ok, err := tr2.Contains([]int64{3, 3})
+	if err != nil || !ok {
+		t.Fatalf("reopened Contains = %v, %v", ok, err)
+	}
+}
+
+func TestOpenNonMetaPageFails(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	id, _ := st.Allocate()
+	if _, err := Open(st, id); err == nil {
+		t.Fatal("Open of non-meta page succeeded")
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	before := st.NumAllocated()
+	tr, _ := Create(st, 1)
+	for i := 0; i < 2000; i++ {
+		tr.Insert([]int64{int64(i)})
+	}
+	if st.NumAllocated() <= before+2 {
+		t.Fatal("tree did not allocate pages?")
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.NumAllocated(); got != before {
+		t.Fatalf("after Drop, %d pages allocated, want %d", got, before)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 64})
+	keys := make([][]int64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, []int64{int64(i * 3), int64(i)})
+	}
+	bl, err := Create(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.BulkLoadSlice(keys); err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != int64(len(keys)) {
+		t.Fatalf("bulk Len = %d, want %d", bl.Len(), len(keys))
+	}
+	i := 0
+	err = bl.Scan(nil, nil, func(k []int64) bool {
+		if k[0] != keys[i][0] || k[1] != keys[i][1] {
+			t.Fatalf("bulk entry %d = %v, want %v", i, k, keys[i])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("bulk scan %d entries, want %d", i, len(keys))
+	}
+	// Point lookups and deletes work on a bulk-loaded tree.
+	if ok, _ := bl.Contains([]int64{3 * 1234, 1234}); !ok {
+		t.Fatal("Contains failed on bulk-loaded tree")
+	}
+	if del, _ := bl.Delete([]int64{3 * 1234, 1234}); !del {
+		t.Fatal("Delete failed on bulk-loaded tree")
+	}
+	if ok, _ := bl.Contains([]int64{3 * 1234, 1234}); ok {
+		t.Fatal("entry still present after delete on bulk-loaded tree")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 1)
+	err := tr.BulkLoadSlice([][]int64{{5}, {4}})
+	if err == nil {
+		t.Fatal("unsorted bulk load succeeded")
+	}
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 1)
+	tr.Insert([]int64{1})
+	if err := tr.BulkLoadSlice([][]int64{{2}}); err != ErrNotEmpty {
+		t.Fatalf("bulk load on non-empty tree = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 1)
+	if err := tr.BulkLoadSlice(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	tr.Insert([]int64{1}) // still usable
+	if ok, _ := tr.Contains([]int64{1}); !ok {
+		t.Fatal("tree unusable after empty bulk load")
+	}
+}
+
+func TestIOCountsLogarithmic(t *testing.T) {
+	// The defining property the RI-tree relies on: a point search costs
+	// O(log_b n) page reads.
+	st := pagestore.NewMem(pagestore.Options{PageSize: 2048, CacheSize: 8})
+	tr, _ := Create(st, 2)
+	const n = 100000
+	keys := make([][]int64, n)
+	for i := range keys {
+		keys[i] = []int64{int64(i), int64(i)}
+	}
+	if err := tr.BulkLoadSlice(keys); err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	tr.Contains([]int64{n / 2, n / 2})
+	got := st.Stats().LogicalReads
+	if got > int64(tr.Height())+1 {
+		t.Fatalf("point search cost %d logical reads, height %d", got, tr.Height())
+	}
+}
+
+func TestPropertyInsertScanSorted(t *testing.T) {
+	f := func(raw []int64) bool {
+		st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 32})
+		tr, err := Create(st, 1)
+		if err != nil {
+			return false
+		}
+		uniq := make(map[int64]bool)
+		for _, v := range raw {
+			tr.Insert([]int64{v})
+			uniq[v] = true
+		}
+		var got []int64
+		tr.Scan(nil, nil, func(k []int64) bool { got = append(got, k[0]); return true })
+		if len(got) != len(uniq) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		for _, v := range got {
+			if !uniq[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package btree
+
+import (
+	"math"
+
+	"ritree/internal/pagestore"
+)
+
+// Cursor iterates entries in ascending key order. It snapshots one leaf at a
+// time (copying the page contents and releasing the pin immediately), so a
+// cursor never holds buffer-cache pages pinned between calls. Mutating the
+// tree while a cursor is open yields unspecified results; the relational
+// engine above serializes statements, matching the paper's setting.
+type Cursor struct {
+	t     *Tree
+	buf   []byte
+	n     int // entries in buf
+	i     int // current entry index
+	next  pagestore.PageID
+	key   []int64
+	valid bool
+	err   error
+}
+
+// PadKey extends key to width columns: missing columns become math.MinInt64
+// if high is false (a lower bound) or math.MaxInt64 if high is true (an
+// upper bound). The input is not modified.
+func PadKey(key []int64, width int, high bool) []int64 {
+	out := make([]int64, width)
+	copy(out, key)
+	fill := int64(math.MinInt64)
+	if high {
+		fill = math.MaxInt64
+	}
+	for i := len(key); i < width; i++ {
+		out[i] = fill
+	}
+	return out
+}
+
+// SeekGE returns a cursor positioned at the first entry >= key. A key
+// shorter than the tree width is padded with math.MinInt64.
+func (t *Tree) SeekGE(key []int64) *Cursor {
+	c := &Cursor{t: t, key: make([]int64, t.ncols)}
+	if len(key) > t.ncols {
+		c.err = ErrWidth
+		return c
+	}
+	full := PadKey(key, t.ncols, false)
+	ek := make([]byte, t.es)
+	encodeKeyInto(ek, full)
+
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.load(id)
+		if err != nil {
+			c.err = err
+			return c
+		}
+		id = n.child(n.innerSearch(ek))
+		n.release()
+	}
+	n, err := t.load(id)
+	if err != nil {
+		c.err = err
+		return c
+	}
+	i, _ := n.leafSearch(ek)
+	c.loadFrom(n, i) // releases n
+	return c
+}
+
+// First returns a cursor positioned at the smallest entry.
+func (t *Tree) First() *Cursor { return t.SeekGE(nil) }
+
+// loadFrom copies leaf n's entries into the cursor starting at index i and
+// releases the node. If the leaf is exhausted it chains to right siblings.
+func (c *Cursor) loadFrom(n nodeRef, i int) {
+	for {
+		cnt := n.count()
+		if i < cnt {
+			need := (cnt - i) * c.t.es
+			if cap(c.buf) < need {
+				c.buf = make([]byte, need)
+			}
+			c.buf = c.buf[:need]
+			copy(c.buf, n.data()[headerSize+i*c.t.es:headerSize+cnt*c.t.es])
+			c.n = cnt - i
+			c.i = 0
+			c.next = n.next()
+			n.release()
+			c.valid = true
+			DecodeKey(c.key, c.buf)
+			return
+		}
+		nextID := n.next()
+		n.release()
+		if nextID == pagestore.InvalidPage {
+			c.valid = false
+			return
+		}
+		var err error
+		n, err = c.t.load(nextID)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return
+		}
+		i = 0
+	}
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid && c.err == nil }
+
+// Err returns the first error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current entry. The slice is reused by Next; copy it to
+// retain it.
+func (c *Cursor) Key() []int64 { return c.key }
+
+// Next advances to the next entry.
+func (c *Cursor) Next() {
+	if !c.Valid() {
+		return
+	}
+	c.i++
+	if c.i < c.n {
+		DecodeKey(c.key, c.buf[c.i*c.t.es:])
+		return
+	}
+	if c.next == pagestore.InvalidPage {
+		c.valid = false
+		return
+	}
+	n, err := c.t.load(c.next)
+	if err != nil {
+		c.err = err
+		c.valid = false
+		return
+	}
+	c.loadFrom(n, 0)
+}
+
+// Scan calls fn for every entry k with low <= k <= high (bounds padded to
+// full width with -inf/+inf respectively). Iteration stops early when fn
+// returns false.
+func (t *Tree) Scan(low, high []int64, fn func(key []int64) bool) error {
+	if len(low) > t.ncols || len(high) > t.ncols {
+		return ErrWidth
+	}
+	hi := PadKey(high, t.ncols, true)
+	ehi := make([]byte, t.es)
+	encodeKeyInto(ehi, hi)
+	c := t.SeekGE(low)
+	for c.Valid() {
+		cur := c.buf[c.i*t.es : (c.i+1)*t.es]
+		if compareEncoded(cur, ehi) > 0 {
+			break
+		}
+		if !fn(c.key) {
+			break
+		}
+		c.Next()
+	}
+	return c.Err()
+}
+
+// Count returns the number of entries k with low <= k <= high.
+func (t *Tree) Count(low, high []int64) (int64, error) {
+	var n int64
+	err := t.Scan(low, high, func([]int64) bool { n++; return true })
+	return n, err
+}

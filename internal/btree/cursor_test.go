@@ -1,0 +1,125 @@
+package btree
+
+import (
+	"math"
+	"testing"
+
+	"ritree/internal/pagestore"
+)
+
+func TestPadKey(t *testing.T) {
+	low := PadKey([]int64{5}, 3, false)
+	if low[0] != 5 || low[1] != math.MinInt64 || low[2] != math.MinInt64 {
+		t.Fatalf("low pad = %v", low)
+	}
+	high := PadKey([]int64{5, 7}, 3, true)
+	if high[0] != 5 || high[1] != 7 || high[2] != math.MaxInt64 {
+		t.Fatalf("high pad = %v", high)
+	}
+	// Input must not be mutated or aliased.
+	in := []int64{1}
+	out := PadKey(in, 2, true)
+	out[0] = 99
+	if in[0] != 1 {
+		t.Fatal("PadKey aliased its input")
+	}
+}
+
+func TestCursorWalksPageBoundaries(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 1)
+	const n = 3000 // many leaves at 256-byte pages
+	for i := 0; i < n; i++ {
+		tr.Insert([]int64{int64(i)})
+	}
+	c := tr.SeekGE([]int64{0})
+	count := 0
+	var last int64 = -1
+	for c.Valid() {
+		k := c.Key()[0]
+		if k != last+1 {
+			t.Fatalf("cursor skipped: %d after %d", k, last)
+		}
+		last = k
+		count++
+		c.Next()
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if count != n {
+		t.Fatalf("cursor saw %d entries, want %d", count, n)
+	}
+}
+
+func TestCursorSeekSemantics(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 2)
+	for i := 0; i < 100; i += 2 { // even first columns
+		tr.Insert([]int64{int64(i), int64(i * 10)})
+	}
+	// Seek to a missing key lands on the next greater entry.
+	c := tr.SeekGE([]int64{13})
+	if !c.Valid() || c.Key()[0] != 14 {
+		t.Fatalf("SeekGE(13) at %v", c.Key())
+	}
+	// Seek past the end is invalid.
+	c = tr.SeekGE([]int64{1000})
+	if c.Valid() {
+		t.Fatalf("SeekGE past end valid at %v", c.Key())
+	}
+	c.Next() // must be a no-op, not a panic
+	if c.Valid() {
+		t.Fatal("Next on invalid cursor became valid")
+	}
+	// First positions at the smallest entry.
+	c = tr.First()
+	if !c.Valid() || c.Key()[0] != 0 {
+		t.Fatalf("First at %v", c.Key())
+	}
+	// Width errors are reported through Err.
+	c = tr.SeekGE([]int64{1, 2, 3})
+	if c.Valid() || c.Err() == nil {
+		t.Fatal("over-wide seek did not error")
+	}
+}
+
+func TestCursorKeyReuseContract(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 1)
+	tr.Insert([]int64{1})
+	tr.Insert([]int64{2})
+	c := tr.First()
+	first := c.Key()
+	v1 := first[0]
+	c.Next()
+	// The documented contract: Key's slice is reused across Next.
+	if v1 == c.Key()[0] {
+		t.Fatal("expected distinct key values")
+	}
+	if &first[0] != &c.Key()[0] {
+		t.Skip("implementation may reallocate; reuse is an optimization, not a requirement")
+	}
+}
+
+func TestScanWidthValidation(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 2)
+	if err := tr.Scan([]int64{1, 2, 3}, nil, func([]int64) bool { return true }); err != ErrWidth {
+		t.Fatalf("Scan over-wide low = %v", err)
+	}
+	if err := tr.Scan(nil, []int64{1, 2, 3}, func([]int64) bool { return true }); err != ErrWidth {
+		t.Fatalf("Scan over-wide high = %v", err)
+	}
+}
+
+func TestTreeMetaAccessors(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 256, CacheSize: 16})
+	tr, _ := Create(st, 3)
+	if tr.Cols() != 3 || tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("fresh tree meta: cols=%d len=%d h=%d", tr.Cols(), tr.Len(), tr.Height())
+	}
+	if tr.Meta() == pagestore.InvalidPage {
+		t.Fatal("invalid meta page")
+	}
+}

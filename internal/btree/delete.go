@@ -1,0 +1,197 @@
+package btree
+
+import "ritree/internal/pagestore"
+
+// minLeaf and minInner are the underflow thresholds. The root is exempt.
+func (t *Tree) minLeaf() int  { return t.leafCap / 2 }
+func (t *Tree) minInner() int { return t.innerCap / 2 }
+
+// Delete removes the exact tuple key. It returns false if the tuple was not
+// present. Nodes are rebalanced (borrow or merge) so that occupancy stays
+// above half outside the root, preserving O(log_b n) behaviour under mixed
+// workloads.
+func (t *Tree) Delete(key []int64) (bool, error) {
+	if len(key) != t.ncols {
+		return false, ErrWidth
+	}
+	ek := make([]byte, t.es)
+	encodeKeyInto(ek, key)
+	deleted, err := t.deleteRec(t.root, t.height, ek)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	t.count--
+	// Collapse the root while it is an inner node with no separators.
+	for t.height > 1 {
+		n, err := t.load(t.root)
+		if err != nil {
+			return false, err
+		}
+		if n.count() > 0 {
+			n.release()
+			break
+		}
+		newRoot := n.child(0)
+		n.release()
+		if err := t.st.Free(t.root); err != nil {
+			return false, err
+		}
+		t.root = newRoot
+		t.height--
+	}
+	return true, t.saveMeta()
+}
+
+func (t *Tree) deleteRec(id pagestore.PageID, level int, ek []byte) (bool, error) {
+	if level == 1 {
+		n, err := t.load(id)
+		if err != nil {
+			return false, err
+		}
+		defer n.release()
+		i, found := n.leafSearch(ek)
+		if !found {
+			return false, nil
+		}
+		n.removeLeafAt(i)
+		return true, nil
+	}
+	n, err := t.load(id)
+	if err != nil {
+		return false, err
+	}
+	ci := n.innerSearch(ek)
+	childID := n.child(ci)
+	n.release()
+	deleted, err := t.deleteRec(childID, level-1, ek)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	// Repair a possible underflow of the child.
+	n, err = t.load(id)
+	if err != nil {
+		return false, err
+	}
+	defer n.release()
+	c, err := t.load(childID)
+	if err != nil {
+		return false, err
+	}
+	min := t.minInner()
+	if level-1 == 1 {
+		min = t.minLeaf()
+	}
+	if c.count() >= min {
+		c.release()
+		return true, nil
+	}
+	return true, t.rebalance(n, ci, c, level-1)
+}
+
+// rebalance fixes the underflowing child at index ci of parent. The child
+// node c is loaded; rebalance releases it.
+func (t *Tree) rebalance(parent nodeRef, ci int, c nodeRef, childLevel int) error {
+	leaf := childLevel == 1
+	min := t.minInner()
+	if leaf {
+		min = t.minLeaf()
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		l, err := t.load(parent.child(ci - 1))
+		if err != nil {
+			c.release()
+			return err
+		}
+		if l.count() > min {
+			if leaf {
+				last := l.count() - 1
+				c.insertLeafAt(0, l.leafEntry(last))
+				l.setCount(last)
+				l.dirty()
+				copy(parent.innerKey(ci-1), c.leafEntry(0))
+				parent.dirty()
+			} else {
+				lc := l.count()
+				oldLeftmost := c.child(0)
+				c.insertInnerAt(0, parent.innerKey(ci-1), oldLeftmost)
+				c.setChild(0, l.child(lc))
+				copy(parent.innerKey(ci-1), l.innerKey(lc-1))
+				parent.dirty()
+				l.setCount(lc - 1)
+				l.dirty()
+			}
+			l.release()
+			c.release()
+			return nil
+		}
+		l.release()
+	}
+	// Try borrowing from the right sibling.
+	if ci < parent.count() {
+		r, err := t.load(parent.child(ci + 1))
+		if err != nil {
+			c.release()
+			return err
+		}
+		if r.count() > min {
+			if leaf {
+				c.insertLeafAt(c.count(), r.leafEntry(0))
+				r.removeLeafAt(0)
+				copy(parent.innerKey(ci), r.leafEntry(0))
+				parent.dirty()
+			} else {
+				c.insertInnerAt(c.count(), parent.innerKey(ci), r.child(0))
+				copy(parent.innerKey(ci), r.innerKey(0))
+				parent.dirty()
+				r.setChild(0, r.child(1))
+				r.removeInnerAt(0)
+			}
+			r.release()
+			c.release()
+			return nil
+		}
+		r.release()
+	}
+	// Merge with a sibling. Prefer merging into the left sibling.
+	if ci > 0 {
+		l, err := t.load(parent.child(ci - 1))
+		if err != nil {
+			c.release()
+			return err
+		}
+		return t.merge(parent, ci-1, l, c, leaf)
+	}
+	r, err := t.load(parent.child(ci + 1))
+	if err != nil {
+		c.release()
+		return err
+	}
+	return t.merge(parent, ci, c, r, leaf)
+}
+
+// merge folds right into left, removes separator sepIdx from parent, and
+// frees right's page. It releases both left and right; the caller keeps
+// ownership of parent only.
+func (t *Tree) merge(parent nodeRef, sepIdx int, left, right nodeRef, leaf bool) error {
+	rightID := right.p.ID()
+	if leaf {
+		es := t.es
+		lc, rc := left.count(), right.count()
+		copy(left.data()[headerSize+lc*es:], right.data()[headerSize:headerSize+rc*es])
+		left.setCount(lc + rc)
+		left.setNext(right.next())
+		left.dirty()
+	} else {
+		ps := t.es + childSize
+		lc, rc := left.count(), right.count()
+		left.insertInnerAt(lc, parent.innerKey(sepIdx), right.child(0))
+		copy(left.data()[headerSize+(lc+1)*ps:], right.data()[headerSize:headerSize+rc*ps])
+		left.setCount(lc + 1 + rc)
+		left.dirty()
+	}
+	parent.removeInnerAt(sepIdx)
+	left.release()
+	right.release()
+	return t.st.Free(rightID)
+}

@@ -1,0 +1,50 @@
+package btree
+
+import "encoding/binary"
+
+// Keys are tuples of int64 columns encoded big-endian with the sign bit
+// flipped, so that bytewise comparison of the encoded form equals numeric
+// lexicographic comparison of the tuple. This mirrors how relational
+// composite indexes order multi-column keys.
+
+const colSize = 8
+
+const signFlip = uint64(1) << 63
+
+// EncodeKey appends the encoded form of key to dst and returns the result.
+func EncodeKey(dst []byte, key []int64) []byte {
+	for _, v := range key {
+		var b [colSize]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v)^signFlip)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// encodeKeyInto writes the encoded form of key into dst, which must have
+// room for len(key)*colSize bytes.
+func encodeKeyInto(dst []byte, key []int64) {
+	for i, v := range key {
+		binary.BigEndian.PutUint64(dst[i*colSize:], uint64(v)^signFlip)
+	}
+}
+
+// DecodeKey decodes len(dst) columns from src into dst.
+func DecodeKey(dst []int64, src []byte) {
+	for i := range dst {
+		dst[i] = int64(binary.BigEndian.Uint64(src[i*colSize:]) ^ signFlip)
+	}
+}
+
+// compareEncoded compares two encoded keys of equal width bytewise.
+func compareEncoded(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

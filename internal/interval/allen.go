@@ -1,0 +1,135 @@
+package interval
+
+// Relation enumerates Allen's thirteen topological relations between two
+// intervals. The paper (§4.5) notes that "in addition to the intersection
+// query predicate, there are 13 more fine-grained temporal relationships
+// between intervals" and that the RI-tree supports them efficiently,
+// including the ones competitors handle poorly because they refer to the
+// "wrong" bound (meets/before use the lower bound, met-by/after the upper).
+type Relation int
+
+// The thirteen relations, read as "A <relation> B".
+const (
+	Before       Relation = iota // A ends before B starts
+	Meets                        // A's upper equals B's lower
+	Overlaps                     // A starts first, they overlap, B ends last
+	FinishedBy                   // A contains B and they share the upper bound
+	Contains                     // A strictly contains B
+	Starts                       // share the lower bound, A ends first
+	Equals                       // identical intervals
+	StartedBy                    // share the lower bound, B ends first
+	During                       // B strictly contains A
+	Finishes                     // share the upper bound, B starts first
+	OverlappedBy                 // B starts first, they overlap, A ends last
+	MetBy                        // B's upper equals A's lower
+	After                        // A starts after B ends
+	numRelations
+)
+
+// NumRelations is the number of distinct Allen relations.
+const NumRelations = int(numRelations)
+
+var relationNames = [...]string{
+	Before:       "before",
+	Meets:        "meets",
+	Overlaps:     "overlaps",
+	FinishedBy:   "finished-by",
+	Contains:     "contains",
+	Starts:       "starts",
+	Equals:       "equals",
+	StartedBy:    "started-by",
+	During:       "during",
+	Finishes:     "finishes",
+	OverlappedBy: "overlapped-by",
+	MetBy:        "met-by",
+	After:        "after",
+}
+
+// String returns the relation's conventional name.
+func (r Relation) String() string {
+	if r < 0 || int(r) >= NumRelations {
+		return "invalid"
+	}
+	return relationNames[r]
+}
+
+// Inverse returns the converse relation: if A r B then B r.Inverse() A.
+func (r Relation) Inverse() Relation {
+	// The enumeration is ordered so that the converse of relation i is
+	// relation NumRelations-1-i (Equals is self-inverse in the middle).
+	return Relation(NumRelations - 1 - int(r))
+}
+
+// Holds reports whether "a r b" under the classic strict Allen semantics.
+// Degenerate (point) intervals make some relations unsatisfiable (e.g. a
+// point can never strictly overlap anything); Classify below remains total
+// by using intersection semantics for closed integer intervals.
+func (r Relation) Holds(a, b Interval) bool {
+	switch r {
+	case Before:
+		return a.Upper < b.Lower
+	case Meets:
+		return a.Upper == b.Lower && a.Lower < b.Lower && a.Upper < b.Upper
+	case Overlaps:
+		return a.Lower < b.Lower && b.Lower < a.Upper && a.Upper < b.Upper
+	case FinishedBy:
+		return a.Lower < b.Lower && a.Upper == b.Upper
+	case Contains:
+		return a.Lower < b.Lower && b.Upper < a.Upper
+	case Starts:
+		return a.Lower == b.Lower && a.Upper < b.Upper
+	case Equals:
+		return a.Lower == b.Lower && a.Upper == b.Upper
+	case StartedBy:
+		return a.Lower == b.Lower && b.Upper < a.Upper
+	case During:
+		return b.Lower < a.Lower && a.Upper < b.Upper
+	case Finishes:
+		return b.Lower < a.Lower && a.Upper == b.Upper
+	case OverlappedBy:
+		return b.Lower < a.Lower && a.Lower < b.Upper && b.Upper < a.Upper
+	case MetBy:
+		return a.Lower == b.Upper && b.Lower < a.Lower && b.Upper < a.Upper
+	case After:
+		return b.Upper < a.Lower
+	}
+	return false
+}
+
+// Classify returns the unique Allen relation between a and b for
+// non-degenerate intervals (Lower < Upper). For degenerate intervals the
+// endpoint-equality cases (Meets/MetBy) collapse into the bound-sharing
+// relations; Classify resolves them by endpoint comparison and remains a
+// total function.
+func Classify(a, b Interval) Relation {
+	switch {
+	case a.Upper < b.Lower:
+		return Before
+	case b.Upper < a.Lower:
+		return After
+	case a.Lower == b.Lower && a.Upper == b.Upper:
+		return Equals
+	case a.Upper == b.Lower && a.Lower < b.Lower && a.Upper < b.Upper:
+		return Meets
+	case a.Lower == b.Upper && b.Lower < a.Lower && b.Upper < a.Upper:
+		return MetBy
+	case a.Lower == b.Lower:
+		if a.Upper < b.Upper {
+			return Starts
+		}
+		return StartedBy
+	case a.Upper == b.Upper:
+		if a.Lower < b.Lower {
+			return FinishedBy
+		}
+		return Finishes
+	case a.Lower < b.Lower && b.Upper < a.Upper:
+		return Contains
+	case b.Lower < a.Lower && a.Upper < b.Upper:
+		return During
+	case a.Lower < b.Lower:
+		return Overlaps
+	default:
+		return OverlappedBy
+	}
+}

@@ -1,0 +1,65 @@
+// Package interval defines the shared interval value type, the data-space
+// domain used throughout the paper's experiments, and Allen's thirteen
+// topological relations between intervals (paper §4.5).
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Domain bounds of the paper's experimental data space: "The bounding
+// points of all intervals lie in the domain of [0, 2^20-1]" (§6.1).
+const (
+	DomainMin int64 = 0
+	DomainMax int64 = 1<<20 - 1
+)
+
+// Infinity is the sentinel upper-bound value for intervals that never end
+// (paper §4.6). It compares greater than every finite bound.
+const Infinity int64 = math.MaxInt64
+
+// NowMarker is the sentinel upper-bound value stored for now-relative
+// intervals, whose effective upper bound is the current time at query
+// evaluation (paper §4.6).
+const NowMarker int64 = math.MaxInt64 - 1
+
+// Interval is a closed interval [Lower, Upper] over int64. Points are
+// degenerate intervals with Lower == Upper.
+type Interval struct {
+	Lower int64
+	Upper int64
+}
+
+// New returns the interval [lower, upper].
+func New(lower, upper int64) Interval { return Interval{Lower: lower, Upper: upper} }
+
+// Point returns the degenerate interval [p, p].
+func Point(p int64) Interval { return Interval{Lower: p, Upper: p} }
+
+// Valid reports whether Lower <= Upper.
+func (iv Interval) Valid() bool { return iv.Lower <= iv.Upper }
+
+// Length returns Upper - Lower (0 for points).
+func (iv Interval) Length() int64 { return iv.Upper - iv.Lower }
+
+// Intersects reports whether iv and q share at least one point.
+func (iv Interval) Intersects(q Interval) bool {
+	return iv.Lower <= q.Upper && q.Lower <= iv.Upper
+}
+
+// ContainsPoint reports whether p lies within iv.
+func (iv Interval) ContainsPoint(p int64) bool {
+	return iv.Lower <= p && p <= iv.Upper
+}
+
+// String formats the interval as [lower, upper], with ∞ and now markers.
+func (iv Interval) String() string {
+	switch iv.Upper {
+	case Infinity:
+		return fmt.Sprintf("[%d, ∞)", iv.Lower)
+	case NowMarker:
+		return fmt.Sprintf("[%d, now]", iv.Lower)
+	}
+	return fmt.Sprintf("[%d, %d]", iv.Lower, iv.Upper)
+}

@@ -1,0 +1,168 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{New(1, 5), New(5, 9), true},    // touch at a point
+		{New(1, 5), New(6, 9), false},   // disjoint
+		{New(1, 9), New(3, 4), true},    // containment
+		{New(3, 3), New(1, 9), true},    // point inside
+		{New(3, 3), New(3, 3), true},    // identical points
+		{New(3, 3), New(4, 4), false},   // distinct points
+		{New(0, 0), New(0, 10), true},   // shared lower bound
+		{New(-5, -1), New(0, 2), false}, // negative side
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v intersects %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("%v intersects %v = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p := Point(7)
+	if !p.Valid() || p.Length() != 0 {
+		t.Fatalf("Point(7) = %v", p)
+	}
+	if !p.ContainsPoint(7) || p.ContainsPoint(8) {
+		t.Fatal("ContainsPoint wrong for point interval")
+	}
+	if New(2, 9).String() != "[2, 9]" {
+		t.Fatalf("String = %q", New(2, 9).String())
+	}
+	if New(2, Infinity).String() != "[2, ∞)" {
+		t.Fatalf("String = %q", New(2, Infinity).String())
+	}
+	if New(2, NowMarker).String() != "[2, now]" {
+		t.Fatalf("String = %q", New(2, NowMarker).String())
+	}
+}
+
+// normalize returns a valid interval from two arbitrary int16 seeds (small
+// domain so that endpoint collisions are actually exercised).
+func normalize(x, y int16) Interval {
+	a, b := int64(x)%64, int64(y)%64
+	if a > b {
+		a, b = b, a
+	}
+	return New(a, b)
+}
+
+func TestClassifyIsTotalAndConsistent(t *testing.T) {
+	f := func(x1, y1, x2, y2 int16) bool {
+		a, b := normalize(x1, y1), normalize(x2, y2)
+		r := Classify(a, b)
+		if r < 0 || int(r) >= NumRelations {
+			return false
+		}
+		// Classification must agree with intersection semantics.
+		intersects := r != Before && r != After
+		return intersects == a.Intersects(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyInverse(t *testing.T) {
+	f := func(x1, y1, x2, y2 int16) bool {
+		a, b := normalize(x1, y1), normalize(x2, y2)
+		return Classify(a, b).Inverse() == Classify(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldsPartitionsNonDegeneratePairs(t *testing.T) {
+	// For non-degenerate intervals, exactly one of the 13 relations holds,
+	// and it is the one Classify returns.
+	for al := int64(0); al < 8; al++ {
+		for au := al + 1; au < 9; au++ {
+			for bl := int64(0); bl < 8; bl++ {
+				for bu := bl + 1; bu < 9; bu++ {
+					a, b := New(al, au), New(bl, bu)
+					holds := 0
+					var which Relation
+					for r := Relation(0); int(r) < NumRelations; r++ {
+						if r.Holds(a, b) {
+							holds++
+							which = r
+						}
+					}
+					if holds != 1 {
+						t.Fatalf("%v vs %v: %d relations hold", a, b, holds)
+					}
+					if got := Classify(a, b); got != which {
+						t.Fatalf("%v vs %v: Classify=%v, Holds=%v", a, b, got, which)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	for r := Relation(0); int(r) < NumRelations; r++ {
+		if r.Inverse().Inverse() != r {
+			t.Fatalf("%v: inverse not involutive", r)
+		}
+	}
+	if Equals.Inverse() != Equals {
+		t.Fatal("Equals must be self-inverse")
+	}
+	if Before.Inverse() != After || Meets.Inverse() != MetBy ||
+		Overlaps.Inverse() != OverlappedBy || Starts.Inverse() != StartedBy ||
+		Contains.Inverse() != During || FinishedBy.Inverse() != Finishes {
+		t.Fatal("inverse pairs wrong")
+	}
+}
+
+func TestRelationNames(t *testing.T) {
+	seen := map[string]bool{}
+	for r := Relation(0); int(r) < NumRelations; r++ {
+		n := r.String()
+		if n == "" || n == "invalid" || seen[n] {
+			t.Fatalf("bad or duplicate name %q for relation %d", n, r)
+		}
+		seen[n] = true
+	}
+	if Relation(-1).String() != "invalid" || Relation(99).String() != "invalid" {
+		t.Fatal("out-of-range relations must stringify as invalid")
+	}
+}
+
+func TestClassifyDegeneratePoints(t *testing.T) {
+	// Points never classify as strictly-overlapping; they fall into the
+	// bound-sharing or ordering relations and stay consistent with
+	// intersection semantics.
+	cases := []struct {
+		a, b Interval
+		want Relation
+	}{
+		{Point(5), Point(5), Equals},
+		{Point(4), Point(5), Before},
+		{Point(6), Point(5), After},
+		{Point(5), New(5, 9), Starts},
+		{New(5, 9), Point(5), StartedBy},
+		{Point(9), New(5, 9), Finishes},
+		{New(5, 9), Point(9), FinishedBy},
+		{Point(7), New(5, 9), During},
+		{New(5, 9), Point(7), Contains},
+	}
+	for _, c := range cases {
+		if got := Classify(c.a, c.b); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pagestore
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultBackend injects failures after a configurable number of operations —
+// the storage layer must surface errors instead of corrupting state or
+// panicking.
+type faultBackend struct {
+	inner      Backend
+	readsLeft  int // fail reads once this reaches 0 (-1 = never fail)
+	writesLeft int
+}
+
+var errInjected = errors.New("injected backend fault")
+
+func (f *faultBackend) ReadPage(id PageID, buf []byte) error {
+	if f.readsLeft == 0 {
+		return errInjected
+	}
+	if f.readsLeft > 0 {
+		f.readsLeft--
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+func (f *faultBackend) WritePage(id PageID, buf []byte) error {
+	if f.writesLeft == 0 {
+		return errInjected
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+	}
+	return f.inner.WritePage(id, buf)
+}
+
+func (f *faultBackend) Sync() error  { return f.inner.Sync() }
+func (f *faultBackend) Close() error { return f.inner.Close() }
+
+func TestReadFaultSurfaces(t *testing.T) {
+	fb := &faultBackend{inner: NewMemBackend(), readsLeft: -1, writesLeft: -1}
+	s, err := New(fb, Options{PageSize: 256, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 12; i++ {
+		id, _ := s.Allocate()
+		p, _ := s.Get(id)
+		p.Data()[0] = byte(i)
+		p.MarkDirty()
+		p.Release()
+		ids = append(ids, id)
+	}
+	// Everything beyond the cache now needs backend reads; kill them.
+	fb.readsLeft = 0
+	sawError := false
+	for _, id := range ids {
+		p, err := s.Get(id)
+		if err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawError = true
+			continue
+		}
+		p.Release()
+	}
+	if !sawError {
+		t.Fatal("no read fault surfaced despite failing backend")
+	}
+	// Recovery: backend heals, store keeps working.
+	fb.readsLeft = -1
+	for _, id := range ids {
+		p, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("store did not recover: %v", err)
+		}
+		p.Release()
+	}
+}
+
+func TestWriteFaultSurfacesOnEviction(t *testing.T) {
+	fb := &faultBackend{inner: NewMemBackend(), readsLeft: -1, writesLeft: -1}
+	s, err := New(fb, Options{PageSize: 256, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty more pages than the cache holds with writes failing: the
+	// eviction path must return the error to the allocating caller.
+	fb.writesLeft = 0
+	sawError := false
+	for i := 0; i < 12; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawError = true
+			break
+		}
+		p, err := s.Get(id)
+		if err != nil {
+			sawError = true
+			break
+		}
+		p.MarkDirty()
+		p.Release()
+	}
+	if !sawError {
+		t.Fatal("no write fault surfaced despite failing backend")
+	}
+}
+
+func TestFlushFaultSurfaces(t *testing.T) {
+	fb := &faultBackend{inner: NewMemBackend(), readsLeft: -1, writesLeft: -1}
+	s, _ := New(fb, Options{PageSize: 256, CacheSize: 8})
+	id, _ := s.Allocate()
+	p, _ := s.Get(id)
+	p.MarkDirty()
+	p.Release()
+	fb.writesLeft = 0
+	if err := s.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll = %v, want injected fault", err)
+	}
+	fb.writesLeft = -1
+	if err := s.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after heal = %v", err)
+	}
+}

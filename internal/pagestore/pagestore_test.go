@@ -1,0 +1,386 @@
+package pagestore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllocateGetRelease(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidPage {
+		t.Fatal("allocated InvalidPage")
+	}
+	p, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data()) != 256 {
+		t.Fatalf("page size = %d, want 256", len(p.Data()))
+	}
+	for i, b := range p.Data() {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+	p.Data()[0] = 42
+	p.MarkDirty()
+	p.Release()
+
+	p2, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Data()[0] != 42 {
+		t.Fatalf("page content lost: got %d", p2.Data()[0])
+	}
+	p2.Release()
+}
+
+func TestGetInvalidPage(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	if _, err := s.Get(InvalidPage); err == nil {
+		t.Fatal("Get(InvalidPage) succeeded")
+	}
+	if _, err := s.Get(99); err == nil {
+		t.Fatal("Get of never-allocated page succeeded")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 4})
+	ids := make([]PageID, 16)
+	for i := range ids {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		p, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[0] = byte(i + 1)
+		p.MarkDirty()
+		p.Release()
+	}
+	// All pages must survive eviction through the tiny cache.
+	for i, id := range ids {
+		p, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Data()[0]; got != byte(i+1) {
+			t.Fatalf("page %d content = %d, want %d", id, got, i+1)
+		}
+		p.Release()
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions with 16 pages in a 4-page cache")
+	}
+	if st.PhysicalWrites == 0 {
+		t.Fatal("expected physical writes from dirty evictions")
+	}
+}
+
+func TestStatsHitsAndMisses(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	id, _ := s.Allocate()
+	s.ResetStats()
+
+	// First Get after reset: page is still cached from Allocate -> hit.
+	p, _ := s.Get(id)
+	p.Release()
+	st := s.Stats()
+	if st.LogicalReads != 1 || st.PhysicalReads != 0 {
+		t.Fatalf("stats after cached get = %+v, want 1 logical / 0 physical", st)
+	}
+
+	// Force eviction, then Get again -> miss.
+	for i := 0; i < 20; i++ {
+		nid, _ := s.Allocate()
+		p, _ := s.Get(nid)
+		p.Release()
+	}
+	s.ResetStats()
+	p, _ = s.Get(id)
+	p.Release()
+	st = s.Stats()
+	if st.PhysicalReads != 1 {
+		t.Fatalf("stats after evicted get = %+v, want 1 physical read", st)
+	}
+	if st.Hits() != 0 {
+		t.Fatalf("Hits() = %d, want 0", st.Hits())
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	id, _ := s.Allocate()
+	if err := s.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.Allocate()
+	if id2 != id {
+		t.Fatalf("freed page not reused: got %d, want %d", id2, id)
+	}
+	// Reused page must read as zeroes even though it held data before.
+	p, _ := s.Get(id2)
+	for i, b := range p.Data() {
+		if b != 0 {
+			t.Fatalf("reused page byte %d = %d, want 0", i, b)
+		}
+	}
+	p.Release()
+	if s.NumAllocated() != 1 {
+		t.Fatalf("NumAllocated = %d, want 1", s.NumAllocated())
+	}
+}
+
+func TestFreePinnedPageFails(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	id, _ := s.Allocate()
+	p, _ := s.Get(id)
+	if err := s.Free(id); err != ErrPinned {
+		t.Fatalf("Free(pinned) = %v, want ErrPinned", err)
+	}
+	p.Release()
+	if err := s.Free(id); err != nil {
+		t.Fatalf("Free after release: %v", err)
+	}
+}
+
+func TestPinnedPagesSurviveCachePressure(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 4})
+	// Pin more pages than the cache holds; store must over-allocate
+	// rather than evict pinned frames.
+	var pages []*Page
+	for i := 0; i < 8; i++ {
+		id, _ := s.Allocate()
+		p, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[0] = byte(i + 1)
+		p.MarkDirty()
+		pages = append(pages, p)
+	}
+	for i, p := range pages {
+		if p.Data()[0] != byte(i+1) {
+			t.Fatalf("pinned page %d corrupted", i)
+		}
+		p.Release()
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(NewMemBackend(), Options{PageSize: 100}); err == nil {
+		t.Fatal("accepted non-power-of-two page size")
+	}
+	if _, err := New(NewMemBackend(), Options{PageSize: 64}); err == nil {
+		t.Fatal("accepted page size below minimum")
+	}
+	if _, err := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 1}); err == nil {
+		t.Fatal("accepted cache size below minimum")
+	}
+}
+
+func TestCloseThenOps(t *testing.T) {
+	s := NewMem(Options{PageSize: 256, CacheSize: 8})
+	id, _ := s.Allocate()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Get(id); err != ErrClosed {
+		t.Fatalf("Get after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Allocate(); err != ErrClosed {
+		t.Fatalf("Allocate after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFileBackendPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+
+	b, err := OpenFileBackend(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(b, Options{PageSize: 256, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, _ := s.Allocate()
+		ids = append(ids, id)
+		p, _ := s.Get(id)
+		p.Data()[5] = byte(0x10 + i)
+		p.MarkDirty()
+		p.Release()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify contents plus allocator state.
+	b2, err := OpenFileBackend(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(b2, Options{PageSize: 256, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, id := range ids {
+		p, err := s2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Data()[5] != byte(0x10+i) {
+			t.Fatalf("page %d byte = %#x, want %#x", id, p.Data()[5], 0x10+i)
+		}
+		p.Release()
+	}
+	nid, _ := s2.Allocate()
+	for _, old := range ids {
+		if nid == old {
+			t.Fatalf("allocator reused live page %d after reopen", nid)
+		}
+	}
+}
+
+func TestFileBackendPageSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	b, _ := OpenFileBackend(path, 256)
+	s, _ := New(b, Options{PageSize: 256, CacheSize: 8})
+	if _, err := s.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := OpenFileBackend(path, 512)
+	if _, err := New(b2, Options{PageSize: 512, CacheSize: 8}); err == nil {
+		t.Fatal("opened 256-byte-page store with 512-byte pages")
+	}
+}
+
+func TestFreeListPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	b, _ := OpenFileBackend(path, 256)
+	s, _ := New(b, Options{PageSize: 256, CacheSize: 8})
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, _ := s.Allocate()
+		ids = append(ids, id)
+	}
+	for _, id := range ids[1:4] {
+		if err := s.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, _ := OpenFileBackend(path, 256)
+	s2, _ := New(b2, Options{PageSize: 256, CacheSize: 8})
+	defer s2.Close()
+	if got := s2.NumAllocated(); got != 3 {
+		t.Fatalf("NumAllocated after reopen = %d, want 3", got)
+	}
+	// The three freed pages must come back before any new page.
+	seen := map[PageID]bool{ids[1]: true, ids[2]: true, ids[3]: true}
+	for i := 0; i < 3; i++ {
+		id, _ := s2.Allocate()
+		if !seen[id] {
+			t.Fatalf("allocation %d returned %d, not one of the freed pages", i, id)
+		}
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	// Model: map[PageID][]byte. Random allocate/get+write/free/flush mixed,
+	// verified against the model throughout.
+	rng := rand.New(rand.NewSource(7))
+	s := NewMem(Options{PageSize: 128, CacheSize: 4})
+	model := make(map[PageID][]byte)
+	var live []PageID
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // allocate
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[id] = make([]byte, 128)
+			live = append(live, id)
+		case op < 7 && len(live) > 0: // write random bytes
+			id := live[rng.Intn(len(live))]
+			p, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := rng.Intn(128)
+			val := byte(rng.Intn(256))
+			p.Data()[off] = val
+			model[id][off] = val
+			p.MarkDirty()
+			p.Release()
+		case op < 8 && len(live) > 1: // free
+			i := rng.Intn(len(live))
+			id := live[i]
+			if err := s.Free(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+			live = append(live[:i], live[i+1:]...)
+		case op < 9: // flush
+			if err := s.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		default: // verify one random page
+			if len(live) == 0 {
+				continue
+			}
+			id := live[rng.Intn(len(live))]
+			p, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range p.Data() {
+				if p.Data()[i] != model[id][i] {
+					t.Fatalf("step %d: page %d byte %d = %d, model %d",
+						step, id, i, p.Data()[i], model[id][i])
+				}
+			}
+			p.Release()
+		}
+	}
+	// Final full verification.
+	for id, want := range model {
+		p, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if p.Data()[i] != want[i] {
+				t.Fatalf("final: page %d byte %d mismatch", id, i)
+			}
+		}
+		p.Release()
+	}
+}

@@ -1,0 +1,244 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ritree/internal/btree"
+	"ritree/internal/pagestore"
+)
+
+// DB is a database: a catalog of tables and indexes over one page store.
+//
+// Concurrency: all DDL and table DML serialize through one RW mutex; scans
+// take the read side and therefore must not mutate tables from their
+// callbacks (the SQL layer above materializes result sets before issuing
+// DML, matching the single-statement semantics of the paper's experiments).
+type DB struct {
+	mu      sync.RWMutex
+	st      *pagestore.Store
+	tables  map[string]*Table
+	indexes map[string]*Index
+	catRoot pagestore.PageID
+}
+
+// CreateDB initializes a fresh database on an empty page store.
+func CreateDB(st *pagestore.Store) (*DB, error) {
+	root, err := st.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		st:      st,
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		catRoot: root,
+	}
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenDB loads the catalog of an existing database. catRoot is the page id
+// returned at creation time (the first allocated page, normally 1).
+func OpenDB(st *pagestore.Store, catRoot pagestore.PageID) (*DB, error) {
+	db := &DB{
+		st:      st,
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		catRoot: catRoot,
+	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Store exposes the underlying page store (for I/O statistics).
+func (db *DB) Store() *pagestore.Store { return db.st }
+
+// Stats returns the page-store I/O counters.
+func (db *DB) Stats() pagestore.Stats { return db.st.Stats() }
+
+// ResetStats zeroes the page-store I/O counters.
+func (db *DB) ResetStats() { db.st.ResetStats() }
+
+// CatalogRoot returns the catalog root page id (pass to OpenDB).
+func (db *DB) CatalogRoot() pagestore.PageID { return db.catRoot }
+
+// CreateTable defines a new table with the given int64 columns.
+func (db *DB) CreateTable(name string, columns []string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("rel: empty table name")
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("%w: table %s", ErrExists, name)
+	}
+	schema := Schema{Columns: append([]string(nil), columns...)}
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	h, err := createHeap(db.st, schema.NumCols())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, name: name, schema: schema, h: h}
+	db.tables[name] = t
+	if err := db.saveCatalog(); err != nil {
+		delete(db.tables, name)
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex defines a composite index on the given columns of table and
+// backfills it from the existing rows.
+func (db *DB) CreateIndex(name, table string, columns []string) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.indexes[name]; ok {
+		return nil, fmt.Errorf("%w: index %s", ErrExists, name)
+	}
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("rel: index %s has no columns", name)
+	}
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		p := t.schema.ColIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, c)
+		}
+		cols[i] = p
+	}
+	tree, err := btree.Create(db.st, len(cols)+1)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{name: name, table: table, cols: cols, tree: tree}
+	// Backfill from existing rows with a sorted bulk load (row-at-a-time
+	// B+-tree inserts would make large CREATE INDEX statements quadratic
+	// in I/O under a small buffer cache). Keys are collected in a flat
+	// fixed-stride buffer to keep memory linear for multi-million-row
+	// backfills.
+	keys := newFlatTuples(len(cols)+1, int(t.h.rowCount))
+	err = t.h.scan(func(rid RowID, row []int64) (bool, error) {
+		keys.appendTuple(ix.keyFor(row, rid))
+		return true, nil
+	})
+	if err == nil && keys.Len() > 0 {
+		keys.sort()
+		err = tree.BulkLoad(keys.next())
+	}
+	if err != nil {
+		_ = tree.Drop()
+		return nil, err
+	}
+	t.indexes = append(t.indexes, ix)
+	db.indexes[name] = ix
+	if err := db.saveCatalog(); err != nil {
+		t.indexes = t.indexes[:len(t.indexes)-1]
+		delete(db.indexes, name)
+		_ = tree.Drop()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Index returns the named index.
+func (db *DB) Index(name string) (*Index, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ix, ok := db.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchIndex, name)
+	}
+	return ix, nil
+}
+
+// DropIndex removes the named index and frees its pages.
+func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ix, ok := db.indexes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchIndex, name)
+	}
+	t := db.tables[ix.table]
+	for i, cand := range t.indexes {
+		if cand == ix {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			break
+		}
+	}
+	delete(db.indexes, name)
+	if err := ix.tree.Drop(); err != nil {
+		return err
+	}
+	return db.saveCatalog()
+}
+
+// DropTable removes the table, its rows, and all of its indexes.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	for _, ix := range t.indexes {
+		delete(db.indexes, ix.name)
+		if err := ix.tree.Drop(); err != nil {
+			return err
+		}
+	}
+	if err := t.h.drop(); err != nil {
+		return err
+	}
+	delete(db.tables, name)
+	return db.saveCatalog()
+}
+
+// Flush writes all dirty pages and the catalog to the backend.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.st.FlushAll()
+}
+
+// Close flushes and closes the underlying store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.st.Close()
+}

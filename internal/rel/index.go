@@ -1,0 +1,73 @@
+package rel
+
+import (
+	"ritree/internal/btree"
+)
+
+// Index is a secondary composite index over a prefix of a table's columns.
+// Entries are (col_1, ..., col_k, rowid) tuples in a B+-tree, making every
+// entry unique — exactly how the paper's composite indexes (node, lower) and
+// (node, upper) are organized, with key compression replaced by shared-page
+// locality.
+type Index struct {
+	name  string
+	table string
+	cols  []int // positions of indexed columns in the table schema
+	tree  *btree.Tree
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// TableName returns the indexed table's name.
+func (ix *Index) TableName() string { return ix.table }
+
+// Cols returns the positions of the indexed columns in the table schema.
+func (ix *Index) Cols() []int { return append([]int(nil), ix.cols...) }
+
+// Len returns the number of entries (equals the table's live row count).
+func (ix *Index) Len() int64 { return ix.tree.Len() }
+
+// Height returns the underlying B+-tree height.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+func (ix *Index) keyFor(row []int64, rid RowID) []int64 {
+	key := make([]int64, len(ix.cols)+1)
+	for i, c := range ix.cols {
+		key[i] = row[c]
+	}
+	key[len(ix.cols)] = int64(rid)
+	return key
+}
+
+func (ix *Index) insertEntry(row []int64, rid RowID) error {
+	_, err := ix.tree.Insert(ix.keyFor(row, rid))
+	return err
+}
+
+func (ix *Index) deleteEntry(row []int64, rid RowID) error {
+	_, err := ix.tree.Delete(ix.keyFor(row, rid))
+	return err
+}
+
+// Scan visits index entries with low <= key <= high, where low and high
+// cover at most the indexed columns (shorter bounds are padded with
+// -inf/+inf; the rowid column is unbounded). fn receives the indexed column
+// values and the rowid; return false to stop.
+func (ix *Index) Scan(low, high []int64, fn func(key []int64, rid RowID) bool) error {
+	if len(low) > len(ix.cols) || len(high) > len(ix.cols) {
+		return ErrRowWidth
+	}
+	lo := btree.PadKey(low, len(ix.cols)+1, false)
+	hi := btree.PadKey(high, len(ix.cols)+1, true)
+	return ix.tree.Scan(lo, hi, func(key []int64) bool {
+		return fn(key[:len(ix.cols)], RowID(key[len(ix.cols)]))
+	})
+}
+
+// CountRange returns the number of entries with low <= key <= high.
+func (ix *Index) CountRange(low, high []int64) (int64, error) {
+	var n int64
+	err := ix.Scan(low, high, func([]int64, RowID) bool { n++; return true })
+	return n, err
+}

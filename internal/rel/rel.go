@@ -1,0 +1,82 @@
+// Package rel implements the relational storage layer of the reproduction:
+// heap tables of fixed-width int64 rows, secondary B+-tree indexes on column
+// prefixes, and a persistent catalog.
+//
+// The RI-tree paper's premise is that an interval index can be built from
+// nothing but "a given interval relation ... prepared for the RI-tree by
+// adding a single attribute node and two indexes" (§3.2, Figure 2). This
+// package provides those relations and indexes. Columns are int64 — the
+// paper's schema (node, lower, upper, id) is all-integer.
+package rel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxColumns is the largest number of columns in a table.
+const MaxColumns = 32
+
+var (
+	// ErrNoSuchTable is returned when a named table does not exist.
+	ErrNoSuchTable = errors.New("rel: no such table")
+	// ErrNoSuchIndex is returned when a named index does not exist.
+	ErrNoSuchIndex = errors.New("rel: no such index")
+	// ErrExists is returned when creating an object whose name is taken.
+	ErrExists = errors.New("rel: object already exists")
+	// ErrNoSuchColumn is returned when a named column does not exist.
+	ErrNoSuchColumn = errors.New("rel: no such column")
+	// ErrRowWidth is returned when a row has the wrong number of columns.
+	ErrRowWidth = errors.New("rel: row has wrong number of columns")
+	// ErrNoSuchRow is returned by Get for an invalid row id.
+	ErrNoSuchRow = errors.New("rel: no such row")
+)
+
+// Schema describes a table's columns. All columns are 64-bit integers.
+type Schema struct {
+	Columns []string
+}
+
+// NumCols returns the number of columns.
+func (s Schema) NumCols() int { return len(s.Columns) }
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s Schema) validate() error {
+	if len(s.Columns) == 0 || len(s.Columns) > MaxColumns {
+		return fmt.Errorf("rel: schema must have 1..%d columns, has %d", MaxColumns, len(s.Columns))
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c == "" {
+			return errors.New("rel: empty column name")
+		}
+		if seen[c] {
+			return fmt.Errorf("rel: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// RowID identifies a row within a table: the heap page id in the upper bits
+// and the slot number in the lower 16.
+type RowID int64
+
+func makeRowID(page uint32, slot int) RowID {
+	return RowID(int64(page)<<16 | int64(slot))
+}
+
+func (r RowID) page() uint32 { return uint32(r >> 16) }
+func (r RowID) slot() int    { return int(r & 0xffff) }
+
+// String formats the row id as page:slot.
+func (r RowID) String() string { return fmt.Sprintf("%d:%d", r.page(), r.slot()) }

@@ -1,0 +1,82 @@
+package rel
+
+import "sort"
+
+// CompareTuples compares two int64 tuples lexicographically. Shorter tuples
+// sort before longer ones with an equal prefix.
+func CompareTuples(a, b []int64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func sortSliceOfTuples(keys [][]int64) {
+	sort.Slice(keys, func(i, j int) bool { return CompareTuples(keys[i], keys[j]) < 0 })
+}
+
+// flatTuples sorts fixed-stride tuples stored back to back in one flat
+// slice — the memory-lean representation used when backfilling large
+// indexes (a [][]int64 of 10M keys would cost ~4x the memory in slice
+// headers and pointer chasing).
+type flatTuples struct {
+	data   []int64
+	stride int
+	tmp    []int64
+}
+
+func newFlatTuples(stride int, capacity int) *flatTuples {
+	return &flatTuples{
+		data:   make([]int64, 0, capacity*stride),
+		stride: stride,
+		tmp:    make([]int64, stride),
+	}
+}
+
+func (f *flatTuples) appendTuple(t []int64) { f.data = append(f.data, t...) }
+
+func (f *flatTuples) Len() int { return len(f.data) / f.stride }
+
+func (f *flatTuples) Less(i, j int) bool {
+	a := f.data[i*f.stride : (i+1)*f.stride]
+	b := f.data[j*f.stride : (j+1)*f.stride]
+	return CompareTuples(a, b) < 0
+}
+
+func (f *flatTuples) Swap(i, j int) {
+	a := f.data[i*f.stride : (i+1)*f.stride]
+	b := f.data[j*f.stride : (j+1)*f.stride]
+	copy(f.tmp, a)
+	copy(a, b)
+	copy(b, f.tmp)
+}
+
+func (f *flatTuples) sort() { sort.Sort(f) }
+
+// next returns an iterator yielding tuples in order (for btree.BulkLoad).
+func (f *flatTuples) next() func() ([]int64, bool) {
+	i := 0
+	return func() ([]int64, bool) {
+		if i >= f.Len() {
+			return nil, false
+		}
+		t := f.data[i*f.stride : (i+1)*f.stride]
+		i++
+		return t, true
+	}
+}

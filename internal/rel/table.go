@@ -1,0 +1,171 @@
+package rel
+
+import "fmt"
+
+// Table is a heap-organized relation with any number of secondary indexes.
+// DML on the table maintains all indexes. Exported methods serialize
+// through the owning DB's lock; scans must not mutate the table from their
+// callback (collect row ids first, then delete — see DeleteWhere).
+type Table struct {
+	db      *DB
+	name    string
+	schema  Schema
+	h       *heap
+	indexes []*Index
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int64 {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.h.rowCount
+}
+
+// Indexes returns the table's indexes.
+func (t *Table) Indexes() []*Index {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return append([]*Index(nil), t.indexes...)
+}
+
+// Insert stores row, maintains all indexes, and returns the new RowID.
+func (t *Table) Insert(row []int64) (RowID, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+func (t *Table) insertLocked(row []int64) (RowID, error) {
+	if len(row) != t.schema.NumCols() {
+		return 0, ErrRowWidth
+	}
+	rid, err := t.h.insert(row)
+	if err != nil {
+		return 0, err
+	}
+	for i, ix := range t.indexes {
+		if err := ix.insertEntry(row, rid); err != nil {
+			// Undo: remove the entries already added plus the heap row, so
+			// a failed statement leaves the table consistent.
+			for _, prev := range t.indexes[:i] {
+				_ = prev.deleteEntry(row, rid)
+			}
+			tmp := make([]int64, len(row))
+			_ = t.h.delete(rid, tmp)
+			return 0, fmt.Errorf("rel: index %s insert: %w", ix.name, err)
+		}
+	}
+	return rid, nil
+}
+
+// Get returns a copy of the row at rid.
+func (t *Table) Get(rid RowID) ([]int64, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	row := make([]int64, t.schema.NumCols())
+	if err := t.h.get(rid, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// GetRaw reads the row at rid without taking the database lock. It exists
+// for callers that are already inside a scan or hold a higher-level
+// statement lock (the SQL executor, the RI-tree); Go's RWMutex is not
+// reentrant, so a nested Get could deadlock behind a queued writer. Page
+// integrity is still guaranteed by the page store's own latch.
+func (t *Table) GetRaw(rid RowID) ([]int64, error) {
+	row := make([]int64, t.schema.NumCols())
+	if err := t.h.get(rid, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// DeleteRow removes the row at rid from the heap and all indexes. It
+// returns the deleted row.
+func (t *Table) DeleteRow(rid RowID) ([]int64, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.deleteRowLocked(rid)
+}
+
+func (t *Table) deleteRowLocked(rid RowID) ([]int64, error) {
+	row := make([]int64, t.schema.NumCols())
+	if err := t.h.delete(rid, row); err != nil {
+		return nil, err
+	}
+	for _, ix := range t.indexes {
+		if err := ix.deleteEntry(row, rid); err != nil {
+			return nil, fmt.Errorf("rel: index %s delete: %w", ix.name, err)
+		}
+	}
+	return row, nil
+}
+
+// Update replaces the row at rid in place, maintaining all indexes.
+func (t *Table) Update(rid RowID, row []int64) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if len(row) != t.schema.NumCols() {
+		return ErrRowWidth
+	}
+	old := make([]int64, t.schema.NumCols())
+	if err := t.h.get(rid, old); err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		if err := ix.deleteEntry(old, rid); err != nil {
+			return fmt.Errorf("rel: index %s update: %w", ix.name, err)
+		}
+		if err := ix.insertEntry(row, rid); err != nil {
+			return fmt.Errorf("rel: index %s update: %w", ix.name, err)
+		}
+	}
+	return t.h.update(rid, row)
+}
+
+// Scan visits every live row in heap order. The row slice is reused between
+// calls; copy it to retain it. Return false from fn to stop. fn must not
+// mutate the table.
+func (t *Table) Scan(fn func(rid RowID, row []int64) bool) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.h.scan(func(rid RowID, row []int64) (bool, error) {
+		return fn(rid, row), nil
+	})
+}
+
+// DeleteWhere removes every row for which pred returns true and returns the
+// number of rows removed.
+func (t *Table) DeleteWhere(pred func(row []int64) bool) (int64, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	var victims []RowID
+	err := t.h.scan(func(rid RowID, row []int64) (bool, error) {
+		if pred(row) {
+			victims = append(victims, rid)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, rid := range victims {
+		if _, err := t.deleteRowLocked(rid); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(victims)), nil
+}
+
+// Truncate removes every row (and index entry), keeping the table defined.
+func (t *Table) Truncate() (int64, error) {
+	return t.DeleteWhere(func([]int64) bool { return true })
+}

@@ -1,0 +1,126 @@
+package rel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestUpdateInPlace(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.CreateTable("t", []string{"a", "b"})
+	rid, _ := tab.Insert([]int64{1, 2})
+	if err := tab.Update(rid, []int64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tab.Get(rid)
+	if row[0] != 10 || row[1] != 20 {
+		t.Fatalf("row = %v", row)
+	}
+	if err := tab.Update(rid, []int64{1}); !errors.Is(err, ErrRowWidth) {
+		t.Fatalf("width err = %v", err)
+	}
+	if err := tab.Update(RowID(1<<30), []int64{1, 2}); !errors.Is(err, ErrNoSuchRow) {
+		t.Fatalf("missing row err = %v", err)
+	}
+}
+
+func TestUpdateMaintainsIndexes(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.CreateTable("t", []string{"k", "v"})
+	ix, _ := db.CreateIndex("ik", "t", []string{"k"})
+	rid, _ := tab.Insert([]int64{5, 50})
+	if err := tab.Update(rid, []int64{7, 70}); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := ix.CountRange([]int64{5}, []int64{5})
+	if n != 0 {
+		t.Fatalf("old key still indexed (%d)", n)
+	}
+	n, _ = ix.CountRange([]int64{7}, []int64{7})
+	if n != 1 {
+		t.Fatalf("new key not indexed (%d)", n)
+	}
+}
+
+func TestUpdateRandomizedAgainstModel(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.CreateTable("t", []string{"k", "v"})
+	ix, _ := db.CreateIndex("ik", "t", []string{"k", "v"})
+	rng := rand.New(rand.NewSource(8))
+	model := map[RowID][2]int64{}
+	var rids []RowID
+	for i := 0; i < 500; i++ {
+		r := [2]int64{rng.Int63n(40), rng.Int63n(1000)}
+		rid, _ := tab.Insert(r[:])
+		model[rid] = r
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 2000; i++ {
+		rid := rids[rng.Intn(len(rids))]
+		r := [2]int64{rng.Int63n(40), rng.Int63n(1000)}
+		if err := tab.Update(rid, r[:]); err != nil {
+			t.Fatal(err)
+		}
+		model[rid] = r
+	}
+	if ix.Len() != int64(len(model)) {
+		t.Fatalf("index len %d, model %d", ix.Len(), len(model))
+	}
+	err := ix.Scan(nil, nil, func(key []int64, rid RowID) bool {
+		want := model[rid]
+		if key[0] != want[0] || key[1] != want[1] {
+			t.Fatalf("index entry %v for %v, model %v", key, rid, want)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetRawMatchesGet(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.CreateTable("t", []string{"a"})
+	rid, _ := tab.Insert([]int64{42})
+	a, err := tab.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tab.GetRaw(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("Get %v vs GetRaw %v", a, b)
+	}
+	if _, err := tab.GetRaw(RowID(1 << 30)); !errors.Is(err, ErrNoSuchRow) {
+		t.Fatalf("GetRaw missing = %v", err)
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	cases := []struct {
+		a, b []int64
+		want int
+	}{
+		{[]int64{1, 2}, []int64{1, 2}, 0},
+		{[]int64{1, 2}, []int64{1, 3}, -1},
+		{[]int64{2}, []int64{1, 9}, 1},
+		{[]int64{1}, []int64{1, 0}, -1},
+		{nil, nil, 0},
+		{nil, []int64{0}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareTuples(c.a, c.b); got != c.want {
+			t.Errorf("CompareTuples(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRowIDString(t *testing.T) {
+	rid := makeRowID(7, 3)
+	if rid.String() != "7:3" {
+		t.Fatalf("String = %q", rid.String())
+	}
+}

@@ -1,0 +1,69 @@
+package ritree
+
+// This file implements the virtual backbone arithmetic: fork-node
+// computation (paper Figure 4 extended with the 0-rooted two-subtree layout
+// of Figure 6) and the node-level step helper used for minstep tracking.
+
+// levelStep returns the step value 2^level of a backbone node, i.e. the
+// largest power of two dividing the node value. The node must be nonzero.
+func levelStep(node int64) int64 {
+	return node & -node
+}
+
+// floorPow2 returns the largest power of two <= v, for v >= 1.
+func floorPow2(v int64) int64 {
+	p := int64(1)
+	for p<<1 <= v && p<<1 > 0 {
+		p <<= 1
+	}
+	return p
+}
+
+// forkNode descends the virtual backbone for the shifted interval [l, u]
+// and returns its fork node: the topmost node w with l <= w <= u
+// (paper §3.3). The descent is pure integer arithmetic — no I/O.
+//
+// The global root is 0; negative bounds descend the left subtree rooted at
+// leftRoot, positive ones the right subtree rooted at rightRoot (§3.4).
+// The caller must have expanded the roots to cover [l, u] first (Insert
+// does; queries tolerate out-of-coverage bounds, see traverse).
+func (p Params) forkNode(l, u int64) int64 {
+	var node int64
+	switch {
+	case u < 0:
+		node = p.LeftRoot
+	case l > 0:
+		node = p.RightRoot
+	default:
+		return 0 // the interval spans (or touches) the global root
+	}
+	step := node
+	if step < 0 {
+		step = -step
+	}
+	for step /= 2; step >= 1; step /= 2 {
+		switch {
+		case u < node:
+			node -= step
+		case node < l:
+			node += step
+		default:
+			return node
+		}
+	}
+	return node
+}
+
+// expandRoots grows leftRoot/rightRoot so that the shifted interval [l, u]
+// is covered, following paper Figure 6:
+//
+//	if (u < 0 and l <= 2*leftRoot)   leftRoot  = -2^floor(log2(-l))
+//	if (0 < l and u >= 2*rightRoot)  rightRoot =  2^floor(log2(u))
+func (p *Params) expandRoots(l, u int64) {
+	if u < 0 && l <= 2*p.LeftRoot {
+		p.LeftRoot = -floorPow2(-l)
+	}
+	if 0 < l && u >= 2*p.RightRoot {
+		p.RightRoot = floorPow2(u)
+	}
+}

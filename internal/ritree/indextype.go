@@ -1,0 +1,182 @@
+package ritree
+
+import (
+	"fmt"
+	"strings"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+	"ritree/internal/sqldb"
+)
+
+// This file packages the RI-tree as a user-defined indextype for the
+// extensible indexing framework (paper §5): after
+//
+//	CREATE INDEX resv_iv ON Reservations (arrival, departure) INDEXTYPE IS ritree
+//
+// the engine transparently maintains a hidden RI-tree on every INSERT and
+// DELETE against the base table, and rewrites the INTERSECTS operator in
+// WHERE clauses into an RI-tree scan — "end users can use the Relational
+// Interval Tree just like a built-in index".
+
+// OperatorIntersects is the SQL operator name served by the indextype:
+// INTERSECTS(lowerCol, upperCol, :qlo, :qhi).
+const OperatorIntersects = "intersects"
+
+// OperatorContainsPoint is the stabbing operator:
+// CONTAINS_POINT(lowerCol, upperCol, :p).
+const OperatorContainsPoint = "contains_point"
+
+// IndexTypeName is the name used in INDEXTYPE IS clauses.
+const IndexTypeName = "ritree"
+
+// hiddenTreeName returns the name of the indextype's backing RI-tree.
+func hiddenTreeName(indexName string) string { return indexName + "_rit$" }
+
+// RegisterIndexType makes "INDEXTYPE IS ritree" available on the engine.
+func RegisterIndexType(e *sqldb.Engine) {
+	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFunc(
+		func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+			ci, err := newIndexType(eng, indexName, table, cols, true)
+			if err != nil {
+				return nil, err
+			}
+			return ci, nil
+		}))
+}
+
+// AttachIndexType re-attaches an existing ritree domain index after the
+// database is reopened (the tree's relations persist in the catalog; the
+// engine-side registration is per session).
+func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
+	ci, err := newIndexType(e, indexName, table, cols, false)
+	if err != nil {
+		return err
+	}
+	return e.AttachCustomIndex(ci)
+}
+
+type indexType struct {
+	name  string
+	table string
+	cols  []string
+	loPos int
+	hiPos int
+	tree  *Tree
+}
+
+func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, create bool) (*indexType, error) {
+	if len(cols) != 2 {
+		return nil, fmt.Errorf("ritree indextype needs exactly (lower, upper) columns, got %d", len(cols))
+	}
+	tab, err := e.DB().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	lo := tab.Schema().ColIndex(cols[0])
+	hi := tab.Schema().ColIndex(cols[1])
+	if lo < 0 || hi < 0 {
+		return nil, fmt.Errorf("ritree indextype: columns %v not in %s", cols, table)
+	}
+	var tree *Tree
+	if create {
+		tree, err = Create(e.DB(), hiddenTreeName(indexName), Options{})
+		if err != nil {
+			return nil, err
+		}
+		// Backfill from existing rows, keyed by heap row id. Rows are
+		// collected first: the scan holds the database read lock, and
+		// inserting from inside the callback would self-deadlock on the
+		// write lock.
+		type entry struct {
+			iv  interval.Interval
+			rid rel.RowID
+		}
+		var entries []entry
+		err = tab.Scan(func(rid rel.RowID, row []int64) bool {
+			entries = append(entries, entry{interval.New(row[lo], row[hi]), rid})
+			return true
+		})
+		if err == nil {
+			for _, en := range entries {
+				if err = tree.Insert(en.iv, int64(en.rid)); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			_ = tree.Drop()
+			return nil, err
+		}
+	} else {
+		tree, err = Open(e.DB(), hiddenTreeName(indexName), Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &indexType{
+		name:  indexName,
+		table: table,
+		cols:  append([]string(nil), cols...),
+		loPos: lo,
+		hiPos: hi,
+		tree:  tree,
+	}, nil
+}
+
+// Name implements sqldb.CustomIndex.
+func (ix *indexType) Name() string { return ix.name }
+
+// Table implements sqldb.CustomIndex.
+func (ix *indexType) Table() string { return ix.table }
+
+// Columns implements sqldb.CustomIndex.
+func (ix *indexType) Columns() []string { return append([]string(nil), ix.cols...) }
+
+// HasOperator implements sqldb.CustomIndex.
+func (ix *indexType) HasOperator(op string) bool {
+	op = strings.ToLower(op)
+	return op == OperatorIntersects || op == OperatorContainsPoint
+}
+
+// OnInsert implements sqldb.CustomIndex: index maintenance by trigger
+// (§5: "the computation and storage of the fork node ... can be performed
+// automatically by database triggers").
+func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
+	return ix.tree.Insert(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid))
+}
+
+// OnDelete implements sqldb.CustomIndex.
+func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
+	_, err := ix.tree.Delete(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid))
+	return err
+}
+
+// Scan implements sqldb.CustomIndex: the operator dispatch.
+func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	var q interval.Interval
+	switch strings.ToLower(op) {
+	case OperatorIntersects:
+		if len(args) != 2 {
+			return fmt.Errorf("ritree indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
+		}
+		q = interval.New(args[0], args[1])
+	case OperatorContainsPoint:
+		if len(args) != 1 {
+			return fmt.Errorf("ritree indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
+		}
+		q = interval.Point(args[0])
+	default:
+		return fmt.Errorf("ritree indextype: unknown operator %q", op)
+	}
+	return ix.tree.IntersectingFunc(q, func(id int64) bool {
+		return fn(rel.RowID(id))
+	})
+}
+
+// Drop implements sqldb.CustomIndex.
+func (ix *indexType) Drop() error { return ix.tree.Drop() }
+
+// BackingTree exposes the hidden RI-tree (for statistics in tests and
+// benchmarks).
+func (ix *indexType) BackingTree() *Tree { return ix.tree }

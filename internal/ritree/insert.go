@@ -1,0 +1,117 @@
+package ritree
+
+import (
+	"fmt"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// Insert registers the interval under the given id, following paper
+// Figure 6: fix the offset on the first insertion, expand leftRoot or
+// rightRoot if needed, compute the fork node arithmetically, track minstep,
+// and execute a single relational INSERT.
+//
+// Intervals whose Upper is interval.Infinity or interval.NowMarker are
+// routed to the sentinel fork nodes of §4.6.
+func (t *Tree) Insert(iv interval.Interval, id int64) error {
+	switch iv.Upper {
+	case interval.Infinity:
+		return t.InsertInfinite(iv.Lower, id)
+	case interval.NowMarker:
+		return t.InsertNow(iv.Lower, id)
+	}
+	if !iv.Valid() {
+		return fmt.Errorf("ritree: invalid interval %v", iv)
+	}
+	p := t.params
+	if !p.OffsetSet {
+		// "offset is fixed after having inserted the first interval" so
+		// that 1 becomes the lower bound of the data space (§3.4).
+		p.Offset = iv.Lower - 1
+		p.OffsetSet = true
+	}
+	l := iv.Lower - p.Offset
+	u := iv.Upper - p.Offset
+	p.expandRoots(l, u)
+	node := p.forkNode(l, u)
+	if node != 0 {
+		if ls := levelStep(node); ls < p.MinStep {
+			p.MinStep = ls
+		}
+	}
+	if _, err := t.tab.Insert([]int64{node, iv.Lower, iv.Upper, id}); err != nil {
+		return err
+	}
+	t.skeletonAdd(node)
+	if p != t.params {
+		t.params = p
+		return t.saveParams()
+	}
+	return nil
+}
+
+// InsertInfinite registers the interval [lower, ∞) under id. Per §4.6 the
+// artificial exclusive fork node NodeInfinity is assigned so that the
+// standard intersection SQL keeps working unmodified.
+func (t *Tree) InsertInfinite(lower, id int64) error {
+	if _, err := t.tab.Insert([]int64{NodeInfinity, lower, interval.Infinity, id}); err != nil {
+		return err
+	}
+	t.skeletonAdd(NodeInfinity)
+	return nil
+}
+
+// InsertNow registers the now-relative interval [lower, now] under id,
+// using the artificial fork node NodeNow of §4.6. Its effective upper bound
+// is the tree's Now() value at query time; no stored values ever need
+// updating as time advances.
+func (t *Tree) InsertNow(lower, id int64) error {
+	if _, err := t.tab.Insert([]int64{NodeNow, lower, interval.NowMarker, id}); err != nil {
+		return err
+	}
+	t.skeletonAdd(NodeNow)
+	return nil
+}
+
+// Delete removes one registration of (iv, id). It recomputes the fork node
+// (the virtual backbone is stable under root growth, so the fork equals the
+// one computed at insertion time) and deletes the matching row through the
+// (node, lower, id) index. It returns false if no such interval is stored.
+func (t *Tree) Delete(iv interval.Interval, id int64) (bool, error) {
+	var node int64
+	switch iv.Upper {
+	case interval.Infinity:
+		node = NodeInfinity
+	case interval.NowMarker:
+		node = NodeNow
+	default:
+		if !iv.Valid() {
+			return false, fmt.Errorf("ritree: invalid interval %v", iv)
+		}
+		if !t.params.OffsetSet {
+			return false, nil // empty tree
+		}
+		node = t.params.forkNode(iv.Lower-t.params.Offset, iv.Upper-t.params.Offset)
+	}
+	var victim rel.RowID
+	found := false
+	err := t.lowerIx.Scan([]int64{node, iv.Lower, id}, []int64{node, iv.Lower, id},
+		func(key []int64, rid rel.RowID) bool {
+			row, err := t.tab.GetRaw(rid)
+			if err == nil && row[colUpper] == iv.Upper {
+				victim = rid
+				found = true
+				return false
+			}
+			return true
+		})
+	if err != nil || !found {
+		return false, err
+	}
+	if _, err := t.tab.DeleteRow(victim); err != nil {
+		return false, err
+	}
+	t.skeletonRemove(node)
+	return true, nil
+}

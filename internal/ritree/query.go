@@ -1,0 +1,297 @@
+package ritree
+
+import (
+	"math"
+	"sort"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// NodeRange is one entry of the transient leftNodes collection: an
+// inclusive range [Min, Max] of backbone nodes probed together in one index
+// range scan (paper §4.3 — single nodes are stored as degenerate pairs, and
+// the node range covered by the query interval is appended as one pair).
+type NodeRange struct {
+	Min, Max int64
+}
+
+// TransientNodes holds the query-time transient collections leftNodes and
+// rightNodes of §4.2/§4.3. They live purely in session memory and cost no
+// I/O to build.
+type TransientNodes struct {
+	// Left is joined against the (node, upper, id) index with the residual
+	// predicate upper >= query.Lower.
+	Left []NodeRange
+	// Right is joined against the (node, lower, id) index with the
+	// residual predicate lower <= query.Upper. Node values here include
+	// the §4.6 sentinels when applicable.
+	Right []int64
+}
+
+// maxShifted bounds shifted query coordinates so that arithmetic stays far
+// away from the §4.6 sentinel node values and from integer overflow.
+const maxShifted = int64(1) << 62
+
+// shiftedBounds maps the query interval into backbone coordinates, clamped
+// to a safe range (queries may legitimately extend to ±infinity).
+func (t *Tree) shiftedBounds(q interval.Interval) (l, u int64) {
+	off := t.params.Offset
+	l, u = clampShift(q.Lower, off), clampShift(q.Upper, off)
+	return l, u
+}
+
+func clampShift(v, off int64) int64 {
+	if v > maxShifted {
+		v = maxShifted
+	} else if v < -maxShifted {
+		v = -maxShifted
+	}
+	s := v - off
+	if s > maxShifted {
+		return maxShifted
+	}
+	if s < -maxShifted {
+		return -maxShifted
+	}
+	return s
+}
+
+// collectNodes descends the virtual backbone for the query interval and
+// returns the transient collections. All arithmetic happens in shifted
+// coordinates; no I/O is performed (§4.2).
+func (t *Tree) collectNodes(q interval.Interval) TransientNodes {
+	p := t.params
+	l, u := t.shiftedBounds(q)
+
+	minstep := p.MinStep
+	if t.opts.DisableMinStep {
+		minstep = 1
+	}
+
+	var tn TransientNodes
+
+	// walkTo visits the search-path nodes from (start, startStep) toward
+	// target, pruning levels below minstep (their secondary lists are
+	// provably empty, §3.4 lemma).
+	walkTo := func(start, startStep, target int64, visit func(n int64)) {
+		n, s := start, startStep
+		for {
+			if s >= minstep {
+				visit(n)
+			}
+			if n == target {
+				return
+			}
+			s /= 2
+			if s < 1 || s < minstep {
+				return
+			}
+			if target < n {
+				n -= s
+			} else {
+				n += s
+			}
+		}
+	}
+
+	// Step 1 (§4.1): from the global root 0 down to the fork node of the
+	// query. Nodes left of the query feed leftNodes (scan U(w)), nodes
+	// right of it feed rightNodes (scan L(w)).
+	node := int64(0)
+	haveFork := false
+	var fork, forkStep int64
+	switch {
+	case u < 0:
+		if t.skeletonHas(0) {
+			tn.Right = append(tn.Right, 0) // 0 > u: scan L(0)
+		}
+		node = p.LeftRoot
+	case l > 0:
+		if t.skeletonHas(0) {
+			tn.Left = append(tn.Left, NodeRange{0, 0}) // 0 < l: scan U(0)
+		}
+		node = p.RightRoot
+	default:
+		haveFork, fork, forkStep = true, 0, 0
+	}
+	if !haveFork && node != 0 {
+		step := node
+		if step < 0 {
+			step = -step
+		}
+		for {
+			switch {
+			case u < node:
+				if step >= minstep && t.skeletonHas(node) {
+					tn.Right = append(tn.Right, node)
+				}
+			case node < l:
+				if step >= minstep && t.skeletonHas(node) {
+					tn.Left = append(tn.Left, NodeRange{node, node})
+				}
+			default:
+				haveFork, fork, forkStep = true, node, step
+			}
+			if haveFork {
+				break
+			}
+			step /= 2
+			if step < 1 || step < minstep {
+				break // pruned: deeper nodes hold no intervals
+			}
+			if u < node {
+				node -= step
+			} else {
+				node += step
+			}
+		}
+	}
+
+	// Steps 2 and 3 (§4.1): from the fork down to the nodes closest to
+	// lower and to upper. On the lower path, nodes left of the query are
+	// probed via U(w); on the upper path, nodes right of it via L(w).
+	// Nodes inside [l, u] are covered by the appended range pair below.
+	visitLeft := func(n int64) {
+		if n < l && t.skeletonHas(n) {
+			tn.Left = append(tn.Left, NodeRange{n, n})
+		}
+	}
+	visitRight := func(n int64) {
+		if n > u && t.skeletonHas(n) {
+			tn.Right = append(tn.Right, n)
+		}
+	}
+	if haveFork {
+		if fork == 0 {
+			// The query spans the global root: the two descents start at
+			// the subtree roots (the children of node 0).
+			if p.LeftRoot != 0 && l < 0 {
+				walkTo(p.LeftRoot, -p.LeftRoot, l, visitLeft)
+			}
+			if p.RightRoot != 0 && u > 0 {
+				walkTo(p.RightRoot, p.RightRoot, u, visitRight)
+			}
+		} else {
+			walkTo(fork, forkStep, l, visitLeft)
+			walkTo(fork, forkStep, u, visitRight)
+		}
+	}
+
+	// §4.3 lemma: append the covered node range as one pair so the BETWEEN
+	// branch merges into the leftNodes index scan (Figure 9).
+	if !t.opts.ThreeBranchQuery {
+		tn.Left = append(tn.Left, NodeRange{l, u})
+	}
+
+	// §4.6: intervals ending at infinity are tested against every query;
+	// now-relative intervals only when the query begins at or before now.
+	if t.skeletonHas(NodeInfinity) {
+		tn.Right = append(tn.Right, NodeInfinity)
+	}
+	if q.Lower <= t.now && t.skeletonHas(NodeNow) {
+		tn.Right = append(tn.Right, NodeNow)
+	}
+	return tn
+}
+
+// IntersectingFunc reports the id of every stored interval intersecting q,
+// invoking fn for each. Return false from fn to stop early. This executes
+// the two-fold query of Figure 9: index range scans on (node, upper, id)
+// for leftNodes and on (node, lower, id) for rightNodes. No duplicates are
+// produced, so no DISTINCT step is needed (§4.2).
+func (t *Tree) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return nil
+	}
+	tn := t.collectNodes(q)
+	stop := false
+	for _, nr := range tn.Left {
+		// SELECT id FROM Intervals i WHERE i.node BETWEEN nr.Min AND nr.Max
+		//   AND i.upper >= :lower  — one range scan on upperIndex.
+		err := t.upperIx.Scan(
+			[]int64{nr.Min, q.Lower},
+			[]int64{nr.Max, math.MaxInt64},
+			func(key []int64, _ rel.RowID) bool {
+				if key[1] < q.Lower {
+					// Residual filter for multi-node ranges; the §4.3
+					// lemma proves it never rejects rows of covered
+					// nodes — kept for defense in depth.
+					return true
+				}
+				if !fn(key[2]) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		if err != nil || stop {
+			return err
+		}
+	}
+	for _, w := range tn.Right {
+		// SELECT id FROM Intervals i WHERE i.node = w AND i.lower <= :upper
+		//   — one range scan on lowerIndex.
+		err := t.lowerIx.Scan(
+			[]int64{w, math.MinInt64},
+			[]int64{w, q.Upper},
+			func(key []int64, _ rel.RowID) bool {
+				if !fn(key[2]) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		if err != nil || stop {
+			return err
+		}
+	}
+	if t.opts.ThreeBranchQuery {
+		// Figure 8 preliminary form: the covered nodes are scanned in a
+		// separate third branch instead of being merged into leftNodes.
+		l, u := t.shiftedBounds(q)
+		err := t.lowerIx.Scan(
+			[]int64{l},
+			[]int64{u},
+			func(key []int64, _ rel.RowID) bool {
+				if !fn(key[2]) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Intersecting returns the ids of all stored intervals that intersect q,
+// sorted ascending.
+func (t *Tree) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := t.IntersectingFunc(q, func(id int64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// Stab returns the ids of all stored intervals containing the point p —
+// "the algorithm even works for degenerate intervals, thus supporting point
+// queries as efficient as interval queries" (§4.1).
+func (t *Tree) Stab(p int64) ([]int64, error) {
+	return t.Intersecting(interval.Point(p))
+}
+
+// CountIntersecting returns the number of stored intervals intersecting q.
+func (t *Tree) CountIntersecting(q interval.Interval) (int64, error) {
+	var n int64
+	err := t.IntersectingFunc(q, func(int64) bool { n++; return true })
+	return n, err
+}

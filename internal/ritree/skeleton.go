@@ -1,0 +1,68 @@
+package ritree
+
+import "ritree/internal/rel"
+
+// This file implements the §7 outlook — "a promising extension is the
+// application of the Skeleton Index technique to the RI-tree, because a
+// partial materialization of the primary structure can be adapted to the
+// expected data distribution" — as an opt-in materialization of the set of
+// nonempty backbone nodes.
+//
+// With Options.MaterializeBackbone, the tree keeps a per-node row count in
+// session memory. Query traversal then drops index probes of nodes that
+// are provably empty, trading O(#distinct nodes) memory for fewer
+// fruitless B+-tree descents. Correctness is unaffected: a node absent
+// from the map holds no rows, so its probe could only return nothing.
+
+// initSkeleton populates the nonempty map from the (node, lower, id) index
+// with one sequential sweep.
+func (t *Tree) initSkeleton() error {
+	if !t.opts.MaterializeBackbone {
+		return nil
+	}
+	m := make(map[int64]int64)
+	err := t.lowerIx.Scan(nil, nil, func(key []int64, _ rel.RowID) bool {
+		m[key[0]]++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.nonempty = m
+	return nil
+}
+
+func (t *Tree) skeletonAdd(node int64) {
+	if t.nonempty != nil {
+		t.nonempty[node]++
+	}
+}
+
+func (t *Tree) skeletonRemove(node int64) {
+	if t.nonempty == nil {
+		return
+	}
+	if c := t.nonempty[node] - 1; c > 0 {
+		t.nonempty[node] = c
+	} else {
+		delete(t.nonempty, node)
+	}
+}
+
+// skeletonHas reports whether node may hold rows. Without materialization
+// every node may.
+func (t *Tree) skeletonHas(node int64) bool {
+	if t.nonempty == nil {
+		return true
+	}
+	return t.nonempty[node] > 0
+}
+
+// SkeletonSize returns the number of distinct nonempty backbone nodes, or
+// -1 when materialization is off.
+func (t *Tree) SkeletonSize() int {
+	if t.nonempty == nil {
+		return -1
+	}
+	return len(t.nonempty)
+}

@@ -1,0 +1,75 @@
+package ritree
+
+import (
+	"fmt"
+	"sort"
+
+	"ritree/internal/interval"
+	"ritree/internal/sqldb"
+)
+
+// This file provides the declarative face of the RI-tree: the literal
+// Figure 9 SQL statement plus the transient collection binds, executed
+// through the sqldb engine. The native methods in query.go run the same
+// two-fold plan directly against the rel indexes; both paths must agree
+// (and the tests assert they do).
+
+// IntersectionSQL returns the final two-fold intersection statement of
+// paper Figure 9 for this tree's relations.
+func (t *Tree) IntersectionSQL() string {
+	return fmt.Sprintf(`SELECT id FROM %s i, TABLE(:leftNodes) l
+WHERE i.node BETWEEN l.min AND l.max AND i.upper >= :lower
+UNION ALL
+SELECT id FROM %s i, TABLE(:rightNodes) r
+WHERE i.node = r.node AND i.lower <= :upper`, tableName(t.name), tableName(t.name))
+}
+
+// IntersectionBinds computes the transient leftNodes/rightNodes collections
+// for q (§4.2: "managed in the transient session state thus causing no I/O
+// effort") along with the :lower/:upper scalar binds.
+func (t *Tree) IntersectionBinds(q interval.Interval) map[string]interface{} {
+	tn := t.collectNodes(q)
+	left := &sqldb.Collection{Cols: []string{"min", "max"}}
+	for _, nr := range tn.Left {
+		left.Rows = append(left.Rows, []int64{nr.Min, nr.Max})
+	}
+	right := &sqldb.Collection{Cols: []string{"node"}}
+	for _, w := range tn.Right {
+		right.Rows = append(right.Rows, []int64{w})
+	}
+	return map[string]interface{}{
+		"leftnodes":  left,
+		"rightnodes": right,
+		"lower":      q.Lower,
+		"upper":      q.Upper,
+	}
+}
+
+// IntersectingSQL answers the intersection query through the SQL engine —
+// the fully declarative path of §5. Results match Intersecting exactly.
+func (t *Tree) IntersectingSQL(e *sqldb.Engine, q interval.Interval) ([]int64, error) {
+	if !q.Valid() {
+		return nil, nil
+	}
+	res, err := e.Exec(t.IntersectionSQL(), t.IntersectionBinds(q))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		ids = append(ids, row[0])
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// ExplainIntersection returns the execution plan of the Figure 9 statement
+// — the Figure 10 plan: a UNION-ALL over two nested loops, each driving an
+// index range scan from a collection iterator.
+func (t *Tree) ExplainIntersection(e *sqldb.Engine, q interval.Interval) (string, error) {
+	res, err := e.Exec("EXPLAIN "+t.IntersectionSQL(), t.IntersectionBinds(q))
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}

@@ -1,0 +1,146 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ritree/internal/rel"
+)
+
+// Aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX without grouping —
+// the shapes a DBA would use to sanity-check interval relations
+// ("SELECT count(*) FROM Intervals WHERE node = 0"). A select block either
+// projects only aggregates or only scalars; GROUP BY is out of scope for
+// the reproduction.
+
+var aggregateNames = map[string]bool{"count": true, "sum": true, "min": true, "max": true}
+
+// isAggregateItem reports whether the item is an aggregate call.
+func isAggregateItem(item SelectItem) bool {
+	call, ok := item.Expr.(*CallExpr)
+	return ok && aggregateNames[strings.ToLower(call.Name)]
+}
+
+// isAggregate reports whether the select block projects aggregates.
+func isAggregate(s *SelectStmt) bool {
+	for _, item := range s.Items {
+		if isAggregateItem(item) {
+			return true
+		}
+	}
+	return false
+}
+
+type aggState struct {
+	name  string
+	arg   evalFn // nil for COUNT(*)
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	seen  bool
+}
+
+func (a *aggState) add(env []int64) {
+	a.count++
+	if a.arg == nil {
+		return
+	}
+	v := a.arg(env)
+	a.sum += v
+	if !a.seen || v < a.min {
+		a.min = v
+	}
+	if !a.seen || v > a.max {
+		a.max = v
+	}
+	a.seen = true
+}
+
+func (a *aggState) result() (int64, error) {
+	switch a.name {
+	case "count":
+		return a.count, nil
+	case "sum":
+		return a.sum, nil
+	case "min":
+		if !a.seen {
+			return math.MaxInt64, fmt.Errorf("sql: MIN over an empty set has no value")
+		}
+		return a.min, nil
+	case "max":
+		if !a.seen {
+			return math.MinInt64, fmt.Errorf("sql: MAX over an empty set has no value")
+		}
+		return a.max, nil
+	}
+	return 0, fmt.Errorf("sql: unknown aggregate %q", a.name)
+}
+
+// runAggregate executes one aggregate-projecting select block and appends
+// its single result row to res.
+func (e *Engine) runAggregate(s *SelectStmt, binds map[string]interface{}, res *Result) error {
+	plan, err := e.planSelect(&SelectStmt{
+		Items: []SelectItem{{Star: true}},
+		From:  s.From,
+		Where: s.Where,
+	}, binds)
+	if err != nil {
+		return err
+	}
+	var states []*aggState
+	var cols []string
+	for _, item := range s.Items {
+		call, ok := item.Expr.(*CallExpr)
+		if !ok || !aggregateNames[strings.ToLower(call.Name)] {
+			return fmt.Errorf("sql: cannot mix aggregates and scalar expressions without GROUP BY (unsupported)")
+		}
+		name := strings.ToLower(call.Name)
+		st := &aggState{name: name}
+		if call.Star {
+			if name != "count" {
+				return fmt.Errorf("sql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(name))
+			}
+		} else {
+			if len(call.Args) != 1 {
+				return fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
+			}
+			f, err := plan.compile(call.Args[0], binds, len(plan.sources)-1)
+			if err != nil {
+				return err
+			}
+			st.arg = f
+		}
+		states = append(states, st)
+		label := item.As
+		if label == "" {
+			label = name
+		}
+		cols = append(cols, label)
+	}
+	err = plan.run(func(env []int64, _ []rel.RowID) bool {
+		for _, st := range states {
+			st.add(env)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	row := make([]int64, len(states))
+	for i, st := range states {
+		v, err := st.result()
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	if res.Cols == nil {
+		res.Cols = cols
+	} else if len(res.Cols) != len(cols) {
+		return fmt.Errorf("sql: UNION ALL branches project %d vs %d columns", len(res.Cols), len(cols))
+	}
+	res.Rows = append(res.Rows, row)
+	return nil
+}

@@ -1,0 +1,74 @@
+package sqldb
+
+import "testing"
+
+func TestAggregates(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (k int, v int)", nil)
+	mustExec(t, e, "CREATE INDEX tk ON t (k)", nil)
+	for i := 0; i < 100; i++ {
+		mustExec(t, e, "INSERT INTO t VALUES (:k, :v)",
+			map[string]interface{}{"k": i % 10, "v": i})
+	}
+	r := mustExec(t, e, "SELECT count(*) FROM t", nil)
+	if len(r.Rows) != 1 || r.Rows[0][0] != 100 {
+		t.Fatalf("count(*) = %v", r.Rows)
+	}
+	if r.Cols[0] != "count" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	r = mustExec(t, e, "SELECT count(*), sum(v), min(v), max(v) FROM t WHERE k = 3", nil)
+	// k=3: v in {3, 13, ..., 93}, 10 values, sum = 480.
+	row := r.Rows[0]
+	if row[0] != 10 || row[1] != 480 || row[2] != 3 || row[3] != 93 {
+		t.Fatalf("aggregates = %v", row)
+	}
+	// Expression argument and alias.
+	r = mustExec(t, e, "SELECT sum(v*2) total FROM t WHERE k = 3", nil)
+	if r.Rows[0][0] != 960 || r.Cols[0] != "total" {
+		t.Fatalf("sum expr = %v %v", r.Rows, r.Cols)
+	}
+	// COUNT over empty set is 0; MIN/MAX over empty set errors.
+	r = mustExec(t, e, "SELECT count(*) FROM t WHERE k = 99", nil)
+	if r.Rows[0][0] != 0 {
+		t.Fatalf("empty count = %v", r.Rows)
+	}
+	if _, err := e.Exec("SELECT min(v) FROM t WHERE k = 99", nil); err == nil {
+		t.Fatal("MIN over empty set did not error")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (a int)", nil)
+	mustExec(t, e, "INSERT INTO t VALUES (1)", nil)
+	for _, bad := range []string{
+		"SELECT count(*), a FROM t", // mixed aggregate and scalar
+		"SELECT sum(*) FROM t",      // * only valid for COUNT
+		"SELECT sum(a, a) FROM t",   // arity
+		"SELECT count(a, a) FROM t", // arity
+	} {
+		if _, err := e.Exec(bad, nil); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestAggregateWithJoinAndUnion(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (k int, v int)", nil)
+	for i := 0; i < 30; i++ {
+		mustExec(t, e, "INSERT INTO t VALUES (:k, :v)", map[string]interface{}{"k": i % 3, "v": i})
+	}
+	coll := &Collection{Cols: []string{"k"}, Rows: [][]int64{{0}, {2}}}
+	r := mustExec(t, e, "SELECT count(*) FROM TABLE(:ks) g, t WHERE t.k = g.k",
+		map[string]interface{}{"ks": coll})
+	if r.Rows[0][0] != 20 {
+		t.Fatalf("join count = %v", r.Rows)
+	}
+	// Aggregates in UNION ALL branches stack rows.
+	r = mustExec(t, e, "SELECT count(*) FROM t WHERE k = 0 UNION ALL SELECT count(*) FROM t WHERE k = 1", nil)
+	if len(r.Rows) != 2 || r.Rows[0][0] != 10 || r.Rows[1][0] != 10 {
+		t.Fatalf("union agg = %v", r.Rows)
+	}
+}

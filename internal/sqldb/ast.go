@@ -1,0 +1,142 @@
+package sqldb
+
+// Abstract syntax trees for the supported dialect.
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col INT, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []string
+}
+
+// CreateIndexStmt is CREATE INDEX name ON table (col, ...)
+// [INDEXTYPE IS typename].
+type CreateIndexStmt struct {
+	Name      string
+	Table     string
+	Columns   []string
+	IndexType string // empty for a built-in composite index
+}
+
+// DropStmt is DROP TABLE name or DROP INDEX name.
+type DropStmt struct {
+	Index bool // true: DROP INDEX; false: DROP TABLE
+	Name  string
+}
+
+// InsertStmt is INSERT INTO table VALUES (expr, ...).
+type InsertStmt struct {
+	Table  string
+	Values []Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil when absent
+}
+
+// SelectStmt is one SELECT block; Union chains UNION ALL branches.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	Union   *SelectStmt
+	OrderBy []OrderItem
+}
+
+// ExplainStmt is EXPLAIN <select>.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropStmt) stmt()        {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
+
+// SelectItem is one projection: an expression, or a * / alias.* wildcard.
+type SelectItem struct {
+	Star      bool
+	StarAlias string // for alias.*
+	Expr      Expr
+	As        string
+}
+
+// TableRef is one FROM source: a base table or TABLE(:bind) collection.
+type TableRef struct {
+	Name       string // base table name; empty for collections
+	Collection string // bind name for TABLE(:bind)
+	Alias      string
+}
+
+func (tr TableRef) displayName() string {
+	if tr.Alias != "" {
+		return tr.Alias
+	}
+	if tr.Collection != "" {
+		return ":" + tr.Collection
+	}
+	return tr.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// NumberExpr is an integer literal.
+type NumberExpr struct{ Value int64 }
+
+// BindExpr is a scalar bind variable :name.
+type BindExpr struct{ Name string }
+
+// ColumnExpr references a column, optionally qualified by a table alias.
+type ColumnExpr struct {
+	Table  string // alias or table name; empty when unqualified
+	Column string
+}
+
+// UnaryExpr is -x or NOT x.
+type UnaryExpr struct {
+	Op string // "-" or "not"
+	X  Expr
+}
+
+// BinaryExpr covers arithmetic, comparison, AND and OR.
+type BinaryExpr struct {
+	Op   string // + - * / = <> < <= > >= and or
+	L, R Expr
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// CallExpr is an operator/function invocation f(args...) — used for
+// extensible-indexing operators such as INTERSECTS (paper §5) and for the
+// aggregates COUNT/SUM/MIN/MAX. Star marks COUNT(*).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (*NumberExpr) expr()  {}
+func (*BindExpr) expr()    {}
+func (*ColumnExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*BetweenExpr) expr() {}
+func (*CallExpr) expr()    {}

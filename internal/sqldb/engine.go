@@ -1,0 +1,258 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+
+	"ritree/internal/rel"
+)
+
+// Collection is a transient, session-state relation passed as a bind
+// variable and scanned via TABLE(:name) — the leftNodes/rightNodes
+// mechanism of paper §4.2 ("managed in the transient session state thus
+// causing no I/O effort").
+type Collection struct {
+	Cols []string
+	Rows [][]int64
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols names the projected columns (SELECT only).
+	Cols []string
+	// Rows holds the materialized result set (SELECT only).
+	Rows [][]int64
+	// Affected is the number of rows inserted or deleted (DML only).
+	Affected int64
+	// Plan is the execution plan text (EXPLAIN only).
+	Plan string
+}
+
+// Engine executes SQL statements against a rel.DB. One Engine corresponds
+// to a database session; statements are serialized by an internal mutex.
+type Engine struct {
+	mu         sync.Mutex
+	db         *rel.DB
+	indexTypes map[string]IndexTypeHandler
+	custom     map[string]CustomIndex   // by index name
+	customByTb map[string][]CustomIndex // by table name
+}
+
+// NewEngine creates an Engine over db.
+func NewEngine(db *rel.DB) *Engine {
+	return &Engine{
+		db:         db,
+		indexTypes: make(map[string]IndexTypeHandler),
+		custom:     make(map[string]CustomIndex),
+		customByTb: make(map[string][]CustomIndex),
+	}
+}
+
+// DB exposes the underlying relational database.
+func (e *Engine) DB() *rel.DB { return e.db }
+
+// Exec parses and executes one statement. binds supplies scalar bind
+// variables (int64 or int) and collections (Collection or *Collection).
+func (e *Engine) Exec(sql string, binds map[string]interface{}) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execStmt(st, binds)
+}
+
+// MustExec is Exec for statements that cannot fail in tests and examples;
+// it panics on error.
+func (e *Engine) MustExec(sql string, binds map[string]interface{}) *Result {
+	r, err := e.Exec(sql, binds)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		if _, err := e.db.CreateTable(s.Name, s.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		if s.IndexType != "" {
+			return e.createCustomIndex(s)
+		}
+		if _, err := e.db.CreateIndex(s.Name, s.Table, s.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *DropStmt:
+		if s.Index {
+			if ci, ok := e.custom[s.Name]; ok {
+				return &Result{}, e.dropCustomIndex(ci)
+			}
+			return &Result{}, e.db.DropIndex(s.Name)
+		}
+		return &Result{}, e.db.DropTable(s.Name)
+	case *InsertStmt:
+		return e.execInsert(s, binds)
+	case *DeleteStmt:
+		return e.execDelete(s, binds)
+	case *SelectStmt:
+		return e.execSelect(s, binds)
+	case *ExplainStmt:
+		plan, err := e.explain(s.Query, binds)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: plan}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+// bindScalar resolves a scalar bind value.
+func bindScalar(binds map[string]interface{}, name string) (int64, error) {
+	v, ok := binds[name]
+	if !ok {
+		return 0, fmt.Errorf("sql: missing bind :%s", name)
+	}
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	}
+	return 0, fmt.Errorf("sql: bind :%s has unsupported type %T (want integer)", name, v)
+}
+
+// bindCollection resolves a collection bind value.
+func bindCollection(binds map[string]interface{}, name string) (*Collection, error) {
+	v, ok := binds[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: missing collection bind :%s", name)
+	}
+	switch x := v.(type) {
+	case *Collection:
+		return x, nil
+	case Collection:
+		return &x, nil
+	}
+	return nil, fmt.Errorf("sql: bind :%s has type %T, want Collection", name, v)
+}
+
+func (e *Engine) execInsert(s *InsertStmt, binds map[string]interface{}) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Values) != tab.Schema().NumCols() {
+		return nil, fmt.Errorf("sql: INSERT supplies %d values, table %s has %d columns",
+			len(s.Values), s.Table, tab.Schema().NumCols())
+	}
+	row := make([]int64, len(s.Values))
+	for i, ex := range s.Values {
+		v, err := evalConst(ex, binds)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	rid, err := tab.Insert(row)
+	if err != nil {
+		return nil, err
+	}
+	// Extensible indexing (§5): "the object-relational database server
+	// automatically triggers the maintenance ... of custom indexes".
+	for _, ci := range e.customByTb[s.Table] {
+		if err := ci.OnInsert(row, rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: 1}, nil
+}
+
+func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Plan the WHERE clause like a single-table SELECT so deletes can use
+	// index range scans (Figure 5's single-statement delete).
+	sel := &SelectStmt{
+		Items: []SelectItem{{Star: true}},
+		From:  []TableRef{{Name: s.Table}},
+		Where: s.Where,
+	}
+	plan, err := e.planSelect(sel, binds)
+	if err != nil {
+		return nil, err
+	}
+	type victim struct {
+		rid rel.RowID
+		row []int64
+	}
+	var victims []victim
+	err = plan.run(func(env []int64, rids []rel.RowID) bool {
+		row := make([]int64, tab.Schema().NumCols())
+		copy(row, env[:len(row)])
+		victims = append(victims, victim{rids[0], row})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range victims {
+		if _, err := tab.DeleteRow(v.rid); err != nil {
+			return nil, err
+		}
+		for _, ci := range e.customByTb[s.Table] {
+			if err := ci.OnDelete(v.row, v.rid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Affected: int64(len(victims))}, nil
+}
+
+func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
+	res := &Result{}
+	for blk := s; blk != nil; blk = blk.Union {
+		if isAggregate(blk) {
+			if err := e.runAggregate(blk, binds, res); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		plan, err := e.planSelect(blk, binds)
+		if err != nil {
+			return nil, err
+		}
+		if res.Cols == nil {
+			res.Cols = plan.outCols
+		} else if len(res.Cols) != len(plan.outCols) {
+			return nil, fmt.Errorf("sql: UNION ALL branches project %d vs %d columns",
+				len(res.Cols), len(plan.outCols))
+		}
+		err = plan.run(func(env []int64, _ []rel.RowID) bool {
+			out := make([]int64, len(plan.project))
+			for i, f := range plan.project {
+				out[i] = f(env)
+			}
+			res.Rows = append(res.Rows, out)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if err := e.sortResult(s, res, binds); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"ritree/internal/rel"
+)
+
+// This file implements the object-relational extensible-indexing framework
+// of paper §5: "An extensible indexing framework allows the developer to
+// package the implementation of the access method and the corresponding
+// index data into a user-defined indextype. As the object-relational
+// database server automatically triggers the maintenance and scan of custom
+// indexes, end users can use the Relational Interval Tree just like a
+// built-in index."
+
+// IndexTypeHandler creates instances of a user-defined indextype in
+// response to CREATE INDEX ... INDEXTYPE IS <name>.
+type IndexTypeHandler interface {
+	// CreateIndex builds the custom index named indexName over the given
+	// columns of table, backfilling from existing rows.
+	CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+}
+
+// IndexTypeFunc adapts a function to IndexTypeHandler.
+type IndexTypeFunc func(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+
+// CreateIndex implements IndexTypeHandler.
+func (f IndexTypeFunc) CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+	return f(e, indexName, table, cols)
+}
+
+// CustomIndex is a live user-defined index. The engine triggers its
+// maintenance on DML against the base table and routes the operators it
+// advertises to Scan.
+type CustomIndex interface {
+	// Name returns the index name.
+	Name() string
+	// Table returns the base table name.
+	Table() string
+	// Columns returns the indexed column names, in order.
+	Columns() []string
+	// HasOperator reports whether the index serves the named operator.
+	HasOperator(op string) bool
+	// OnInsert maintains the index after a row insert.
+	OnInsert(row []int64, rid rel.RowID) error
+	// OnDelete maintains the index after a row delete.
+	OnDelete(row []int64, rid rel.RowID) error
+	// Scan evaluates op with the given (non-column) arguments and streams
+	// the row ids of matching base rows.
+	Scan(op string, args []int64, fn func(rid rel.RowID) bool) error
+	// Drop destroys the index storage.
+	Drop() error
+}
+
+// RegisterIndexType makes a user-defined indextype available to
+// CREATE INDEX ... INDEXTYPE IS <name>.
+func (e *Engine) RegisterIndexType(name string, h IndexTypeHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.indexTypes[strings.ToLower(name)] = h
+}
+
+// AttachCustomIndex re-registers an already existing custom index with the
+// engine (used when reopening a database: the index storage persists in the
+// relational catalog, while the engine-side registration is per session).
+func (e *Engine) AttachCustomIndex(ci CustomIndex) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.attachLocked(ci)
+}
+
+func (e *Engine) attachLocked(ci CustomIndex) error {
+	name := strings.ToLower(ci.Name())
+	if _, dup := e.custom[name]; dup {
+		return fmt.Errorf("sql: custom index %s already attached", ci.Name())
+	}
+	e.custom[name] = ci
+	tb := strings.ToLower(ci.Table())
+	e.customByTb[tb] = append(e.customByTb[tb], ci)
+	return nil
+}
+
+func (e *Engine) createCustomIndex(s *CreateIndexStmt) (*Result, error) {
+	h, ok := e.indexTypes[strings.ToLower(s.IndexType)]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown indextype %q", s.IndexType)
+	}
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range s.Columns {
+		if tab.Schema().ColIndex(c) < 0 {
+			return nil, fmt.Errorf("sql: no column %s in %s", c, s.Table)
+		}
+	}
+	ci, err := h.CreateIndex(e, s.Name, s.Table, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.attachLocked(ci); err != nil {
+		_ = ci.Drop()
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) dropCustomIndex(ci CustomIndex) error {
+	name := strings.ToLower(ci.Name())
+	delete(e.custom, name)
+	tb := strings.ToLower(ci.Table())
+	list := e.customByTb[tb]
+	for i, cand := range list {
+		if cand == ci {
+			e.customByTb[tb] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return ci.Drop()
+}

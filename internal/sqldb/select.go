@@ -1,0 +1,880 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"sort"
+	"strings"
+
+	"ritree/internal/rel"
+)
+
+// evalFn evaluates an expression against the current join environment.
+// Booleans are 0/1. Runtime faults (division by zero) panic with
+// sqlRuntimeError and are converted to errors at the plan boundary.
+type evalFn func(env []int64) int64
+
+type sqlRuntimeError struct{ msg string }
+
+func (e sqlRuntimeError) Error() string { return "sql: " + e.msg }
+
+type accessKind int
+
+const (
+	accessFull accessKind = iota
+	accessIndexRange
+	accessCollection
+	accessCustom
+)
+
+// srcPlan is the access plan for one FROM source.
+type srcPlan struct {
+	ref  TableRef
+	cols []string
+	base int // slot offset of this source's columns in the env
+	kind accessKind
+	tab  *rel.Table
+	coll *Collection
+	ix   *rel.Index
+	eq   []evalFn // equality prefix values
+	// lows/highs extend the composite start/stop keys beyond the equality
+	// prefix: e.g. Figure 9's left branch scans (node, upper) from
+	// (l.min, :lower) to (l.max, +inf) — exactly Oracle's access predicates.
+	lows  []evalFn
+	highs []evalFn
+
+	custom     CustomIndex
+	customOp   string
+	customArgs []evalFn
+
+	filters []evalFn // predicates checked once this source is bound
+}
+
+// selectPlan is a compiled single SELECT block.
+type selectPlan struct {
+	sources []*srcPlan
+	project []evalFn
+	outCols []string
+	envSize int
+}
+
+type conjunct struct {
+	ex     Expr
+	maxSrc int // highest source index referenced; -1 if none
+	used   bool
+}
+
+// planSelect compiles one SELECT block against the current binds.
+func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selectPlan, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+	p := &selectPlan{}
+	seen := map[string]bool{}
+	for _, ref := range s.From {
+		sp := &srcPlan{ref: ref, base: p.envSize}
+		if ref.Collection != "" {
+			coll, err := bindCollection(binds, ref.Collection)
+			if err != nil {
+				return nil, err
+			}
+			sp.coll = coll
+			sp.cols = coll.Cols
+			sp.kind = accessCollection
+		} else {
+			tab, err := e.db.Table(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			sp.tab = tab
+			sp.cols = tab.Schema().Columns
+			sp.kind = accessFull
+		}
+		name := strings.ToLower(ref.displayName())
+		if seen[name] {
+			return nil, fmt.Errorf("sql: duplicate table alias %q", name)
+		}
+		seen[name] = true
+		p.sources = append(p.sources, sp)
+	}
+	// Join order: transient collections drive the nested loops (they are
+	// uncorrelated bind values, and the indexed table must be probed per
+	// collection row — the plan Oracle's optimizer picks for Figure 9).
+	sort.SliceStable(p.sources, func(i, j int) bool {
+		ci := p.sources[i].kind == accessCollection
+		cj := p.sources[j].kind == accessCollection
+		return ci && !cj
+	})
+	for _, sp := range p.sources {
+		sp.base = p.envSize
+		p.envSize += len(sp.cols)
+	}
+
+	// Split WHERE into conjuncts.
+	var conjuncts []*conjunct
+	var split func(ex Expr)
+	split = func(ex Expr) {
+		if b, ok := ex.(*BinaryExpr); ok && b.Op == "and" {
+			split(b.L)
+			split(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, &conjunct{ex: ex})
+	}
+	if s.Where != nil {
+		split(s.Where)
+	}
+	for _, c := range conjuncts {
+		m, err := p.maxSource(c.ex)
+		if err != nil {
+			return nil, err
+		}
+		c.maxSrc = m
+	}
+
+	// Choose an access path per source, in FROM order (left-deep nested
+	// loops, as the paper's plans are forced via optimizer hints).
+	for i, sp := range p.sources {
+		if sp.kind == accessCollection {
+			continue
+		}
+		if err := e.chooseAccess(p, sp, i, conjuncts, binds); err != nil {
+			return nil, err
+		}
+	}
+
+	// Attach every remaining conjunct as a filter at the last source it
+	// references (access-predicate conjuncts are kept as residual filters:
+	// cheap, and required for multi-node range pairs, §4.3).
+	for _, c := range conjuncts {
+		if c.used {
+			continue
+		}
+		at := c.maxSrc
+		if at < 0 {
+			at = 0
+		}
+		f, err := p.compile(c.ex, binds, at)
+		if err != nil {
+			return nil, err
+		}
+		p.sources[at].filters = append(p.sources[at].filters, f)
+	}
+
+	// Projection.
+	for _, item := range s.Items {
+		if item.Star {
+			for si, sp := range p.sources {
+				if item.StarAlias != "" && !strings.EqualFold(item.StarAlias, sp.ref.displayName()) {
+					continue
+				}
+				for ci, col := range sp.cols {
+					slot := sp.base + ci
+					p.project = append(p.project, func(env []int64) int64 { return env[slot] })
+					p.outCols = append(p.outCols, col)
+				}
+				_ = si
+			}
+			if len(p.project) == 0 {
+				return nil, fmt.Errorf("sql: %s.* matches no source", item.StarAlias)
+			}
+			continue
+		}
+		f, err := p.compile(item.Expr, binds, len(p.sources)-1)
+		if err != nil {
+			return nil, err
+		}
+		p.project = append(p.project, f)
+		name := item.As
+		if name == "" {
+			if ce, ok := item.Expr.(*ColumnExpr); ok {
+				name = ce.Column
+			} else {
+				name = fmt.Sprintf("col%d", len(p.outCols)+1)
+			}
+		}
+		p.outCols = append(p.outCols, name)
+	}
+	return p, nil
+}
+
+// maxSource returns the highest source index referenced by ex (-1 if none).
+func (p *selectPlan) maxSource(ex Expr) (int, error) {
+	max := -1
+	var walk func(Expr) error
+	walk = func(ex Expr) error {
+		switch x := ex.(type) {
+		case *ColumnExpr:
+			si, _, err := p.resolve(x)
+			if err != nil {
+				return err
+			}
+			if si > max {
+				max = si
+			}
+		case *UnaryExpr:
+			return walk(x.X)
+		case *BinaryExpr:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *BetweenExpr:
+			for _, sub := range []Expr{x.X, x.Lo, x.Hi} {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			}
+		case *CallExpr:
+			for _, a := range x.Args {
+				if err := walk(a); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(ex); err != nil {
+		return -1, err
+	}
+	return max, nil
+}
+
+// resolve maps a column reference to (source index, env slot).
+func (p *selectPlan) resolve(c *ColumnExpr) (int, int, error) {
+	if c.Table != "" {
+		for si, sp := range p.sources {
+			if !strings.EqualFold(c.Table, sp.ref.displayName()) {
+				continue
+			}
+			for ci, col := range sp.cols {
+				if strings.EqualFold(col, c.Column) {
+					return si, sp.base + ci, nil
+				}
+			}
+			return 0, 0, fmt.Errorf("sql: no column %s in %s", c.Column, c.Table)
+		}
+		return 0, 0, fmt.Errorf("sql: unknown table or alias %q", c.Table)
+	}
+	foundSi, foundSlot := -1, -1
+	for si, sp := range p.sources {
+		for ci, col := range sp.cols {
+			if strings.EqualFold(col, c.Column) {
+				if foundSi >= 0 {
+					return 0, 0, fmt.Errorf("sql: ambiguous column %q", c.Column)
+				}
+				foundSi, foundSlot = si, sp.base+ci
+			}
+		}
+	}
+	if foundSi < 0 {
+		return 0, 0, fmt.Errorf("sql: unknown column %q", c.Column)
+	}
+	return foundSi, foundSlot, nil
+}
+
+// compile turns ex into an evalFn. Columns of sources > maxSrc are
+// rejected (they are not bound yet at evaluation time).
+func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) (evalFn, error) {
+	switch x := ex.(type) {
+	case *NumberExpr:
+		v := x.Value
+		return func([]int64) int64 { return v }, nil
+	case *BindExpr:
+		v, err := bindScalar(binds, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func([]int64) int64 { return v }, nil
+	case *ColumnExpr:
+		si, slot, err := p.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		if si > maxSrc {
+			return nil, fmt.Errorf("sql: column %s of a later FROM source used too early", x.Column)
+		}
+		return func(env []int64) int64 { return env[slot] }, nil
+	case *UnaryExpr:
+		f, err := p.compile(x.X, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "-" {
+			return func(env []int64) int64 { return -f(env) }, nil
+		}
+		return func(env []int64) int64 { return b2i(f(env) == 0) }, nil
+	case *BetweenExpr:
+		xf, err := p.compile(x.X, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		lf, err := p.compile(x.Lo, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		hf, err := p.compile(x.Hi, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(env []int64) int64 {
+			v := xf(env)
+			in := v >= lf(env) && v <= hf(env)
+			return b2i(in != not)
+		}, nil
+	case *BinaryExpr:
+		lf, err := p.compile(x.L, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := p.compile(x.R, binds, maxSrc)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return func(env []int64) int64 { return lf(env) + rf(env) }, nil
+		case "-":
+			return func(env []int64) int64 { return lf(env) - rf(env) }, nil
+		case "*":
+			return func(env []int64) int64 { return lf(env) * rf(env) }, nil
+		case "/":
+			return func(env []int64) int64 {
+				d := rf(env)
+				if d == 0 {
+					panic(sqlRuntimeError{"division by zero"})
+				}
+				return lf(env) / d
+			}, nil
+		case "=":
+			return func(env []int64) int64 { return b2i(lf(env) == rf(env)) }, nil
+		case "<>":
+			return func(env []int64) int64 { return b2i(lf(env) != rf(env)) }, nil
+		case "<":
+			return func(env []int64) int64 { return b2i(lf(env) < rf(env)) }, nil
+		case "<=":
+			return func(env []int64) int64 { return b2i(lf(env) <= rf(env)) }, nil
+		case ">":
+			return func(env []int64) int64 { return b2i(lf(env) > rf(env)) }, nil
+		case ">=":
+			return func(env []int64) int64 { return b2i(lf(env) >= rf(env)) }, nil
+		case "and":
+			return func(env []int64) int64 { return b2i(lf(env) != 0 && rf(env) != 0) }, nil
+		case "or":
+			return func(env []int64) int64 { return b2i(lf(env) != 0 || rf(env) != 0) }, nil
+		}
+		return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+	case *CallExpr:
+		return nil, fmt.Errorf("sql: operator %s is not supported by any index of the queried table (extensible operators must be served by a DOMAIN INDEX, §5)", x.Name)
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", ex)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sargable checks whether conjunct c constrains column col of source si
+// with an expression evaluable from earlier sources. It returns the
+// operator and the value expression.
+func (p *selectPlan) sargable(c *conjunct, si int, col string) (string, Expr, Expr, bool) {
+	colMatches := func(ex Expr) bool {
+		ce, ok := ex.(*ColumnExpr)
+		if !ok {
+			return false
+		}
+		csi, _, err := p.resolve(ce)
+		return err == nil && csi == si && strings.EqualFold(ce.Column, col)
+	}
+	evaluableBefore := func(ex Expr) bool {
+		m, err := p.maxSource(ex)
+		return err == nil && m < si
+	}
+	switch x := c.ex.(type) {
+	case *BinaryExpr:
+		flip := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+		if colMatches(x.L) && evaluableBefore(x.R) {
+			if _, ok := flip[x.Op]; ok {
+				return x.Op, x.R, nil, true
+			}
+		}
+		if colMatches(x.R) && evaluableBefore(x.L) {
+			if f, ok := flip[x.Op]; ok {
+				return f, x.L, nil, true
+			}
+		}
+	case *BetweenExpr:
+		if !x.Not && colMatches(x.X) && evaluableBefore(x.Lo) && evaluableBefore(x.Hi) {
+			return "between", x.Lo, x.Hi, true
+		}
+	}
+	return "", nil, nil, false
+}
+
+// chooseAccess selects the cheapest available access path for source si.
+func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*conjunct, binds map[string]interface{}) error {
+	// Extensible indexing first: an operator conjunct served by a domain
+	// index on this table (paper §5).
+	for _, c := range conjuncts {
+		call, ok := c.ex.(*CallExpr)
+		if !ok || c.used {
+			continue
+		}
+		for _, ci := range e.customByTb[sp.ref.Name] {
+			if !ci.HasOperator(call.Name) {
+				continue
+			}
+			idxCols := ci.Columns()
+			if len(call.Args) < len(idxCols) {
+				continue
+			}
+			match := true
+			for k, col := range idxCols {
+				ce, ok := call.Args[k].(*ColumnExpr)
+				if !ok || !strings.EqualFold(ce.Column, col) {
+					match = false
+					break
+				}
+				if csi, _, err := p.resolve(ce); err != nil || csi != si {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			var args []evalFn
+			argOK := true
+			for _, a := range call.Args[len(idxCols):] {
+				m, err := p.maxSource(a)
+				if err != nil || m >= si {
+					argOK = false
+					break
+				}
+				f, err := p.compile(a, binds, si-1)
+				if err != nil {
+					return err
+				}
+				args = append(args, f)
+			}
+			if !argOK {
+				continue
+			}
+			sp.kind = accessCustom
+			sp.custom = ci
+			sp.customOp = call.Name
+			sp.customArgs = args
+			c.used = true
+			return nil
+		}
+	}
+
+	// Built-in composite indexes: the longest usable equality prefix, one
+	// range column, and — as in Oracle's composite access predicates — an
+	// optional start/stop key extension into the following column
+	// (Figure 9's left branch scans (node, upper) from (l.min, :lower)).
+	type candidate struct {
+		ix       *rel.Index
+		eqEx     []Expr
+		lowEx    []Expr
+		hiEx     []Expr
+		eqCount  int
+		hasRange bool
+	}
+	// rangeOn collects the best low/high bound expressions on col.
+	rangeOn := func(col string) (lowEx, hiEx Expr) {
+		for _, c := range conjuncts {
+			op, v1, v2, ok := p.sargable(c, si, col)
+			if !ok {
+				continue
+			}
+			switch op {
+			case ">", ">=":
+				if lowEx == nil {
+					if op == ">" {
+						v1 = &BinaryExpr{Op: "+", L: v1, R: &NumberExpr{Value: 1}}
+					}
+					lowEx = v1
+				}
+			case "<", "<=":
+				if hiEx == nil {
+					if op == "<" {
+						v1 = &BinaryExpr{Op: "-", L: v1, R: &NumberExpr{Value: 1}}
+					}
+					hiEx = v1
+				}
+			case "between":
+				if lowEx == nil {
+					lowEx = v1
+				}
+				if hiEx == nil {
+					hiEx = v2
+				}
+			}
+		}
+		return lowEx, hiEx
+	}
+	eqOn := func(col string) Expr {
+		for _, c := range conjuncts {
+			if op, v1, _, ok := p.sargable(c, si, col); ok && op == "=" {
+				return v1
+			}
+		}
+		return nil
+	}
+
+	var best *candidate
+	for _, ix := range sp.tab.Indexes() {
+		cand := &candidate{ix: ix}
+		cols := ix.Cols()
+		pos := 0
+		for ; pos < len(cols); pos++ {
+			col := sp.tab.Schema().Columns[cols[pos]]
+			if eqEx := eqOn(col); eqEx != nil {
+				cand.eqEx = append(cand.eqEx, eqEx)
+				cand.eqCount++
+				continue
+			}
+			lowEx, hiEx := rangeOn(col)
+			if lowEx == nil && hiEx == nil {
+				break
+			}
+			cand.hasRange = true
+			if lowEx != nil {
+				cand.lowEx = append(cand.lowEx, lowEx)
+			}
+			if hiEx != nil {
+				cand.hiEx = append(cand.hiEx, hiEx)
+			}
+			// Key extension into the next column: the start key may grow
+			// when this column has a low bound, the stop key when it has a
+			// high bound.
+			if pos+1 < len(cols) {
+				nextCol := sp.tab.Schema().Columns[cols[pos+1]]
+				nlow, nhigh := rangeOn(nextCol)
+				if nEq := eqOn(nextCol); nEq != nil {
+					if nlow == nil {
+						nlow = nEq
+					}
+					if nhigh == nil {
+						nhigh = nEq
+					}
+				}
+				if lowEx != nil && nlow != nil {
+					cand.lowEx = append(cand.lowEx, nlow)
+				}
+				if hiEx != nil && nhigh != nil {
+					cand.hiEx = append(cand.hiEx, nhigh)
+				}
+			}
+			break
+		}
+		if cand.eqCount == 0 && !cand.hasRange {
+			continue
+		}
+		// Score: longest equality prefix, then a usable range, then the
+		// deepest composite start/stop keys (Figure 9's left branch must
+		// pick upperIndex over lowerIndex because its start key extends to
+		// (l.min, :lower)).
+		better := best == nil ||
+			cand.eqCount > best.eqCount ||
+			(cand.eqCount == best.eqCount && cand.hasRange && !best.hasRange) ||
+			(cand.eqCount == best.eqCount && cand.hasRange == best.hasRange &&
+				len(cand.lowEx)+len(cand.hiEx) > len(best.lowEx)+len(best.hiEx))
+		if better {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil // full table scan
+	}
+	sp.kind = accessIndexRange
+	sp.ix = best.ix
+	for _, ex := range best.eqEx {
+		f, err := p.compile(ex, binds, si-1)
+		if err != nil {
+			return err
+		}
+		sp.eq = append(sp.eq, f)
+	}
+	for _, ex := range best.lowEx {
+		f, err := p.compile(ex, binds, si-1)
+		if err != nil {
+			return err
+		}
+		sp.lows = append(sp.lows, f)
+	}
+	for _, ex := range best.hiEx {
+		f, err := p.compile(ex, binds, si-1)
+		if err != nil {
+			return err
+		}
+		sp.highs = append(sp.highs, f)
+	}
+	return nil
+}
+
+// run executes the plan, emitting each joined row's env and per-source row
+// ids. Returning false from emit stops execution.
+func (p *selectPlan) run(emit func(env []int64, rids []rel.RowID) bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(sqlRuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	env := make([]int64, p.envSize)
+	rids := make([]rel.RowID, len(p.sources))
+	stop := false
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(p.sources) {
+			if !emit(env, rids) {
+				stop = true
+			}
+			return nil
+		}
+		sp := p.sources[i]
+		deliver := func(rid rel.RowID) (bool, error) {
+			rids[i] = rid
+			for _, f := range sp.filters {
+				if f(env) == 0 {
+					return true, nil
+				}
+			}
+			if err := rec(i + 1); err != nil {
+				return false, err
+			}
+			return !stop, nil
+		}
+		switch sp.kind {
+		case accessCollection:
+			width := len(sp.cols)
+			for ri, row := range sp.coll.Rows {
+				if len(row) != width {
+					return fmt.Errorf("sql: collection :%s row %d has %d columns, want %d",
+						sp.ref.Collection, ri, len(row), width)
+				}
+				copy(env[sp.base:sp.base+width], row)
+				cont, err := deliver(0)
+				if err != nil || !cont {
+					return err
+				}
+			}
+			return nil
+		case accessFull:
+			var inner error
+			err := sp.tab.Scan(func(rid rel.RowID, row []int64) bool {
+				copy(env[sp.base:sp.base+len(row)], row)
+				cont, e2 := deliver(rid)
+				inner = e2
+				return cont && e2 == nil
+			})
+			if inner != nil {
+				return inner
+			}
+			return err
+		case accessIndexRange:
+			low := make([]int64, 0, len(sp.eq)+2)
+			high := make([]int64, 0, len(sp.eq)+2)
+			for _, f := range sp.eq {
+				v := f(env)
+				low = append(low, v)
+				high = append(high, v)
+			}
+			for _, f := range sp.lows {
+				low = append(low, f(env))
+			}
+			for _, f := range sp.highs {
+				high = append(high, f(env))
+			}
+			var inner error
+			err := sp.ix.Scan(low, high, func(_ []int64, rid rel.RowID) bool {
+				row, e2 := sp.tab.GetRaw(rid)
+				if e2 != nil {
+					inner = e2
+					return false
+				}
+				copy(env[sp.base:sp.base+len(row)], row)
+				cont, e2 := deliver(rid)
+				inner = e2
+				return cont && e2 == nil
+			})
+			if inner != nil {
+				return inner
+			}
+			return err
+		case accessCustom:
+			args := make([]int64, len(sp.customArgs))
+			for k, f := range sp.customArgs {
+				args[k] = f(env)
+			}
+			var inner error
+			err := sp.custom.Scan(sp.customOp, args, func(rid rel.RowID) bool {
+				row, e2 := sp.tab.GetRaw(rid)
+				if e2 != nil {
+					inner = e2
+					return false
+				}
+				copy(env[sp.base:sp.base+len(row)], row)
+				cont, e2 := deliver(rid)
+				inner = e2
+				return cont && e2 == nil
+			})
+			if inner != nil {
+				return inner
+			}
+			return err
+		}
+		return fmt.Errorf("sql: unknown access kind %d", sp.kind)
+	}
+	return rec(0)
+}
+
+// sortResult applies ORDER BY over the materialized result. Keys may be
+// output column names, select aliases, or 1-based ordinals.
+func (e *Engine) sortResult(s *SelectStmt, res *Result, binds map[string]interface{}) error {
+	type key struct {
+		idx  int
+		desc bool
+	}
+	var keys []key
+	for _, item := range s.OrderBy {
+		switch x := item.Expr.(type) {
+		case *NumberExpr:
+			if x.Value < 1 || int(x.Value) > len(res.Cols) {
+				return fmt.Errorf("sql: ORDER BY ordinal %d out of range", x.Value)
+			}
+			keys = append(keys, key{int(x.Value) - 1, item.Desc})
+		case *ColumnExpr:
+			found := -1
+			for i, c := range res.Cols {
+				if strings.EqualFold(c, x.Column) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return fmt.Errorf("sql: ORDER BY column %q not in the select list", x.Column)
+			}
+			keys = append(keys, key{found, item.Desc})
+		default:
+			return fmt.Errorf("sql: ORDER BY supports output columns and ordinals")
+		}
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, b := res.Rows[i][k.idx], res.Rows[j][k.idx]
+			if a != b {
+				if k.desc {
+					return a > b
+				}
+				return a < b
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// explain renders the Figure 10-style execution plan of a SELECT.
+func (e *Engine) explain(s *SelectStmt, binds map[string]interface{}) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("SELECT STATEMENT\n")
+	indent := 1
+	hasUnion := s.Union != nil
+	if hasUnion {
+		sb.WriteString("  UNION-ALL\n")
+		indent = 2
+	}
+	for blk := s; blk != nil; blk = blk.Union {
+		plan, err := e.planSelect(blk, binds)
+		if err != nil {
+			return "", err
+		}
+		if err := explainBlock(&sb, plan, indent); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func explainBlock(sb *strings.Builder, p *selectPlan, indent int) error {
+	printJoin(sb, p.sources, indent)
+	return nil
+}
+
+// printJoin renders the left-deep nested-loop tree NL(NL(s0,s1),s2)...
+func printJoin(sb *strings.Builder, sources []*srcPlan, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if len(sources) == 1 {
+		sb.WriteString(pad + accessLine(sources[0]) + "\n")
+		return
+	}
+	sb.WriteString(pad + "NESTED LOOPS\n")
+	printJoin(sb, sources[:len(sources)-1], indent+1)
+	sb.WriteString(strings.Repeat("  ", indent+1) + accessLine(sources[len(sources)-1]) + "\n")
+}
+
+// evalConst evaluates an expression that may reference only literals and
+// bind variables (INSERT value lists).
+func evalConst(ex Expr, binds map[string]interface{}) (int64, error) {
+	switch x := ex.(type) {
+	case *NumberExpr:
+		return x.Value, nil
+	case *BindExpr:
+		return bindScalar(binds, x.Name)
+	case *UnaryExpr:
+		v, err := evalConst(x.X, binds)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			return -v, nil
+		}
+		return b2i(v == 0), nil
+	case *BinaryExpr:
+		l, err := evalConst(x.L, binds)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalConst(x.R, binds)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, sqlRuntimeError{"division by zero"}
+			}
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: expression not constant (columns are not allowed here)")
+}
+
+func accessLine(sp *srcPlan) string {
+	switch sp.kind {
+	case accessCollection:
+		return "COLLECTION ITERATOR :" + strings.ToUpper(sp.ref.Collection)
+	case accessIndexRange:
+		return "INDEX RANGE SCAN " + strings.ToUpper(sp.ix.Name())
+	case accessCustom:
+		return fmt.Sprintf("DOMAIN INDEX %s (%s)", strings.ToUpper(sp.custom.Name()), strings.ToUpper(sp.customOp))
+	default:
+		return "TABLE ACCESS FULL " + strings.ToUpper(sp.ref.Name)
+	}
+}

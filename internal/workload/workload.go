@@ -1,0 +1,209 @@
+// Package workload generates the paper's sample interval databases
+// (Table 1) and the query workloads of §6.
+//
+// Table 1 defines four distributions over the domain [0, 2^20−1]:
+//
+//	D1(n,d)  uniform starting points, durations uniform in [0, 2d]
+//	D2(n,d)  uniform starting points, durations exponential with mean d
+//	D3(n,d)  Poisson-process starting points, durations uniform in [0, 2d]
+//	D4(n,d)  Poisson-process starting points, durations exponential, mean d
+//
+// "For the distributions D3 and D4, we assume transaction time or valid
+// time intervals where the arrival of temporal tuples follows a Poisson
+// process. Thus the inter-arrival time is distributed exponentially."
+//
+// Query workloads "follow a distribution which is compatible to the
+// respective interval database" (§6.3); their length is calibrated to hit a
+// target selectivity.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ritree/internal/interval"
+)
+
+// Kind selects one of the Table 1 distributions.
+type Kind int
+
+// The four sample database distributions of Table 1.
+const (
+	D1 Kind = iota + 1
+	D2
+	D3
+	D4
+)
+
+// String names the distribution like the paper ("D1", ...).
+func (k Kind) String() string {
+	if k < D1 || k > D4 {
+		return "D?"
+	}
+	return fmt.Sprintf("D%d", int(k))
+}
+
+// Spec describes a sample interval database.
+type Spec struct {
+	// Kind is the Table 1 distribution.
+	Kind Kind
+	// N is the database cardinality.
+	N int
+	// D is the duration parameter d of Table 1 (2000 for the ubiquitous
+	// "2k" datasets).
+	D int64
+	// MinDur/MaxDur, when MaxDur > 0, restrict the duration domain to
+	// uniform in [MinDur, MaxDur] — the "restricted D3 databases" of
+	// Figure 15.
+	MinDur, MaxDur int64
+}
+
+// String formats the spec like the paper, e.g. "D4(100k,2k)".
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%s,%s)", s.Kind, compact(int64(s.N)), compact(s.D))
+}
+
+func compact(v int64) string {
+	switch {
+	case v >= 1_000_000 && v%1_000_000 == 0:
+		return fmt.Sprintf("%dM", v/1_000_000)
+	case v >= 1000 && v%1000 == 0:
+		return fmt.Sprintf("%dk", v/1000)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Generate produces the interval database for spec. The same seed yields
+// the same database. Bounding points are clamped into the paper's domain
+// [0, 2^20−1].
+func Generate(spec Spec, seed int64) []interval.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	domain := interval.DomainMax - interval.DomainMin + 1
+	ivs := make([]interval.Interval, spec.N)
+
+	// Starting points.
+	starts := make([]int64, spec.N)
+	switch spec.Kind {
+	case D1, D2:
+		for i := range starts {
+			starts[i] = interval.DomainMin + rng.Int63n(domain)
+		}
+	case D3, D4:
+		// Poisson arrivals: exponential inter-arrival times with mean
+		// domain/n, wrapped into the domain so exactly n tuples exist.
+		mean := float64(domain) / float64(spec.N)
+		x := float64(interval.DomainMin)
+		for i := range starts {
+			x += rng.ExpFloat64() * mean
+			for x >= float64(interval.DomainMax+1) {
+				x -= float64(domain)
+			}
+			starts[i] = int64(x)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown distribution %d", spec.Kind))
+	}
+
+	// Durations.
+	for i := range ivs {
+		var dur int64
+		switch {
+		case spec.MaxDur > 0:
+			dur = spec.MinDur + rng.Int63n(spec.MaxDur-spec.MinDur+1)
+		case spec.Kind == D1 || spec.Kind == D3:
+			dur = rng.Int63n(2*spec.D + 1) // uniform in [0, 2d], mean d
+		default:
+			dur = int64(rng.ExpFloat64() * float64(spec.D)) // mean d
+		}
+		lo := starts[i]
+		hi := lo + dur
+		if hi > interval.DomainMax {
+			if spec.MaxDur > 0 {
+				// Restricted databases (Figure 15) rely on a guaranteed
+				// minimum duration; shift the interval left instead of
+				// truncating it at the domain edge.
+				lo = interval.DomainMax - dur
+				hi = interval.DomainMax
+			} else {
+				hi = interval.DomainMax
+			}
+		}
+		ivs[i] = interval.New(lo, hi)
+	}
+	return ivs
+}
+
+// IDs returns the identity id assignment 0..n-1.
+func IDs(n int) []int64 {
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return ids
+}
+
+// Queries produces count query intervals of the given length with starting
+// points compatible with the data distribution (uniform over the domain,
+// which also matches the Poisson processes' uniform marginal).
+func Queries(count int, length int64, seed int64) []interval.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]interval.Interval, count)
+	span := interval.DomainMax - interval.DomainMin + 1 - length
+	if span < 1 {
+		span = 1
+	}
+	for i := range qs {
+		lo := interval.DomainMin + rng.Int63n(span)
+		qs[i] = interval.New(lo, lo+length)
+	}
+	return qs
+}
+
+// PointSweep produces point queries at the given distances below the upper
+// bound of the data space — the "sweeping" workload of Figure 17.
+func PointSweep(distances []int64) []interval.Interval {
+	qs := make([]interval.Interval, len(distances))
+	for i, d := range distances {
+		qs[i] = interval.Point(interval.DomainMax - d)
+	}
+	return qs
+}
+
+// Selectivity measures the average fraction of the database returned by the
+// queries (brute force).
+func Selectivity(ivs []interval.Interval, queries []interval.Interval) float64 {
+	if len(ivs) == 0 || len(queries) == 0 {
+		return 0
+	}
+	var total int64
+	for _, q := range queries {
+		for _, iv := range ivs {
+			if iv.Intersects(q) {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(ivs)) / float64(len(queries))
+}
+
+// CalibrateLength finds a query length whose measured selectivity on the
+// database approximates target (a fraction, e.g. 0.005 for 0.5%). The
+// paper's figures parameterize queries by selectivity; this reproduces that
+// knob for arbitrary distributions. A target of 0 yields point queries.
+func CalibrateLength(ivs []interval.Interval, target float64, seed int64) int64 {
+	if target <= 0 {
+		return 0
+	}
+	const probes = 24
+	lo, hi := int64(0), interval.DomainMax-interval.DomainMin
+	for iter := 0; iter < 18 && lo < hi; iter++ {
+		mid := (lo + hi) / 2
+		sel := Selectivity(ivs, Queries(probes, mid, seed+int64(iter)))
+		if sel < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

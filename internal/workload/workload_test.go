@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ritree/internal/interval"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range []Kind{D1, D2, D3, D4} {
+		a := Generate(Spec{Kind: k, N: 500, D: 2000}, 42)
+		b := Generate(Spec{Kind: k, N: 500, D: 2000}, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d", k, i)
+			}
+		}
+		c := Generate(Spec{Kind: k, N: 500, D: 2000}, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: different seeds gave identical data", k)
+		}
+	}
+}
+
+func TestDomainBounds(t *testing.T) {
+	for _, k := range []Kind{D1, D2, D3, D4} {
+		for _, iv := range Generate(Spec{Kind: k, N: 2000, D: 5000}, 7) {
+			if !iv.Valid() {
+				t.Fatalf("%v: invalid interval %v", k, iv)
+			}
+			if iv.Lower < interval.DomainMin || iv.Upper > interval.DomainMax {
+				t.Fatalf("%v: %v outside domain", k, iv)
+			}
+		}
+	}
+}
+
+func TestDurationMeans(t *testing.T) {
+	// Table 1: D1/D3 durations uniform in [0, 2d] (mean d); D2/D4
+	// exponential with mean d.
+	const n = 50000
+	const d = 2000
+	for _, k := range []Kind{D1, D2, D3, D4} {
+		ivs := Generate(Spec{Kind: k, N: n, D: d}, 11)
+		var sum float64
+		for _, iv := range ivs {
+			sum += float64(iv.Length())
+		}
+		mean := sum / n
+		// Clamping at the domain edge trims a tiny amount off the mean.
+		if math.Abs(mean-d) > d*0.05 {
+			t.Errorf("%v: mean duration = %.1f, want ≈ %d", k, mean, d)
+		}
+	}
+}
+
+func TestUniformVsExponentialShape(t *testing.T) {
+	// Exponential durations have many more short intervals than uniform.
+	u := Generate(Spec{Kind: D1, N: 20000, D: 2000}, 3)
+	e := Generate(Spec{Kind: D2, N: 20000, D: 2000}, 3)
+	shortU, shortE := 0, 0
+	for i := range u {
+		if u[i].Length() < 500 {
+			shortU++
+		}
+		if e[i].Length() < 500 {
+			shortE++
+		}
+	}
+	if shortE <= shortU {
+		t.Fatalf("exponential short count %d <= uniform %d", shortE, shortU)
+	}
+}
+
+func TestPoissonCoversDomain(t *testing.T) {
+	ivs := Generate(Spec{Kind: D4, N: 20000, D: 100}, 9)
+	buckets := make([]int, 16)
+	for _, iv := range ivs {
+		buckets[iv.Lower*16/(interval.DomainMax+1)]++
+	}
+	for i, c := range buckets {
+		if c < 20000/16/2 || c > 20000/16*2 {
+			t.Fatalf("bucket %d has %d arrivals; Poisson marginal should be near-uniform: %v", i, c, buckets)
+		}
+	}
+}
+
+func TestRestrictedDurations(t *testing.T) {
+	// Figure 15's restricted D3 databases guarantee the duration window
+	// exactly (intervals near the domain edge are shifted, not truncated,
+	// so the minstep analysis of §3.4 sees the true minimum length).
+	ivs := Generate(Spec{Kind: D3, N: 5000, D: 2000, MinDur: 1000, MaxDur: 3000}, 1)
+	for _, iv := range ivs {
+		if iv.Length() < 1000 || iv.Length() > 3000 {
+			t.Fatalf("duration %d outside [1000,3000]", iv.Length())
+		}
+		if iv.Lower < interval.DomainMin || iv.Upper > interval.DomainMax {
+			t.Fatalf("interval %v outside domain", iv)
+		}
+	}
+}
+
+func TestCalibrateLengthHitsTarget(t *testing.T) {
+	ivs := Generate(Spec{Kind: D1, N: 20000, D: 2000}, 21)
+	for _, target := range []float64{0.005, 0.01, 0.03} {
+		L := CalibrateLength(ivs, target, 5)
+		sel := Selectivity(ivs, Queries(50, L, 99))
+		if sel < target*0.6 || sel > target*1.6 {
+			t.Errorf("target %.3f%%: calibrated length %d gives %.3f%%",
+				target*100, L, sel*100)
+		}
+	}
+	if CalibrateLength(ivs, 0, 5) != 0 {
+		t.Error("target 0 must give point queries")
+	}
+}
+
+func TestQueriesRespectLengthAndDomain(t *testing.T) {
+	qs := Queries(200, 4096, 17)
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Length() != 4096 {
+			t.Fatalf("query length %d", q.Length())
+		}
+		if q.Lower < interval.DomainMin || q.Upper > interval.DomainMax {
+			t.Fatalf("query %v outside domain", q)
+		}
+	}
+}
+
+func TestPointSweep(t *testing.T) {
+	qs := PointSweep([]int64{0, 1000, 50000})
+	if qs[0].Lower != interval.DomainMax || qs[1].Lower != interval.DomainMax-1000 {
+		t.Fatalf("sweep positions wrong: %v", qs)
+	}
+	for _, q := range qs {
+		if q.Length() != 0 {
+			t.Fatal("sweep queries must be points")
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Kind: D4, N: 100000, D: 2000}
+	if s.String() != "D4(100k,2k)" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s2 := Spec{Kind: D1, N: 1000000, D: 150}
+	if s2.String() != "D1(1M,150)" {
+		t.Fatalf("String = %q", s2.String())
+	}
+}
+
+func TestIDs(t *testing.T) {
+	ids := IDs(5)
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("IDs[%d] = %d", i, id)
+		}
+	}
+}

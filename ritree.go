@@ -1,0 +1,372 @@
+// Package ritree is a Go implementation of the Relational Interval Tree
+// (RI-tree) of Kriegel, Pötke and Seidl, "Managing Intervals Efficiently in
+// Object-Relational Databases", VLDB 2000 — together with the complete
+// relational substrate it runs on (page store with buffer cache, B+-tree
+// composite indexes, heap relations, a SQL engine with extensible
+// indexing) and the paper's competitor access methods.
+//
+// The quickest way in:
+//
+//	idx, _ := ritree.New()
+//	defer idx.Close()
+//	idx.Insert(ritree.NewInterval(10, 20), 1)
+//	idx.Insert(ritree.NewInterval(15, 40), 2)
+//	ids, _ := idx.Intersecting(ritree.NewInterval(18, 19)) // -> [1 2]
+//
+// The RI-tree stores intervals in an ordinary relation
+// (node, lower, upper, id) under two composite B+-tree indexes; the
+// backbone tree is virtual — O(1) persistent parameters — so inserts cost
+// O(log_b n) I/Os and an intersection query O(h·log_b n + r/b).
+package ritree
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+	ritcore "ritree/internal/ritree"
+	"ritree/internal/sqldb"
+)
+
+// Interval is a closed interval [Lower, Upper] over int64.
+type Interval = interval.Interval
+
+// Relation is one of Allen's thirteen interval relations (paper §4.5).
+type Relation = interval.Relation
+
+// The thirteen Allen relations, usable with Index.Query.
+const (
+	Before       = interval.Before
+	Meets        = interval.Meets
+	Overlaps     = interval.Overlaps
+	FinishedBy   = interval.FinishedBy
+	Contains     = interval.Contains
+	Starts       = interval.Starts
+	Equals       = interval.Equals
+	StartedBy    = interval.StartedBy
+	During       = interval.During
+	Finishes     = interval.Finishes
+	OverlappedBy = interval.OverlappedBy
+	MetBy        = interval.MetBy
+	After        = interval.After
+)
+
+// Infinity is the sentinel upper bound for intervals that never end (§4.6).
+const Infinity = interval.Infinity
+
+// NowMarker is the sentinel upper bound for now-relative intervals (§4.6).
+const NowMarker = interval.NowMarker
+
+// IOStats is the I/O counter snapshot of the underlying page store. The
+// paper's primary cost metric is PhysicalReads under a small LRU buffer
+// cache (2 KB blocks, 200-block cache by default, as in §6.1).
+type IOStats = pagestore.Stats
+
+// Result is a SQL statement result (see Index.Exec).
+type Result = sqldb.Result
+
+// Collection is a transient collection bind for TABLE(:name) SQL sources.
+type Collection = sqldb.Collection
+
+// NewInterval returns the interval [lower, upper].
+func NewInterval(lower, upper int64) Interval { return interval.New(lower, upper) }
+
+// Point returns the degenerate interval [p, p].
+func Point(p int64) Interval { return interval.Point(p) }
+
+// ClassifyRelation returns the Allen relation between a and b.
+func ClassifyRelation(a, b Interval) Relation { return interval.Classify(a, b) }
+
+type config struct {
+	path        string
+	pageSize    int
+	cacheSize   int
+	readLatency time.Duration
+	treeName    string
+	treeOpts    ritcore.Options
+}
+
+// Option configures New and Open.
+type Option func(*config)
+
+// WithPageSize sets the disk block size in bytes (default 2048, the paper's
+// setup). Must be a power of two >= 128.
+func WithPageSize(bytes int) Option { return func(c *config) { c.pageSize = bytes } }
+
+// WithCacheSize sets the buffer cache capacity in pages (default 200, the
+// paper's Oracle block cache).
+func WithCacheSize(pages int) Option { return func(c *config) { c.cacheSize = pages } }
+
+// WithReadLatency makes every physical page read sleep for d, so wall-clock
+// measurements approximate a disk with that access time.
+func WithReadLatency(d time.Duration) Option {
+	return func(c *config) { c.readLatency = d }
+}
+
+// WithTreeName sets the name of the interval relation (default "intervals").
+func WithTreeName(name string) Option { return func(c *config) { c.treeName = name } }
+
+// Index is an RI-tree over an embedded relational database. All methods
+// are safe for concurrent use: queries share a read lock, mutations take
+// the write lock (the paper inherits this from Oracle's transaction
+// management; here a simple reader-writer lock provides statement-level
+// isolation).
+type Index struct {
+	mu     sync.RWMutex
+	store  *pagestore.Store
+	db     *rel.DB
+	tree   *ritcore.Tree
+	engine *sqldb.Engine
+}
+
+// New creates an in-memory RI-tree.
+func New(opts ...Option) (*Index, error) {
+	cfg := applyOptions(opts)
+	st, err := pagestore.New(pagestore.NewMemBackend(), pagestore.Options{
+		PageSize:    cfg.pageSize,
+		CacheSize:   cfg.cacheSize,
+		ReadLatency: cfg.readLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		return nil, err
+	}
+	return attach(st, db, cfg, true)
+}
+
+// Open creates or opens a file-backed RI-tree at path.
+func Open(path string, opts ...Option) (*Index, error) {
+	cfg := applyOptions(opts)
+	cfg.path = path
+	be, err := pagestore.OpenFileBackend(path, cfg.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	st, err := pagestore.New(be, pagestore.Options{
+		PageSize:    cfg.pageSize,
+		CacheSize:   cfg.cacheSize,
+		ReadLatency: cfg.readLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.NumAllocated() == 0 {
+		db, err := rel.CreateDB(st)
+		if err != nil {
+			return nil, err
+		}
+		return attach(st, db, cfg, true)
+	}
+	db, err := rel.OpenDB(st, 1)
+	if err != nil {
+		return nil, err
+	}
+	return attach(st, db, cfg, false)
+}
+
+func applyOptions(opts []Option) *config {
+	cfg := &config{
+		pageSize:  pagestore.DefaultPageSize,
+		cacheSize: pagestore.DefaultCacheSize,
+		treeName:  "intervals",
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+func attach(st *pagestore.Store, db *rel.DB, cfg *config, create bool) (*Index, error) {
+	var tree *ritcore.Tree
+	var err error
+	if create {
+		tree, err = ritcore.Create(db, cfg.treeName, cfg.treeOpts)
+	} else {
+		tree, err = ritcore.Open(db, cfg.treeName, cfg.treeOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng := sqldb.NewEngine(db)
+	ritcore.RegisterIndexType(eng)
+	return &Index{store: st, db: db, tree: tree, engine: eng}, nil
+}
+
+// Insert registers iv under id. Multiple registrations of the same
+// (interval, id) pair are allowed and count separately. Intervals with
+// Upper == Infinity or Upper == NowMarker get the §4.6 temporal handling.
+func (x *Index) Insert(iv Interval, id int64) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tree.Insert(iv, id)
+}
+
+// InsertInfinite registers [lower, ∞) under id.
+func (x *Index) InsertInfinite(lower, id int64) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tree.InsertInfinite(lower, id)
+}
+
+// InsertNow registers the now-relative interval [lower, now] under id; its
+// effective upper bound tracks SetNow with zero index maintenance.
+func (x *Index) InsertNow(lower, id int64) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tree.InsertNow(lower, id)
+}
+
+// Delete removes one registration of (iv, id), reporting whether it existed.
+func (x *Index) Delete(iv Interval, id int64) (bool, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tree.Delete(iv, id)
+}
+
+// BulkLoad inserts ivs[i] under ids[i] and rebuilds the indexes tightly
+// packed — the fast path for loading large datasets.
+func (x *Index) BulkLoad(ivs []Interval, ids []int64) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tree.BulkLoad(ivs, ids)
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+func (x *Index) Intersecting(q Interval) ([]int64, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Intersecting(q)
+}
+
+// IntersectingFunc streams the ids of intervals intersecting q; return
+// false from fn to stop early.
+func (x *Index) IntersectingFunc(q Interval, fn func(id int64) bool) error {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.IntersectingFunc(q, fn)
+}
+
+// Stab returns the ids of all intervals containing the point p.
+func (x *Index) Stab(p int64) ([]int64, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Stab(p)
+}
+
+// CountIntersecting returns the number of intervals intersecting q.
+func (x *Index) CountIntersecting(q Interval) (int64, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.CountIntersecting(q)
+}
+
+// Query returns the ids of all intervals i with "i r q" for any of Allen's
+// thirteen relations (paper §4.5).
+func (x *Index) Query(r Relation, q Interval) ([]int64, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.QueryRelation(r, q)
+}
+
+// SetNow sets the evaluation time for now-relative intervals (§4.6).
+func (x *Index) SetNow(now int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.tree.SetNow(now)
+}
+
+// Now returns the evaluation time for now-relative intervals.
+func (x *Index) Now() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Now()
+}
+
+// Count returns the number of registered intervals.
+func (x *Index) Count() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Count()
+}
+
+// Height returns the virtual backbone height (§3.5) — it depends on the
+// data space extent and granularity, never on Count.
+func (x *Index) Height() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Height()
+}
+
+// IndexEntries returns the total composite index entries (2 per interval).
+func (x *Index) IndexEntries() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.IndexEntries()
+}
+
+// Stats returns the I/O counters of the page store.
+func (x *Index) Stats() IOStats { return x.store.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (x *Index) ResetStats() { x.store.ResetStats() }
+
+// Exec runs a SQL statement against the embedded engine. The interval
+// relation is visible as the table named by WithTreeName (default
+// "intervals") with columns (node, lower, upper, id); the engine also
+// serves CREATE TABLE / CREATE INDEX (including INDEXTYPE IS ritree, §5),
+// INSERT, DELETE, SELECT with UNION ALL, TABLE(:collection) sources, and
+// EXPLAIN.
+func (x *Index) Exec(sql string, binds map[string]interface{}) (*Result, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.engine.Exec(sql, binds)
+}
+
+// IntersectionSQL returns the paper's Figure 9 two-fold intersection
+// statement for this index's relations.
+func (x *Index) IntersectionSQL() string { return x.tree.IntersectionSQL() }
+
+// IntersectionBinds returns the transient leftNodes/rightNodes collections
+// and scalar binds for executing IntersectionSQL against q.
+func (x *Index) IntersectionBinds(q Interval) map[string]interface{} {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.IntersectionBinds(q)
+}
+
+// ExplainIntersection returns the Figure 10-style execution plan of the
+// intersection statement.
+func (x *Index) ExplainIntersection(q Interval) (string, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.ExplainIntersection(x.engine, q)
+}
+
+// Flush writes all dirty pages to the backing store.
+func (x *Index) Flush() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.db.Flush()
+}
+
+// Close flushes and closes the index.
+func (x *Index) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.db.Close()
+}
+
+// String summarizes the index.
+func (x *Index) String() string {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	p := x.tree.Params()
+	return fmt.Sprintf("ritree.Index{n=%d, h=%d, offset=%d, leftRoot=%d, rightRoot=%d, minstep=%d}",
+		x.tree.Count(), x.tree.Height(), p.Offset, p.LeftRoot, p.RightRoot, p.MinStep)
+}

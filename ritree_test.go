@@ -1,0 +1,295 @@
+package ritree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickPath(t *testing.T) {
+	idx, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.Insert(NewInterval(10, 20), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(NewInterval(15, 40), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(Point(17), 3); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := idx.Intersecting(NewInterval(16, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	ids, _ = idx.Stab(30)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("Stab = %v", ids)
+	}
+	n, _ := idx.CountIntersecting(NewInterval(0, 100))
+	if n != 3 {
+		t.Fatalf("Count = %d", n)
+	}
+	ok, err := idx.Delete(NewInterval(10, 20), 1)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if idx.Count() != 2 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	if !strings.Contains(idx.String(), "n=2") {
+		t.Fatalf("String = %s", idx.String())
+	}
+}
+
+func TestPublicAllenQueries(t *testing.T) {
+	idx, _ := New()
+	defer idx.Close()
+	idx.Insert(NewInterval(0, 10), 1)
+	idx.Insert(NewInterval(10, 20), 2)
+	idx.Insert(NewInterval(20, 30), 3)
+	idx.Insert(NewInterval(5, 25), 4)
+
+	q := NewInterval(10, 20)
+	cases := []struct {
+		r    Relation
+		want []int64
+	}{
+		{Equals, []int64{2}},
+		{Meets, []int64{1}},
+		{MetBy, []int64{3}},
+		{Contains, []int64{4}},
+	}
+	for _, c := range cases {
+		got, err := idx.Query(c.r, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%v: got %v, want %v", c.r, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%v: got %v, want %v", c.r, got, c.want)
+			}
+		}
+	}
+	if ClassifyRelation(NewInterval(0, 10), q) != Meets {
+		t.Fatal("ClassifyRelation wrong")
+	}
+}
+
+func TestPublicTemporal(t *testing.T) {
+	idx, _ := New()
+	defer idx.Close()
+	idx.Insert(NewInterval(5, 10), 1)
+	idx.InsertInfinite(8, 2)
+	idx.InsertNow(9, 3)
+	idx.SetNow(12)
+	ids, _ := idx.Intersecting(NewInterval(11, 100))
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	idx.SetNow(8)
+	ids, _ = idx.Intersecting(NewInterval(11, 100))
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if idx.Now() != 8 {
+		t.Fatalf("Now = %d", idx.Now())
+	}
+}
+
+func TestPublicPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "iv.db")
+	idx, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if err := idx.Insert(NewInterval(i*10, i*10+100), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	if idx2.Count() != 500 {
+		t.Fatalf("reopened Count = %d", idx2.Count())
+	}
+	ids, err := idx2.Intersecting(NewInterval(1000, 1005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no results after reopen")
+	}
+	// Still writable.
+	if err := idx2.Insert(NewInterval(1, 2), 9999); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSQLSurface(t *testing.T) {
+	idx, _ := New()
+	defer idx.Close()
+	idx.Insert(NewInterval(100, 200), 7)
+	// The interval relation is plain SQL-visible.
+	r, err := idx.Exec("SELECT lower, upper, id FROM intervals WHERE id = 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0] != 100 || r.Rows[0][1] != 200 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// The Figure 9 statement via public API.
+	ids := map[int64]bool{}
+	res, err := idx.Exec(idx.IntersectionSQL(), idx.IntersectionBinds(NewInterval(150, 160)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		ids[row[0]] = true
+	}
+	if !ids[7] || len(ids) != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	plan, err := idx.ExplainIntersection(NewInterval(150, 160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "UNION-ALL") || !strings.Contains(plan, "INDEX RANGE SCAN") {
+		t.Fatalf("plan = %s", plan)
+	}
+}
+
+func TestPublicBulkLoadAndStats(t *testing.T) {
+	idx, err := New(WithPageSize(2048), WithCacheSize(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	ivs := make([]Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 20)
+		ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+		ids[i] = int64(i)
+	}
+	if err := idx.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != int64(n) {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	if idx.IndexEntries() != int64(2*n) {
+		t.Fatalf("IndexEntries = %d, want %d", idx.IndexEntries(), 2*n)
+	}
+	idx.ResetStats()
+	got, err := idx.Intersecting(NewInterval(500000, 505000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.PhysicalReads == 0 {
+		t.Fatal("no physical reads counted")
+	}
+	// Sanity check against brute force.
+	var want []int64
+	q := NewInterval(500000, 505000)
+	for i, iv := range ivs {
+		if iv.Intersects(q) {
+			want = append(want, ids[i])
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+}
+
+func TestPublicConcurrentReadersAndWriters(t *testing.T) {
+	idx, _ := New()
+	defer idx.Close()
+	for i := int64(0); i < 200; i++ {
+		idx.Insert(NewInterval(i*10, i*10+50), i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				lo := rng.Int63n(2000)
+				if _, err := idx.Intersecting(NewInterval(lo, lo+100)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := int64(0); i < 300; i++ {
+				lo := rng.Int63n(2000)
+				if err := idx.Insert(NewInterval(lo, lo+20), 10000+seed*1000+i); err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					idx.Delete(NewInterval(lo, lo+20), 10000+seed*1000+i)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// The index is still consistent.
+	if _, err := idx.Intersecting(NewInterval(0, 5000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	idx, err := New(WithPageSize(512), WithCacheSize(64), WithTreeName("spans"),
+		WithReadLatency(time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	idx.Insert(NewInterval(1, 5), 1)
+	if _, err := idx.Exec("SELECT id FROM spans", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithPageSize(1000)); err == nil {
+		t.Fatal("non-power-of-two page size accepted")
+	}
+}
