@@ -1,5 +1,6 @@
 // Command ribench regenerates the tables and figures of the paper's
-// experimental evaluation (§6) on the reproduction's own substrate.
+// experimental evaluation (§6) on the reproduction's own substrate, plus
+// the RI-tree-vs-HINT main-memory comparison (experiment id "hint").
 //
 // Usage:
 //
@@ -7,11 +8,17 @@
 //	ribench -exp fig13
 //	ribench -exp all -scale 0.1
 //	ribench -exp fig14 -latency 200us -csv
+//	ribench -exp hint -json
 //
 // Every experiment prints a paper-style table; the notes under each table
 // state the shape the paper reports, so the output is self-checking by
 // eye. Absolute numbers differ from the 1998 Oracle/Pentium testbed — the
 // shapes are the reproduction target (see EXPERIMENTS.md).
+//
+// -json emits each table as a JSON document whose "methods" array labels
+// every access method with its storage regime (disk-relational vs
+// main-memory), so recorded benchmark entries stay comparable across
+// regimes.
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 		latency = flag.Duration("latency", 0, "simulated disk latency per physical read during query phases (e.g. 200us)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
 		csv     = flag.Bool("csv", false, "also print CSV after each table")
+		jsonOut = flag.Bool("json", false, "print each table as JSON (with storage-regime labels) instead of text")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -60,7 +68,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ribench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Println(table.String())
+		if *jsonOut {
+			fmt.Println(table.JSON())
+		} else {
+			fmt.Println(table.String())
+		}
 		if *csv {
 			fmt.Println(table.CSV())
 		}

@@ -4,11 +4,13 @@
 //
 //	risql [-db file.pages]
 //
-// The session pre-registers the ritree indextype, so the §5 path works
-// end to end:
+// The session pre-registers the ritree and hint indextypes, so the §5
+// path works end to end with either access method — the disk-relational
+// RI-tree or the main-memory HINT:
 //
 //	sql> CREATE TABLE resv (room int, arrival int, departure int);
 //	sql> CREATE INDEX resv_iv ON resv (arrival, departure) INDEXTYPE IS ritree;
+//	sql> CREATE INDEX resv_mm ON resv (arrival, departure) INDEXTYPE IS hint;
 //	sql> INSERT INTO resv VALUES (1, 10, 20);
 //	sql> SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
 //	sql> EXPLAIN SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
@@ -25,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"ritree/internal/hint"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
 	"ritree/internal/ritree"
@@ -63,6 +66,7 @@ func main() {
 
 	eng := sqldb.NewEngine(db)
 	ritree.RegisterIndexType(eng)
+	hint.RegisterIndexType(eng)
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
 	fmt.Println(`type SQL ending with ';', or \tables \stats \reset \q`)

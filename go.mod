@@ -1,0 +1,3 @@
+module ritree
+
+go 1.22

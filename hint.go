@@ -1,0 +1,172 @@
+package ritree
+
+// This file exposes HINT — the main-memory hierarchical interval index of
+// Christodoulou, Bouros and Mamoulis (SIGMOD 2022, see PAPERS.md and
+// internal/hint) — as a top-level convenience API next to the RI-tree's.
+// Where ritree.Index is the paper's disk-relational access method over a
+// page store, ritree.HINT trades persistence for raw main-memory speed:
+// the same intersection and stabbing queries, served from cache-friendly
+// partition arrays with no page or B+-tree traversal. Infinite intervals
+// ([lo, ∞)) are supported; the §4.6 now-relative intervals are not —
+// Insert rejects the NowMarker sentinel rather than silently treating
+// [lo, now] as [lo, ∞).
+//
+//	idx, _ := ritree.NewHINT()
+//	idx.Insert(ritree.NewInterval(10, 20), 1)
+//	idx.Insert(ritree.NewInterval(15, 40), 2)
+//	ids, _ := idx.Intersecting(ritree.NewInterval(18, 19)) // -> [1 2]
+
+import (
+	"sync"
+
+	"ritree/internal/hint"
+)
+
+// HINTOption configures NewHINT.
+type HINTOption func(*hint.Options)
+
+// WithHINTBits sets the domain width: interval starts must lie in
+// [0, 2^bits-1] (default 20, the paper's data space). Interval ends
+// beyond the domain — including Infinity — are indexed as extending to
+// the domain maximum.
+func WithHINTBits(bits int) HINTOption {
+	return func(o *hint.Options) { o.Bits = bits }
+}
+
+// WithHINTLevels sets m, the depth of the domain-bisection hierarchy
+// (default 10). Setting it equal to the domain bits enables the
+// comparison-free variant.
+func WithHINTLevels(m int) HINTOption {
+	return func(o *hint.Options) { o.Levels = m }
+}
+
+// HINT is a main-memory hierarchical interval index. All methods are safe
+// for concurrent use: queries share a read lock, mutations take the write
+// lock — the same statement-level isolation the RI-tree Index provides.
+type HINT struct {
+	mu sync.RWMutex
+	ix *hint.Index
+}
+
+// NewHINT creates an empty main-memory HINT index.
+func NewHINT(opts ...HINTOption) (*HINT, error) {
+	var o hint.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ix, err := hint.New(o)
+	if err != nil {
+		return nil, err
+	}
+	return &HINT{ix: ix}, nil
+}
+
+// Insert registers iv under id. Multiple registrations of the same
+// (interval, id) pair are allowed and count separately.
+func (h *HINT) Insert(iv Interval, id int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ix.Insert(iv, id)
+}
+
+// InsertInfinite registers [lower, ∞) under id.
+func (h *HINT) InsertInfinite(lower, id int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ix.Insert(NewInterval(lower, Infinity), id)
+}
+
+// Delete removes one registration of (iv, id), reporting whether it
+// existed.
+func (h *HINT) Delete(iv Interval, id int64) (bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ix.Delete(iv, id)
+}
+
+// BulkLoad inserts ivs[i] under ids[i].
+func (h *HINT) BulkLoad(ivs []Interval, ids []int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ix.BulkLoad(ivs, ids)
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+func (h *HINT) Intersecting(q Interval) ([]int64, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Intersecting(q)
+}
+
+// IntersectingFunc streams the ids of intervals intersecting q in no
+// particular order; return false from fn to stop early.
+func (h *HINT) IntersectingFunc(q Interval, fn func(id int64) bool) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.IntersectingFunc(q, fn)
+}
+
+// Stab returns the ids of all intervals containing the point p, ascending.
+func (h *HINT) Stab(p int64) ([]int64, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Stab(p)
+}
+
+// CountIntersecting returns the number of intervals intersecting q.
+func (h *HINT) CountIntersecting(q Interval) (int64, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.CountIntersecting(q)
+}
+
+// Count returns the number of registered intervals.
+func (h *HINT) Count() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Count()
+}
+
+// Entries returns the number of stored copies (originals plus replicas),
+// the space metric comparable to Index.IndexEntries.
+func (h *HINT) Entries() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Entries()
+}
+
+// Replicas returns how many stored copies are replicas.
+func (h *HINT) Replicas() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Replicas()
+}
+
+// Levels returns m, the depth of the bisection hierarchy.
+func (h *HINT) Levels() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.Levels()
+}
+
+// ComparisonFree reports whether the index runs the comparison-free
+// variant (levels == domain bits).
+func (h *HINT) ComparisonFree() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.ComparisonFree()
+}
+
+// Clear drops every stored interval, keeping the configuration.
+func (h *HINT) Clear() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ix.Clear()
+}
+
+// String summarizes the index.
+func (h *HINT) String() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ix.String()
+}

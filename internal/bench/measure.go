@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -63,17 +64,36 @@ func Measure(c Config, am AM, n int64, queries []interval.Interval) (Metrics, er
 	return m, nil
 }
 
+// MethodInfo labels one access method of an experiment with its storage
+// regime, so recorded benchmark entries from different regimes stay
+// comparable (disk-relational methods measure physical I/O, main-memory
+// methods measure pure CPU time).
+type MethodInfo struct {
+	Name   string `json:"name"`
+	Regime string `json:"regime"`
+}
+
 // Table is one experiment's result, printed paper-style.
 type Table struct {
-	ID     string
-	Title  string
-	Notes  []string
-	Header []string
-	Rows   [][]string
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Notes   []string     `json:"notes,omitempty"`
+	Header  []string     `json:"header"`
+	Rows    [][]string   `json:"rows"`
+	Methods []MethodInfo `json:"methods,omitempty"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// SetMethods records the access methods behind the table with their
+// storage regimes.
+func (t *Table) SetMethods(ams ...AM) {
+	t.Methods = t.Methods[:0]
+	for _, am := range ams {
+		t.Methods = append(t.Methods, MethodInfo{Name: am.Name(), Regime: RegimeOf(am)})
+	}
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
@@ -114,6 +134,17 @@ func (t *Table) String() string {
 		fmt.Fprintf(&sb, "note: %s\n", n)
 	}
 	return sb.String()
+}
+
+// JSON renders the table as an indented JSON document, including the
+// access-method regime labels — the machine-readable form cmd/ribench
+// emits for recorded benchmark trajectories.
+func (t *Table) JSON() string {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"id": %q, "error": %q}`, t.ID, err.Error())
+	}
+	return string(b)
 }
 
 // CSV renders the table as comma-separated values.

@@ -1,0 +1,480 @@
+// Package hint implements HINT^m — the hierarchical main-memory interval
+// index of Christodoulou, Bouros and Mamoulis ("HINT: A Hierarchical Index
+// for Intervals in Main Memory", SIGMOD 2022; see PAPERS.md).
+//
+// Where the RI-tree and the paper's other competitors are disk-relational
+// access methods (relations plus B+-tree indexes over a paged buffer
+// cache), HINT is a domain-partitioning index held entirely in memory:
+// the domain [0, 2^Bits-1] is bisected recursively into m+1 levels, level
+// l holding 2^l partitions. Each interval is stored in O(1) partitions
+// per level — the partitions of its exact hierarchical decomposition — so
+// an intersection query touches a handful of short arrays per level
+// instead of descending a tree.
+//
+// Two of the paper's key optimizations are implemented:
+//
+//   - Subdivided partitions: every partition keeps its contents in four
+//     arrays — originals ending inside the partition (oIn), originals
+//     continuing after it (oAft), and the replica counterparts (rIn,
+//     rAft). Originals are intervals that begin in the partition; every
+//     other copy is a replica. The query algorithm reports each result
+//     exactly once with no deduplication structure, and entire
+//     subdivisions are emitted comparison-free whenever the partition
+//     geometry already guarantees an overlap.
+//
+//   - Comparison-free evaluation: when Levels == Bits the bottom level
+//     has granularity one, every decomposition is exact, and queries
+//     whose endpoints lie in the domain perform no endpoint comparisons
+//     at all — the paper's "comparison-free" HINT variant.
+//
+// The index is fully dynamic: Insert and Delete are incremental, so HINT
+// can serve as a live secondary index (see indextype.go for its
+// registration in the §5 extensible-indexing framework).
+package hint
+
+import (
+	"fmt"
+	"sort"
+
+	"ritree/internal/interval"
+)
+
+// Defaults: the paper's experimental domain is [0, 2^20-1] (§6.1 of the
+// RI-tree paper); m = 10 is in the sweet spot the HINT paper reports for
+// its datasets (their Figure 10: best m typically 7-16).
+const (
+	DefaultBits   = 20
+	DefaultLevels = 10
+
+	// maxLevels bounds the eagerly allocated partition-pointer tables
+	// (2^(m+1) pointers overall — 16 MiB at m = 20).
+	maxLevels = 22
+	maxBits   = 62
+)
+
+// Options configures New.
+type Options struct {
+	// Bits is the domain width: interval starts must lie in
+	// [0, 2^Bits-1]. Interval ends beyond the domain (including the
+	// interval.Infinity sentinel) are indexed as extending to the domain
+	// maximum while comparisons keep the true endpoint. The
+	// interval.NowMarker sentinel is rejected: HINT does not implement
+	// the RI-tree's §4.6 now-relative semantics, and silently treating
+	// [lo, now] as [lo, ∞) would diverge from it. Default 20, the
+	// paper's data space.
+	Bits int
+	// Levels is m, the bottom level of the hierarchy: level l in [0, m]
+	// holds 2^l partitions. Levels == Bits enables the comparison-free
+	// variant. Default 10.
+	Levels int
+}
+
+// entry is one stored copy of an interval: true endpoints plus the id.
+type entry struct {
+	lo, hi int64
+	id     int64
+}
+
+// part is one partition, subdivided as in the paper's §4.2: originals
+// (intervals starting in this partition) versus replicas, each split by
+// whether the interval's indexed extent ends inside the partition or
+// continues after it.
+type part struct {
+	oIn  []entry
+	oAft []entry
+	rIn  []entry
+	rAft []entry
+}
+
+// Index is a HINT^m hierarchical interval index. It is not safe for
+// concurrent use; wrap it in a lock (the top-level ritree.HINT API does).
+type Index struct {
+	bits    int
+	m       int
+	shift   uint // Bits - Levels: log2 of the bottom-level granularity
+	cmpFree bool // granularity 1: comparison-free evaluation
+	max     int64
+
+	// levels[l][i] is partition i of level l, nil until first touched.
+	levels [][]*part
+
+	count    int64 // live intervals
+	entries  int64 // stored copies, originals + replicas
+	replicas int64
+}
+
+// New returns an empty index for the given options.
+func New(opts Options) (*Index, error) {
+	if opts.Bits == 0 {
+		opts.Bits = DefaultBits
+	}
+	if opts.Levels == 0 {
+		opts.Levels = DefaultLevels
+	}
+	if opts.Bits < 1 || opts.Bits > maxBits {
+		return nil, fmt.Errorf("hint: Bits = %d out of range [1, %d]", opts.Bits, maxBits)
+	}
+	if opts.Levels < 1 || opts.Levels > opts.Bits || opts.Levels > maxLevels {
+		return nil, fmt.Errorf("hint: Levels = %d out of range [1, min(Bits, %d)]", opts.Levels, maxLevels)
+	}
+	x := &Index{
+		bits:    opts.Bits,
+		m:       opts.Levels,
+		shift:   uint(opts.Bits - opts.Levels),
+		cmpFree: opts.Levels == opts.Bits,
+		max:     1<<uint(opts.Bits) - 1,
+	}
+	x.levels = make([][]*part, x.m+1)
+	for l := 0; l <= x.m; l++ {
+		x.levels[l] = make([]*part, 1<<uint(l))
+	}
+	return x, nil
+}
+
+// Name identifies the index and its configuration (used by the
+// cross-check matrix and benchmark tables).
+func (x *Index) Name() string {
+	if x.cmpFree {
+		return fmt.Sprintf("HINT(m=%d,bits=%d,cmp-free)", x.m, x.bits)
+	}
+	return fmt.Sprintf("HINT(m=%d,bits=%d)", x.m, x.bits)
+}
+
+// Levels returns m, the bottom level of the hierarchy.
+func (x *Index) Levels() int { return x.m }
+
+// Bits returns the domain width in bits.
+func (x *Index) Bits() int { return x.bits }
+
+// ComparisonFree reports whether the index runs the comparison-free
+// variant (Levels == Bits).
+func (x *Index) ComparisonFree() bool { return x.cmpFree }
+
+// DomainMax returns the largest admissible interval start, 2^Bits-1.
+func (x *Index) DomainMax() int64 { return x.max }
+
+// Count returns the number of live intervals.
+func (x *Index) Count() int64 { return x.count }
+
+// Entries returns the number of stored copies (originals plus replicas) —
+// the space metric comparable to the disk methods' index entries.
+func (x *Index) Entries() int64 { return x.entries }
+
+// Replicas returns how many stored copies are replicas.
+func (x *Index) Replicas() int64 { return x.replicas }
+
+func (x *Index) clamp(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > x.max {
+		return x.max
+	}
+	return v
+}
+
+func (x *Index) checkInterval(iv interval.Interval) error {
+	if !iv.Valid() {
+		return fmt.Errorf("hint: invalid interval %v", iv)
+	}
+	if iv.Lower < 0 || iv.Lower > x.max {
+		return fmt.Errorf("hint: interval start %d outside domain [0, %d]", iv.Lower, x.max)
+	}
+	if iv.Upper == interval.NowMarker {
+		return fmt.Errorf("hint: now-relative intervals (§4.6) are not supported; use the RI-tree or a concrete upper bound")
+	}
+	return nil
+}
+
+// assign walks the partitions of iv's hierarchical decomposition
+// bottom-up, classifying each as original/replica and ends-in/continues-
+// after from the partition geometry.
+func (x *Index) assign(iv interval.Interval, visit func(level int, idx int64, orig, in bool)) {
+	a := x.clamp(iv.Lower) >> x.shift
+	b := x.clamp(iv.Upper) >> x.shift
+	ca, cb := a, b
+	l := x.m
+	for {
+		if ca == cb {
+			x.visitPart(l, ca, a, b, visit)
+			return
+		}
+		if ca&1 == 1 { // right child: claim it, move to the next sibling
+			x.visitPart(l, ca, a, b, visit)
+			ca++
+		}
+		if cb&1 == 0 { // left child: claim it, move to the previous sibling
+			x.visitPart(l, cb, a, b, visit)
+			cb--
+		}
+		if ca > cb || l == 0 {
+			return
+		}
+		ca >>= 1
+		cb >>= 1
+		l--
+	}
+}
+
+func (x *Index) visitPart(l int, idx, a, b int64, visit func(level int, idx int64, orig, in bool)) {
+	span := uint(x.m - l)
+	pa := idx << span
+	pb := (idx+1)<<span - 1
+	// The decomposition is exact over the bottom-level prefixes [a, b],
+	// so this partition is the original (contains the interval's start)
+	// iff its range starts at or before a, and the interval ends inside
+	// it iff its range reaches b.
+	visit(l, idx, pa <= a, pb >= b)
+}
+
+func (x *Index) bucket(p *part, orig, in bool) *[]entry {
+	switch {
+	case orig && in:
+		return &p.oIn
+	case orig:
+		return &p.oAft
+	case in:
+		return &p.rIn
+	default:
+		return &p.rAft
+	}
+}
+
+// Insert registers iv under id. Multiple registrations of the same
+// (interval, id) pair are allowed and count separately.
+func (x *Index) Insert(iv interval.Interval, id int64) error {
+	if err := x.checkInterval(iv); err != nil {
+		return err
+	}
+	e := entry{lo: iv.Lower, hi: iv.Upper, id: id}
+	x.assign(iv, func(l int, idx int64, orig, in bool) {
+		p := x.levels[l][idx]
+		if p == nil {
+			p = &part{}
+			x.levels[l][idx] = p
+		}
+		b := x.bucket(p, orig, in)
+		*b = append(*b, e)
+		x.entries++
+		if !orig {
+			x.replicas++
+		}
+	})
+	x.count++
+	return nil
+}
+
+// Delete removes one registration of (iv, id), reporting whether it
+// existed.
+func (x *Index) Delete(iv interval.Interval, id int64) (bool, error) {
+	if err := x.checkInterval(iv); err != nil {
+		return false, err
+	}
+	removed := false
+	x.assign(iv, func(l int, idx int64, orig, in bool) {
+		p := x.levels[l][idx]
+		if p == nil {
+			return
+		}
+		b := x.bucket(p, orig, in)
+		s := *b
+		for i := range s {
+			if s[i].id == id && s[i].lo == iv.Lower && s[i].hi == iv.Upper {
+				s[i] = s[len(s)-1]
+				*b = s[:len(s)-1]
+				x.entries--
+				if !orig {
+					x.replicas--
+				}
+				removed = true
+				return
+			}
+		}
+	})
+	if removed {
+		x.count--
+	}
+	return removed, nil
+}
+
+// BulkLoad inserts ivs[i] under ids[i].
+func (x *Index) BulkLoad(ivs []interval.Interval, ids []int64) error {
+	if len(ivs) != len(ids) {
+		return fmt.Errorf("hint: BulkLoad got %d intervals, %d ids", len(ivs), len(ids))
+	}
+	for i := range ivs {
+		if err := x.Insert(ivs[i], ids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clear drops every stored interval, keeping the configuration.
+func (x *Index) Clear() {
+	for l := range x.levels {
+		x.levels[l] = make([]*part, 1<<uint(l))
+	}
+	x.count, x.entries, x.replicas = 0, 0, 0
+}
+
+// IntersectingFunc streams the ids of all intervals intersecting q, each
+// exactly once, in no particular order; return false from fn to stop
+// early.
+//
+// Per level, with first/last relevant partitions f and t (the partitions
+// of q's endpoints):
+//
+//   - partition f: originals and replicas, filtered on end >= q.lo —
+//     the *Aft subdivisions skip even that comparison, since they
+//     provably continue past the partition holding q.lo;
+//   - partitions strictly between f and t: originals, comparison-free
+//     (they begin inside a partition fully covered by q);
+//   - partition t (if t > f): originals, filtered on start <= q.hi.
+//
+// Replicas outside partition f are never reported: their original copy
+// is reported elsewhere. In the comparison-free configuration every
+// partition's relevant subdivisions are emitted without any comparisons.
+func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return fmt.Errorf("hint: invalid query %v", q)
+	}
+	qlo := x.clamp(q.Lower)
+	qhi := x.clamp(q.Upper)
+	// Comparison-free evaluation and the per-level partition-alignment
+	// shortcuts below justify skipped comparisons from partition
+	// geometry against the query bound — which is only the true bound
+	// when clamping did not move it. A clamped endpoint (out-of-domain
+	// query) therefore falls back to comparisons on that side.
+	loExact := qlo == q.Lower
+	hiExact := qhi == q.Upper
+	cmpFree := x.cmpFree && loExact && hiExact
+
+	emit := func(s []entry) bool {
+		for i := range s {
+			if !fn(s[i].id) {
+				return false
+			}
+		}
+		return true
+	}
+	emitEndGE := func(s []entry, bound int64) bool {
+		for i := range s {
+			if s[i].hi >= bound && !fn(s[i].id) {
+				return false
+			}
+		}
+		return true
+	}
+	emitStartLE := func(s []entry, bound int64) bool {
+		for i := range s {
+			if s[i].lo <= bound && !fn(s[i].id) {
+				return false
+			}
+		}
+		return true
+	}
+
+	f := qlo >> x.shift
+	t := qhi >> x.shift
+	for l := x.m; l >= 0; l-- {
+		parts := x.levels[l]
+		span := uint(x.bits - l) // log2 of the partition width at level l
+		if f == t {
+			if p := parts[f]; p != nil {
+				// q lies inside a single partition: originals need the
+				// comparisons their subdivision cannot rule out, replicas
+				// start before the partition (hence before q.hi) for free.
+				skipEnd := cmpFree || (loExact && f<<span == qlo)
+				skipStart := cmpFree || (hiExact && (f+1)<<span-1 == qhi)
+				for i := range p.oIn {
+					e := &p.oIn[i]
+					if (skipStart || e.lo <= q.Upper) && (skipEnd || e.hi >= q.Lower) {
+						if !fn(e.id) {
+							return nil
+						}
+					}
+				}
+				if skipStart {
+					if !emit(p.oAft) {
+						return nil
+					}
+				} else if !emitStartLE(p.oAft, q.Upper) {
+					return nil
+				}
+				if skipEnd {
+					if !emit(p.rIn) {
+						return nil
+					}
+				} else if !emitEndGE(p.rIn, q.Lower) {
+					return nil
+				}
+				if !emit(p.rAft) {
+					return nil
+				}
+			}
+		} else {
+			if p := parts[f]; p != nil {
+				skipEnd := cmpFree || (loExact && f<<span == qlo)
+				if skipEnd {
+					if !emit(p.oIn) || !emit(p.rIn) {
+						return nil
+					}
+				} else if !emitEndGE(p.oIn, q.Lower) || !emitEndGE(p.rIn, q.Lower) {
+					return nil
+				}
+				if !emit(p.oAft) || !emit(p.rAft) {
+					return nil
+				}
+			}
+			for i := f + 1; i < t; i++ {
+				if p := parts[i]; p != nil {
+					if !emit(p.oIn) || !emit(p.oAft) {
+						return nil
+					}
+				}
+			}
+			if p := parts[t]; p != nil {
+				skipStart := cmpFree || (hiExact && (t+1)<<span-1 == qhi)
+				if skipStart {
+					if !emit(p.oIn) || !emit(p.oAft) {
+						return nil
+					}
+				} else if !emitStartLE(p.oIn, q.Upper) || !emitStartLE(p.oAft, q.Upper) {
+					return nil
+				}
+			}
+		}
+		f >>= 1
+		t >>= 1
+	}
+	return nil
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+func (x *Index) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	if err := x.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// CountIntersecting returns the number of intervals intersecting q.
+func (x *Index) CountIntersecting(q interval.Interval) (int64, error) {
+	var n int64
+	err := x.IntersectingFunc(q, func(int64) bool { n++; return true })
+	return n, err
+}
+
+// Stab returns the ids of all intervals containing the point p, ascending.
+func (x *Index) Stab(p int64) ([]int64, error) {
+	return x.Intersecting(interval.Point(p))
+}
+
+// String summarizes the index.
+func (x *Index) String() string {
+	return fmt.Sprintf("hint.Index{%s, n=%d, entries=%d, replicas=%d}",
+		x.Name(), x.count, x.entries, x.replicas)
+}

@@ -1,0 +1,306 @@
+package hint
+
+import (
+	"fmt"
+	"strings"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+	"ritree/internal/sqldb"
+)
+
+// This file packages HINT as a user-defined indextype for the extensible
+// indexing framework (RI-tree paper §5), exactly as internal/ritree does
+// for the RI-tree: after
+//
+//	CREATE INDEX resv_iv ON Reservations (arrival, departure) INDEXTYPE IS hint
+//
+// the engine transparently maintains the main-memory HINT on every INSERT
+// and DELETE against the base table and rewrites the INTERSECTS and
+// CONTAINS_POINT operators into HINT scans.
+//
+// Where the core Index fixes its domain up front, the indextype adapts it
+// to the table: column values are mapped into the index through an offset
+// and a domain width sized to the data (so negative bounds and values far
+// beyond the paper's [0, 2^20-1] data space — timestamps, say — work
+// transparently), and when a new row falls outside the current geometry
+// the in-memory index is rebuilt from the base table with a wider one.
+// Unlike the RI-tree's hidden relations, HINT's storage lives outside the
+// page store — it is a main-memory access method — so a session over a
+// reopened database must re-attach it, rebuilding from the base table:
+// embedding callers use AttachIndexType (as with ritree.AttachIndexType,
+// the caller supplies the index name, table, and columns — custom-index
+// definitions are per session, not persisted in the catalog), and a
+// risql session simply re-runs CREATE INDEX.
+
+// OperatorIntersects is the SQL operator name served by the indextype:
+// INTERSECTS(lowerCol, upperCol, :qlo, :qhi).
+const OperatorIntersects = "intersects"
+
+// OperatorContainsPoint is the stabbing operator:
+// CONTAINS_POINT(lowerCol, upperCol, :p).
+const OperatorContainsPoint = "contains_point"
+
+// IndexTypeName is the name used in INDEXTYPE IS clauses.
+const IndexTypeName = "hint"
+
+// maxAbsBound bounds the interval starts the indextype can place exactly:
+// |lower| <= 2^59. Upper bounds beyond it (including interval.Infinity)
+// saturate — they lie past every admissible start, so their exact
+// magnitude never matters to an intersection test. The lone exception is
+// interval.NowMarker, whose meaning is not a magnitude at all: it is
+// rejected (see checkRow) because HINT has no §4.6 now-relative
+// evaluation and treating it as infinite would silently diverge from the
+// ritree indextype on the same table.
+const maxAbsBound = int64(1) << 59
+
+// RegisterIndexType makes "INDEXTYPE IS hint" available on the engine.
+func RegisterIndexType(e *sqldb.Engine) {
+	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFunc(
+		func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+			return newIndexType(eng, indexName, table, cols)
+		}))
+}
+
+// AttachIndexType rebuilds a hint domain index for a new session over an
+// existing database. HINT is main-memory: nothing persists in the page
+// store, so attaching re-scans the base table.
+func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
+	ci, err := newIndexType(e, indexName, table, cols)
+	if err != nil {
+		return err
+	}
+	return e.AttachCustomIndex(ci)
+}
+
+type indexType struct {
+	name  string
+	table string
+	cols  []string
+	loPos int
+	hiPos int
+	tab   *rel.Table
+	off   int64 // indexed value = column value - off
+	ix    *Index
+}
+
+func newIndexType(e *sqldb.Engine, indexName, table string, cols []string) (*indexType, error) {
+	if len(cols) != 2 {
+		return nil, fmt.Errorf("hint indextype needs exactly (lower, upper) columns, got %d", len(cols))
+	}
+	tab, err := e.DB().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	lo := tab.Schema().ColIndex(cols[0])
+	hi := tab.Schema().ColIndex(cols[1])
+	if lo < 0 || hi < 0 {
+		return nil, fmt.Errorf("hint indextype: columns %v not in %s", cols, table)
+	}
+	ix := &indexType{
+		name:  indexName,
+		table: table,
+		cols:  append([]string(nil), cols...),
+		loPos: lo,
+		hiPos: hi,
+		tab:   tab,
+	}
+	// Backfill from existing rows, sizing the domain to the data.
+	if err := ix.rebuild(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// geometry picks a domain offset and width covering [minLo, maxLo] with
+// headroom on both sides, so ordinary growth does not force rebuilds.
+func geometry(minLo, maxLo int64) (off int64, bits int) {
+	width := maxLo - minLo + 1 // >= 1; inputs are within ±2^59
+	bits = DefaultBits
+	for bits < maxBits && (int64(1)<<uint(bits))/4 < width {
+		bits++
+	}
+	// A quarter of the domain below the smallest start, at least half
+	// above the largest.
+	off = minLo - (int64(1)<<uint(bits))/4
+	return off, bits
+}
+
+// sat collapses the far tails where exact magnitudes cannot matter: every
+// admissible interval start is within ±2^59, so any endpoint beyond that
+// compares identically against all of them. The clamp keeps the later
+// offset subtraction overflow-free and is monotone, so comparisons between
+// stored ends and query bounds stay consistent.
+func sat(v int64) int64 {
+	if v > maxAbsBound {
+		return maxAbsBound + 1
+	}
+	if v < -maxAbsBound {
+		return -maxAbsBound - 1
+	}
+	return v
+}
+
+// shiftIv maps a row's (lower, upper) into the index's coordinate space.
+// The lower must already be validated within ±2^59; the upper saturates.
+func (x *indexType) shiftIv(lo, hi int64) interval.Interval {
+	return interval.New(lo-x.off, sat(hi)-x.off)
+}
+
+func checkRow(lo, hi int64) error {
+	if lo > hi {
+		return fmt.Errorf("hint indextype: inverted interval [%d, %d]", lo, hi)
+	}
+	if lo < -maxAbsBound || lo > maxAbsBound {
+		return fmt.Errorf("hint indextype: interval start %d outside the supported range ±2^59", lo)
+	}
+	if hi == interval.NowMarker {
+		return fmt.Errorf("hint indextype: now-relative intervals (upper = now marker) are not supported; use the ritree indextype")
+	}
+	return nil
+}
+
+// fits reports whether a row's lower lands inside the current domain.
+func (x *indexType) fits(lo int64) bool {
+	s := lo - x.off
+	return s >= 0 && s <= x.ix.DomainMax()
+}
+
+// rebuild re-derives the geometry from the base table and reloads the
+// in-memory index. Called at CREATE INDEX / attach time and whenever a
+// new row falls outside the current domain.
+func (x *indexType) rebuild() error {
+	var lows, highs []int64
+	var rids []rel.RowID
+	minLo, maxLo := int64(0), int64(0)
+	var scanErr error
+	err := x.tab.Scan(func(rid rel.RowID, row []int64) bool {
+		lo, hi := row[x.loPos], row[x.hiPos]
+		if scanErr = checkRow(lo, hi); scanErr != nil {
+			return false
+		}
+		if len(lows) == 0 || lo < minLo {
+			minLo = lo
+		}
+		if len(lows) == 0 || lo > maxLo {
+			maxLo = lo
+		}
+		lows = append(lows, lo)
+		highs = append(highs, hi)
+		rids = append(rids, rid)
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return err
+	}
+	off, bits := geometry(minLo, maxLo)
+	levels := DefaultLevels
+	if levels > bits {
+		levels = bits
+	}
+	ix, err := New(Options{Bits: bits, Levels: levels})
+	if err != nil {
+		return err
+	}
+	// Load into the fresh index before publishing it, so a mid-load
+	// failure leaves the live index untouched rather than half-filled.
+	for i := range lows {
+		iv := interval.New(lows[i]-off, sat(highs[i])-off)
+		if err := ix.Insert(iv, int64(rids[i])); err != nil {
+			return err
+		}
+	}
+	x.off, x.ix = off, ix
+	return nil
+}
+
+// Name implements sqldb.CustomIndex.
+func (ix *indexType) Name() string { return ix.name }
+
+// Table implements sqldb.CustomIndex.
+func (ix *indexType) Table() string { return ix.table }
+
+// Columns implements sqldb.CustomIndex.
+func (ix *indexType) Columns() []string { return append([]string(nil), ix.cols...) }
+
+// HasOperator implements sqldb.CustomIndex.
+func (ix *indexType) HasOperator(op string) bool {
+	op = strings.ToLower(op)
+	return op == OperatorIntersects || op == OperatorContainsPoint
+}
+
+// OnInsert implements sqldb.CustomIndex: index maintenance by trigger.
+// A row outside the current domain triggers a rebuild with a wider
+// geometry; the rebuild scans the base table, which already holds the new
+// row, so nothing further is inserted in that case.
+func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
+	lo, hi := row[ix.loPos], row[ix.hiPos]
+	if err := checkRow(lo, hi); err != nil {
+		return err
+	}
+	if !ix.fits(lo) {
+		return ix.rebuild()
+	}
+	return ix.ix.Insert(ix.shiftIv(lo, hi), int64(rid))
+}
+
+// OnDelete implements sqldb.CustomIndex.
+func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
+	lo, hi := row[ix.loPos], row[ix.hiPos]
+	if checkRow(lo, hi) != nil || !ix.fits(lo) {
+		return nil // never indexed under this geometry
+	}
+	_, err := ix.ix.Delete(ix.shiftIv(lo, hi), int64(rid))
+	return err
+}
+
+// Scan implements sqldb.CustomIndex: the operator dispatch. Query bounds
+// are shifted like row bounds; bounds beyond the saturation range match
+// exactly the rows a linear scan would (starts are exact within ±2^59,
+// fartail uppers collapse together above every admissible start).
+func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	var qlo, qhi int64
+	switch strings.ToLower(op) {
+	case OperatorIntersects:
+		if len(args) != 2 {
+			return fmt.Errorf("hint indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
+		}
+		qlo, qhi = args[0], args[1]
+	case OperatorContainsPoint:
+		if len(args) != 1 {
+			return fmt.Errorf("hint indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
+		}
+		qlo, qhi = args[0], args[0]
+	default:
+		return fmt.Errorf("hint indextype: unknown operator %q", op)
+	}
+	if qlo > qhi {
+		return fmt.Errorf("hint indextype: inverted query bounds [%d, %d]", qlo, qhi)
+	}
+	if qlo > maxAbsBound {
+		// Saturated stored ends can no longer be ordered against a start
+		// this far out; a correct answer needs exact comparisons.
+		return fmt.Errorf("hint indextype: query start %d outside the supported range ±2^59", qlo)
+	}
+	q := interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off)
+	return ix.ix.IntersectingFunc(q, func(id int64) bool {
+		return fn(rel.RowID(id))
+	})
+}
+
+// Drop implements sqldb.CustomIndex: main-memory storage is simply
+// released.
+func (ix *indexType) Drop() error {
+	ix.ix.Clear()
+	return nil
+}
+
+// BackingIndex exposes the hidden HINT (for statistics in tests and
+// benchmarks).
+func (ix *indexType) BackingIndex() *Index { return ix.ix }
+
+// Offset exposes the current domain offset (for tests).
+func (ix *indexType) Offset() int64 { return ix.off }

@@ -167,12 +167,49 @@ func (e *Engine) execInsert(s *InsertStmt, binds map[string]interface{}) (*Resul
 	}
 	// Extensible indexing (§5): "the object-relational database server
 	// automatically triggers the maintenance ... of custom indexes".
-	for _, ci := range e.customByTb[s.Table] {
+	// A custom index refusing the row must not leave the heap and the
+	// domain indexes divergent: undo the maintenance already performed
+	// and the heap insert before failing the statement.
+	custom := e.customByTb[s.Table]
+	for i, ci := range custom {
 		if err := ci.OnInsert(row, rid); err != nil {
-			return nil, err
+			undoErr := undoMaintenance(custom[:i], row, rid, true)
+			if _, derr := tab.DeleteRow(rid); derr != nil && undoErr == nil {
+				undoErr = fmt.Errorf("heap rollback failed: %w", derr)
+			}
+			return nil, withUndo(err, undoErr)
 		}
 	}
 	return &Result{Affected: 1}, nil
+}
+
+// undoMaintenance applies the inverse maintenance op (delete for a failed
+// insert, reinsert for a failed delete) to the already-maintained indexes,
+// in reverse order, reporting the first failure.
+func undoMaintenance(done []CustomIndex, row []int64, rid rel.RowID, redelete bool) error {
+	var first error
+	for j := len(done) - 1; j >= 0; j-- {
+		var err error
+		if redelete {
+			err = done[j].OnDelete(row, rid)
+		} else {
+			err = done[j].OnInsert(row, rid)
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("restore of index %s failed: %w", done[j].Name(), err)
+		}
+	}
+	return first
+}
+
+// withUndo surfaces a failed undo alongside the original error — silent
+// heap/index divergence is the one outcome the undo paths exist to
+// prevent.
+func withUndo(err, undoErr error) error {
+	if undoErr != nil {
+		return fmt.Errorf("%w (and %v — table and indexes may diverge)", err, undoErr)
+	}
+	return err
 }
 
 func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Result, error) {
@@ -205,14 +242,20 @@ func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	// Per-row atomicity, like execInsert's: each victim's index
+	// maintenance and heap removal succeed or are undone together, so
+	// heap and domain indexes never diverge. A failure mid-batch aborts
+	// the statement after a consistent prefix of the victims (victims
+	// already processed stay deleted).
+	custom := e.customByTb[s.Table]
 	for _, v := range victims {
-		if _, err := tab.DeleteRow(v.rid); err != nil {
-			return nil, err
-		}
-		for _, ci := range e.customByTb[s.Table] {
+		for i, ci := range custom {
 			if err := ci.OnDelete(v.row, v.rid); err != nil {
-				return nil, err
+				return nil, withUndo(err, undoMaintenance(custom[:i], v.row, v.rid, false))
 			}
+		}
+		if _, err := tab.DeleteRow(v.rid); err != nil {
+			return nil, withUndo(err, undoMaintenance(custom, v.row, v.rid, false))
 		}
 	}
 	return &Result{Affected: int64(len(victims))}, nil
