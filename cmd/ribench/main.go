@@ -1,6 +1,8 @@
 // Command ribench regenerates the tables and figures of the paper's
 // experimental evaluation (§6) on the reproduction's own substrate, plus
-// the RI-tree-vs-HINT main-memory comparison (experiment id "hint").
+// the RI-tree-vs-HINT main-memory comparison (experiment id "hint") and
+// the persisted-domain-index reopen lifecycle (experiment id "reopen":
+// catalog auto-attach cost per indextype on a file-backed database).
 //
 // Usage:
 //

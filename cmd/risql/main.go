@@ -15,9 +15,17 @@
 //	sql> SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
 //	sql> EXPLAIN SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
 //
+// Reopening a persisted database (risql -db f.pages on an existing file)
+// re-attaches every domain index recorded in the catalog before the first
+// prompt: ritree indexes reopen their hidden relations (verified against
+// the base table), hint indexes rebuild from the heap. A definition whose
+// indextype cannot be attached aborts the session rather than silently
+// serving DML without index maintenance.
+//
 // Meta commands: \tables, \stats, \reset (zero I/O counters), \q.
-// Statements end with a semicolon and may span lines. Bind variables are
-// not available in the shell; inline the values.
+// Statements end with a semicolon and may span lines; several statements
+// may share a line. Bind variables are not available in the shell; inline
+// the values.
 package main
 
 import (
@@ -36,11 +44,13 @@ import (
 
 func main() {
 	dbPath := flag.String("db", "", "page file to open or create (default: in-memory)")
+	repair := flag.Bool("repair", false, "skip domain-index auto-attach on open (recovery mode: DML will NOT maintain domain indexes; DROP INDEX broken definitions, then reopen normally)")
 	flag.Parse()
 
 	var st *pagestore.Store
 	var db *rel.DB
 	var err error
+	reopened := false
 	if *dbPath == "" {
 		st = pagestore.NewMem(pagestore.Options{})
 		db, err = rel.CreateDB(st)
@@ -55,6 +65,7 @@ func main() {
 				db, err = rel.CreateDB(st)
 			} else {
 				db, err = rel.OpenDB(st, 1)
+				reopened = true
 			}
 		}
 	}
@@ -67,6 +78,27 @@ func main() {
 	eng := sqldb.NewEngine(db)
 	ritree.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
+	switch {
+	case reopened && *repair:
+		fmt.Println("REPAIR MODE: domain indexes are NOT attached — DML will not maintain them.")
+		fmt.Println("DROP INDEX the broken definitions below, then reopen without -repair:")
+		for _, def := range db.CustomIndexes() {
+			fmt.Printf("  %s (%s) on %s %v\n", def.Name, def.IndexType, def.Table, def.Columns)
+		}
+	case reopened:
+		// Re-attach every domain index recorded in the catalog before any
+		// statement runs: a session without them would silently skip index
+		// maintenance and corrupt the persisted index storage.
+		if err := eng.AttachCatalogIndexes(); err != nil {
+			fmt.Fprintln(os.Stderr, "risql:", err)
+			fmt.Fprintln(os.Stderr, "risql: reopen with -repair to DROP INDEX the broken definition")
+			os.Exit(1)
+		}
+		for _, def := range db.CustomIndexes() {
+			fmt.Printf("attached domain index %s (%s) on %s %v\n",
+				def.Name, def.IndexType, def.Table, def.Columns)
+		}
+	}
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
 	fmt.Println(`type SQL ending with ';', or \tables \stats \reset \q`)
@@ -109,15 +141,91 @@ func main() {
 		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
-		if !strings.Contains(line, ";") {
-			prompt()
-			continue
+		// Execute statement by statement: split at each semicolon (outside
+		// comments) and feed the remainder back into the buffer, so several
+		// statements on one line run in order and a trailing comment does
+		// not ride along into the executed text.
+		for {
+			stmt, rest, ok := splitStatement(buf.String())
+			if !ok {
+				break
+			}
+			buf.Reset()
+			buf.WriteString(rest)
+			if !blankSQL(strings.TrimSuffix(stmt, ";")) {
+				runStatement(eng, stmt)
+			}
 		}
-		stmt := buf.String()
-		buf.Reset()
-		runStatement(eng, stmt)
+		if blankSQL(buf.String()) {
+			buf.Reset()
+		}
 		prompt()
 	}
+}
+
+// skipComment, when a -- line comment or /* block comment */ starts at
+// s[i], returns the index just past it. unterminated reports a block
+// comment with no closing */ (the caller keeps buffering input). The
+// comment grammar mirrors the engine lexer's skipSpaceAndComments
+// (internal/sqldb/lexer.go) and must be kept in step with it; the split
+// is lenient where the lexer is strict (it must work on half-typed
+// input), which is why it does not reuse the lexer directly. If the
+// dialect ever gains string literals, quote state must be added here too.
+func skipComment(s string, i int) (next int, isComment, unterminated bool) {
+	switch {
+	case s[i] == '-' && i+1 < len(s) && s[i+1] == '-':
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		return i, true, false
+	case s[i] == '/' && i+1 < len(s) && s[i+1] == '*':
+		end := strings.Index(s[i+2:], "*/")
+		if end < 0 {
+			return len(s), true, true
+		}
+		return i + 2 + end + 2, true, false
+	}
+	return i, false, false
+}
+
+// splitStatement splits s at the first semicolon that is not inside a
+// comment, returning the statement text (semicolon included) and the
+// remainder.
+func splitStatement(s string) (stmt, rest string, ok bool) {
+	for i := 0; i < len(s); {
+		if j, isC, unterm := skipComment(s, i); isC {
+			if unterm {
+				return "", "", false
+			}
+			i = j
+			continue
+		}
+		if s[i] == ';' {
+			return s[:i+1], s[i+1:], true
+		}
+		i++
+	}
+	return "", "", false
+}
+
+// blankSQL reports whether s holds no statement text: only whitespace and
+// complete comments (e.g. the tail left after "SELECT 1; -- note"). An
+// unterminated block comment is not blank — it is still being buffered.
+func blankSQL(s string) bool {
+	for i := 0; i < len(s); {
+		if j, isC, unterm := skipComment(s, i); isC {
+			if unterm {
+				return false
+			}
+			i = j
+			continue
+		}
+		if s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '\r' {
+			return false
+		}
+		i++
+	}
+	return true
 }
 
 func runStatement(eng *sqldb.Engine, stmt string) {

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestSplitStatement(t *testing.T) {
+	cases := []struct {
+		in         string
+		stmt, rest string
+		ok         bool
+	}{
+		{"SELECT 1;\n", "SELECT 1;", "\n", true},
+		{"SELECT 1; SELECT 2;\n", "SELECT 1;", " SELECT 2;\n", true},
+		{"SELECT 1", "", "", false},
+		{"-- c;omment\nSELECT 1;\n", "-- c;omment\nSELECT 1;", "\n", true},
+		{"SELECT /* ; */ 1;\n", "SELECT /* ; */ 1;", "\n", true},
+		{"SELECT /* unterminated ;\n", "", "", false},
+		{"SELECT 1; -- trailing\n", "SELECT 1;", " -- trailing\n", true},
+	}
+	for _, c := range cases {
+		stmt, rest, ok := splitStatement(c.in)
+		if stmt != c.stmt || rest != c.rest || ok != c.ok {
+			t.Errorf("splitStatement(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, stmt, rest, ok, c.stmt, c.rest, c.ok)
+		}
+	}
+}
+
+func TestBlankSQL(t *testing.T) {
+	for _, s := range []string{"", "  \n\t", " -- note\n", "/* done */\n", "-- a\n-- b\n"} {
+		if !blankSQL(s) {
+			t.Errorf("blankSQL(%q) = false, want true", s)
+		}
+	}
+	for _, s := range []string{"SELECT", " x -- note\n", "/* open", "1;"} {
+		if blankSQL(s) {
+			t.Errorf("blankSQL(%q) = true, want false", s)
+		}
+	}
+}

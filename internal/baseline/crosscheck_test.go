@@ -5,8 +5,11 @@
 package baseline_test
 
 import (
+	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"ritree/internal/baseline/ist"
@@ -17,6 +20,7 @@ import (
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
 	"ritree/internal/ritree"
+	"ritree/internal/sqldb"
 )
 
 type am interface {
@@ -157,6 +161,246 @@ func TestAllAccessMethodsAgree(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// openFileDB opens (or creates) a file-backed database at path.
+func openFileDB(t *testing.T, path string) *rel.DB {
+	t.Helper()
+	be, err := pagestore.OpenFileBackend(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pagestore.New(be, pagestore.Options{PageSize: 1024, CacheSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db *rel.DB
+	if st.NumAllocated() == 0 {
+		db, err = rel.CreateDB(st)
+	} else {
+		db, err = rel.OpenDB(st, 1)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newSession builds an engine over db with both indextypes registered.
+func newSession(t *testing.T, db *rel.DB) *sqldb.Engine {
+	t.Helper()
+	e := sqldb.NewEngine(db)
+	ritree.RegisterIndexType(e)
+	hint.RegisterIndexType(e)
+	return e
+}
+
+type liveIv struct {
+	iv interval.Interval
+	id int64
+}
+
+// checkDomainIndex compares the engine's INTERSECTS and CONTAINS_POINT
+// answers on table tb against a brute-force scan of live.
+func checkDomainIndex(t *testing.T, e *sqldb.Engine, tb string, live []liveIv, queries []interval.Interval) {
+	t.Helper()
+	for _, q := range queries {
+		var want []int64
+		for _, p := range live {
+			if p.iv.Intersects(q) {
+				want = append(want, p.id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		op := fmt.Sprintf("intersects(lo, hi, %d, %d)", q.Lower, q.Upper)
+		if q.Lower == q.Upper {
+			op = fmt.Sprintf("contains_point(lo, hi, %d)", q.Lower)
+		}
+		res, err := e.Exec(fmt.Sprintf("SELECT id FROM %s WHERE %s ORDER BY id", tb, op), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tb, err)
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("%s query %v: %d results, brute force %d", tb, q, len(res.Rows), len(want))
+		}
+		for i := range want {
+			if res.Rows[i][0] != want[i] {
+				t.Fatalf("%s query %v: result %d = %d, want %d", tb, q, i, res.Rows[i][0], want[i])
+			}
+		}
+		// The domain index must actually serve the operator (no fallback).
+		plan, err := e.Exec(fmt.Sprintf("EXPLAIN SELECT id FROM %s WHERE %s", tb, op), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan.Plan, "DOMAIN INDEX") {
+			t.Fatalf("%s: operator not served by domain index:\n%s", tb, plan.Plan)
+		}
+	}
+}
+
+func TestReopenLifecycleCrosscheck(t *testing.T) {
+	// The full session lifecycle of paper §5's promise: definitions created
+	// in one session persist in the catalog, a reopened database re-attaches
+	// them via AttachCatalogIndexes, and post-reopen DML keeps both access
+	// methods in lockstep with a brute-force baseline. One table carries a
+	// ritree domain index (persisted hidden relations), the other a hint
+	// domain index (rebuilt from the heap), over identical data.
+	path := filepath.Join(t.TempDir(), "lifecycle.pages")
+	rng := rand.New(rand.NewSource(41))
+	newIv := func() interval.Interval {
+		lo := rng.Int63n(1 << 16)
+		return interval.New(lo, lo+rng.Int63n(2048))
+	}
+
+	// Session 1: create tables + domain indexes, insert initial rows.
+	db := openFileDB(t, path)
+	e := newSession(t, db)
+	var live []liveIv
+	for _, tb := range []string{"rt", "ht"} {
+		e.MustExec("CREATE TABLE "+tb+" (lo int, hi int, id int)", nil)
+	}
+	e.MustExec("CREATE INDEX rt_iv ON rt (lo, hi) INDEXTYPE IS ritree", nil)
+	e.MustExec("CREATE INDEX ht_iv ON ht (lo, hi) INDEXTYPE IS hint", nil)
+	for i := 0; i < 400; i++ {
+		iv := newIv()
+		live = append(live, liveIv{iv, int64(i)})
+		for _, tb := range []string{"rt", "ht"} {
+			e.MustExec("INSERT INTO "+tb+" VALUES (:lo, :hi, :id)",
+				map[string]interface{}{"lo": iv.Lower, "hi": iv.Upper, "id": int64(i)})
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: reopen, auto-attach, run DML, crosscheck.
+	db = openFileDB(t, path)
+	e = newSession(t, db)
+	if err := e.AttachCatalogIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	defs := db.CustomIndexes()
+	if len(defs) != 2 {
+		t.Fatalf("catalog lost definitions: %v", defs)
+	}
+	// Post-reopen inserts and deletes must maintain both domain indexes.
+	for i := 400; i < 500; i++ {
+		iv := newIv()
+		live = append(live, liveIv{iv, int64(i)})
+		for _, tb := range []string{"rt", "ht"} {
+			e.MustExec("INSERT INTO "+tb+" VALUES (:lo, :hi, :id)",
+				map[string]interface{}{"lo": iv.Lower, "hi": iv.Upper, "id": int64(i)})
+		}
+	}
+	for i := 0; i < 80; i++ {
+		j := rng.Intn(len(live))
+		for _, tb := range []string{"rt", "ht"} {
+			e.MustExec(fmt.Sprintf("DELETE FROM %s WHERE id = %d", tb, live[j].id), nil)
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	var queries []interval.Interval
+	for qi := 0; qi < 30; qi++ {
+		lo := rng.Int63n(1 << 16)
+		q := interval.New(lo, lo+rng.Int63n(4096))
+		if qi%5 == 0 {
+			q = interval.Point(lo)
+		}
+		queries = append(queries, q)
+	}
+	checkDomainIndex(t, e, "rt", live, queries)
+	checkDomainIndex(t, e, "ht", live, queries)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 3: reopen once more — the post-reopen DML of session 2 must
+	// have maintained the persisted ritree relations, so a fresh attach
+	// passes verification and still agrees with brute force.
+	db = openFileDB(t, path)
+	defer db.Close()
+	e = newSession(t, db)
+	if err := e.AttachCatalogIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	checkDomainIndex(t, e, "rt", live, queries)
+	checkDomainIndex(t, e, "ht", live, queries)
+}
+
+func TestReopenWithoutAttachIsDetected(t *testing.T) {
+	// Regression guard for the pre-fix silent-corruption mode: a session
+	// that reopens the database and runs DML *without* attaching lets the
+	// persisted RI-tree rot. The attach path must detect the divergence and
+	// refuse the stale tree rather than serve wrong results.
+	path := filepath.Join(t.TempDir(), "stale.pages")
+	db := openFileDB(t, path)
+	e := newSession(t, db)
+	e.MustExec("CREATE TABLE ev (lo int, hi int, id int)", nil)
+	e.MustExec("CREATE INDEX ev_iv ON ev (lo, hi) INDEXTYPE IS ritree", nil)
+	e.MustExec("INSERT INTO ev VALUES (10, 20, 1)", nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rogue session: DML without AttachCatalogIndexes skips maintenance.
+	db = openFileDB(t, path)
+	rogue := newSession(t, db)
+	rogue.MustExec("INSERT INTO ev VALUES (30, 40, 2)", nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next honest session must refuse the stale tree, loudly.
+	db = openFileDB(t, path)
+	e = newSession(t, db)
+	err := e.AttachCatalogIndexes()
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("AttachCatalogIndexes over stale tree = %v, want stale-index error", err)
+	}
+	// Recovery: DROP INDEX works on the unattached definition, after which
+	// a recreated index serves correct results again.
+	e.MustExec("DROP INDEX ev_iv", nil)
+	if err := e.AttachCatalogIndexes(); err != nil {
+		t.Fatalf("attach after dropping the stale definition: %v", err)
+	}
+	e.MustExec("CREATE INDEX ev_iv ON ev (lo, hi) INDEXTYPE IS ritree", nil)
+	r := e.MustExec("SELECT id FROM ev WHERE intersects(lo, hi, 10, 40) ORDER BY id", nil)
+	if len(r.Rows) != 2 || r.Rows[0][0] != 1 || r.Rows[1][0] != 2 {
+		t.Fatalf("recreated index rows = %v", r.Rows)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the recreated index survives another reopen cleanly.
+	db = openFileDB(t, path)
+	defer db.Close()
+	e = newSession(t, db)
+	if err := e.AttachCatalogIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenUnregisteredIndexTypeFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unreg.pages")
+	db := openFileDB(t, path)
+	e := newSession(t, db)
+	e.MustExec("CREATE TABLE ev (lo int, hi int, id int)", nil)
+	e.MustExec("CREATE INDEX ev_mm ON ev (lo, hi) INDEXTYPE IS hint", nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openFileDB(t, path)
+	defer db.Close()
+	e2 := sqldb.NewEngine(db)
+	ritree.RegisterIndexType(e2) // hint deliberately missing
+	err := e2.AttachCatalogIndexes()
+	if err == nil || !strings.Contains(err.Error(), "hint") || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("AttachCatalogIndexes without hint registered = %v, want loud failure", err)
 	}
 }
 

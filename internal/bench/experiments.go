@@ -677,7 +677,7 @@ func AblationSkeleton(c Config) (*Table, error) {
 // Experiments lists every experiment id in run order.
 func Experiments() []string {
 	return []string{"table1", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"winlist", "hint", "ablation-minstep", "ablation-queryform", "ablation-skeleton"}
+		"winlist", "hint", "reopen", "ablation-minstep", "ablation-queryform", "ablation-skeleton"}
 }
 
 // Run executes the named experiment.
@@ -703,6 +703,8 @@ func Run(id string, c Config) (*Table, error) {
 		return WindowListComparison(c)
 	case "hint":
 		return HintComparison(c)
+	case "reopen":
+		return Reopen(c)
 	case "ablation-minstep":
 		return AblationMinStep(c)
 	case "ablation-queryform":

@@ -27,11 +27,11 @@ import (
 // the in-memory index is rebuilt from the base table with a wider one.
 // Unlike the RI-tree's hidden relations, HINT's storage lives outside the
 // page store — it is a main-memory access method — so a session over a
-// reopened database must re-attach it, rebuilding from the base table:
-// embedding callers use AttachIndexType (as with ritree.AttachIndexType,
-// the caller supplies the index name, table, and columns — custom-index
-// definitions are per session, not persisted in the catalog), and a
-// risql session simply re-runs CREATE INDEX.
+// reopened database re-attaches it by rebuilding from the base table.
+// Custom-index definitions persist in the relational catalog, so
+// sqldb.Engine.AttachCatalogIndexes performs that rebuild automatically on
+// reopen; embedding callers managing definitions themselves can still use
+// AttachIndexType directly.
 
 // OperatorIntersects is the SQL operator name served by the indextype:
 // INTERSECTS(lowerCol, upperCol, :qlo, :qhi).
@@ -55,16 +55,28 @@ const IndexTypeName = "hint"
 const maxAbsBound = int64(1) << 59
 
 // RegisterIndexType makes "INDEXTYPE IS hint" available on the engine.
+// Create and attach share one implementation: HINT is main-memory, so
+// both build the index by scanning the base table — exactly the rebuild
+// strategy its package docs prescribe for reopened databases.
 func RegisterIndexType(e *sqldb.Engine) {
-	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFunc(
-		func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-			return newIndexType(eng, indexName, table, cols)
-		}))
+	build := func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+		return newIndexType(eng, indexName, table, cols)
+	}
+	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFuncs{
+		Create: build,
+		Attach: build,
+		// Nothing persists in the page store, so dropping an unattached
+		// definition's storage is a no-op (the fallback would pointlessly
+		// rebuild the index from the heap just to release it).
+		DropStorage: func(*sqldb.Engine, string, string, []string) error { return nil },
+	})
 }
 
 // AttachIndexType rebuilds a hint domain index for a new session over an
 // existing database. HINT is main-memory: nothing persists in the page
-// store, so attaching re-scans the base table.
+// store, so attaching re-scans the base table. Most callers should prefer
+// sqldb.Engine.AttachCatalogIndexes, which re-attaches every persisted
+// definition.
 func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
 	ci, err := newIndexType(e, indexName, table, cols)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"ritree/internal/btree"
 	"ritree/internal/pagestore"
@@ -34,9 +35,22 @@ type catIndex struct {
 	Meta    uint32   `json:"meta"`
 }
 
+type catCustomIndex struct {
+	Name      string   `json:"name"`
+	IndexType string   `json:"indextype"`
+	Table     string   `json:"table"`
+	Columns   []string `json:"columns"`
+}
+
 type catalogData struct {
 	Tables  []catTable `json:"tables"`
 	Indexes []catIndex `json:"indexes"`
+	// CustomIndexes persists user-defined domain-index definitions (§5).
+	// omitempty keeps catalogs without custom indexes byte-identical to the
+	// pre-customindex format, and unmarshalling a catalog written before
+	// this field existed simply yields none — both directions stay
+	// compatible.
+	CustomIndexes []catCustomIndex `json:"custom_indexes,omitempty"`
 }
 
 func (db *DB) saveCatalog() error {
@@ -61,6 +75,17 @@ func (db *DB) saveCatalog() error {
 			Meta:    uint32(ix.tree.Meta()),
 		})
 	}
+	for _, def := range db.customIx {
+		data.CustomIndexes = append(data.CustomIndexes, catCustomIndex{
+			Name:      def.Name,
+			IndexType: def.IndexType,
+			Table:     def.Table,
+			Columns:   def.Columns,
+		})
+	}
+	sort.Slice(data.CustomIndexes, func(i, j int) bool {
+		return data.CustomIndexes[i].Name < data.CustomIndexes[j].Name
+	})
 	payload, err := json.Marshal(&data)
 	if err != nil {
 		return err
@@ -188,6 +213,17 @@ func (db *DB) loadCatalog() error {
 		ix := &Index{name: ci.Name, table: ci.Table, cols: cols, tree: tree}
 		t.indexes = append(t.indexes, ix)
 		db.indexes[ci.Name] = ix
+	}
+	for _, cc := range data.CustomIndexes {
+		if _, ok := db.tables[cc.Table]; !ok {
+			return fmt.Errorf("rel: catalog custom index %s references missing table %s", cc.Name, cc.Table)
+		}
+		db.customIx[cc.Name] = CustomIndexDef{
+			Name:      cc.Name,
+			IndexType: cc.IndexType,
+			Table:     cc.Table,
+			Columns:   cc.Columns,
+		}
 	}
 	return nil
 }

@@ -1,0 +1,193 @@
+package rel
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ritree/internal/pagestore"
+)
+
+func TestCustomIndexDefRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.pages")
+	open := func() *DB {
+		t.Helper()
+		be, err := pagestore.OpenFileBackend(path, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := pagestore.New(be, pagestore.Options{PageSize: 1024, CacheSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var db *DB
+		if st.NumAllocated() == 0 {
+			db, err = CreateDB(st)
+		} else {
+			db, err = OpenDB(st, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	db := open()
+	if _, err := db.CreateTable("ev", []string{"lo", "hi", "id"}); err != nil {
+		t.Fatal(err)
+	}
+	def := CustomIndexDef{Name: "ev_iv", IndexType: "ritree", Table: "ev", Columns: []string{"lo", "hi"}}
+	if err := db.RecordCustomIndex(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordCustomIndex(CustomIndexDef{Name: "ev_mm", IndexType: "hint", Table: "ev", Columns: []string{"lo", "hi"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = open()
+	defs := db.CustomIndexes()
+	if len(defs) != 2 {
+		t.Fatalf("reopened catalog has %d custom indexes, want 2: %v", len(defs), defs)
+	}
+	if defs[0].Name != "ev_iv" || defs[0].IndexType != "ritree" || defs[0].Table != "ev" ||
+		len(defs[0].Columns) != 2 || defs[0].Columns[0] != "lo" || defs[0].Columns[1] != "hi" {
+		t.Fatalf("defs[0] = %+v", defs[0])
+	}
+	if defs[1].Name != "ev_mm" || defs[1].IndexType != "hint" {
+		t.Fatalf("defs[1] = %+v", defs[1])
+	}
+	got, ok := db.CustomIndex("ev_mm")
+	if !ok || got.IndexType != "hint" {
+		t.Fatalf("CustomIndex(ev_mm) = %+v, %v", got, ok)
+	}
+	// Case-insensitive lookup and removal: the SQL layer folds identifiers
+	// to lower case, so mixed-case definitions must still resolve.
+	if got, ok := db.CustomIndex("EV_MM"); !ok || got.Name != "ev_mm" {
+		t.Fatalf("CustomIndex(EV_MM) = %+v, %v", got, ok)
+	}
+	if err := db.RemoveCustomIndex("EV_IV"); err != nil {
+		t.Fatalf("case-insensitive remove: %v", err)
+	}
+	if err := db.RecordCustomIndex(def); err != nil {
+		t.Fatalf("re-record after case-insensitive remove: %v", err)
+	}
+	if err := db.RemoveCustomIndex("ev_iv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = open()
+	defs = db.CustomIndexes()
+	if len(defs) != 1 || defs[0].Name != "ev_mm" {
+		t.Fatalf("after remove+reopen: %v", defs)
+	}
+	if err := db.RemoveCustomIndex("ev_iv"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("double remove = %v, want ErrNoSuchIndex", err)
+	}
+	db.Close()
+}
+
+func TestCustomIndexDefValidation(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.CreateTable("ev", []string{"lo", "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []CustomIndexDef{
+		{Name: "", IndexType: "ritree", Table: "ev", Columns: []string{"lo"}},
+		{Name: "x", IndexType: "", Table: "ev", Columns: []string{"lo"}},
+		{Name: "x", IndexType: "ritree", Table: "missing", Columns: []string{"lo"}},
+		{Name: "x", IndexType: "ritree", Table: "ev", Columns: nil},
+		{Name: "x", IndexType: "ritree", Table: "ev", Columns: []string{"nope"}},
+	}
+	for _, def := range cases {
+		if err := db.RecordCustomIndex(def); err == nil {
+			t.Fatalf("RecordCustomIndex(%+v) succeeded, want error", def)
+		}
+	}
+	if len(db.CustomIndexes()) != 0 {
+		t.Fatalf("failed records left definitions behind: %v", db.CustomIndexes())
+	}
+}
+
+func TestIndexNamespaceIsShared(t *testing.T) {
+	// Built-in and custom indexes occupy ONE name namespace: a duplicate in
+	// either direction must fail, so DROP INDEX always resolves uniquely.
+	db := newTestDB(t)
+	if _, err := db.CreateTable("ev", []string{"lo", "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordCustomIndex(CustomIndexDef{Name: "x", IndexType: "ritree", Table: "ev", Columns: []string{"lo"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("x", "ev", []string{"lo"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("builtin CREATE INDEX over custom name = %v, want ErrExists", err)
+	}
+	if _, err := db.CreateIndex("y", "ev", []string{"lo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordCustomIndex(CustomIndexDef{Name: "y", IndexType: "hint", Table: "ev", Columns: []string{"lo"}}); !errors.Is(err, ErrExists) {
+		t.Fatalf("custom record over builtin name = %v, want ErrExists", err)
+	}
+	// Case-insensitive: the engine's registration maps fold names to lower
+	// case, so definitions differing only in case must collide here too.
+	if err := db.RecordCustomIndex(CustomIndexDef{Name: "X", IndexType: "hint", Table: "ev", Columns: []string{"lo"}}); !errors.Is(err, ErrExists) {
+		t.Fatalf("case-variant custom record = %v, want ErrExists", err)
+	}
+	if err := db.RecordCustomIndex(CustomIndexDef{Name: "Y", IndexType: "hint", Table: "ev", Columns: []string{"lo"}}); !errors.Is(err, ErrExists) {
+		t.Fatalf("case-variant record over builtin = %v, want ErrExists", err)
+	}
+	if _, err := db.CreateIndex("X", "ev", []string{"lo"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("case-variant builtin over custom = %v, want ErrExists", err)
+	}
+}
+
+func TestDropTableRefusesWhileCustomIndexDefsExist(t *testing.T) {
+	// Silently deleting the definitions would orphan their hidden storage;
+	// keeping them would leave a catalog that refuses to load. DropTable
+	// therefore refuses until the definitions are removed (the engine's
+	// DROP TABLE cascades them first).
+	db := newTestDB(t)
+	if _, err := db.CreateTable("a", []string{"lo", "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	db.RecordCustomIndex(CustomIndexDef{Name: "a_iv", IndexType: "ritree", Table: "a", Columns: []string{"lo"}})
+	if err := db.DropTable("a"); err == nil || !strings.Contains(err.Error(), "a_iv") {
+		t.Fatalf("DropTable with domain index = %v, want refusal naming a_iv", err)
+	}
+	if err := db.RemoveCustomIndex("a_iv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("a"); err != nil {
+		t.Fatalf("DropTable after RemoveCustomIndex = %v", err)
+	}
+}
+
+func TestCatalogBackwardCompatible(t *testing.T) {
+	// Catalogs written before the custom_indexes field decode cleanly (the
+	// field is simply absent), and a catalog without custom indexes is
+	// byte-identical to the old format thanks to omitempty — old binaries
+	// can read new files until a domain index is actually recorded.
+	var data catalogData
+	old := []byte(`{"tables":[{"name":"t","columns":["a"],"header":3}],"indexes":null}`)
+	if err := json.Unmarshal(old, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.CustomIndexes != nil {
+		t.Fatalf("decoded custom indexes from old catalog: %v", data.CustomIndexes)
+	}
+	out, err := json.Marshal(&catalogData{Tables: data.Tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"tables":[{"name":"t","columns":["a"],"header":3}],"indexes":null}` {
+		t.Fatalf("catalog without custom indexes changed format: %s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Custom (domain) index definitions — the catalog side of the extensible
+// indexing framework of paper §5. The storage of a user-defined indextype
+// (e.g. the RI-tree's hidden relations) lives in ordinary tables and
+// indexes that the catalog already persists; what used to be lost across
+// sessions was the definition itself: which indextype serves which index
+// name over which table columns. Recording the definition here lets a new
+// session re-attach every domain index instead of silently serving DML
+// without index maintenance (which would leave the persisted index stale
+// and later queries wrong).
+
+// CustomIndexDef describes one user-defined domain index: the index name,
+// the indextype implementing it, and the base table columns it indexes.
+type CustomIndexDef struct {
+	Name      string
+	IndexType string
+	Table     string
+	Columns   []string
+}
+
+// RecordCustomIndex persists a domain-index definition in the catalog.
+// The name shares one namespace with built-in indexes: recording a name
+// that is already a built-in or custom index fails with ErrExists.
+func (db *DB) RecordCustomIndex(def CustomIndexDef) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if def.Name == "" {
+		return fmt.Errorf("rel: empty custom index name")
+	}
+	if def.IndexType == "" {
+		return fmt.Errorf("rel: custom index %s has no indextype", def.Name)
+	}
+	// Name checks are case-insensitive: the SQL layer folds identifiers to
+	// lower case, embedding callers may not, and two definitions differing
+	// only in case would collide in the engine's lower-cased registration
+	// maps (the second would silently never attach on reopen).
+	for n := range db.indexes {
+		if strings.EqualFold(n, def.Name) {
+			return fmt.Errorf("%w: index %s", ErrExists, n)
+		}
+	}
+	if _, ok := db.customIndexNamed(def.Name); ok {
+		return fmt.Errorf("%w: index %s", ErrExists, def.Name)
+	}
+	t, ok := db.tables[def.Table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, def.Table)
+	}
+	if len(def.Columns) == 0 {
+		return fmt.Errorf("rel: custom index %s has no columns", def.Name)
+	}
+	for _, c := range def.Columns {
+		if t.schema.ColIndex(c) < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, def.Table, c)
+		}
+	}
+	def.Columns = append([]string(nil), def.Columns...)
+	db.customIx[def.Name] = def
+	if err := db.saveCatalog(); err != nil {
+		delete(db.customIx, def.Name)
+		return err
+	}
+	return nil
+}
+
+// RemoveCustomIndex deletes a domain-index definition from the catalog
+// (name matched case-insensitively, like CustomIndex).
+func (db *DB) RemoveCustomIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	def, ok := db.customIndexNamed(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchIndex, name)
+	}
+	delete(db.customIx, def.Name)
+	if err := db.saveCatalog(); err != nil {
+		db.customIx[def.Name] = def
+		return err
+	}
+	return nil
+}
+
+// CustomIndexes returns all persisted domain-index definitions, sorted by
+// name. A session over a reopened database walks this list to re-attach
+// every domain index (sqldb.Engine.AttachCatalogIndexes).
+func (db *DB) CustomIndexes() []CustomIndexDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	defs := make([]CustomIndexDef, 0, len(db.customIx))
+	for _, def := range db.customIx {
+		def.Columns = append([]string(nil), def.Columns...)
+		defs = append(defs, def)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	return defs
+}
+
+// CustomIndex returns the persisted definition of the named domain index.
+// The lookup is case-insensitive, like the namespace: the SQL layer folds
+// identifiers to lower case, so DROP INDEX on a mixed-case definition
+// recorded by an embedding caller must still resolve it.
+func (db *DB) CustomIndex(name string) (CustomIndexDef, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	def, ok := db.customIndexNamed(name)
+	if ok {
+		def.Columns = append([]string(nil), def.Columns...)
+	}
+	return def, ok
+}
+
+// customIndexNamed finds the stored definition whose name matches
+// case-insensitively. Caller holds db.mu.
+func (db *DB) customIndexNamed(name string) (CustomIndexDef, bool) {
+	for n, def := range db.customIx {
+		if strings.EqualFold(n, name) {
+			return def, true
+		}
+	}
+	return CustomIndexDef{}, false
+}

@@ -16,11 +16,12 @@ import (
 // callbacks (the SQL layer above materializes result sets before issuing
 // DML, matching the single-statement semantics of the paper's experiments).
 type DB struct {
-	mu      sync.RWMutex
-	st      *pagestore.Store
-	tables  map[string]*Table
-	indexes map[string]*Index
-	catRoot pagestore.PageID
+	mu       sync.RWMutex
+	st       *pagestore.Store
+	tables   map[string]*Table
+	indexes  map[string]*Index
+	customIx map[string]CustomIndexDef // persisted domain-index definitions (§5)
+	catRoot  pagestore.PageID
 }
 
 // CreateDB initializes a fresh database on an empty page store.
@@ -30,10 +31,11 @@ func CreateDB(st *pagestore.Store) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		st:      st,
-		tables:  make(map[string]*Table),
-		indexes: make(map[string]*Index),
-		catRoot: root,
+		st:       st,
+		tables:   make(map[string]*Table),
+		indexes:  make(map[string]*Index),
+		customIx: make(map[string]CustomIndexDef),
+		catRoot:  root,
 	}
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
@@ -45,10 +47,11 @@ func CreateDB(st *pagestore.Store) (*DB, error) {
 // returned at creation time (the first allocated page, normally 1).
 func OpenDB(st *pagestore.Store, catRoot pagestore.PageID) (*DB, error) {
 	db := &DB{
-		st:      st,
-		tables:  make(map[string]*Table),
-		indexes: make(map[string]*Index),
-		catRoot: catRoot,
+		st:       st,
+		tables:   make(map[string]*Table),
+		indexes:  make(map[string]*Index),
+		customIx: make(map[string]CustomIndexDef),
+		catRoot:  catRoot,
 	}
 	if err := db.loadCatalog(); err != nil {
 		return nil, err
@@ -125,6 +128,12 @@ func (db *DB) CreateIndex(name, table string, columns []string) (*Index, error) 
 	defer db.mu.Unlock()
 	if _, ok := db.indexes[name]; ok {
 		return nil, fmt.Errorf("%w: index %s", ErrExists, name)
+	}
+	// Built-in and custom indexes share one namespace: DROP INDEX resolves
+	// by name alone, so a built-in index must not shadow a domain index
+	// (case-insensitively — the SQL layer folds identifiers to lower case).
+	if def, ok := db.customIndexNamed(name); ok {
+		return nil, fmt.Errorf("%w: index %s (custom)", ErrExists, def.Name)
 	}
 	t, ok := db.tables[table]
 	if !ok {
@@ -215,6 +224,16 @@ func (db *DB) DropTable(name string) error {
 	t, ok := db.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	// Refuse while domain-index definitions reference the table: silently
+	// deleting them would orphan their hidden storage, and keeping them
+	// would leave a catalog that refuses to load (missing table). The
+	// engine's DROP TABLE cascades definitions (and storage) before calling
+	// here; direct rel callers must RemoveCustomIndex first.
+	for n, def := range db.customIx {
+		if def.Table == name {
+			return fmt.Errorf("rel: table %s is indexed by domain index %s; remove that index first", name, n)
+		}
 	}
 	for _, ix := range t.indexes {
 		delete(db.indexes, ix.name)

@@ -1,6 +1,7 @@
 package ritree
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -33,21 +34,46 @@ const IndexTypeName = "ritree"
 // hiddenTreeName returns the name of the indextype's backing RI-tree.
 func hiddenTreeName(indexName string) string { return indexName + "_rit$" }
 
-// RegisterIndexType makes "INDEXTYPE IS ritree" available on the engine.
+// RegisterIndexType makes "INDEXTYPE IS ritree" available on the engine,
+// for both CREATE INDEX (build new hidden relations) and catalog
+// re-attach on reopen (adopt the persisted relations after verifying them
+// against the base table).
 func RegisterIndexType(e *sqldb.Engine) {
-	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFunc(
-		func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-			ci, err := newIndexType(eng, indexName, table, cols, true)
-			if err != nil {
-				return nil, err
-			}
-			return ci, nil
-		}))
+	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFuncs{
+		Create: func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+			return newIndexType(eng, indexName, table, cols, true)
+		},
+		Attach: func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+			return newIndexType(eng, indexName, table, cols, false)
+		},
+		DropStorage: func(eng *sqldb.Engine, indexName, _ string, _ []string) error {
+			return DropIndexStorage(eng.DB(), indexName)
+		},
+	})
+}
+
+// DropIndexStorage removes the hidden relations of a ritree domain index
+// without attaching it — the cleanup path for a stale index whose attach
+// is refused (DROP INDEX then CREATE INDEX must work). Partially or
+// wholly missing storage is tolerated.
+func DropIndexStorage(db *rel.DB, indexName string) error {
+	hidden := hiddenTreeName(indexName)
+	var firstErr error
+	for _, tb := range []string{tableName(hidden), paramsName(hidden)} {
+		if err := db.DropTable(tb); err != nil && !errors.Is(err, rel.ErrNoSuchTable) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // AttachIndexType re-attaches an existing ritree domain index after the
 // database is reopened (the tree's relations persist in the catalog; the
-// engine-side registration is per session).
+// engine-side registration is per session). Most callers should prefer
+// sqldb.Engine.AttachCatalogIndexes, which re-attaches every persisted
+// definition; this remains for embedding callers that manage definitions
+// themselves. The persisted tree is verified against the base table before
+// it is trusted (see newIndexType).
 func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
 	ci, err := newIndexType(e, indexName, table, cols, false)
 	if err != nil {
@@ -112,6 +138,18 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, creat
 		tree, err = Open(e.DB(), hiddenTreeName(indexName), Options{})
 		if err != nil {
 			return nil, err
+		}
+		// The indextype registers exactly one interval per base row, so a
+		// count mismatch proves DML ran while the index was not attached
+		// (e.g. a session that reopened the database without
+		// AttachCatalogIndexes). Trusting such a tree returns wrong query
+		// results; refuse it instead. The converse does not hold — equal
+		// counts do not prove consistency (unattended DML netting to zero
+		// rows slips through; a checksum is a ROADMAP follow-up) — but the
+		// check catches the common divergence cheaply, at O(1).
+		if have, want := tree.Count(), tab.RowCount(); have != want {
+			return nil, fmt.Errorf("ritree indextype: persisted index %s is stale: hidden tree holds %d intervals but table %s has %d rows — DML ran without index maintenance; DROP INDEX %s and recreate it",
+				indexName, have, table, want, indexName)
 		}
 	}
 	return &indexType{

@@ -162,3 +162,27 @@ func TestIndexTypeReattach(t *testing.T) {
 		t.Fatalf("rows = %v", r.Rows)
 	}
 }
+
+func TestAttachRejectsStaleTree(t *testing.T) {
+	// If a session runs DML without the index attached, the persisted tree
+	// diverges from the base table; attaching must detect that and refuse
+	// (returning results from the stale tree would be silent corruption).
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 256})
+	db, _ := rel.CreateDB(st)
+	e := sqldb.NewEngine(db)
+	RegisterIndexType(e)
+	e.MustExec("CREATE TABLE ev (lo int, hi int, id int)", nil)
+	e.MustExec("CREATE INDEX ev_iv ON ev (lo, hi) INDEXTYPE IS ritree", nil)
+	e.MustExec("INSERT INTO ev VALUES (10, 20, 1)", nil)
+
+	// A rogue session without the index attached skips its maintenance.
+	rogue := sqldb.NewEngine(db)
+	rogue.MustExec("INSERT INTO ev VALUES (30, 40, 2)", nil)
+
+	e3 := sqldb.NewEngine(db)
+	RegisterIndexType(e3)
+	err := AttachIndexType(e3, "ev_iv", "ev", []string{"lo", "hi"})
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("AttachIndexType over stale tree = %v, want stale error", err)
+	}
+}

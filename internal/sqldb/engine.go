@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"ritree/internal/rel"
@@ -93,7 +94,31 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 			if ci, ok := e.custom[s.Name]; ok {
 				return &Result{}, e.dropCustomIndex(ci)
 			}
+			// A catalog definition that is not attached in this session
+			// (e.g. its attach failed as stale) must still be droppable —
+			// it is the recovery path the attach errors advise.
+			if def, ok := e.db.CustomIndex(s.Name); ok {
+				return &Result{}, e.dropUnattachedDef(def)
+			}
 			return &Result{}, e.db.DropIndex(s.Name)
+		}
+		// DROP TABLE cascades to domain indexes: leaving them registered
+		// would keep their maintenance hooks and hidden storage alive, and
+		// a recreated same-named table would then serve stale results
+		// through them. Attached ones first (iterate over a copy —
+		// dropCustomIndex mutates customByTb), then catalog definitions
+		// this session never attached.
+		for _, ci := range append([]CustomIndex(nil), e.customByTb[strings.ToLower(s.Name)]...) {
+			if err := e.dropCustomIndex(ci); err != nil {
+				return nil, err
+			}
+		}
+		for _, def := range e.db.CustomIndexes() {
+			if strings.EqualFold(def.Table, s.Name) {
+				if err := e.dropUnattachedDef(def); err != nil {
+					return nil, err
+				}
+			}
 		}
 		return &Result{}, e.db.DropTable(s.Name)
 	case *InsertStmt:

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -23,12 +24,81 @@ type IndexTypeHandler interface {
 	CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
 }
 
+// Attacher is the reopen capability of an indextype handler: where
+// CreateIndex builds new index storage, AttachIndex adopts the storage an
+// earlier session left behind (reopening persisted relations, or rebuilding
+// a main-memory structure from the heap). Engine.AttachCatalogIndexes
+// requires it — an indextype without it cannot serve a reopened database.
+type Attacher interface {
+	// AttachIndex attaches the custom index named indexName over the given
+	// columns of table, whose definition an earlier session recorded in the
+	// catalog. Implementations must verify any persisted storage is
+	// consistent with the base table before trusting it, and fail loudly
+	// otherwise.
+	AttachIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+}
+
+// StorageDropper is the optional third capability of an indextype
+// handler: removing an index definition's persisted storage without
+// attaching it first. DROP INDEX on an unattached definition prefers it —
+// a stale index refuses to attach, so attach-then-Drop cannot clean it
+// up; this can.
+type StorageDropper interface {
+	// DropIndexStorage removes whatever storage the indextype persisted
+	// for the named index, tolerating storage that is partially or wholly
+	// missing.
+	DropIndexStorage(e *Engine, indexName, table string, cols []string) error
+}
+
+// ErrNoStorageDrop is returned by IndexTypeFuncs.DropIndexStorage when no
+// DropStorage function was supplied; the engine then falls back to
+// attach-then-Drop.
+var ErrNoStorageDrop = errors.New("sql: indextype has no storage-drop implementation")
+
 // IndexTypeFunc adapts a function to IndexTypeHandler.
 type IndexTypeFunc func(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
 
 // CreateIndex implements IndexTypeHandler.
 func (f IndexTypeFunc) CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
 	return f(e, indexName, table, cols)
+}
+
+// IndexTypeFuncs bundles the create-new, attach-existing, and
+// drop-storage pieces of an indextype, implementing IndexTypeHandler,
+// Attacher, and StorageDropper.
+type IndexTypeFuncs struct {
+	Create IndexTypeFunc
+	Attach IndexTypeFunc
+	// DropStorage removes persisted storage without attaching (optional;
+	// nil makes DropIndexStorage report ErrNoStorageDrop and the engine
+	// fall back to attach-then-Drop).
+	DropStorage func(e *Engine, indexName, table string, cols []string) error
+}
+
+// CreateIndex implements IndexTypeHandler.
+func (f IndexTypeFuncs) CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+	if f.Create == nil {
+		return nil, fmt.Errorf("sql: indextype registered without a Create implementation")
+	}
+	return f.Create(e, indexName, table, cols)
+}
+
+// AttachIndex implements Attacher. A nil Attach field reports the same
+// does-not-support-attach condition as a handler without the Attacher
+// interface (the zero field would otherwise panic on call).
+func (f IndexTypeFuncs) AttachIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+	if f.Attach == nil {
+		return nil, fmt.Errorf("sql: indextype does not support attach (IndexTypeFuncs.Attach is nil); it cannot serve a reopened database")
+	}
+	return f.Attach(e, indexName, table, cols)
+}
+
+// DropIndexStorage implements StorageDropper.
+func (f IndexTypeFuncs) DropIndexStorage(e *Engine, indexName, table string, cols []string) error {
+	if f.DropStorage == nil {
+		return ErrNoStorageDrop
+	}
+	return f.DropStorage(e, indexName, table, cols)
 }
 
 // CustomIndex is a live user-defined index. The engine triggers its
@@ -96,18 +166,41 @@ func (e *Engine) createCustomIndex(s *CreateIndexStmt) (*Result, error) {
 			return nil, fmt.Errorf("sql: no column %s in %s", c, s.Table)
 		}
 	}
+	// Record the definition in the catalog first: it enforces the shared
+	// index namespace (built-in and custom) before the expensive backfill,
+	// and it is what lets a later session re-attach the index
+	// (AttachCatalogIndexes). A definition without storage fails loudly at
+	// attach time; storage without a definition would rot silently.
+	def := rel.CustomIndexDef{
+		Name:      s.Name,
+		IndexType: strings.ToLower(s.IndexType),
+		Table:     s.Table,
+		Columns:   s.Columns,
+	}
+	if err := e.db.RecordCustomIndex(def); err != nil {
+		return nil, err
+	}
 	ci, err := h.CreateIndex(e, s.Name, s.Table, s.Columns)
 	if err != nil {
+		_ = e.db.RemoveCustomIndex(s.Name)
 		return nil, err
 	}
 	if err := e.attachLocked(ci); err != nil {
 		_ = ci.Drop()
+		_ = e.db.RemoveCustomIndex(s.Name)
 		return nil, err
 	}
 	return &Result{}, nil
 }
 
 func (e *Engine) dropCustomIndex(ci CustomIndex) error {
+	// Drop the storage before removing the registration: a failed Drop must
+	// leave the index attached (and its catalog definition in place) so the
+	// caller still holds a handle to retry — the reverse order orphaned the
+	// hidden relations with no way to reach them.
+	if err := ci.Drop(); err != nil {
+		return fmt.Errorf("sql: dropping index %s: %w (index remains attached)", ci.Name(), err)
+	}
 	name := strings.ToLower(ci.Name())
 	delete(e.custom, name)
 	tb := strings.ToLower(ci.Table())
@@ -118,5 +211,80 @@ func (e *Engine) dropCustomIndex(ci CustomIndex) error {
 			break
 		}
 	}
-	return ci.Drop()
+	// Indexes attached directly via AttachCustomIndex may predate the
+	// catalog record; a missing definition is not an error here.
+	if err := e.db.RemoveCustomIndex(ci.Name()); err != nil && !errors.Is(err, rel.ErrNoSuchIndex) {
+		return err
+	}
+	return nil
+}
+
+// dropUnattachedDef removes a catalog definition that is not attached in
+// this session, dropping its storage through the indextype: a
+// StorageDropper handler removes storage without attaching (this is how a
+// stale ritree index — whose attach is refused — gets cleaned up so the
+// name can be recreated); otherwise attach-then-Drop is tried
+// best-effort. This is the recovery path the attach errors advise:
+// DROP INDEX must work even when attach cannot. Caller holds e.mu.
+func (e *Engine) dropUnattachedDef(def rel.CustomIndexDef) error {
+	if h, ok := e.indexTypes[strings.ToLower(def.IndexType)]; ok {
+		dropped := false
+		if sd, ok := h.(StorageDropper); ok {
+			err := sd.DropIndexStorage(e, def.Name, def.Table, def.Columns)
+			switch {
+			case err == nil:
+				dropped = true
+			case !errors.Is(err, ErrNoStorageDrop):
+				return fmt.Errorf("sql: dropping storage of index %s: %w", def.Name, err)
+			}
+		}
+		if !dropped {
+			if at, ok := h.(Attacher); ok {
+				if ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns); err == nil {
+					if err := ci.Drop(); err != nil {
+						return fmt.Errorf("sql: dropping index %s: %w", def.Name, err)
+					}
+				}
+			}
+		}
+	}
+	return e.db.RemoveCustomIndex(def.Name)
+}
+
+// AttachCatalogIndexes walks the persisted domain-index definitions of the
+// underlying database and re-attaches each through its registered
+// indextype handler — the reopen half of paper §5's "end users can use the
+// Relational Interval Tree just like a built-in index". It must run before
+// any DML on a reopened database: an engine that skips it serves no domain
+// indexes and silently skips their maintenance, leaving persisted index
+// storage stale. A definition whose indextype is not registered in this
+// session (or does not implement Attacher) is an error, not a skip, for
+// the same reason. Definitions already attached in this session are left
+// alone, so the call is idempotent.
+func (e *Engine) AttachCatalogIndexes() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, def := range e.db.CustomIndexes() {
+		if _, ok := e.custom[strings.ToLower(def.Name)]; ok {
+			continue
+		}
+		h, ok := e.indexTypes[strings.ToLower(def.IndexType)]
+		if !ok {
+			return fmt.Errorf("sql: catalog index %s requires indextype %q, which is not registered in this session; register it (or DROP INDEX %s) before issuing DML — proceeding would silently skip index maintenance",
+				def.Name, def.IndexType, def.Name)
+		}
+		at, ok := h.(Attacher)
+		if !ok {
+			return fmt.Errorf("sql: indextype %q of catalog index %s does not support attach (handler implements no Attacher); it cannot serve a reopened database",
+				def.IndexType, def.Name)
+		}
+		ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns)
+		if err != nil {
+			return fmt.Errorf("sql: attaching catalog index %s (indextype %s): %w", def.Name, def.IndexType, err)
+		}
+		if err := e.attachLocked(ci); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,263 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ritree/internal/rel"
+)
+
+// fakeIndex is a trivial in-memory custom index for exercising the
+// engine-side indextype machinery without the real access methods.
+type fakeIndex struct {
+	name, table string
+	cols        []string
+	attached    bool // true when built via the Attach path
+	dropErr     error
+	dropped     bool
+	inserts     int
+}
+
+func (f *fakeIndex) Name() string                                     { return f.name }
+func (f *fakeIndex) Table() string                                    { return f.table }
+func (f *fakeIndex) Columns() []string                                { return f.cols }
+func (f *fakeIndex) HasOperator(op string) bool                       { return op == "fakeop" }
+func (f *fakeIndex) OnInsert(_ []int64, _ rel.RowID) error            { f.inserts++; return nil }
+func (f *fakeIndex) OnDelete(_ []int64, _ rel.RowID) error            { return nil }
+func (f *fakeIndex) Scan(string, []int64, func(rel.RowID) bool) error { return nil }
+func (f *fakeIndex) Drop() error {
+	if f.dropErr != nil {
+		return f.dropErr
+	}
+	f.dropped = true
+	return nil
+}
+
+func registerFake(e *Engine, last **fakeIndex, dropErr error) {
+	build := func(attached bool) IndexTypeFunc {
+		return func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+			fi := &fakeIndex{name: name, table: table, cols: cols, attached: attached, dropErr: dropErr}
+			if last != nil {
+				*last = fi
+			}
+			return fi, nil
+		}
+	}
+	e.RegisterIndexType("fake", IndexTypeFuncs{Create: build(false), Attach: build(true)})
+}
+
+func TestCreateCustomIndexRecordsCatalogDef(t *testing.T) {
+	e := newEngine(t)
+	registerFake(e, nil, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	def, ok := e.DB().CustomIndex("ev_f")
+	if !ok {
+		t.Fatal("CREATE INDEX ... INDEXTYPE did not record a catalog definition")
+	}
+	if def.IndexType != "fake" || def.Table != "ev" || len(def.Columns) != 2 {
+		t.Fatalf("def = %+v", def)
+	}
+	mustExec(t, e, "DROP INDEX ev_f", nil)
+	if _, ok := e.DB().CustomIndex("ev_f"); ok {
+		t.Fatal("DROP INDEX left the catalog definition behind")
+	}
+}
+
+func TestIndexNamespaceSharedAcrossKinds(t *testing.T) {
+	e := newEngine(t)
+	registerFake(e, nil, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+
+	// custom first, builtin second
+	mustExec(t, e, "CREATE INDEX x ON ev (lo, hi) INDEXTYPE IS fake", nil)
+	if _, err := e.Exec("CREATE INDEX x ON ev (lo)", nil); !errors.Is(err, rel.ErrExists) {
+		t.Fatalf("builtin over custom name = %v, want ErrExists", err)
+	}
+	// builtin first, custom second
+	mustExec(t, e, "CREATE INDEX y ON ev (lo)", nil)
+	if _, err := e.Exec("CREATE INDEX y ON ev (lo, hi) INDEXTYPE IS fake", nil); !errors.Is(err, rel.ErrExists) {
+		t.Fatalf("custom over builtin name = %v, want ErrExists", err)
+	}
+	// the failed duplicate must not have left a dangling definition
+	if _, ok := e.DB().CustomIndex("y"); ok {
+		t.Fatal("failed CREATE INDEX recorded a definition")
+	}
+}
+
+func TestDropCustomIndexFailureKeepsRegistration(t *testing.T) {
+	e := newEngine(t)
+	var last *fakeIndex
+	registerFake(e, &last, fmt.Errorf("storage busy"))
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	if _, err := e.Exec("DROP INDEX ev_f", nil); err == nil || !strings.Contains(err.Error(), "remains attached") {
+		t.Fatalf("DROP INDEX with failing Drop = %v, want 'remains attached' error", err)
+	}
+	// Index must still be attached (maintenance keeps running)...
+	before := last.inserts
+	mustExec(t, e, "INSERT INTO ev VALUES (1, 2)", nil)
+	if last.inserts != before+1 {
+		t.Fatal("failed DROP INDEX detached the index: maintenance skipped")
+	}
+	// ...and its catalog definition intact, so a retry is possible.
+	if _, ok := e.DB().CustomIndex("ev_f"); !ok {
+		t.Fatal("failed DROP INDEX removed the catalog definition")
+	}
+	last.dropErr = nil
+	mustExec(t, e, "DROP INDEX ev_f", nil)
+	if !last.dropped {
+		t.Fatal("retried DROP INDEX did not drop storage")
+	}
+	if _, ok := e.DB().CustomIndex("ev_f"); ok {
+		t.Fatal("retried DROP INDEX left the catalog definition")
+	}
+}
+
+func TestAttachCatalogIndexes(t *testing.T) {
+	e := newEngine(t)
+	var created *fakeIndex
+	registerFake(e, &created, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	// A second session over the same database: nothing attached until
+	// AttachCatalogIndexes walks the catalog.
+	e2 := NewEngine(e.DB())
+	var attached *fakeIndex
+	registerFake(e2, &attached, nil)
+	if err := e2.AttachCatalogIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if attached == nil || !attached.attached {
+		t.Fatalf("AttachCatalogIndexes did not use the Attach path: %+v", attached)
+	}
+	// Maintenance runs on the re-attached index.
+	mustExec(t, e2, "INSERT INTO ev VALUES (3, 4)", nil)
+	if attached.inserts != 1 {
+		t.Fatalf("re-attached index saw %d inserts, want 1", attached.inserts)
+	}
+	// Idempotent: a second walk attaches nothing new.
+	attached = nil
+	if err := e2.AttachCatalogIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if attached != nil {
+		t.Fatal("second AttachCatalogIndexes re-attached an already-attached index")
+	}
+}
+
+func TestAttachCatalogIndexesUnregisteredTypeFailsLoudly(t *testing.T) {
+	e := newEngine(t)
+	registerFake(e, nil, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	e2 := NewEngine(e.DB()) // session without the indextype registered
+	err := e2.AttachCatalogIndexes()
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("AttachCatalogIndexes = %v, want unregistered-indextype error", err)
+	}
+
+	// A handler without the Attacher capability is equally loud.
+	e3 := NewEngine(e.DB())
+	e3.RegisterIndexType("fake", IndexTypeFunc(
+		func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+			return &fakeIndex{name: name, table: table, cols: cols}, nil
+		}))
+	err = e3.AttachCatalogIndexes()
+	if err == nil || !strings.Contains(err.Error(), "does not support attach") {
+		t.Fatalf("AttachCatalogIndexes = %v, want no-Attacher error", err)
+	}
+
+	// IndexTypeFuncs with a nil Attach must report the same condition as a
+	// missing Attacher, not panic on a nil function call.
+	e4 := NewEngine(e.DB())
+	e4.RegisterIndexType("fake", IndexTypeFuncs{
+		Create: func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+			return &fakeIndex{name: name, table: table, cols: cols}, nil
+		},
+	})
+	err = e4.AttachCatalogIndexes()
+	if err == nil || !strings.Contains(err.Error(), "does not support attach") {
+		t.Fatalf("AttachCatalogIndexes with nil Attach = %v, want no-attach error", err)
+	}
+}
+
+func TestDropUnattachedCustomIndex(t *testing.T) {
+	// DROP INDEX must work on a catalog definition that is not attached in
+	// this session — it is the recovery path the attach errors advise.
+	e := newEngine(t)
+	var created *fakeIndex
+	registerFake(e, &created, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	// Session with the indextype registered: storage dropped via attach.
+	e2 := NewEngine(e.DB())
+	var last *fakeIndex
+	registerFake(e2, &last, nil)
+	mustExec(t, e2, "DROP INDEX ev_f", nil)
+	if last == nil || !last.dropped {
+		t.Fatal("unattached DROP INDEX did not drop storage through the handler")
+	}
+	if _, ok := e.DB().CustomIndex("ev_f"); ok {
+		t.Fatal("unattached DROP INDEX left the catalog definition")
+	}
+
+	// Session without the indextype registered: the definition alone goes.
+	mustExec(t, e, "CREATE INDEX ev_g ON ev (lo, hi) INDEXTYPE IS fake", nil)
+	e3 := NewEngine(e.DB())
+	mustExec(t, e3, "DROP INDEX ev_g", nil)
+	if _, ok := e.DB().CustomIndex("ev_g"); ok {
+		t.Fatal("DROP INDEX without a handler left the catalog definition")
+	}
+}
+
+func TestDropTableCascadesUnattachedDefs(t *testing.T) {
+	e := newEngine(t)
+	registerFake(e, nil, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+
+	// A fresh session that never attached still drops table + definitions.
+	e2 := NewEngine(e.DB())
+	registerFake(e2, nil, nil)
+	mustExec(t, e2, "DROP TABLE ev", nil)
+	if _, ok := e.DB().CustomIndex("ev_f"); ok {
+		t.Fatal("DROP TABLE left an unattached catalog definition")
+	}
+	if len(e.DB().CustomIndexes()) != 0 {
+		t.Fatalf("defs remain: %v", e.DB().CustomIndexes())
+	}
+}
+
+func TestDropTableCascadesToDomainIndexes(t *testing.T) {
+	// DROP TABLE must detach and drop attached domain indexes: a recreated
+	// same-named table would otherwise be served stale results through the
+	// surviving registration and hidden storage.
+	e := newEngine(t)
+	var last *fakeIndex
+	registerFake(e, &last, nil)
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	mustExec(t, e, "CREATE INDEX ev_f ON ev (lo, hi) INDEXTYPE IS fake", nil)
+	dropped := last
+	mustExec(t, e, "DROP TABLE ev", nil)
+	if !dropped.dropped {
+		t.Fatal("DROP TABLE left the domain index storage alive")
+	}
+	if _, ok := e.DB().CustomIndex("ev_f"); ok {
+		t.Fatal("DROP TABLE left the catalog definition")
+	}
+	// The recreated table starts with no domain index attached.
+	mustExec(t, e, "CREATE TABLE ev (lo int, hi int)", nil)
+	before := dropped.inserts
+	mustExec(t, e, "INSERT INTO ev VALUES (1, 2)", nil)
+	if dropped.inserts != before {
+		t.Fatal("stale domain index still maintained after DROP TABLE + recreate")
+	}
+}

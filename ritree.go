@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"ritree/internal/hint"
 	"ritree/internal/interval"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
@@ -195,6 +196,17 @@ func attach(st *pagestore.Store, db *rel.DB, cfg *config, create bool) (*Index, 
 	}
 	eng := sqldb.NewEngine(db)
 	ritcore.RegisterIndexType(eng)
+	hint.RegisterIndexType(eng)
+	if !create {
+		// Re-attach every domain index recorded in the catalog, so DML
+		// through Exec maintains them across session boundaries. Failing
+		// here (stale storage, unregistered indextype) is deliberate: the
+		// alternative is silently serving DML that corrupts the persisted
+		// index.
+		if err := eng.AttachCatalogIndexes(); err != nil {
+			return nil, err
+		}
+	}
 	return &Index{store: st, db: db, tree: tree, engine: eng}, nil
 }
 

@@ -147,6 +147,48 @@ func TestPublicPersistence(t *testing.T) {
 	}
 }
 
+func TestOpenReattachesDomainIndexes(t *testing.T) {
+	// Domain indexes created through Exec persist their definitions in the
+	// catalog; Open on an existing file re-attaches them, so post-reopen
+	// DML through Exec keeps them maintained.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "iv.db")
+	idx, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec := func(x *Index, sql string) *Result {
+		t.Helper()
+		r, err := x.Exec(sql, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return r
+	}
+	mustExec(idx, "CREATE TABLE ev (lo int, hi int, id int)")
+	mustExec(idx, "CREATE INDEX ev_rit ON ev (lo, hi) INDEXTYPE IS ritree")
+	mustExec(idx, "CREATE INDEX ev_mm ON ev (lo, hi) INDEXTYPE IS hint")
+	mustExec(idx, "INSERT INTO ev VALUES (10, 20, 1)")
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	mustExec(idx2, "INSERT INTO ev VALUES (15, 30, 2)")
+	r := mustExec(idx2, "SELECT id FROM ev WHERE intersects(lo, hi, 18, 19) ORDER BY id")
+	if len(r.Rows) != 2 || r.Rows[0][0] != 1 || r.Rows[1][0] != 2 {
+		t.Fatalf("post-reopen domain query rows = %v", r.Rows)
+	}
+	plan := mustExec(idx2, "EXPLAIN SELECT id FROM ev WHERE intersects(lo, hi, 18, 19)")
+	if !strings.Contains(plan.Plan, "DOMAIN INDEX") {
+		t.Fatalf("operator not served by a re-attached domain index:\n%s", plan.Plan)
+	}
+}
+
 func TestPublicSQLSurface(t *testing.T) {
 	idx, _ := New()
 	defer idx.Close()
