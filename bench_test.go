@@ -383,7 +383,8 @@ func BenchmarkAblationSkeleton(b *testing.B) {
 }
 
 // BenchmarkCoreInsert measures single-interval insertion cost (Figure 5's
-// single-statement insert, O(log_b n) I/Os).
+// single-statement insert, O(log_b n) I/Os). Allocation counts are part
+// of the contract: they keep the hot-path garbage regressions visible.
 func BenchmarkCoreInsert(b *testing.B) {
 	idx, err := New()
 	if err != nil {
@@ -391,6 +392,7 @@ func BenchmarkCoreInsert(b *testing.B) {
 	}
 	defer idx.Close()
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := rng.Int63n(1 << 20)
@@ -401,7 +403,9 @@ func BenchmarkCoreInsert(b *testing.B) {
 }
 
 // BenchmarkCoreIntersecting measures intersection query cost on a loaded
-// index through the public API.
+// index through the public API — the target of the query-scratch pooling
+// in internal/ritree (transient node collections and scan bounds reused
+// across queries).
 func BenchmarkCoreIntersecting(b *testing.B) {
 	idx, err := New()
 	if err != nil {
@@ -420,6 +424,7 @@ func BenchmarkCoreIntersecting(b *testing.B) {
 	if err := idx.BulkLoad(ivs, ids); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var total int64
 	for i := 0; i < b.N; i++ {
@@ -432,6 +437,64 @@ func BenchmarkCoreIntersecting(b *testing.B) {
 	}
 	if total == 0 {
 		b.Fatal("queries returned nothing")
+	}
+}
+
+// BenchmarkCoreHINTIntersecting measures the same query shape through
+// the public main-memory HINT API (sorted subdivisions, flat storage) —
+// the headline number behind the hint/hintopt experiments.
+func BenchmarkCoreHINTIntersecting(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(bname("shards", float64(shards), "HINT"), func(b *testing.B) {
+			idx, err := NewHINT(WithHINTShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			n := 50000
+			ivs := make([]Interval, n)
+			ids := make([]int64, n)
+			for i := range ivs {
+				lo := rng.Int63n(1 << 20)
+				ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+				ids[i] = int64(i)
+			}
+			if err := idx.BulkLoad(ivs, ids); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				lo := rng.Int63n(1 << 20)
+				n, err := idx.CountIntersecting(NewInterval(lo, lo+5000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += n
+			}
+			if total == 0 {
+				b.Fatal("queries returned nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkCoreHINTInsert measures incremental insertion into the
+// main-memory HINT (sorted overlay path).
+func BenchmarkCoreHINTInsert(b *testing.B) {
+	idx, err := NewHINT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(1 << 20)
+		if err := idx.Insert(NewInterval(lo, lo+rng.Int63n(2048)), int64(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,8 +1,12 @@
 // Command ribench regenerates the tables and figures of the paper's
 // experimental evaluation (§6) on the reproduction's own substrate, plus
-// the RI-tree-vs-HINT main-memory comparison (experiment id "hint") and
-// the persisted-domain-index reopen lifecycle (experiment id "reopen":
-// catalog auto-attach cost per indextype on a file-backed database).
+// the RI-tree-vs-HINT main-memory comparison (experiment id "hint":
+// RI-tree against the PR-1 HINT baseline and the optimized HINT), the
+// HINT optimization-level ablation (experiment id "hintopt": unsorted
+// buckets vs sorted subdivisions vs the flat cache-conscious layout vs
+// the comparison-free geometry), and the persisted-domain-index reopen
+// lifecycle (experiment id "reopen": catalog auto-attach cost per
+// indextype on a file-backed database).
 //
 // Usage:
 //
@@ -11,6 +15,7 @@
 //	ribench -exp all -scale 0.1
 //	ribench -exp fig14 -latency 200us -csv
 //	ribench -exp hint -json
+//	ribench -exp hintopt -json
 //
 // Every experiment prints a paper-style table; the notes under each table
 // state the shape the paper reports, so the output is self-checking by

@@ -97,9 +97,12 @@ func TestHINTMatchesRITreeIndex(t *testing.T) {
 }
 
 func TestHINTConcurrentUse(t *testing.T) {
-	idx, err := NewHINT(WithHINTBits(16), WithHINTLevels(8))
+	idx, err := NewHINT(WithHINTBits(16), WithHINTLevels(8), WithHINTShards(4))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if idx.Shards() != 4 {
+		t.Fatalf("Shards = %d", idx.Shards())
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -139,6 +142,83 @@ func TestHINTConcurrentUse(t *testing.T) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	if int64(len(ids)) != idx.Count() {
 		t.Fatalf("full-domain query %d ids, count %d", len(ids), idx.Count())
+	}
+}
+
+func TestHINTShardedAndOptimized(t *testing.T) {
+	// The sharded index must answer exactly like the single-shard one,
+	// before and after Optimize, and BulkLoad must leave every shard in
+	// the flat layout.
+	one, err := NewHINT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewHINT(WithHINTShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	n := 4000
+	ivs := make([]Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 20)
+		ivs[i] = NewInterval(lo, lo+rng.Int63n(4096))
+		ids[i] = int64(i)
+	}
+	if err := one.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	if !one.Optimized() || !many.Optimized() {
+		t.Fatalf("BulkLoad left optimized = %v / %v", one.Optimized(), many.Optimized())
+	}
+	if one.Count() != many.Count() || one.Entries() != many.Entries() {
+		t.Fatalf("count/entries diverge: %d/%d vs %d/%d",
+			one.Count(), one.Entries(), many.Count(), many.Entries())
+	}
+	for qi := 0; qi < 200; qi++ {
+		lo := rng.Int63n(1 << 20)
+		q := NewInterval(lo, lo+rng.Int63n(8192))
+		a, err := one.Intersecting(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := many.Intersecting(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %v: 1-shard %d ids, 8-shard %d ids", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %v: id %d: %d vs %d", q, i, a[i], b[i])
+			}
+		}
+	}
+	// Incremental inserts land in the overlay; Optimize folds them in
+	// without changing any answer.
+	for i := 0; i < 100; i++ {
+		lo := rng.Int63n(1 << 20)
+		iv := NewInterval(lo, lo+100)
+		if err := many.Insert(iv, int64(n+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := one.Insert(iv, int64(n+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := many.Intersecting(NewInterval(0, 1<<20-1))
+	many.Optimize()
+	after, _ := many.Intersecting(NewInterval(0, 1<<20-1))
+	if len(before) != len(after) {
+		t.Fatalf("Optimize changed results: %d vs %d", len(before), len(after))
+	}
+	if _, err := NewHINT(WithHINTShards(-3)); err == nil {
+		t.Fatal("negative shard count accepted")
 	}
 }
 

@@ -133,8 +133,18 @@ func TestAllAccessMethodsAgree(t *testing.T) {
 	if err := hcf.BulkLoad(ivs, ids); err != nil {
 		t.Fatal(err)
 	}
+	// ... and the sharded concurrent wrapper (BulkLoad leaves every
+	// variant in the optimized flat layout, so this matrix pins the
+	// optimized paths against the reference).
+	hsh, err := hint.NewSharded(hint.Options{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hsh.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
 
-	methods := []am{rit, istD, istV, istH, m21, ti, wl, hd, hcf}
+	methods := []am{rit, istD, istV, istH, m21, ti, wl, hd, hcf, hsh}
 
 	rng := rand.New(rand.NewSource(78))
 	for qi := 0; qi < 100; qi++ {

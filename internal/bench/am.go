@@ -239,14 +239,32 @@ func (a *tileAM) Redundancy() float64 { return a.ix.Redundancy() }
 // --- HINT (main-memory) --------------------------------------------------
 
 type hintAM struct {
-	st *pagestore.Store // empty: the main-memory method performs no paged I/O
-	ix *hint.Index
+	st       *pagestore.Store // empty: the main-memory method performs no paged I/O
+	ix       *hint.Index
+	name     string
+	optimize bool
 }
 
-// NewHINT builds the main-memory HINT access method. Its page store stays
+// NewHINT builds the optimized main-memory HINT access method (sorted
+// subdivisions, flat cache-conscious storage). Its page store stays
 // empty — zero physical I/O per query is the point of the regime — but is
 // provided so Measure's accounting works uniformly.
 func NewHINT(c Config) (AM, error) {
+	return NewHINTOpts(c, hint.Options{}, true, "HINT")
+}
+
+// NewHINTBaseline builds HINT in its unoptimized PR-1 form: unsorted
+// per-partition buckets loaded incrementally and scanned linearly — the
+// reference point the hint/hintopt experiments measure speedups against.
+func NewHINTBaseline(c Config) (AM, error) {
+	return NewHINTOpts(c, hint.Options{NoSort: true}, false, "HINT-base")
+}
+
+// NewHINTOpts builds a HINT access method with explicit core options.
+// With optimize set, Load bulk loads into the flat cache-conscious
+// layout; otherwise it inserts incrementally and leaves the dynamic
+// per-partition buckets in place.
+func NewHINTOpts(c Config, opts hint.Options, optimize bool, name string) (AM, error) {
 	st, err := pagestore.New(pagestore.NewMemBackend(), pagestore.Options{
 		PageSize:  c.PageSize,
 		CacheSize: c.CacheSize,
@@ -254,23 +272,34 @@ func NewHINT(c Config) (AM, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := hint.New(hint.Options{})
+	ix, err := hint.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &hintAM{st: st, ix: ix}, nil
+	return &hintAM{st: st, ix: ix, name: name, optimize: optimize}, nil
 }
 
-func (a *hintAM) Name() string   { return "HINT" }
+func (a *hintAM) Name() string   { return a.name }
 func (a *hintAM) Regime() string { return RegimeMemory }
 func (a *hintAM) Load(ivs []interval.Interval, ids []int64) error {
-	return a.ix.BulkLoad(ivs, ids)
+	if a.optimize {
+		return a.ix.BulkLoad(ivs, ids)
+	}
+	for i := range ivs {
+		if err := a.ix.Insert(ivs[i], ids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 func (a *hintAM) QueryCount(q interval.Interval) (int64, error) {
 	return a.ix.CountIntersecting(q)
 }
 func (a *hintAM) Entries() int64          { return a.ix.Entries() }
 func (a *hintAM) Store() *pagestore.Store { return a.st }
+
+// BackingIndex exposes the HINT core (for layout statistics in tables).
+func (a *hintAM) BackingIndex() *hint.Index { return a.ix }
 
 // --- Window-List ---------------------------------------------------------
 

@@ -144,7 +144,7 @@ func TestHintComparisonShape(t *testing.T) {
 		}
 		ok := true
 		for r := range tb.Rows {
-			if cell(t, tb, r, 9) < 5 {
+			if cell(t, tb, r, 7) < 5 {
 				ok = false
 			}
 		}
@@ -152,28 +152,76 @@ func TestHintComparisonShape(t *testing.T) {
 			break
 		}
 	}
-	// The regime labels ride along for the recorded benchmark entries.
-	if len(tb.Methods) != 2 ||
-		tb.Methods[0].Regime != RegimeDisk || tb.Methods[1].Regime != RegimeMemory {
+	// The regime labels ride along for the recorded benchmark entries:
+	// RI-tree disk-relational, both HINT variants main-memory.
+	if len(tb.Methods) != 3 ||
+		tb.Methods[0].Regime != RegimeDisk ||
+		tb.Methods[1].Regime != RegimeMemory || tb.Methods[2].Regime != RegimeMemory {
 		t.Fatalf("methods = %+v", tb.Methods)
 	}
 	if !strings.Contains(tb.JSON(), `"regime": "main-memory"`) {
 		t.Fatalf("JSON lacks regime label:\n%s", tb.JSON())
 	}
-	// Columns: sel%, regime RI, regime HINT, ms RI, ms HINT, q/s RI,
-	// q/s HINT, IO RI, IO HINT, speedup. The acceptance bar: HINT
+	// Columns: sel%, ms RI, ms HINT-base, ms HINT, q/s RI, q/s HINT,
+	// IO HINT, x vs RI, x vs base. The acceptance bar: optimized HINT
 	// intersection throughput at least 5x the RI-tree's at every
-	// selectivity (at any scale the measured gap is far larger).
+	// selectivity (at any scale the measured gap is far larger). The
+	// baseline ratio is wall-clock noise at tiny scale, so assert only
+	// that it was measured.
 	for r := range tb.Rows {
-		if tb.Rows[r][2] != RegimeMemory {
-			t.Fatalf("row %d: HINT regime = %q", r, tb.Rows[r][2])
-		}
-		speedup := cell(t, tb, r, 9)
+		speedup := cell(t, tb, r, 7)
 		if speedup < 5 {
 			t.Fatalf("row %d: HINT speedup %v < 5x over RI-tree", r, speedup)
 		}
-		if io := cell(t, tb, r, 8); io != 0 {
+		if io := cell(t, tb, r, 6); io != 0 {
 			t.Fatalf("row %d: HINT physical I/O = %v, want 0", r, io)
+		}
+		if base := cell(t, tb, r, 8); base <= 0 {
+			t.Fatalf("row %d: baseline ratio = %v", r, base)
+		}
+	}
+}
+
+func TestHintAblationShape(t *testing.T) {
+	tb, err := HintAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: variant, ms 0.5%, q/s 0.5%, ms 2.0%, q/s 2.0%, entries,
+	// flat entries. One row per optimization level; speed ordering
+	// between adjacent levels is wall-clock noise at tiny scale, so
+	// assert the structural invariants instead.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(tb.Rows))
+	}
+	for r := range tb.Rows {
+		// ms/query can legitimately round to 0.000 at tiny scale (the
+		// flat layout answers in microseconds); only a negative cell is
+		// malformed.
+		if ms := cell(t, tb, r, 1); ms < 0 {
+			t.Fatalf("row %d: ms = %v", r, ms)
+		}
+		entries := cell(t, tb, r, 5)
+		flat := cell(t, tb, r, 6)
+		if entries <= 0 {
+			t.Fatalf("row %d: entries = %v", r, entries)
+		}
+		optimized := r >= 2 // flat and cmp-free rows
+		if optimized && flat != entries {
+			t.Fatalf("row %d: flat entries %v != entries %v after Optimize", r, flat, entries)
+		}
+		if !optimized && flat != 0 {
+			t.Fatalf("row %d: flat entries %v in dynamic variant", r, flat)
+		}
+	}
+	// The comparison-free geometry (more levels) replicates more.
+	if cell(t, tb, 3, 5) <= cell(t, tb, 2, 5) {
+		t.Fatalf("cmp-free entries %v not above default geometry %v",
+			cell(t, tb, 3, 5), cell(t, tb, 2, 5))
+	}
+	for _, m := range tb.Methods {
+		if m.Regime != RegimeMemory {
+			t.Fatalf("method %+v not main-memory", m)
 		}
 	}
 }

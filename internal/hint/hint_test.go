@@ -126,7 +126,10 @@ func adversarialQuery(rng *rand.Rand, max int64) interval.Interval {
 // TestRandomizedCrossCheck is the property test: mixed insert/delete
 // workloads with adversarial interval shapes, cross-checking intersection
 // and stabbing results against a brute-force scan after every batch, over
-// several index geometries including the comparison-free one.
+// several index geometries including the comparison-free one and the
+// unsorted ablation layout. Periodic Optimize calls move entries into the
+// flat storage mid-workload, so deletes and queries exercise every mix of
+// flat segments and dynamic overlay.
 func TestRandomizedCrossCheck(t *testing.T) {
 	configs := []Options{
 		{},                     // defaults: bits 20, m 10
@@ -134,6 +137,7 @@ func TestRandomizedCrossCheck(t *testing.T) {
 		{Bits: 14, Levels: 1},  // degenerate two-partition bottom
 		{Bits: 20, Levels: 16},
 		{Bits: 10, Levels: 4},
+		{Bits: 14, Levels: 6, NoSort: true}, // ablation: unsorted linear scans
 	}
 	for ci, opts := range configs {
 		x, err := New(opts)
@@ -154,6 +158,14 @@ func TestRandomizedCrossCheck(t *testing.T) {
 				}
 				ref.insert(iv, nextID)
 				nextID++
+			}
+			// Compact on some rounds, so later deletes and queries hit
+			// flat segments, overlay buckets, and both.
+			if round%3 == 1 {
+				x.Optimize()
+				if x.OverlayEntries() != 0 {
+					t.Fatalf("%s: overlay = %d after Optimize", x.Name(), x.OverlayEntries())
+				}
 			}
 			// Delete a random subset (including an already-deleted pair,
 			// which must report false).
@@ -214,6 +226,147 @@ func TestRandomizedCrossCheck(t *testing.T) {
 			t.Fatalf("%s: after drain count=%d entries=%d replicas=%d",
 				x.Name(), x.Count(), x.Entries(), x.Replicas())
 		}
+	}
+}
+
+// TestOptimizeEquivalence loads the same workload three ways — purely
+// incremental, bulk loaded, and incremental + explicit Optimize — and
+// checks the three answer every query identically (the flat layout is a
+// storage change, never a semantic one).
+func TestOptimizeEquivalence(t *testing.T) {
+	opts := Options{Bits: 16, Levels: 8}
+	dyn, _ := New(opts)
+	bulk, _ := New(opts)
+	opt, _ := New(opts)
+	rng := rand.New(rand.NewSource(7))
+	max := dyn.DomainMax()
+	var ivs []interval.Interval
+	var ids []int64
+	for i := int64(0); i < 4000; i++ {
+		iv := adversarialInterval(rng, max)
+		ivs = append(ivs, iv)
+		ids = append(ids, i)
+		if err := dyn.Insert(iv, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Insert(iv, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bulk.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize()
+	if dyn.Optimized() || !bulk.Optimized() || !opt.Optimized() {
+		t.Fatalf("optimized flags: dyn=%v bulk=%v opt=%v",
+			dyn.Optimized(), bulk.Optimized(), opt.Optimized())
+	}
+	if bulk.FlatEntries() != bulk.Entries() || bulk.OverlayEntries() != 0 {
+		t.Fatalf("bulk: flat=%d overlay=%d entries=%d",
+			bulk.FlatEntries(), bulk.OverlayEntries(), bulk.Entries())
+	}
+	if dyn.Entries() != bulk.Entries() || dyn.Entries() != opt.Entries() {
+		t.Fatalf("entries diverge: %d / %d / %d", dyn.Entries(), bulk.Entries(), opt.Entries())
+	}
+	for qi := 0; qi < 400; qi++ {
+		q := adversarialQuery(rng, max)
+		a, err := dyn.Intersecting(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := bulk.Intersecting(q)
+		c, _ := opt.Intersecting(q)
+		if !sortedEqual(a, b) || !sortedEqual(a, c) {
+			t.Fatalf("query %v: dyn %d ids, bulk %d ids, opt %d ids", q, len(a), len(b), len(c))
+		}
+	}
+	// Inserts after Optimize land in the overlay and are immediately
+	// visible.
+	if err := opt.Insert(interval.New(5, 9), 99999); err != nil {
+		t.Fatal(err)
+	}
+	if opt.OverlayEntries() == 0 {
+		t.Fatal("post-Optimize insert did not go to the overlay")
+	}
+	ids2, _ := opt.Intersecting(interval.New(6, 7))
+	found := false
+	for _, id := range ids2 {
+		if id == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-Optimize insert invisible: %v", ids2)
+	}
+}
+
+// TestShardedCrossCheck drives the concurrent wrapper through the same
+// adversarial workload as the core index, single-threaded, to pin the
+// sharding itself (routing, fan-out, exactly-once union) against brute
+// force.
+func TestShardedCrossCheck(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		s, err := NewSharded(Options{Bits: 14, Levels: 7, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", s.Shards(), shards)
+		}
+		rng := rand.New(rand.NewSource(int64(40 + shards)))
+		ref := &brute{}
+		max := s.DomainMax()
+		for i := int64(0); i < 2000; i++ {
+			iv := adversarialInterval(rng, max)
+			if err := s.Insert(iv, i); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(iv, i)
+		}
+		s.Optimize()
+		for i := 0; i < 500 && len(ref.ivs) > 0; i++ {
+			j := rng.Intn(len(ref.ivs))
+			iv, id := ref.ivs[j], ref.ids[j]
+			if ok, err := s.Delete(iv, id); err != nil || !ok {
+				t.Fatalf("delete (%v, %d) = %v, %v", iv, id, ok, err)
+			}
+			ref.delete(iv, id)
+		}
+		if got, want := s.Count(), int64(len(ref.ivs)); got != want {
+			t.Fatalf("Count = %d, want %d", got, want)
+		}
+		if s.Entries()-s.Replicas() != s.Count() {
+			t.Fatalf("entries=%d replicas=%d count=%d", s.Entries(), s.Replicas(), s.Count())
+		}
+		for qi := 0; qi < 200; qi++ {
+			q := adversarialQuery(rng, max)
+			want := ref.intersecting(q)
+			got, err := s.Intersecting(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sortedEqual(got, want) {
+				t.Fatalf("shards=%d query %v: got %d ids, want %d ids", shards, q, len(got), len(want))
+			}
+		}
+		// Early termination across shard boundaries.
+		seen := 0
+		if err := s.IntersectingFunc(interval.New(0, max), func(int64) bool { seen++; return seen < 3 }); err != nil {
+			t.Fatal(err)
+		}
+		if seen != 3 && s.Count() >= 3 {
+			t.Fatalf("early termination saw %d", seen)
+		}
+		s.Clear()
+		if s.Count() != 0 || s.Entries() != 0 {
+			t.Fatal("Clear left residue")
+		}
+	}
+	if _, err := NewSharded(Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := New(Options{Shards: 4}); err == nil {
+		t.Fatal("bare New accepted Shards > 1")
 	}
 }
 

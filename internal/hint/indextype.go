@@ -3,6 +3,7 @@ package hint
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"ritree/internal/interval"
 	"ritree/internal/rel"
@@ -92,8 +93,13 @@ type indexType struct {
 	loPos int
 	hiPos int
 	tab   *rel.Table
-	off   int64 // indexed value = column value - off
-	ix    *Index
+	// mu lets Scan run concurrently with other Scans while trigger
+	// maintenance and rebuilds take the write side. The SQL engine
+	// serializes statements anyway; the lock makes the indextype safe
+	// for embedding callers that drive it directly.
+	mu  sync.RWMutex
+	off int64 // indexed value = column value - off
+	ix  *Index
 }
 
 func newIndexType(e *sqldb.Engine, indexName, table string, cols []string) (*indexType, error) {
@@ -179,8 +185,10 @@ func (x *indexType) fits(lo int64) bool {
 }
 
 // rebuild re-derives the geometry from the base table and reloads the
-// in-memory index. Called at CREATE INDEX / attach time and whenever a
-// new row falls outside the current domain.
+// in-memory index into its optimized flat layout. Called at CREATE
+// INDEX / attach time and whenever a new row falls outside the current
+// domain; callers hold the write lock (or the index is not yet
+// published).
 func (x *indexType) rebuild() error {
 	var lows, highs []int64
 	var rids []rel.RowID
@@ -219,11 +227,15 @@ func (x *indexType) rebuild() error {
 	}
 	// Load into the fresh index before publishing it, so a mid-load
 	// failure leaves the live index untouched rather than half-filled.
+	// BulkLoad leaves the index in its flat cache-conscious layout.
+	shifted := make([]interval.Interval, len(lows))
+	ridIDs := make([]int64, len(lows))
 	for i := range lows {
-		iv := interval.New(lows[i]-off, sat(highs[i])-off)
-		if err := ix.Insert(iv, int64(rids[i])); err != nil {
-			return err
-		}
+		shifted[i] = interval.New(lows[i]-off, sat(highs[i])-off)
+		ridIDs[i] = int64(rids[i])
+	}
+	if err := ix.BulkLoad(shifted, ridIDs); err != nil {
+		return err
 	}
 	x.off, x.ix = off, ix
 	return nil
@@ -247,23 +259,40 @@ func (ix *indexType) HasOperator(op string) bool {
 // OnInsert implements sqldb.CustomIndex: index maintenance by trigger.
 // A row outside the current domain triggers a rebuild with a wider
 // geometry; the rebuild scans the base table, which already holds the new
-// row, so nothing further is inserted in that case.
+// row, so nothing further is inserted in that case. Rows inside the
+// domain go to the index's dynamic overlay; once the overlay outgrows
+// the flat storage the index is re-optimized, so sustained DML keeps the
+// amortized cost O(log n) compactions over the index's lifetime while
+// queries keep scanning mostly flat memory.
 func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
 	lo, hi := row[ix.loPos], row[ix.hiPos]
 	if err := checkRow(lo, hi); err != nil {
 		return err
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if !ix.fits(lo) {
 		return ix.rebuild()
 	}
-	return ix.ix.Insert(ix.shiftIv(lo, hi), int64(rid))
+	if err := ix.ix.Insert(ix.shiftIv(lo, hi), int64(rid)); err != nil {
+		return err
+	}
+	if over := ix.ix.OverlayEntries(); over > 1024 && over > ix.ix.FlatEntries() {
+		ix.ix.Optimize()
+	}
+	return nil
 }
 
 // OnDelete implements sqldb.CustomIndex.
 func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
 	lo, hi := row[ix.loPos], row[ix.hiPos]
-	if checkRow(lo, hi) != nil || !ix.fits(lo) {
+	if checkRow(lo, hi) != nil {
 		return nil // never indexed under this geometry
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.fits(lo) {
+		return nil
 	}
 	_, err := ix.ix.Delete(ix.shiftIv(lo, hi), int64(rid))
 	return err
@@ -297,6 +326,8 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 		// this far out; a correct answer needs exact comparisons.
 		return fmt.Errorf("hint indextype: query start %d outside the supported range ±2^59", qlo)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	q := interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off)
 	return ix.ix.IntersectingFunc(q, func(id int64) bool {
 		return fn(rel.RowID(id))
@@ -306,6 +337,8 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 // Drop implements sqldb.CustomIndex: main-memory storage is simply
 // released.
 func (ix *indexType) Drop() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ix.ix.Clear()
 	return nil
 }

@@ -1,0 +1,255 @@
+package hint
+
+// Sharded packages N independently locked HINT indexes behind one
+// interval-index API, the concurrency story for the millions-of-users
+// regime: every interval is owned by exactly one shard (chosen by a
+// mixed hash of its id), mutations take that shard's write lock only,
+// and queries fan over the shards under read locks — so readers never
+// block readers, and a writer stalls only the readers of its own shard
+// while the other shards keep serving. All methods are safe for
+// concurrent use.
+//
+// Intersection results are the disjoint union of the shards' results, so
+// the exactly-once reporting guarantee of the single-shard algorithm is
+// preserved by construction.
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"ritree/internal/interval"
+)
+
+// Sharded is a concurrency-safe HINT index of one or more shards.
+type Sharded struct {
+	shards []shard
+}
+
+type shard struct {
+	mu sync.RWMutex
+	ix *Index
+}
+
+// NewSharded returns an empty concurrent index with opts.Shards shards
+// (default 1). Every shard gets the same geometry.
+func NewSharded(opts Options) (*Sharded, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 || n > 1024 {
+		return nil, fmt.Errorf("hint: Shards = %d out of range [1, 1024]", n)
+	}
+	opts.Shards = 0 // per-shard indexes are bare
+	s := &Sharded{shards: make([]shard, n)}
+	for i := range s.shards {
+		ix, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].ix = ix
+	}
+	return s, nil
+}
+
+// shardOf routes an id to its owning shard's position. Ids are commonly
+// sequential row ids, so a splitmix64-style mix spreads them evenly.
+func (s *Sharded) shardOf(id int64) int {
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(s.shards)))
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Insert registers iv under id, locking only the owning shard.
+func (s *Sharded) Insert(iv interval.Interval, id int64) error {
+	sh := &s.shards[s.shardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ix.Insert(iv, id)
+}
+
+// Delete removes one registration of (iv, id), reporting whether it
+// existed.
+func (s *Sharded) Delete(iv interval.Interval, id int64) (bool, error) {
+	sh := &s.shards[s.shardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ix.Delete(iv, id)
+}
+
+// BulkLoad splits the dataset by owning shard and bulk loads each shard
+// in turn, leaving every shard in its optimized flat layout.
+func (s *Sharded) BulkLoad(ivs []interval.Interval, ids []int64) error {
+	if len(ivs) != len(ids) {
+		return fmt.Errorf("hint: BulkLoad got %d intervals, %d ids", len(ivs), len(ids))
+	}
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.ix.BulkLoad(ivs, ids)
+	}
+	type batch struct {
+		ivs []interval.Interval
+		ids []int64
+	}
+	batches := make([]batch, len(s.shards))
+	for i := range ivs {
+		b := &batches[s.shardOf(ids[i])]
+		b.ivs = append(b.ivs, ivs[i])
+		b.ids = append(b.ids, ids[i])
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.ix.BulkLoad(batches[i].ivs, batches[i].ids)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Optimize compacts every shard into its cache-conscious flat layout.
+func (s *Sharded) Optimize() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.ix.Optimize()
+		sh.mu.Unlock()
+	}
+}
+
+// Clear drops every stored interval, keeping the configuration.
+func (s *Sharded) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.ix.Clear()
+		sh.mu.Unlock()
+	}
+}
+
+// IntersectingFunc streams the ids of intervals intersecting q in no
+// particular order; return false from fn to stop early. Each shard is
+// consulted under its read lock, so the scan runs concurrently with
+// other readers and with writers on other shards. fn must not call the
+// index's mutating methods (the locks are not reentrant).
+func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return fmt.Errorf("hint: invalid query %v", q)
+	}
+	stopped := false
+	wrapped := func(id int64) bool {
+		if !fn(id) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		err := sh.ix.IntersectingFunc(q, wrapped)
+		sh.mu.RUnlock()
+		if err != nil || stopped {
+			return err
+		}
+	}
+	return nil
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+func (s *Sharded) Intersecting(q interval.Interval) ([]int64, error) {
+	var ids []int64
+	if err := s.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
+		return nil, err
+	}
+	slices.Sort(ids)
+	return ids, nil
+}
+
+// CountIntersecting returns the number of intervals intersecting q.
+func (s *Sharded) CountIntersecting(q interval.Interval) (int64, error) {
+	var n int64
+	err := s.IntersectingFunc(q, func(int64) bool { n++; return true })
+	return n, err
+}
+
+// Stab returns the ids of all intervals containing the point p, ascending.
+func (s *Sharded) Stab(p int64) ([]int64, error) {
+	return s.Intersecting(interval.Point(p))
+}
+
+// Count returns the number of live intervals across all shards.
+func (s *Sharded) Count() int64 { return s.sum(func(ix *Index) int64 { return ix.Count() }) }
+
+// Entries returns the number of stored copies across all shards.
+func (s *Sharded) Entries() int64 { return s.sum(func(ix *Index) int64 { return ix.Entries() }) }
+
+// Replicas returns how many stored copies are replicas.
+func (s *Sharded) Replicas() int64 { return s.sum(func(ix *Index) int64 { return ix.Replicas() }) }
+
+// OverlayEntries returns how many stored copies await the next Optimize.
+func (s *Sharded) OverlayEntries() int64 {
+	return s.sum(func(ix *Index) int64 { return ix.OverlayEntries() })
+}
+
+func (s *Sharded) sum(f func(ix *Index) int64) int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += f(sh.ix)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Levels returns m, the depth of the bisection hierarchy.
+func (s *Sharded) Levels() int { return s.shards[0].ix.Levels() }
+
+// Bits returns the domain width in bits.
+func (s *Sharded) Bits() int { return s.shards[0].ix.Bits() }
+
+// ComparisonFree reports whether the shards run the comparison-free
+// variant (Levels == Bits).
+func (s *Sharded) ComparisonFree() bool { return s.shards[0].ix.ComparisonFree() }
+
+// DomainMax returns the largest admissible interval start, 2^Bits-1.
+func (s *Sharded) DomainMax() int64 { return s.shards[0].ix.DomainMax() }
+
+// Optimized reports whether every shard has its flat storage built.
+func (s *Sharded) Optimized() bool {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		ok := sh.ix.Optimized()
+		sh.mu.RUnlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Name identifies the index and its configuration.
+func (s *Sharded) Name() string {
+	if len(s.shards) == 1 {
+		return s.shards[0].ix.Name()
+	}
+	return fmt.Sprintf("%s x%d", s.shards[0].ix.Name(), len(s.shards))
+}
+
+// String summarizes the index.
+func (s *Sharded) String() string {
+	return fmt.Sprintf("hint.Sharded{%s, n=%d, entries=%d, replicas=%d}",
+		s.Name(), s.Count(), s.Entries(), s.Replicas())
+}

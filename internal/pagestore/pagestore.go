@@ -127,7 +127,7 @@ type frame struct {
 	data  []byte
 	dirty bool
 	pins  int
-	elem  *list.Element // position in lru; nil while pinned
+	elem  *list.Element // position in lru; set for every cached frame, pinned or not
 }
 
 // Store is a buffer-cached page store. It is safe for concurrent use; the
@@ -139,7 +139,7 @@ type Store struct {
 	opts    Options
 	backend Backend
 	frames  map[PageID]*frame
-	lru     *list.List // front = most recently used; holds only unpinned frames
+	lru     *list.List // front = most recently used; holds every cached frame, eviction skips pinned ones
 	stats   Stats
 	next    PageID
 	free    []PageID
@@ -347,7 +347,6 @@ func (p *Page) Release() {
 		panic("pagestore: page released more times than pinned")
 	}
 	if f.pins == 0 {
-		f.elem = s.lru.PushFront(f)
 		s.shrinkLocked()
 	}
 }
@@ -391,11 +390,13 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	return &Page{s: s, f: f}, nil
 }
 
+// pinLocked marks f in use. Frames stay resident in the LRU list while
+// pinned — eviction skips them by pin count — so a pin/release cycle is
+// a MoveToFront instead of a Remove + PushFront pair; the latter
+// allocated a fresh list element per logical page access, which
+// dominated the per-query allocation profile.
 func (s *Store) pinLocked(f *frame) {
-	if f.pins == 0 && f.elem != nil {
-		s.lru.Remove(f.elem)
-		f.elem = nil
-	}
+	s.lru.MoveToFront(f.elem)
 	f.pins++
 }
 
@@ -416,7 +417,12 @@ func (s *Store) shrinkLocked() { _ = s.shrinkToLocked(s.opts.CacheSize) }
 // exceed its capacity (the caller holds the pins and will release them).
 func (s *Store) shrinkToLocked(limit int) error {
 	for len(s.frames) > limit {
+		// Pinned frames stay in the list; walk past them to the
+		// least-recently-used evictable frame.
 		back := s.lru.Back()
+		for back != nil && back.Value.(*frame).pins > 0 {
+			back = back.Prev()
+		}
 		if back == nil {
 			return nil // everything pinned; temporarily over capacity
 		}

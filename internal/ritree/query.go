@@ -2,7 +2,7 @@ package ritree
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"ritree/internal/interval"
 	"ritree/internal/rel"
@@ -57,10 +57,41 @@ func clampShift(v, off int64) int64 {
 	return s
 }
 
+// queryScratch is the per-query working set IntersectingFunc reuses
+// across calls via Tree.scratch: the transient node collections and the
+// bound buffers handed to the index range scans. Pooling it takes the
+// steady-state query down to zero heap allocations (the §4.2 "costs no
+// I/O to build" claim, extended to "costs no garbage either") while
+// staying safe for the concurrent readers the top-level API allows.
+type queryScratch struct {
+	tn TransientNodes
+	lo [2]int64
+	hi [2]int64
+}
+
+func (t *Tree) getScratch() *queryScratch {
+	if v := t.scratch.Get(); v != nil {
+		s := v.(*queryScratch)
+		s.tn.Left = s.tn.Left[:0]
+		s.tn.Right = s.tn.Right[:0]
+		return s
+	}
+	return &queryScratch{}
+}
+
 // collectNodes descends the virtual backbone for the query interval and
-// returns the transient collections. All arithmetic happens in shifted
-// coordinates; no I/O is performed (§4.2).
+// returns the transient collections (freshly allocated; the query path
+// proper goes through collectNodesInto and the scratch pool).
 func (t *Tree) collectNodes(q interval.Interval) TransientNodes {
+	var tn TransientNodes
+	t.collectNodesInto(q, &tn)
+	return tn
+}
+
+// collectNodesInto appends the transient collections for q to tn,
+// reusing its backing arrays. All arithmetic happens in shifted
+// coordinates; no I/O is performed (§4.2).
+func (t *Tree) collectNodesInto(q interval.Interval, tn *TransientNodes) {
 	p := t.params
 	l, u := t.shiftedBounds(q)
 
@@ -68,8 +99,6 @@ func (t *Tree) collectNodes(q interval.Interval) TransientNodes {
 	if t.opts.DisableMinStep {
 		minstep = 1
 	}
-
-	var tn TransientNodes
 
 	// walkTo visits the search-path nodes from (start, startStep) toward
 	// target, pruning levels below minstep (their secondary lists are
@@ -192,7 +221,6 @@ func (t *Tree) collectNodes(q interval.Interval) TransientNodes {
 	if q.Lower <= t.now && t.skeletonHas(NodeNow) {
 		tn.Right = append(tn.Right, NodeNow)
 	}
-	return tn
 }
 
 // IntersectingFunc reports the id of every stored interval intersecting q,
@@ -204,14 +232,18 @@ func (t *Tree) IntersectingFunc(q interval.Interval, fn func(id int64) bool) err
 	if !q.Valid() {
 		return nil
 	}
-	tn := t.collectNodes(q)
+	s := t.getScratch()
+	defer t.scratch.Put(s)
+	t.collectNodesInto(q, &s.tn)
 	stop := false
-	for _, nr := range tn.Left {
+	for _, nr := range s.tn.Left {
 		// SELECT id FROM Intervals i WHERE i.node BETWEEN nr.Min AND nr.Max
-		//   AND i.upper >= :lower  — one range scan on upperIndex.
-		err := t.upperIx.Scan(
-			[]int64{nr.Min, q.Lower},
-			[]int64{nr.Max, math.MaxInt64},
+		//   AND i.upper >= :lower  — one range scan on upperIndex. The
+		// bound keys go through the pooled buffers; Scan pads them into
+		// fresh full-width keys, so the buffers are not retained.
+		s.lo[0], s.lo[1] = nr.Min, q.Lower
+		s.hi[0], s.hi[1] = nr.Max, math.MaxInt64
+		err := t.upperIx.Scan(s.lo[:], s.hi[:],
 			func(key []int64, _ rel.RowID) bool {
 				if key[1] < q.Lower {
 					// Residual filter for multi-node ranges; the §4.3
@@ -229,12 +261,12 @@ func (t *Tree) IntersectingFunc(q interval.Interval, fn func(id int64) bool) err
 			return err
 		}
 	}
-	for _, w := range tn.Right {
+	for _, w := range s.tn.Right {
 		// SELECT id FROM Intervals i WHERE i.node = w AND i.lower <= :upper
 		//   — one range scan on lowerIndex.
-		err := t.lowerIx.Scan(
-			[]int64{w, math.MinInt64},
-			[]int64{w, q.Upper},
+		s.lo[0], s.lo[1] = w, math.MinInt64
+		s.hi[0], s.hi[1] = w, q.Upper
+		err := t.lowerIx.Scan(s.lo[:], s.hi[:],
 			func(key []int64, _ rel.RowID) bool {
 				if !fn(key[2]) {
 					stop = true
@@ -278,7 +310,7 @@ func (t *Tree) Intersecting(q interval.Interval) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, nil
 }
 

@@ -20,6 +20,7 @@ package ritree
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ritree/internal/interval"
 	"ritree/internal/rel"
@@ -93,6 +94,11 @@ type Tree struct {
 	// nonempty counts live rows per backbone node when
 	// Options.MaterializeBackbone is set; nil otherwise.
 	nonempty map[int64]int64
+	// scratch pools *queryScratch values so steady-state queries build
+	// their transient collections and scan bounds without heap
+	// allocations; a pool (not a plain field) because the top-level API
+	// runs queries concurrently under a read lock.
+	scratch sync.Pool
 }
 
 // Column layout of the interval relation.

@@ -2,7 +2,7 @@ package ritree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ritree/internal/interval"
 	"ritree/internal/sqldb"
@@ -59,7 +59,7 @@ func (t *Tree) IntersectingSQL(e *sqldb.Engine, q interval.Interval) ([]int64, e
 	for _, row := range res.Rows {
 		ids = append(ids, row[0])
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, nil
 }
 

@@ -3,7 +3,7 @@ package ritree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ritree/internal/interval"
 	"ritree/internal/rel"
@@ -88,7 +88,7 @@ func (t *Tree) QueryRelation(r interval.Relation, q interval.Interval) ([]int64,
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, nil
 }
 
