@@ -4,9 +4,12 @@
 // RI-tree against the PR-1 HINT baseline and the optimized HINT), the
 // HINT optimization-level ablation (experiment id "hintopt": unsorted
 // buckets vs sorted subdivisions vs the flat cache-conscious layout vs
-// the comparison-free geometry), and the persisted-domain-index reopen
-// lifecycle (experiment id "reopen": catalog auto-attach cost per
-// indextype on a file-backed database).
+// the comparison-free geometry), the unified-interface comparison
+// (experiment id "collections": every registered access method loaded and
+// queried through the same collection code path the public DB/Collection
+// API uses), and the persisted-domain-index reopen lifecycle (experiment
+// id "reopen": catalog auto-attach cost per indextype on a file-backed
+// database).
 //
 // Usage:
 //

@@ -4,9 +4,9 @@
 //
 //	risql [-db file.pages]
 //
-// The session pre-registers the ritree and hint indextypes, so the §5
-// path works end to end with either access method — the disk-relational
-// RI-tree or the main-memory HINT:
+// The session pre-registers the ritree, hint and hint_sharded indextypes,
+// so the §5 path works end to end with any access method — the
+// disk-relational RI-tree or the main-memory HINT variants:
 //
 //	sql> CREATE TABLE resv (room int, arrival int, departure int);
 //	sql> CREATE INDEX resv_iv ON resv (arrival, departure) INDEXTYPE IS ritree;
@@ -15,6 +15,17 @@
 //	sql> SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
 //	sql> EXPLAIN SELECT room FROM resv WHERE intersects(arrival, departure, 15, 18);
 //
+// Named interval collections (the unified-API shape: a (lower, upper, id)
+// relation plus its access-method domain index) are first-class
+// statements:
+//
+//	sql> CREATE COLLECTION flights USING hint;
+//	sql> INSERT INTO flights VALUES (10, 20, 1);
+//	sql> SELECT id FROM flights WHERE intersects(lower, upper, 15, 18);
+//	sql> DROP COLLECTION flights;
+//
+// \collections lists them with their access methods.
+//
 // Reopening a persisted database (risql -db f.pages on an existing file)
 // re-attaches every domain index recorded in the catalog before the first
 // prompt: ritree indexes reopen their hidden relations (verified against
@@ -22,7 +33,8 @@
 // indextype cannot be attached aborts the session rather than silently
 // serving DML without index maintenance.
 //
-// Meta commands: \tables, \stats, \reset (zero I/O counters), \q.
+// Meta commands: \tables, \collections, \stats, \reset (zero I/O
+// counters), \q.
 // Statements end with a semicolon and may span lines; several statements
 // may share a line. Bind variables are not available in the shell; inline
 // the values.
@@ -78,6 +90,7 @@ func main() {
 	eng := sqldb.NewEngine(db)
 	ritree.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
+	hint.RegisterShardedIndexType(eng, 0)
 	switch {
 	case reopened && *repair:
 		fmt.Println("REPAIR MODE: domain indexes are NOT attached — DML will not maintain them.")
@@ -101,7 +114,7 @@ func main() {
 	}
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
-	fmt.Println(`type SQL ending with ';', or \tables \stats \reset \q`)
+	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \reset \q`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -126,6 +139,18 @@ func main() {
 					tab, _ := db.Table(t)
 					fmt.Printf("  %-24s %8d rows, columns %v\n", t, tab.RowCount(), tab.Schema().Columns)
 				}
+			case `\collections`:
+				cols := eng.Collections()
+				if len(cols) == 0 {
+					fmt.Println("  (none — CREATE COLLECTION name USING method)")
+				}
+				for _, ci := range cols {
+					rows := int64(0)
+					if tab, err := db.Table(ci.Name); err == nil {
+						rows = tab.RowCount()
+					}
+					fmt.Printf("  %-24s %-14s %8d intervals\n", ci.Name, ci.Method, rows)
+				}
 			case `\stats`:
 				s := db.Stats()
 				fmt.Printf("  logical reads:   %d\n  physical reads:  %d\n  physical writes: %d\n",
@@ -134,7 +159,7 @@ func main() {
 				db.ResetStats()
 				fmt.Println("  counters zeroed")
 			default:
-				fmt.Println(`  unknown command; try \tables \stats \reset \q`)
+				fmt.Println(`  unknown command; try \tables \collections \stats \reset \q`)
 			}
 			prompt()
 			continue

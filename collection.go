@@ -1,0 +1,343 @@
+package ritree
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"slices"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+	"ritree/internal/sqldb"
+)
+
+// Querier is the uniform interface every interval collection satisfies,
+// regardless of the access method serving it — DB collections on any
+// registered indextype, the legacy RI-tree Index, and the main-memory
+// HINT all answer the same queries the same way. Slice-returning methods
+// report ids ascending; Scan streams without materializing and is the
+// cancellable form.
+type Querier interface {
+	// Insert registers iv under id; duplicate (iv, id) pairs count
+	// separately.
+	Insert(iv Interval, id int64) error
+	// Delete removes one registration of (iv, id), reporting whether it
+	// existed.
+	Delete(iv Interval, id int64) (bool, error)
+	// BulkLoad inserts ivs[i] under ids[i] — the fast path for loading
+	// large datasets.
+	BulkLoad(ivs []Interval, ids []int64) error
+	// Intersecting returns the ids of all intervals intersecting q,
+	// ascending.
+	Intersecting(q Interval) ([]int64, error)
+	// IntersectingFunc streams the ids of intervals intersecting q in no
+	// particular order; return false from fn to stop early.
+	IntersectingFunc(q Interval, fn func(id int64) bool) error
+	// CountIntersecting returns the number of intervals intersecting q.
+	CountIntersecting(q Interval) (int64, error)
+	// Stab returns the ids of all intervals containing the point p,
+	// ascending.
+	Stab(p int64) ([]int64, error)
+	// Query returns the ids of all intervals i with "i r q" for any of
+	// Allen's thirteen relations (paper §4.5), ascending.
+	Query(r Relation, q Interval) ([]int64, error)
+	// Scan streams the ids matching q (see Intersects, Stabbing, Related)
+	// as a range-over-func iterator: breaking out of the loop stops the
+	// scan, and ctx cancellation surfaces as the iterator's final error.
+	Scan(ctx context.Context, q Query) iter.Seq2[int64, error]
+	// Count returns the number of registered intervals.
+	Count() int64
+}
+
+var (
+	_ Querier = (*Collection)(nil)
+	_ Querier = (*Index)(nil)
+	_ Querier = (*HINT)(nil)
+)
+
+// Collection is one named interval collection of a DB: a base relation of
+// (lower, upper, id) rows plus the access-method domain index serving its
+// queries (paper §5 — the server "automatically triggers the maintenance
+// and scan of custom indexes"). Query results stream through the access
+// method and map row ids back to the base relation, exactly the paper's
+// domain-index query shape.
+//
+// Methods are safe for concurrent use under the owning DB's lock: queries
+// run concurrently with each other, mutations are exclusive. The
+// now-relative intervals of §4.6 (Upper == NowMarker, SetNow) are served
+// when the access method implements them (ritree); other methods reject
+// such rows instead of silently mis-answering.
+type Collection struct {
+	db     *DB
+	name   string
+	method string
+	tab    *rel.Table
+	ci     sqldb.CustomIndex
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Method returns the name of the access method serving the collection.
+func (c *Collection) Method() string { return c.method }
+
+// Count returns the number of registered intervals.
+func (c *Collection) Count() int64 {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	return c.tab.RowCount()
+}
+
+// String summarizes the collection.
+func (c *Collection) String() string {
+	return fmt.Sprintf("ritree.Collection{%s, method=%s, n=%d}", c.name, c.method, c.Count())
+}
+
+func (c *Collection) checkInsert(iv Interval) error {
+	if !iv.Valid() && iv.Upper != Infinity && iv.Upper != NowMarker {
+		return fmt.Errorf("ritree: invalid interval %v", iv)
+	}
+	if iv.Upper == NowMarker {
+		if _, ok := c.ci.(sqldb.NowKeeper); !ok {
+			return fmt.Errorf("ritree: access method %q does not support now-relative intervals (§4.6); use a collection with the ritree method", c.method)
+		}
+	}
+	return nil
+}
+
+// Insert registers iv under id.
+func (c *Collection) Insert(iv Interval, id int64) error {
+	if err := c.checkInsert(iv); err != nil {
+		return err
+	}
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	_, err := c.db.eng.InsertRow(c.name, []int64{iv.Lower, iv.Upper, id})
+	return err
+}
+
+// InsertInfinite registers [lower, ∞) under id.
+func (c *Collection) InsertInfinite(lower, id int64) error {
+	return c.Insert(NewInterval(lower, Infinity), id)
+}
+
+// InsertNow registers the now-relative interval [lower, now] under id
+// (§4.6). Only access methods implementing the now capability accept it.
+func (c *Collection) InsertNow(lower, id int64) error {
+	return c.Insert(Interval{Lower: lower, Upper: NowMarker}, id)
+}
+
+// BulkLoad inserts ivs[i] under ids[i] through the access method's bulk
+// path (tightly packed relational indexes, flat HINT layout).
+func (c *Collection) BulkLoad(ivs []Interval, ids []int64) error {
+	if len(ivs) != len(ids) {
+		return fmt.Errorf("ritree: BulkLoad got %d intervals, %d ids", len(ivs), len(ids))
+	}
+	for _, iv := range ivs {
+		if err := c.checkInsert(iv); err != nil {
+			return err
+		}
+	}
+	rows := make([][]int64, len(ivs))
+	for i, iv := range ivs {
+		rows[i] = []int64{iv.Lower, iv.Upper, ids[i]}
+	}
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	_, err := c.db.eng.BulkInsert(c.name, rows)
+	return err
+}
+
+// Delete removes one registration of (iv, id), reporting whether it
+// existed. The matching row is located through the access method's
+// intersection scan — so a miss (deleting a pair that was never
+// inserted) costs one index probe, not a table scan. Now-relative rows
+// are the one shape the probe cannot locate (their effective extent is
+// the method's clock, not their stored bounds); those take a heap scan.
+func (c *Collection) Delete(iv Interval, id int64) (bool, error) {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	var found rel.RowID
+	ok := false
+	match := func(rid rel.RowID, row []int64) bool {
+		if row[0] == iv.Lower && row[1] == iv.Upper && row[2] == id {
+			found, ok = rid, true
+			return false
+		}
+		return true
+	}
+	switch {
+	case iv.Upper == NowMarker:
+		if err := c.tab.Scan(match); err != nil {
+			return false, err
+		}
+	case iv.Valid():
+		row := make([]int64, 3)
+		err := c.ci.Scan(opIntersects, []int64{iv.Lower, iv.Upper}, func(rid rel.RowID) bool {
+			if c.tab.GetRawInto(rid, row) != nil {
+				return true
+			}
+			return match(rid, row)
+		})
+		if err != nil {
+			return false, err
+		}
+	default:
+		return false, nil // invalid interval: never inserted
+	}
+	if !ok {
+		return false, nil
+	}
+	return true, c.db.eng.DeleteRowID(c.name, found)
+}
+
+// Operator names served by every interval indextype.
+const (
+	opIntersects    = "intersects"
+	opContainsPoint = "contains_point"
+)
+
+// intersectingFuncLocked streams ids of intervals intersecting q through
+// the access method, mapping row ids to the base relation. Caller holds
+// the DB lock (read or write).
+func (c *Collection) intersectingFuncLocked(q Interval, fn func(id int64) bool) error {
+	row := make([]int64, 3)
+	return c.ci.Scan(opIntersects, []int64{q.Lower, q.Upper}, func(rid rel.RowID) bool {
+		if c.tab.GetRawInto(rid, row) != nil {
+			return true
+		}
+		return fn(row[2])
+	})
+}
+
+// queryRelationFuncLocked streams ids with "i r q": the access method
+// runs the generating intersection query of the predicate and the exact
+// relation filters the candidate rows (paper §4.5, uniform across access
+// methods). Caller holds the DB lock.
+func (c *Collection) queryRelationFuncLocked(r Relation, q Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return fmt.Errorf("ritree: invalid query interval %v", q)
+	}
+	region, ok := interval.GeneratingRegion(r, q)
+	if !ok {
+		return nil
+	}
+	now := int64(0)
+	if nk, isNow := c.ci.(sqldb.NowKeeper); isNow {
+		now = nk.Now()
+	}
+	row := make([]int64, 3)
+	return c.ci.Scan(opIntersects, []int64{region.Lower, region.Upper}, func(rid rel.RowID) bool {
+		if c.tab.GetRawInto(rid, row) != nil {
+			return true
+		}
+		iv := NewInterval(row[0], row[1])
+		if iv.Upper == NowMarker {
+			iv.Upper = now
+			if !iv.Valid() {
+				return true // born in the future of the evaluation time
+			}
+		}
+		if r.Holds(iv, q) {
+			return fn(row[2])
+		}
+		return true
+	})
+}
+
+// IntersectingFunc streams the ids of intervals intersecting q in no
+// particular order; return false from fn to stop early. fn runs under the
+// DB read lock and must not call mutating methods.
+func (c *Collection) IntersectingFunc(q Interval, fn func(id int64) bool) error {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	return c.intersectingFuncLocked(q, fn)
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+func (c *Collection) Intersecting(q Interval) ([]int64, error) {
+	var ids []int64
+	if err := c.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
+		return nil, err
+	}
+	slices.Sort(ids)
+	return ids, nil
+}
+
+// CountIntersecting returns the number of intervals intersecting q. It
+// counts index hits directly, with no base-relation lookups; access
+// methods with a parallel counting path (sqldb.OperatorCounter — the
+// sharded HINT fans one goroutine per shard) are counted through it.
+func (c *Collection) CountIntersecting(q Interval) (int64, error) {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	if oc, ok := c.ci.(sqldb.OperatorCounter); ok {
+		return oc.ScanCount(opIntersects, []int64{q.Lower, q.Upper})
+	}
+	var n int64
+	err := c.ci.Scan(opIntersects, []int64{q.Lower, q.Upper}, func(rel.RowID) bool { n++; return true })
+	return n, err
+}
+
+// Stab returns the ids of all intervals containing the point p, ascending.
+func (c *Collection) Stab(p int64) ([]int64, error) {
+	return c.Intersecting(Point(p))
+}
+
+// Query returns the ids of all intervals i with "i r q" for any of
+// Allen's thirteen relations, ascending.
+func (c *Collection) Query(r Relation, q Interval) ([]int64, error) {
+	c.db.mu.RLock()
+	var ids []int64
+	err := c.queryRelationFuncLocked(r, q, func(id int64) bool { ids = append(ids, id); return true })
+	c.db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(ids)
+	return ids, nil
+}
+
+// SetNow sets the evaluation time for now-relative intervals (§4.6) on
+// access methods that keep one (ritree); others return an error.
+func (c *Collection) SetNow(now int64) error {
+	nk, ok := c.ci.(sqldb.NowKeeper)
+	if !ok {
+		return fmt.Errorf("ritree: access method %q has no now-relative clock", c.method)
+	}
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	nk.SetNow(now)
+	return nil
+}
+
+// Now returns the evaluation time for now-relative intervals, or false if
+// the access method keeps none.
+func (c *Collection) Now() (int64, bool) {
+	nk, ok := c.ci.(sqldb.NowKeeper)
+	if !ok {
+		return 0, false
+	}
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	return nk.Now(), true
+}
+
+// Scan streams the ids matching q as a cancellable range-over-func
+// iterator. The scan holds the DB read lock while the loop runs: break
+// out to release it early, and do not call mutating methods from inside
+// the loop. A cancelled ctx surfaces as the iterator's final (0, err)
+// pair.
+func (c *Collection) Scan(ctx context.Context, q Query) iter.Seq2[int64, error] {
+	return scanSeq(ctx, c.db.mu.RLock, c.db.mu.RUnlock, func(fn func(int64) bool) error {
+		switch q.kind {
+		case queryIntersects:
+			return c.intersectingFuncLocked(q.iv, fn)
+		case queryStab:
+			return c.intersectingFuncLocked(Point(q.p), fn)
+		case queryRelation:
+			return c.queryRelationFuncLocked(q.r, q.iv, fn)
+		}
+		return errZeroQuery
+	})
+}

@@ -1,0 +1,263 @@
+package ritree
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"ritree/internal/hint"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+	ritcore "ritree/internal/ritree"
+	"ritree/internal/sqldb"
+)
+
+// DB is one embedded interval database hosting any number of named
+// collections, each served by a pluggable access method (paper §5's
+// extensible indexing framework made first-class). The built-in access
+// methods are registered on every DB:
+//
+//	ritree       the paper's disk-relational Relational Interval Tree
+//	hint         the main-memory HINT^m hierarchy (SIGMOD 2022)
+//	hint_sharded HINT behind N independently locked shards with
+//	             parallel per-shard query fan-out
+//
+// Collections persist in the relational catalog: reopening a file-backed
+// DB re-attaches every collection's access method before the first
+// statement (ritree reopens and verifies its relations, hint rebuilds
+// from the heap), so a database closed with two collections serves both
+// after Open.
+//
+// All methods are safe for concurrent use: collection queries share a
+// read lock, mutations and Exec take the write lock.
+type DB struct {
+	mu    sync.RWMutex
+	store *pagestore.Store
+	rdb   *rel.DB
+	eng   *sqldb.Engine
+	cols  map[string]*Collection
+}
+
+// Built-in access method names for CreateCollection.
+const (
+	AccessMethodRITree      = ritcore.IndexTypeName
+	AccessMethodHINT        = hint.IndexTypeName
+	AccessMethodHINTSharded = hint.ShardedIndexTypeName
+)
+
+// CollectionInfo names one collection and the access method serving it.
+type CollectionInfo = sqldb.CollectionInfo
+
+// OpenMemory creates an empty in-memory database.
+func OpenMemory(opts ...Option) (*DB, error) {
+	return openMemoryCfg(applyOptions(opts))
+}
+
+// Open creates or opens the file-backed database at path. On an existing
+// file, every collection and domain index recorded in the catalog is
+// re-attached before Open returns; a definition that cannot be served
+// (stale storage, unregistered indextype) fails the open rather than
+// silently skipping index maintenance.
+func Open(path string, opts ...Option) (*DB, error) {
+	return openPathCfg(path, applyOptions(opts))
+}
+
+func openMemoryCfg(cfg *config) (*DB, error) {
+	st, err := pagestore.New(pagestore.NewMemBackend(), pagestore.Options{
+		PageSize:    cfg.pageSize,
+		CacheSize:   cfg.cacheSize,
+		ReadLatency: cfg.readLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rdb, err := rel.CreateDB(st)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(st, rdb, false)
+}
+
+func openPathCfg(path string, cfg *config) (*DB, error) {
+	be, err := pagestore.OpenFileBackend(path, cfg.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	st, err := pagestore.New(be, pagestore.Options{
+		PageSize:    cfg.pageSize,
+		CacheSize:   cfg.cacheSize,
+		ReadLatency: cfg.readLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.NumAllocated() == 0 {
+		rdb, err := rel.CreateDB(st)
+		if err != nil {
+			return nil, err
+		}
+		return newDB(st, rdb, false)
+	}
+	rdb, err := rel.OpenDB(st, 1)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(st, rdb, true)
+}
+
+func newDB(st *pagestore.Store, rdb *rel.DB, reopened bool) (*DB, error) {
+	eng := sqldb.NewEngine(rdb)
+	ritcore.RegisterIndexType(eng)
+	hint.RegisterIndexType(eng)
+	hint.RegisterShardedIndexType(eng, 0)
+	if reopened {
+		// Re-attach every collection and domain index recorded in the
+		// catalog, so DML maintains them across session boundaries. Failing
+		// here (stale storage, unregistered indextype) is deliberate: the
+		// alternative is silently serving DML that corrupts the persisted
+		// index.
+		if err := eng.AttachCatalogIndexes(); err != nil {
+			return nil, err
+		}
+	}
+	return &DB{store: st, rdb: rdb, eng: eng, cols: make(map[string]*Collection)}, nil
+}
+
+// collectionName constrains collection names to SQL identifiers, so a
+// collection is always addressable from SQL statements.
+var collectionName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+type collectionConfig struct {
+	method string
+}
+
+// CollectionOption configures CreateCollection.
+type CollectionOption func(*collectionConfig)
+
+// AccessMethod selects the access method (a registered indextype name)
+// serving the collection: "ritree" (default), "hint", "hint_sharded", or
+// any indextype an embedder registered. See DB.AccessMethods.
+func AccessMethod(name string) CollectionOption {
+	return func(c *collectionConfig) { c.method = name }
+}
+
+// CreateCollection creates the named interval collection. The name must
+// be a SQL identifier (the collection is also reachable as a table from
+// Exec, with columns lower, upper, id and the INTERSECTS /
+// CONTAINS_POINT operators served by its access method).
+func (db *DB) CreateCollection(name string, opts ...CollectionOption) (*Collection, error) {
+	var cc collectionConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	if !collectionName.MatchString(name) {
+		return nil, fmt.Errorf("ritree: collection name %q is not a SQL identifier", name)
+	}
+	name = strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.eng.CreateCollection(name, cc.method); err != nil {
+		return nil, err
+	}
+	return db.collectionLocked(name)
+}
+
+// Collection returns a handle to an existing collection.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.collectionLocked(strings.ToLower(name))
+}
+
+// collectionLocked resolves (and caches) the handle. Caller holds db.mu.
+// A cached handle is trusted only while its access-method index is still
+// the one attached to the engine: SQL-level DROP COLLECTION / DROP TABLE
+// (or a drop-and-recreate) invalidates it, and handing it out anyway
+// would route queries through the dropped index.
+func (db *DB) collectionLocked(name string) (*Collection, error) {
+	if c, ok := db.cols[name]; ok {
+		if ci, live := db.eng.CustomIndexByName(sqldb.CollectionIndexName(name)); live && ci == c.ci {
+			return c, nil
+		}
+		delete(db.cols, name)
+	}
+	method, ok := db.eng.CollectionMethod(name)
+	if !ok {
+		return nil, fmt.Errorf("ritree: no collection %q (have %v)", name, db.collectionNames())
+	}
+	ci, ok := db.eng.CustomIndexByName(sqldb.CollectionIndexName(name))
+	if !ok {
+		return nil, fmt.Errorf("ritree: collection %q is recorded in the catalog but its access method is not attached", name)
+	}
+	tab, err := db.rdb.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{db: db, name: name, method: method, tab: tab, ci: ci}
+	db.cols[name] = c
+	return c, nil
+}
+
+func (db *DB) collectionNames() []string {
+	var names []string
+	for _, info := range db.eng.Collections() {
+		names = append(names, info.Name)
+	}
+	return names
+}
+
+// Collections lists every collection with its access method, sorted by
+// name.
+func (db *DB) Collections() []CollectionInfo {
+	return db.eng.Collections()
+}
+
+// DropCollection removes the named collection, its rows, and its
+// access-method storage. Outstanding handles to it become invalid.
+func (db *DB) DropCollection(name string) error {
+	name = strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.eng.DropCollection(name); err != nil {
+		return err
+	}
+	delete(db.cols, name)
+	return nil
+}
+
+// AccessMethods lists the registered access-method (indextype) names,
+// sorted.
+func (db *DB) AccessMethods() []string { return db.eng.IndexTypes() }
+
+// Exec runs a SQL statement against the embedded engine: CREATE TABLE /
+// CREATE INDEX (INDEXTYPE IS ..., §5) / CREATE COLLECTION ... USING,
+// INSERT, DELETE, SELECT with UNION ALL and TABLE(:transient) sources,
+// EXPLAIN, and the DROP statements. Collections are visible as tables
+// with columns (lower, upper, id).
+func (db *DB) Exec(sql string, binds map[string]interface{}) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Exec(sql, binds)
+}
+
+// Stats returns the I/O counters of the page store.
+func (db *DB) Stats() IOStats { return db.store.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (db *DB) ResetStats() { db.store.ResetStats() }
+
+// Flush writes all dirty pages to the backing store.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rdb.Flush()
+}
+
+// Close flushes and closes the database. Collection handles are invalid
+// afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rdb.Close()
+}

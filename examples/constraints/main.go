@@ -13,8 +13,9 @@
 //   - constraint propagation (intersecting a new constraint with every
 //     stored domain) is an intersection query.
 //
-// It also shows the SQL face of the system: the parts relation is created
-// and queried through the embedded engine with a ritree DOMAIN INDEX
+// It also shows the SQL face of the system: the tolerance bands live in a
+// named collection (CREATE COLLECTION under the hood), queried both
+// through the Querier API and through SQL with the INTERSECTS operator
 // (paper §5).
 package main
 
@@ -26,11 +27,15 @@ import (
 )
 
 func main() {
-	idx, err := ritree.New()
+	db, err := ritree.OpenMemory()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer idx.Close()
+	defer db.Close()
+	idx, err := db.CreateCollection("tolerances") // the paper's RI-tree serves it
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Parts: id -> tolerance interval in milliohm.
 	type part struct {
@@ -83,33 +88,21 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4) The declarative face (§5): a parts relation with a ritree DOMAIN
-	//    INDEX, queried with the INTERSECTS operator.
-	if _, err := idx.Exec("CREATE TABLE parts (id int, lo int, hi int)", nil); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := idx.Exec("CREATE INDEX parts_iv ON parts (lo, hi) INDEXTYPE IS ritree", nil); err != nil {
-		log.Fatal(err)
-	}
-	for id, p := range parts {
-		d := domain(p)
-		if _, err := idx.Exec("INSERT INTO parts VALUES (:id, :lo, :hi)",
-			map[string]interface{}{"id": id, "lo": d.Lower, "hi": d.Upper}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	res, err := idx.Exec(
-		"SELECT id FROM parts WHERE intersects(lo, hi, :a, :b) ORDER BY id",
+	// 4) The declarative face (§5): the same collection is an ordinary
+	//    relation to the SQL engine, its INTERSECTS operator served by the
+	//    access-method domain index CREATE COLLECTION installed.
+	res, err := db.Exec(
+		"SELECT id FROM tolerances WHERE intersects(lower, upper, :a, :b) ORDER BY id",
 		map[string]interface{}{"a": constraint.Lower, "b": constraint.Upper})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nsame query through SQL with the ritree indextype:")
+	fmt.Println("\nsame query through SQL over the collection:")
 	for _, row := range res.Rows {
 		fmt.Printf("  part #%d = %s\n", row[0], parts[row[0]].name)
 	}
-	plan, _ := idx.Exec(
-		"EXPLAIN SELECT id FROM parts WHERE intersects(lo, hi, :a, :b)",
+	plan, _ := db.Exec(
+		"EXPLAIN SELECT id FROM tolerances WHERE intersects(lower, upper, :a, :b)",
 		map[string]interface{}{"a": constraint.Lower, "b": constraint.Upper})
 	fmt.Printf("\nexecution plan:\n%s", plan.Plan)
 }

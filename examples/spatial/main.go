@@ -5,10 +5,12 @@
 // Two-dimensional boxes on a 256x256 grid are mapped to runs of the
 // Z-order (Morton) curve; each run is one interval in the RI-tree. A
 // window query decomposes the query box into Z-runs the same way and asks
-// the RI-tree for intersecting stored runs; exact box-overlap is a final
+// the index for intersecting stored runs; exact box-overlap is a final
 // refinement step. This is precisely the decomposition storage pattern the
-// Tile Index uses internally — here the intervals land in a dynamic,
-// redundancy-aware index instead.
+// Tile Index uses internally — here the intervals land in a named
+// collection served by the sharded main-memory HINT, showing the same
+// workload on a second access method with zero code changes beyond the
+// AccessMethod option.
 package main
 
 import (
@@ -75,11 +77,15 @@ func zRuns(b box) []ritree.Interval {
 }
 
 func main() {
-	idx, err := ritree.New()
+	db, err := ritree.OpenMemory()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer idx.Close()
+	defer db.Close()
+	idx, err := db.CreateCollection("zruns", ritree.AccessMethod("hint_sharded"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A small map: buildings on the campus grid.
 	objects := map[int64]struct {
@@ -94,8 +100,8 @@ func main() {
 		6: {"tower", box{120, 120, 123, 131}},
 	}
 
-	// Store every object as its Z-curve runs, keyed by object id. The
-	// RI-tree happily holds several intervals per id.
+	// Store every object as its Z-curve runs, keyed by object id. A
+	// collection happily holds several intervals per id.
 	totalRuns := 0
 	for id, obj := range objects {
 		for _, run := range zRuns(obj.b) {
@@ -142,7 +148,7 @@ func main() {
 	}
 	fmt.Println()
 
-	st := idx.Stats()
+	st := db.Stats()
 	fmt.Printf("\nI/O so far: %d logical / %d physical page reads\n",
 		st.LogicalReads, st.PhysicalReads)
 }

@@ -1,8 +1,9 @@
 // Command temporal demonstrates the RI-tree on a valid-time table — the
 // temporal-database workload that motivates the paper. It shows:
 //
-//   - valid-time intervals with the special bounds "now" and "infinity"
-//     (paper §4.6): employment records that are still open never need
+//   - a named collection on the ritree access method, whose §4.6 temporal
+//     capabilities (the special bounds "now" and "infinity") carry into
+//     the unified API: employment records that are still open never need
 //     index maintenance as time advances;
 //   - Allen's 13 fine-grained relations (paper §4.5) for temporal joins
 //     like "which assignments met assignment X?";
@@ -30,15 +31,21 @@ type employment struct {
 }
 
 func main() {
-	idx, err := ritree.New()
+	db, err := ritree.OpenMemory()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer idx.Close()
+	defer db.Close()
+	// Now-relative intervals need an access method with the §4.6 clock:
+	// the RI-tree. (A hint-backed collection would reject them.)
+	emp, err := db.CreateCollection("employment", ritree.AccessMethod("ritree"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	records := []employment{
 		{1, "ada", "engineer", ritree.NewInterval(day(2001, 10), day(2003, 120))},
-		{2, "ada", "lead", ritree.NewInterval(day(2003, 121), ritree.NowMarker)}, // open-ended: still employed
+		{2, "ada", "lead", ritree.Interval{Lower: day(2003, 121), Upper: ritree.NowMarker}}, // open-ended: still employed
 		{3, "bob", "engineer", ritree.NewInterval(day(2002, 50), day(2004, 10))},
 		{4, "cyd", "analyst", ritree.NewInterval(day(2003, 120), day(2005, 30))},
 		{5, "dee", "contract", ritree.NewInterval(day(2004, 200), ritree.Infinity)}, // perpetual license row
@@ -46,7 +53,7 @@ func main() {
 	}
 	byID := map[int64]employment{}
 	for _, r := range records {
-		if err := idx.Insert(r.period, r.id); err != nil {
+		if err := emp.Insert(r.period, r.id); err != nil {
 			log.Fatal(err)
 		}
 		byID[r.id] = r
@@ -63,41 +70,43 @@ func main() {
 
 	// Time-travel: who was employed on a given day? The "now" rows only
 	// qualify if the stab point is not in the future of `now`.
-	idx.SetNow(day(2004, 100)) // evaluation time
-	ids, _ := idx.Stab(day(2004, 50))
+	if err := emp.SetNow(day(2004, 100)); err != nil { // evaluation time
+		log.Fatal(err)
+	}
+	ids, _ := emp.Stab(day(2004, 50))
 	show("employed on day 2004-050 (now = 2004-100):", ids)
 
 	// Advance the clock: no index maintenance happens, yet the open
 	// records follow along (§4.6: "completely avoids such an overhead").
-	idx.SetNow(day(2006, 1))
-	ids, _ = idx.Stab(day(2005, 300))
+	emp.SetNow(day(2006, 1))
+	ids, _ = emp.Stab(day(2005, 300))
 	show("employed on day 2005-300 (now = 2006-001):", ids)
 
 	// Overlap join against a probe period.
 	probe := ritree.NewInterval(day(2003, 1), day(2003, 365))
-	ids, _ = idx.Intersecting(probe)
+	ids, _ = emp.Intersecting(probe)
 	show(fmt.Sprintf("records overlapping %v (year 2003):", probe), ids)
 
 	// Fine-grained temporal relationships (paper §4.5): the IB+-tree and
 	// the IST support only one bound well; the RI-tree serves both.
 	adaFirst := byID[1].period
-	ids, _ = idx.Query(ritree.MetBy, adaFirst)
+	ids, _ = emp.Query(ritree.MetBy, adaFirst)
 	show("records that start exactly when ada's first stint ended (met-by):", ids)
 
-	ids, _ = idx.Query(ritree.During, ritree.NewInterval(day(2002, 1), day(2005, 1)))
+	ids, _ = emp.Query(ritree.During, ritree.NewInterval(day(2002, 1), day(2005, 1)))
 	show("records strictly inside [2002-001, 2005-001] (during):", ids)
 
-	ids, _ = idx.Query(ritree.Before, ritree.NewInterval(day(2004, 1), day(2004, 2)))
+	ids, _ = emp.Query(ritree.Before, ritree.NewInterval(day(2004, 1), day(2004, 2)))
 	show("records finished before 2004 (before):", ids)
 
 	// Ending an open record: delete the now-row, insert the closed one —
 	// the only maintenance open intervals ever need.
-	idx.Delete(ritree.NewInterval(day(2003, 121), ritree.NowMarker), 2)
-	idx.Insert(ritree.NewInterval(day(2003, 121), day(2006, 40)), 2)
+	emp.Delete(ritree.Interval{Lower: day(2003, 121), Upper: ritree.NowMarker}, 2)
+	emp.Insert(ritree.NewInterval(day(2003, 121), day(2006, 40)), 2)
 	rec := byID[2]
 	rec.period = ritree.NewInterval(day(2003, 121), day(2006, 40))
 	byID[2] = rec
-	idx.SetNow(day(2007, 1))
-	ids, _ = idx.Stab(day(2006, 39))
+	emp.SetNow(day(2007, 1))
+	ids, _ = emp.Stab(day(2006, 39))
 	show("employed on day 2006-039 after closing ada's record:", ids)
 }

@@ -123,6 +123,15 @@ func (h *HINT) Stab(p int64) ([]int64, error) {
 	return h.s.Stab(p)
 }
 
+// Query returns the ids of all intervals i with "i r q" for any of
+// Allen's thirteen relations (paper §4.5), ascending. HINT evaluates the
+// relation by the same strategy as the RI-tree: the generating
+// intersection query of the predicate, with the exact relation as a
+// residual filter over the stored endpoints.
+func (h *HINT) Query(r Relation, q Interval) ([]int64, error) {
+	return h.s.QueryRelation(r, q)
+}
+
 // CountIntersecting returns the number of intervals intersecting q.
 func (h *HINT) CountIntersecting(q Interval) (int64, error) {
 	return h.s.CountIntersecting(q)

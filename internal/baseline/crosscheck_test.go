@@ -7,7 +7,9 @@ package baseline_test
 import (
 	"fmt"
 	"math/rand"
+
 	"path/filepath"
+	pub "ritree"
 	"sort"
 	"strings"
 	"testing"
@@ -657,5 +659,105 @@ func TestHOrderLengthQueries(t *testing.T) {
 	}
 	if len(ids) == 0 {
 		t.Fatal("no length-constrained results")
+	}
+}
+
+// TestCollectionsAgreeWithReference runs the crosscheck matrix through
+// the public unified API: one DB, one collection per registered access
+// method, every collection behind the same Querier interface, against the
+// same brute-force reference the direct access methods are pinned to.
+func TestCollectionsAgreeWithReference(t *testing.T) {
+	const n = 2000
+	ivs, ids := genWorkload(n, 1<<18, 2048, 77)
+
+	db, err := pub.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var queriers []pub.Querier
+	var names []string
+	for _, method := range db.AccessMethods() {
+		c, err := db.CreateCollection("cc_"+method, pub.AccessMethod(method))
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if err := c.BulkLoad(ivs, ids); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		queriers = append(queriers, c)
+		names = append(names, method)
+	}
+	// The legacy single-collection shims answer through the same Querier
+	// interface and join the same matrix.
+	idx, err := pub.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	hin, err := pub.NewHINT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []pub.Querier{idx, hin} {
+		if err := q.BulkLoad(ivs, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queriers = append(queriers, idx, hin)
+	names = append(names, "legacy-Index", "legacy-HINT")
+
+	rng := rand.New(rand.NewSource(78))
+	for qi := 0; qi < 60; qi++ {
+		lo := rng.Int63n(1 << 18)
+		q := interval.New(lo, lo+rng.Int63n(8192))
+		if qi%10 == 0 {
+			q = interval.Point(lo)
+		}
+		var want []int64
+		for i, iv := range ivs {
+			if iv.Intersects(q) {
+				want = append(want, ids[i])
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for mi, m := range queriers {
+			got, err := m.Intersecting(q)
+			if err != nil {
+				t.Fatalf("%s: %v", names[mi], err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s query %v: %d results, brute force %d", names[mi], q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s query %v: result %d = %d, want %d", names[mi], q, i, got[i], want[i])
+				}
+			}
+			if n, err := m.CountIntersecting(q); err != nil || n != int64(len(want)) {
+				t.Fatalf("%s query %v: count %d (%v), want %d", names[mi], q, n, err, len(want))
+			}
+		}
+	}
+	// One Allen sweep through the interface (detailed relation matrices
+	// live in the per-package tests).
+	q := interval.New(100000, 110000)
+	for r := interval.Before; r <= interval.After; r++ {
+		var want []int64
+		for i, iv := range ivs {
+			if r.Holds(iv, q) {
+				want = append(want, ids[i])
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for mi, m := range queriers {
+			got, err := m.Query(r, q)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", names[mi], r, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s relation %v: %d results, brute force %d", names[mi], r, len(got), len(want))
+			}
+		}
 	}
 }

@@ -766,7 +766,8 @@ func AblationSkeleton(c Config) (*Table, error) {
 // Experiments lists every experiment id in run order.
 func Experiments() []string {
 	return []string{"table1", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"winlist", "hint", "hintopt", "reopen", "ablation-minstep", "ablation-queryform", "ablation-skeleton"}
+		"winlist", "hint", "hintopt", "collections", "reopen",
+		"ablation-minstep", "ablation-queryform", "ablation-skeleton"}
 }
 
 // Run executes the named experiment.
@@ -794,6 +795,8 @@ func Run(id string, c Config) (*Table, error) {
 		return HintComparison(c)
 	case "hintopt":
 		return HintAblation(c)
+	case "collections":
+		return Collections(c)
 	case "reopen":
 		return Reopen(c)
 	case "ablation-minstep":

@@ -2,6 +2,7 @@ package hint
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 
@@ -557,6 +558,98 @@ func TestComparisonFreeMatchesDefault(t *testing.T) {
 		rb, _ := b.Intersecting(q)
 		if !sortedEqual(ra, rb) {
 			t.Fatalf("query %v: cmp-free %d ids vs coarse %d ids", q, len(ra), len(rb))
+		}
+	}
+}
+
+func TestShardedParallelQueriesMatchSingleShard(t *testing.T) {
+	// The parallel per-shard fan-out with ascending merge must answer
+	// byte-identically to a single-shard index over the same data.
+	rng := rand.New(rand.NewSource(31337))
+	one, err := NewSharded(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewSharded(Options{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5000; i++ {
+		lo := rng.Int63n(1 << 18)
+		iv := interval.New(lo, lo+rng.Int63n(4096))
+		if err := one.Insert(iv, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := many.Insert(iv, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi := 0; qi < 200; qi++ {
+		lo := rng.Int63n(1 << 18)
+		q := interval.New(lo, lo+rng.Int63n(8192))
+		if qi%5 == 0 {
+			q = interval.Point(lo)
+		}
+		a, err := one.Intersecting(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := many.Intersecting(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(a, b) {
+			t.Fatalf("query %v: single %d ids, sharded %d ids", q, len(a), len(b))
+		}
+		if !slices.IsSorted(b) {
+			t.Fatalf("query %v: sharded result not ascending", q)
+		}
+		na, _ := one.CountIntersecting(q)
+		nb, _ := many.CountIntersecting(q)
+		if na != nb {
+			t.Fatalf("query %v: counts %d vs %d", q, na, nb)
+		}
+	}
+	// Allen relations through the same parallel path.
+	q := interval.New(100000, 120000)
+	for r := interval.Before; r <= interval.After; r++ {
+		a, err := one.QueryRelation(r, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := many.QueryRelation(r, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(a, b) {
+			t.Fatalf("%v: single %d ids, sharded %d ids", r, len(a), len(b))
+		}
+	}
+}
+
+func TestMergeAscending(t *testing.T) {
+	cases := [][][]int64{
+		{},
+		{{}},
+		{{1, 3, 5}},
+		{{1, 3}, {2, 4}, {}},
+		{{5}, {1}, {3}},
+		{{1, 1, 2}, {1, 2, 2}},
+	}
+	for _, lists := range cases {
+		var want []int64
+		cp := make([][]int64, len(lists))
+		for i, l := range lists {
+			want = append(want, l...)
+			cp[i] = slices.Clone(l)
+		}
+		slices.Sort(want)
+		got := mergeAscending(cp)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("mergeAscending(%v) = %v, want %v", lists, got, want)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package hint
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -45,6 +46,26 @@ const OperatorContainsPoint = "contains_point"
 // IndexTypeName is the name used in INDEXTYPE IS clauses.
 const IndexTypeName = "hint"
 
+// ShardedIndexTypeName is the indextype name of the sharded HINT variant:
+// the same access method behind N independently locked shards with
+// parallel per-shard query fan-out — the configuration for concurrent
+// serving under the unified collection API.
+const ShardedIndexTypeName = "hint_sharded"
+
+// DefaultIndexShards is the shard count of hint_sharded when the caller
+// passes none: enough to spread writer contention and parallelize query
+// fan-out without taxing small queries on modest machines.
+func DefaultIndexShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // maxAbsBound bounds the interval starts the indextype can place exactly:
 // |lower| <= 2^59. Upper bounds beyond it (including interval.Infinity)
 // saturate — they lie past every admissible start, so their exact
@@ -60,10 +81,25 @@ const maxAbsBound = int64(1) << 59
 // both build the index by scanning the base table — exactly the rebuild
 // strategy its package docs prescribe for reopened databases.
 func RegisterIndexType(e *sqldb.Engine) {
-	build := func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-		return newIndexType(eng, indexName, table, cols)
+	registerIndexType(e, IndexTypeName, 1)
+}
+
+// RegisterShardedIndexType makes "INDEXTYPE IS hint_sharded" available on
+// the engine: HINT split into shards independently locked shards with
+// parallel per-shard query fan-out. shards <= 0 picks
+// DefaultIndexShards().
+func RegisterShardedIndexType(e *sqldb.Engine, shards int) {
+	if shards <= 0 {
+		shards = DefaultIndexShards()
 	}
-	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFuncs{
+	registerIndexType(e, ShardedIndexTypeName, shards)
+}
+
+func registerIndexType(e *sqldb.Engine, name string, shards int) {
+	build := func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
+		return newIndexType(eng, indexName, table, cols, shards)
+	}
+	e.RegisterIndexType(name, sqldb.IndexTypeFuncs{
 		Create: build,
 		Attach: build,
 		// Nothing persists in the page store, so dropping an unattached
@@ -79,7 +115,7 @@ func RegisterIndexType(e *sqldb.Engine) {
 // sqldb.Engine.AttachCatalogIndexes, which re-attaches every persisted
 // definition.
 func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
-	ci, err := newIndexType(e, indexName, table, cols)
+	ci, err := newIndexType(e, indexName, table, cols, 1)
 	if err != nil {
 		return err
 	}
@@ -87,22 +123,23 @@ func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) er
 }
 
 type indexType struct {
-	name  string
-	table string
-	cols  []string
-	loPos int
-	hiPos int
-	tab   *rel.Table
+	name   string
+	table  string
+	cols   []string
+	loPos  int
+	hiPos  int
+	shards int
+	tab    *rel.Table
 	// mu lets Scan run concurrently with other Scans while trigger
 	// maintenance and rebuilds take the write side. The SQL engine
 	// serializes statements anyway; the lock makes the indextype safe
 	// for embedding callers that drive it directly.
 	mu  sync.RWMutex
 	off int64 // indexed value = column value - off
-	ix  *Index
+	ix  *Sharded
 }
 
-func newIndexType(e *sqldb.Engine, indexName, table string, cols []string) (*indexType, error) {
+func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shards int) (*indexType, error) {
 	if len(cols) != 2 {
 		return nil, fmt.Errorf("hint indextype needs exactly (lower, upper) columns, got %d", len(cols))
 	}
@@ -116,12 +153,13 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string) (*ind
 		return nil, fmt.Errorf("hint indextype: columns %v not in %s", cols, table)
 	}
 	ix := &indexType{
-		name:  indexName,
-		table: table,
-		cols:  append([]string(nil), cols...),
-		loPos: lo,
-		hiPos: hi,
-		tab:   tab,
+		name:   indexName,
+		table:  table,
+		cols:   append([]string(nil), cols...),
+		loPos:  lo,
+		hiPos:  hi,
+		shards: shards,
+		tab:    tab,
 	}
 	// Backfill from existing rows, sizing the domain to the data.
 	if err := ix.rebuild(); err != nil {
@@ -221,7 +259,7 @@ func (x *indexType) rebuild() error {
 	if levels > bits {
 		levels = bits
 	}
-	ix, err := New(Options{Bits: bits, Levels: levels})
+	ix, err := NewSharded(Options{Bits: bits, Levels: levels, Shards: x.shards})
 	if err != nil {
 		return err
 	}
@@ -283,6 +321,36 @@ func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
 	return nil
 }
 
+// OnBulkInsert implements sqldb.BulkMaintainer. The whole batch is
+// validated before anything mutates (so a refused batch leaves the index
+// untouched and the engine can roll the heap back cleanly); a batch that
+// fits the current geometry is inserted incrementally and compacted once
+// — repeated chunked loads stay O(batch + compaction), not a heap
+// rescan per chunk — while a batch that widens the domain rebuilds from
+// the heap (which already holds the new rows) with a wider geometry in
+// one pass.
+func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
+	for _, row := range rows {
+		if err := checkRow(row[ix.loPos], row[ix.hiPos]); err != nil {
+			return err
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, row := range rows {
+		if !ix.fits(row[ix.loPos]) {
+			return ix.rebuild()
+		}
+	}
+	for i, row := range rows {
+		if err := ix.ix.Insert(ix.shiftIv(row[ix.loPos], row[ix.hiPos]), int64(rids[i])); err != nil {
+			return err
+		}
+	}
+	ix.ix.Optimize()
+	return nil
+}
+
 // OnDelete implements sqldb.CustomIndex.
 func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
 	lo, hi := row[ix.loPos], row[ix.hiPos]
@@ -298,40 +366,84 @@ func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
 	return err
 }
 
-// Scan implements sqldb.CustomIndex: the operator dispatch. Query bounds
-// are shifted like row bounds; bounds beyond the saturation range match
-// exactly the rows a linear scan would (starts are exact within ±2^59,
-// fartail uppers collapse together above every admissible start).
-func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
-	var qlo, qhi int64
+// parseOpBounds resolves an operator invocation into query bounds.
+func parseOpBounds(op string, args []int64) (qlo, qhi int64, err error) {
 	switch strings.ToLower(op) {
 	case OperatorIntersects:
 		if len(args) != 2 {
-			return fmt.Errorf("hint indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
+			return 0, 0, fmt.Errorf("hint indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
 		}
 		qlo, qhi = args[0], args[1]
 	case OperatorContainsPoint:
 		if len(args) != 1 {
-			return fmt.Errorf("hint indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
+			return 0, 0, fmt.Errorf("hint indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
 		}
 		qlo, qhi = args[0], args[0]
 	default:
-		return fmt.Errorf("hint indextype: unknown operator %q", op)
+		return 0, 0, fmt.Errorf("hint indextype: unknown operator %q", op)
 	}
 	if qlo > qhi {
-		return fmt.Errorf("hint indextype: inverted query bounds [%d, %d]", qlo, qhi)
+		return 0, 0, fmt.Errorf("hint indextype: inverted query bounds [%d, %d]", qlo, qhi)
 	}
-	if qlo > maxAbsBound {
-		// Saturated stored ends can no longer be ordered against a start
-		// this far out; a correct answer needs exact comparisons.
-		return fmt.Errorf("hint indextype: query start %d outside the supported range ±2^59", qlo)
+	return qlo, qhi, nil
+}
+
+// Scan implements sqldb.CustomIndex: the operator dispatch. Query bounds
+// are shifted like row bounds; bounds beyond the saturation range match
+// exactly the rows a linear scan would (starts are exact within ±2^59,
+// fartail uppers collapse together above every admissible start). The
+// callback contract makes this path sequential across shards; the
+// counting path (ScanCount) fans out in parallel instead.
+func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	qlo, qhi, err := parseOpBounds(op, args)
+	if err != nil {
+		return err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	q := interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off)
+	if qlo > maxAbsBound {
+		// Far-tail query start: saturated stored ends cannot be ordered
+		// against it in index coordinates. Every indexed start is within
+		// ±2^59, so the only possible matches are rows whose end saturated
+		// (true end beyond 2^59) — the shifted scan below finds exactly
+		// those — and each is verified against the base row's true
+		// endpoint, keeping the operator exact where the legacy path
+		// errored out (the unified Querier contract requires an answer).
+		row := make([]int64, ix.tab.Schema().NumCols())
+		return ix.ix.IntersectingFunc(q, func(id int64) bool {
+			if ix.tab.GetRawInto(rel.RowID(id), row) != nil {
+				return true
+			}
+			if row[ix.hiPos] >= qlo {
+				return fn(rel.RowID(id))
+			}
+			return true
+		})
+	}
 	return ix.ix.IntersectingFunc(q, func(id int64) bool {
 		return fn(rel.RowID(id))
 	})
+}
+
+// ScanCount implements sqldb.OperatorCounter: operator hit counting
+// through the sharded index's parallel per-shard fan-out (one goroutine
+// per shard with the counts summed), which a single streaming callback
+// cannot use. Far-tail query starts still need per-row verification and
+// fall back to the exact streaming path.
+func (ix *indexType) ScanCount(op string, args []int64) (int64, error) {
+	qlo, qhi, err := parseOpBounds(op, args)
+	if err != nil {
+		return 0, err
+	}
+	if qlo > maxAbsBound {
+		var n int64
+		err := ix.Scan(op, args, func(rel.RowID) bool { n++; return true })
+		return n, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.CountIntersecting(interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off))
 }
 
 // Drop implements sqldb.CustomIndex: main-memory storage is simply
@@ -345,7 +457,7 @@ func (ix *indexType) Drop() error {
 
 // BackingIndex exposes the hidden HINT (for statistics in tests and
 // benchmarks).
-func (ix *indexType) BackingIndex() *Index { return ix.ix }
+func (ix *indexType) BackingIndex() *Sharded { return ix.ix }
 
 // Offset exposes the current domain offset (for tests).
 func (ix *indexType) Offset() int64 { return ix.off }

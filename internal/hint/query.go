@@ -2,6 +2,7 @@ package hint
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ritree/internal/interval"
@@ -36,6 +37,21 @@ import (
 // configuration every relevant subdivision is emitted without any
 // comparisons.
 func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
+	return x.intersectingEntries(q, func(e entry) bool { return fn(e.id) })
+}
+
+// IntersectingEntryFunc is IntersectingFunc with access to the stored
+// interval's true endpoints — the hook Allen-relation queries use to apply
+// their residual predicate without a base-table lookup.
+func (x *Index) IntersectingEntryFunc(q interval.Interval, fn func(iv interval.Interval, id int64) bool) error {
+	return x.intersectingEntries(q, func(e entry) bool {
+		return fn(interval.New(e.lo, e.hi), e.id)
+	})
+}
+
+// intersectingEntries is the shared streaming core behind the public
+// query functions; fn receives each qualifying stored copy exactly once.
+func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) error {
 	if !q.Valid() {
 		return fmt.Errorf("hint: invalid query %v", q)
 	}
@@ -53,7 +69,7 @@ func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) er
 
 	emit := func(s []entry) bool {
 		for i := range s {
-			if !fn(s[i].id) {
+			if !fn(s[i]) {
 				return false
 			}
 		}
@@ -64,7 +80,7 @@ func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) er
 	// exploit) and for every subdivision in the unsorted ablation.
 	scanEndGE := func(s []entry, bound int64) bool {
 		for i := range s {
-			if s[i].hi >= bound && !fn(s[i].id) {
+			if s[i].hi >= bound && !fn(s[i]) {
 				return false
 			}
 		}
@@ -87,7 +103,7 @@ func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) er
 			return emit(s[:n])
 		}
 		for i := range s {
-			if s[i].lo <= bound && !fn(s[i].id) {
+			if s[i].lo <= bound && !fn(s[i]) {
 				return false
 			}
 		}
@@ -110,7 +126,7 @@ func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) er
 			return scanEndGE(s[:n], q.Lower)
 		}
 		for i := range s {
-			if s[i].lo <= q.Upper && (skipEnd || s[i].hi >= q.Lower) && !fn(s[i].id) {
+			if s[i].lo <= q.Upper && (skipEnd || s[i].hi >= q.Lower) && !fn(s[i]) {
 				return false
 			}
 		}
@@ -206,4 +222,41 @@ func (x *Index) IntersectingFunc(q interval.Interval, fn func(id int64) bool) er
 		t >>= 1
 	}
 	return nil
+}
+
+// QueryRelationFunc streams the id of every stored interval i for which
+// the Allen relation "i r q" holds, in no particular order; return false
+// from fn to stop early. Evaluation follows the RI-tree paper's §4.5
+// strategy, shared across access methods: run the generating intersection
+// query of the predicate (interval.GeneratingRegion), then apply the exact
+// relation as a residual filter on the candidates' true endpoints. HINT
+// stores those endpoints in its entries, so no base-table lookup is
+// needed; stored infinite uppers keep the +∞ sentinel, which compares
+// greater than any finite bound, giving the natural semantics.
+func (x *Index) QueryRelationFunc(r interval.Relation, q interval.Interval, fn func(id int64) bool) error {
+	if !q.Valid() {
+		return fmt.Errorf("hint: invalid query %v", q)
+	}
+	region, ok := interval.GeneratingRegion(r, q)
+	if !ok {
+		return nil
+	}
+	return x.intersectingEntries(region, func(e entry) bool {
+		if r.Holds(interval.New(e.lo, e.hi), q) {
+			return fn(e.id)
+		}
+		return true
+	})
+}
+
+// QueryRelation returns the ids of all stored intervals i with "i r q",
+// sorted ascending.
+func (x *Index) QueryRelation(r interval.Relation, q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := x.QueryRelationFunc(r, q, func(id int64) bool { ids = append(ids, id); return true })
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(ids)
+	return ids, nil
 }

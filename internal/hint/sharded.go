@@ -15,7 +15,6 @@ package hint
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 
 	"ritree/internal/interval"
@@ -166,26 +165,153 @@ func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) 
 	return nil
 }
 
-// Intersecting returns the ids of all intervals intersecting q, ascending.
-func (s *Sharded) Intersecting(q interval.Interval) ([]int64, error) {
-	var ids []int64
-	if err := s.IntersectingFunc(q, func(id int64) bool { ids = append(ids, id); return true }); err != nil {
-		return nil, err
+// queryShardsParallel runs query on every shard of s in parallel — one
+// goroutine per shard, under that shard's read lock — and returns the
+// per-shard results in shard order. With a single shard it degenerates
+// to a plain sequential call. Queries visit every shard anyway, so the
+// fan-out turns the shard count from a query tax into a latency divider
+// on multi-core hardware.
+func queryShardsParallel[T any](s *Sharded, query func(ix *Index) (T, error)) ([]T, error) {
+	results := make([]T, len(s.shards))
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		var err error
+		results[0], err = query(sh.ix)
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
-	slices.Sort(ids)
-	return ids, nil
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			results[i], errs[i] = query(sh.ix)
+			sh.mu.RUnlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
-// CountIntersecting returns the number of intervals intersecting q.
+// collectParallel fans an id-collecting query over the shards in
+// parallel and k-way merges the per-shard sorted slices into one
+// ascending id list, preserving the ascending-id contract of the
+// single-shard API.
+func (s *Sharded) collectParallel(query func(ix *Index) ([]int64, error)) ([]int64, error) {
+	results, err := queryShardsParallel(s, query)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 1 {
+		return results[0], nil
+	}
+	return mergeAscending(results), nil
+}
+
+// mergeAscending merges sorted id slices into one ascending slice. The
+// shard count is small, so a linear min-scan per output element beats a
+// heap on real workloads; empty inputs are dropped up front.
+func mergeAscending(lists [][]int64) []int64 {
+	live := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]int64, 0, total)
+	for len(live) > 0 {
+		min := 0
+		for i := 1; i < len(live); i++ {
+			if live[i][0] < live[min][0] {
+				min = i
+			}
+		}
+		out = append(out, live[min][0])
+		if live[min] = live[min][1:]; len(live[min]) == 0 {
+			live[min] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return out
+}
+
+// Intersecting returns the ids of all intervals intersecting q, ascending.
+// Shards are queried in parallel and their sorted results merged, so the
+// output order matches the single-shard index exactly.
+func (s *Sharded) Intersecting(q interval.Interval) ([]int64, error) {
+	return s.collectParallel(func(ix *Index) ([]int64, error) { return ix.Intersecting(q) })
+}
+
+// CountIntersecting returns the number of intervals intersecting q,
+// counting the shards in parallel.
 func (s *Sharded) CountIntersecting(q interval.Interval) (int64, error) {
+	counts, err := queryShardsParallel(s, func(ix *Index) (int64, error) {
+		return ix.CountIntersecting(q)
+	})
+	if err != nil {
+		return 0, err
+	}
 	var n int64
-	err := s.IntersectingFunc(q, func(int64) bool { n++; return true })
-	return n, err
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
 }
 
 // Stab returns the ids of all intervals containing the point p, ascending.
 func (s *Sharded) Stab(p int64) ([]int64, error) {
 	return s.Intersecting(interval.Point(p))
+}
+
+// QueryRelationFunc streams the ids of intervals i with "i r q" in no
+// particular order; return false from fn to stop early. Shards are
+// consulted sequentially under their read locks (a streaming callback
+// cannot be fanned out without racing the caller).
+func (s *Sharded) QueryRelationFunc(r interval.Relation, q interval.Interval, fn func(id int64) bool) error {
+	stopped := false
+	wrapped := func(id int64) bool {
+		if !fn(id) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		err := sh.ix.QueryRelationFunc(r, q, wrapped)
+		sh.mu.RUnlock()
+		if err != nil || stopped {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryRelation returns the ids of all intervals i with "i r q", sorted
+// ascending, querying the shards in parallel.
+func (s *Sharded) QueryRelation(r interval.Relation, q interval.Interval) ([]int64, error) {
+	return s.collectParallel(func(ix *Index) ([]int64, error) { return ix.QueryRelation(r, q) })
 }
 
 // Count returns the number of live intervals across all shards.
@@ -200,6 +326,12 @@ func (s *Sharded) Replicas() int64 { return s.sum(func(ix *Index) int64 { return
 // OverlayEntries returns how many stored copies await the next Optimize.
 func (s *Sharded) OverlayEntries() int64 {
 	return s.sum(func(ix *Index) int64 { return ix.OverlayEntries() })
+}
+
+// FlatEntries returns how many stored copies live in the flat
+// cache-conscious storage across all shards.
+func (s *Sharded) FlatEntries() int64 {
+	return s.sum(func(ix *Index) int64 { return ix.FlatEntries() })
 }
 
 func (s *Sharded) sum(f func(ix *Index) int64) int64 {

@@ -1,0 +1,51 @@
+package interval
+
+// Generating regions for Allen-relation queries (paper §4.5): every
+// fine-grained topological predicate "i r q" is answered by running an
+// ordinary *intersection* query over a region derived from the predicate,
+// then applying the exact relation as a residual filter to the candidates.
+// The region is chosen so it provably contains every qualifying interval;
+// for the bound-referencing predicates (meets, starts, finishes, ...) it
+// is a single stabbing point, which is why both interval bounds are served
+// equally well — unlike the IB+-tree or the IST composite indexes, which
+// degrade to O(n) on the "wrong" bound.
+//
+// This used to live inside internal/ritree; it is hoisted here so that
+// every access method behind the unified collection API (RI-tree, HINT,
+// any registered indextype) shares one Allen-query evaluation strategy.
+
+// QueryFloor and QueryCeil bound generating regions for the open-ended
+// predicates before and after. They lie safely outside any data space
+// while keeping shifted arithmetic overflow-free in every access method.
+const (
+	QueryFloor = -(int64(1) << 61)
+	QueryCeil  = int64(1) << 61
+)
+
+// GeneratingRegion returns the intersection region that is guaranteed to
+// contain every interval i with "i r q". ok is false when the region is
+// empty (no interval can satisfy the predicate).
+func GeneratingRegion(r Relation, q Interval) (region Interval, ok bool) {
+	switch r {
+	case Before:
+		if q.Lower == QueryFloor {
+			return Interval{}, false
+		}
+		return New(QueryFloor, q.Lower-1), true
+	case After:
+		if q.Upper >= QueryCeil {
+			return Interval{}, false
+		}
+		return New(q.Upper+1, QueryCeil), true
+	case Meets, Overlaps, FinishedBy, Contains, Starts, Equals, StartedBy:
+		// All of these require i to contain the query's lower bound.
+		return Point(q.Lower), true
+	case MetBy, OverlappedBy, Finishes:
+		// All of these require i to contain the query's upper bound.
+		return Point(q.Upper), true
+	case During:
+		// i lies strictly inside q, hence intersects q.
+		return q, true
+	}
+	return Interval{}, false
+}

@@ -145,6 +145,10 @@ type Store struct {
 	free    []PageID
 	closed  bool
 	latency time.Duration
+	// handles recycles Page values between Get and Release: the handle was
+	// the last per-logical-read heap allocation on the query path (the LRU
+	// frames themselves already stay resident across pin/release cycles).
+	handles sync.Pool
 }
 
 // New creates a Store over backend. If the backend already contains a store
@@ -316,7 +320,8 @@ func (s *Store) Free(id PageID) error {
 	return nil
 }
 
-// Page is a pinned handle to a cached page. It must be released exactly once.
+// Page is a pinned handle to a cached page. It must be released exactly
+// once; after Release the handle is recycled and must not be touched.
 type Page struct {
 	s *Store
 	f *frame
@@ -336,19 +341,36 @@ func (p *Page) MarkDirty() {
 	p.s.mu.Unlock()
 }
 
-// Release unpins the page, making it evictable again.
+// Release unpins the page, making it evictable again, and returns the
+// handle to the store's pool.
 func (p *Page) Release() {
 	s := p.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	f := p.f
+	if f == nil {
+		panic("pagestore: page released more times than pinned")
+	}
+	p.f = nil // poison before pooling: a second Release must not corrupt a reused handle
+	s.mu.Lock()
 	f.pins--
 	if f.pins < 0 {
+		s.mu.Unlock()
 		panic("pagestore: page released more times than pinned")
 	}
 	if f.pins == 0 {
 		s.shrinkLocked()
 	}
+	s.mu.Unlock()
+	s.handles.Put(p)
+}
+
+// handleFor wraps frame f in a pooled Page handle.
+func (s *Store) handleFor(f *frame) *Page {
+	if v := s.handles.Get(); v != nil {
+		p := v.(*Page)
+		p.s, p.f = s, f
+		return p
+	}
+	return &Page{s: s, f: f}
 }
 
 // Get pins page id into the cache and returns a handle to it.
@@ -366,7 +388,7 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	if f, ok := s.frames[id]; ok {
 		s.pinLocked(f)
 		s.mu.Unlock()
-		return &Page{s: s, f: f}, nil
+		return s.handleFor(f), nil
 	}
 	// Miss: fetch from the backend.
 	s.stats.PhysicalReads++
@@ -387,7 +409,7 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	if lat > 0 {
 		time.Sleep(lat)
 	}
-	return &Page{s: s, f: f}, nil
+	return s.handleFor(f), nil
 }
 
 // pinLocked marks f in use. Frames stay resident in the LRU list while

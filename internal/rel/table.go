@@ -88,6 +88,16 @@ func (t *Table) GetRaw(rid RowID) ([]int64, error) {
 	return row, nil
 }
 
+// GetRawInto is GetRaw into a caller-provided buffer (len = NumCols),
+// avoiding the per-row allocation on streaming query paths that map index
+// hits back to base rows.
+func (t *Table) GetRawInto(rid RowID, dst []int64) error {
+	if len(dst) != t.schema.NumCols() {
+		return ErrRowWidth
+	}
+	return t.h.get(rid, dst)
+}
+
 // DeleteRow removes the row at rid from the heap and all indexes. It
 // returns the deleted row.
 func (t *Table) DeleteRow(rid RowID) ([]int64, error) {

@@ -190,6 +190,37 @@ func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
 	return err
 }
 
+// OnBulkInsert implements sqldb.BulkMaintainer: a bulk append to the base
+// table maintains the hidden tree through its BulkLoad, which rebuilds
+// the composite indexes tightly packed instead of paying a B+-tree
+// insert per row. The batch is validated up front: Tree.BulkLoad drops
+// the composite indexes while it runs, so it must only ever see input it
+// will accept — a mid-load refusal would leave the tree without its
+// indexes and the engine's rollback (OnDelete per row) scanning dropped
+// storage. After validation the only remaining failure mode is a
+// page-store I/O error, the same mid-statement hazard every other write
+// path shares.
+func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
+	ivs := make([]interval.Interval, len(rows))
+	ids := make([]int64, len(rows))
+	for i, row := range rows {
+		iv := interval.New(row[ix.loPos], row[ix.hiPos])
+		if !iv.Valid() && iv.Upper != interval.Infinity && iv.Upper != interval.NowMarker {
+			return fmt.Errorf("ritree indextype: invalid interval %v in bulk batch (row %d of %d)", iv, i, len(rows))
+		}
+		ivs[i] = iv
+		ids[i] = int64(rids[i])
+	}
+	return ix.tree.BulkLoad(ivs, ids)
+}
+
+// SetNow implements sqldb.NowKeeper: the RI-tree carries the paper's
+// §4.6 now-relative interval semantics into the unified collection API.
+func (ix *indexType) SetNow(now int64) { ix.tree.SetNow(now) }
+
+// Now implements sqldb.NowKeeper.
+func (ix *indexType) Now() int64 { return ix.tree.Now() }
+
 // Scan implements sqldb.CustomIndex: the operator dispatch.
 func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
 	var q interval.Interval

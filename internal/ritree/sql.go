@@ -29,11 +29,11 @@ WHERE i.node = r.node AND i.lower <= :upper`, tableName(t.name), tableName(t.nam
 // effort") along with the :lower/:upper scalar binds.
 func (t *Tree) IntersectionBinds(q interval.Interval) map[string]interface{} {
 	tn := t.collectNodes(q)
-	left := &sqldb.Collection{Cols: []string{"min", "max"}}
+	left := &sqldb.Transient{Cols: []string{"min", "max"}}
 	for _, nr := range tn.Left {
 		left.Rows = append(left.Rows, []int64{nr.Min, nr.Max})
 	}
-	right := &sqldb.Collection{Cols: []string{"node"}}
+	right := &sqldb.Transient{Cols: []string{"node"}}
 	for _, w := range tn.Right {
 		right.Rows = append(right.Rows, []int64{w})
 	}

@@ -18,59 +18,25 @@ import (
 // bounds are supported equally well — unlike the IB+-tree or the IST
 // composite indexes, which degrade to O(n) on the "wrong" bound (§4.5).
 
-// queryFloor/queryCeil bound generating regions for the open-ended
-// predicates before and after. They lie safely outside any data space while
-// keeping shifted arithmetic overflow-free.
-const (
-	queryFloor = -(int64(1) << 61)
-	queryCeil  = int64(1) << 61
-)
-
-// generatingRegion returns the intersection region that is guaranteed to
-// contain every interval i with "i r q".
-func generatingRegion(r interval.Relation, q interval.Interval) (interval.Interval, bool) {
-	switch r {
-	case interval.Before:
-		if q.Lower == queryFloor {
-			return interval.Interval{}, false
-		}
-		return interval.New(queryFloor, q.Lower-1), true
-	case interval.After:
-		if q.Upper >= queryCeil {
-			return interval.Interval{}, false
-		}
-		return interval.New(q.Upper+1, queryCeil), true
-	case interval.Meets, interval.Overlaps, interval.FinishedBy,
-		interval.Contains, interval.Starts, interval.Equals, interval.StartedBy:
-		// All of these require i to contain the query's lower bound.
-		return interval.Point(q.Lower), true
-	case interval.MetBy, interval.OverlappedBy, interval.Finishes:
-		// All of these require i to contain the query's upper bound.
-		return interval.Point(q.Upper), true
-	case interval.During:
-		// i lies strictly inside q, hence intersects q.
-		return q, true
-	}
-	return interval.Interval{}, false
-}
-
-// QueryRelation returns the ids of all stored intervals i for which the
-// Allen relation "i r q" holds, sorted ascending. Stored now-relative
-// intervals are evaluated with their effective upper bound Now(); infinite
-// intervals keep the +∞ sentinel (which compares greater than any finite
-// bound, giving the natural semantics).
-func (t *Tree) QueryRelation(r interval.Relation, q interval.Interval) ([]int64, error) {
+// QueryRelationFunc streams the id of every stored interval i for which
+// the Allen relation "i r q" holds, in no particular order; return false
+// from fn to stop early. The evaluation strategy is the paper's: run the
+// generating intersection query of the predicate (interval.GeneratingRegion)
+// and apply the exact relation as a residual filter on the candidate rows.
+// Stored now-relative intervals are evaluated with their effective upper
+// bound Now(); infinite intervals keep the +∞ sentinel (which compares
+// greater than any finite bound, giving the natural semantics).
+func (t *Tree) QueryRelationFunc(r interval.Relation, q interval.Interval, fn func(id int64) bool) error {
 	if !q.Valid() {
-		return nil, fmt.Errorf("ritree: invalid query interval %v", q)
+		return fmt.Errorf("ritree: invalid query interval %v", q)
 	}
-	region, ok := generatingRegion(r, q)
+	region, ok := interval.GeneratingRegion(r, q)
 	if !ok {
-		return nil, nil
+		return nil
 	}
-	var ids []int64
-	err := t.intersectingRows(region, func(id int64, rid rel.RowID) bool {
-		row, err := t.tab.GetRaw(rid)
-		if err != nil {
+	row := make([]int64, 4)
+	return t.intersectingRows(region, func(id int64, rid rel.RowID) bool {
+		if t.tab.GetRawInto(rid, row) != nil {
 			return true
 		}
 		iv := interval.New(row[colLower], row[colUpper])
@@ -81,8 +47,18 @@ func (t *Tree) QueryRelation(r interval.Relation, q interval.Interval) ([]int64,
 			}
 		}
 		if r.Holds(iv, q) {
-			ids = append(ids, id)
+			return fn(id)
 		}
+		return true
+	})
+}
+
+// QueryRelation returns the ids of all stored intervals i for which the
+// Allen relation "i r q" holds, sorted ascending.
+func (t *Tree) QueryRelation(r interval.Relation, q interval.Interval) ([]int64, error) {
+	var ids []int64
+	err := t.QueryRelationFunc(r, q, func(id int64) bool {
+		ids = append(ids, id)
 		return true
 	})
 	if err != nil {

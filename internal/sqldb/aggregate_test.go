@@ -60,7 +60,7 @@ func TestAggregateWithJoinAndUnion(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		mustExec(t, e, "INSERT INTO t VALUES (:k, :v)", map[string]interface{}{"k": i % 3, "v": i})
 	}
-	coll := &Collection{Cols: []string{"k"}, Rows: [][]int64{{0}, {2}}}
+	coll := &Transient{Cols: []string{"k"}, Rows: [][]int64{{0}, {2}}}
 	r := mustExec(t, e, "SELECT count(*) FROM TABLE(:ks) g, t WHERE t.k = g.k",
 		map[string]interface{}{"ks": coll})
 	if r.Rows[0][0] != 20 {

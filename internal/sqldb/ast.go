@@ -26,6 +26,19 @@ type DropStmt struct {
 	Name  string
 }
 
+// CreateCollectionStmt is CREATE COLLECTION name [USING method]: a
+// (lower, upper, id) interval relation served by the named access method
+// (a registered indextype; the unified-API face of paper §5).
+type CreateCollectionStmt struct {
+	Name   string
+	Method string // empty: the engine's default access method
+}
+
+// DropCollectionStmt is DROP COLLECTION name.
+type DropCollectionStmt struct {
+	Name string
+}
+
 // InsertStmt is INSERT INTO table VALUES (expr, ...).
 type InsertStmt struct {
 	Table  string
@@ -52,13 +65,15 @@ type ExplainStmt struct {
 	Query *SelectStmt
 }
 
-func (*CreateTableStmt) stmt() {}
-func (*CreateIndexStmt) stmt() {}
-func (*DropStmt) stmt()        {}
-func (*InsertStmt) stmt()      {}
-func (*DeleteStmt) stmt()      {}
-func (*SelectStmt) stmt()      {}
-func (*ExplainStmt) stmt()     {}
+func (*CreateTableStmt) stmt()      {}
+func (*CreateIndexStmt) stmt()      {}
+func (*CreateCollectionStmt) stmt() {}
+func (*DropCollectionStmt) stmt()   {}
+func (*DropStmt) stmt()             {}
+func (*InsertStmt) stmt()           {}
+func (*DeleteStmt) stmt()           {}
+func (*SelectStmt) stmt()           {}
+func (*ExplainStmt) stmt()          {}
 
 // SelectItem is one projection: an expression, or a * / alias.* wildcard.
 type SelectItem struct {

@@ -1,0 +1,295 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ritree/internal/rel"
+)
+
+// Collections: the engine half of the unified access-method API.
+//
+// A collection is a named interval relation with a pluggable access
+// method — exactly the shape of paper §5: a base table holding the user's
+// (lower, upper, id) rows, plus one domain index served by a registered
+// indextype (ritree, hint, hint_sharded, or anything an embedder
+// registers). The convention is purely catalog-level: the base table is
+// named after the collection and its domain index is named
+// CollectionIndexName(name), so the PR-2 persistent CustomIndexDef
+// machinery makes collections survive close-and-reopen with no extra
+// catalog format — AttachCatalogIndexes rebuilds or reopens every
+// collection's access method exactly like any other domain index.
+//
+// SQL surface: CREATE COLLECTION name [USING method] and
+// DROP COLLECTION name; the collection is then an ordinary table for
+// SELECT/INSERT/DELETE, with INTERSECTS and CONTAINS_POINT served by its
+// access method. The programmatic surface (InsertRow, DeleteRowID,
+// BulkInsert, CustomIndexByName) is what the root ritree package's
+// Collection handle drives.
+
+// CollectionColumns is the fixed schema of a collection's base relation.
+var CollectionColumns = []string{"lower", "upper", "id"}
+
+// collectionIndexSuffix marks a domain index as the access method of a
+// collection. '$' keeps the name out of the SQL identifier space, so
+// plain CREATE INDEX cannot collide with it.
+const collectionIndexSuffix = "$am"
+
+// CollectionIndexName returns the conventional name of the domain index
+// serving the named collection.
+func CollectionIndexName(name string) string {
+	return strings.ToLower(name) + collectionIndexSuffix
+}
+
+// CollectionInfo describes one collection: its name and the indextype
+// serving it.
+type CollectionInfo struct {
+	Name   string
+	Method string
+}
+
+// DefaultAccessMethod is the indextype used when CREATE COLLECTION names
+// none — the paper's own access method.
+const DefaultAccessMethod = "ritree"
+
+// IndexTypes returns the names of every registered indextype, sorted —
+// the access-method registry behind CREATE COLLECTION ... USING.
+func (e *Engine) IndexTypes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.indexTypes))
+	for n := range e.indexTypes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CustomIndexByName returns the attached custom index with the given name
+// (case-insensitively), if any.
+func (e *Engine) CustomIndexByName(name string) (CustomIndex, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ci, ok := e.custom[strings.ToLower(name)]
+	return ci, ok
+}
+
+// CreateCollection creates the named interval collection served by the
+// given access method (indextype name; empty means DefaultAccessMethod).
+func (e *Engine) CreateCollection(name, method string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.createCollectionLocked(name, method)
+}
+
+func (e *Engine) createCollectionLocked(name, method string) error {
+	name = strings.ToLower(name)
+	if method == "" {
+		method = DefaultAccessMethod
+	}
+	method = strings.ToLower(method)
+	if _, ok := e.indexTypes[method]; !ok {
+		known := make([]string, 0, len(e.indexTypes))
+		for n := range e.indexTypes {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("sql: unknown access method %q (registered: %s)", method, strings.Join(known, ", "))
+	}
+	if _, err := e.db.CreateTable(name, CollectionColumns); err != nil {
+		return err
+	}
+	_, err := e.createCustomIndex(&CreateIndexStmt{
+		Name:      CollectionIndexName(name),
+		Table:     name,
+		Columns:   []string{"lower", "upper"},
+		IndexType: method,
+	})
+	if err != nil {
+		_ = e.db.DropTable(name)
+		return err
+	}
+	return nil
+}
+
+// DropCollection removes the named collection: its base table and, by the
+// DROP TABLE cascade, its access-method index and storage.
+func (e *Engine) DropCollection(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropCollectionLocked(name)
+}
+
+func (e *Engine) dropCollectionLocked(name string) error {
+	if _, ok := e.collectionDef(name); !ok {
+		return fmt.Errorf("sql: no collection %q (DROP TABLE removes plain tables)", name)
+	}
+	return e.dropTableCascadeLocked(strings.ToLower(name))
+}
+
+// collectionDef returns the catalog definition of the named collection's
+// access-method index, if the name denotes a collection.
+func (e *Engine) collectionDef(name string) (rel.CustomIndexDef, bool) {
+	def, ok := e.db.CustomIndex(CollectionIndexName(name))
+	if !ok || !strings.EqualFold(def.Table, name) {
+		return rel.CustomIndexDef{}, false
+	}
+	return def, true
+}
+
+// Collections lists every collection recorded in the catalog, sorted by
+// name. On a reopened database this reflects the persisted definitions
+// whether or not they have been attached yet.
+func (e *Engine) Collections() []CollectionInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var infos []CollectionInfo
+	for _, def := range e.db.CustomIndexes() {
+		if strings.EqualFold(def.Name, CollectionIndexName(def.Table)) {
+			infos = append(infos, CollectionInfo{Name: strings.ToLower(def.Table), Method: def.IndexType})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// CollectionMethod returns the access method serving the named collection.
+func (e *Engine) CollectionMethod(name string) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	def, ok := e.collectionDef(name)
+	if !ok {
+		return "", false
+	}
+	return def.IndexType, true
+}
+
+// --- programmatic DML with domain-index maintenance ----------------------
+
+// InsertRow stores row in table with full domain-index maintenance — the
+// programmatic equivalent of INSERT INTO, minus the SQL parse. This is
+// the write path of the unified collection API.
+func (e *Engine) InsertRow(table string, row []int64) (rel.RowID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tab, err := e.db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return e.insertRowLocked(table, tab, row)
+}
+
+// DeleteRowID removes the row at rid from table with full domain-index
+// maintenance.
+func (e *Engine) DeleteRowID(table string, rid rel.RowID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tab, err := e.db.Table(table)
+	if err != nil {
+		return err
+	}
+	row, err := tab.GetRaw(rid)
+	if err != nil {
+		return err
+	}
+	return e.deleteRowLocked(table, tab, rid, row)
+}
+
+// BulkMaintainer is an optional CustomIndex capability: refresh the index
+// after a bulk append to the base table in one pass, instead of paying
+// the incremental OnInsert per row. rows and rids are parallel slices of
+// the appended rows and their heap row ids.
+type BulkMaintainer interface {
+	OnBulkInsert(rows [][]int64, rids []rel.RowID) error
+}
+
+// BulkInsert appends rows to table, then maintains each domain index —
+// through its BulkMaintainer capability when it has one, row by row
+// otherwise. This is the collection BulkLoad fast path. Like the
+// single-row paths, a refused batch must not leave the heap and the
+// domain indexes divergent: on any failure the maintenance already
+// performed and the appended heap rows are undone before the error
+// surfaces (a half-loaded collection on a file-backed database would
+// otherwise refuse every later attach).
+func (e *Engine) BulkInsert(table string, rows [][]int64) ([]rel.RowID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tab, err := e.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	rids := make([]rel.RowID, 0, len(rows))
+	undoHeap := func() error {
+		var first error
+		for _, rid := range rids {
+			if _, err := tab.DeleteRow(rid); err != nil && first == nil {
+				first = fmt.Errorf("heap rollback failed: %w", err)
+			}
+		}
+		return first
+	}
+	for i, row := range rows {
+		rid, err := tab.Insert(row)
+		if err != nil {
+			return nil, withUndo(fmt.Errorf("sql: bulk insert into %s failed at row %d of %d: %w", table, i, len(rows), err), undoHeap())
+		}
+		rids = append(rids, rid)
+	}
+	// undoIndex removes the batch from one index again; domain indexes
+	// tolerate deletes of entries they never held, so this is safe even
+	// when the failing index applied only part of the batch.
+	undoIndex := func(ci CustomIndex) error {
+		var first error
+		for i := len(rids) - 1; i >= 0; i-- {
+			if err := ci.OnDelete(rows[i], rids[i]); err != nil && first == nil {
+				first = fmt.Errorf("restore of index %s failed: %w", ci.Name(), err)
+			}
+		}
+		return first
+	}
+	customs := e.customByTb[strings.ToLower(table)]
+	for n, ci := range customs {
+		var merr error
+		if bm, ok := ci.(BulkMaintainer); ok {
+			merr = bm.OnBulkInsert(rows, rids)
+		} else {
+			for i := range rows {
+				if merr = ci.OnInsert(rows[i], rids[i]); merr != nil {
+					break
+				}
+			}
+		}
+		if merr != nil {
+			undoErr := undoIndex(ci)
+			for j := n - 1; j >= 0; j-- {
+				if err := undoIndex(customs[j]); err != nil && undoErr == nil {
+					undoErr = err
+				}
+			}
+			if err := undoHeap(); err != nil && undoErr == nil {
+				undoErr = err
+			}
+			return nil, withUndo(fmt.Errorf("sql: bulk maintenance of index %s: %w", ci.Name(), merr), undoErr)
+		}
+	}
+	return rids, nil
+}
+
+// NowKeeper is an optional CustomIndex capability: access methods that
+// implement the paper's §4.6 now-relative intervals (the RI-tree) expose
+// their evaluation clock through it. Collections route SetNow through the
+// capability and reject now-relative rows on access methods without it.
+type NowKeeper interface {
+	SetNow(now int64)
+	Now() int64
+}
+
+// OperatorCounter is an optional CustomIndex capability: count the rows
+// matching an operator without streaming them through a callback. Access
+// methods with an internally parallel counting path (the sharded HINT
+// fans one goroutine per shard) implement it so collection-level counts
+// get the multi-core speedup a sequential streaming scan cannot.
+type OperatorCounter interface {
+	ScanCount(op string, args []int64) (int64, error)
+}

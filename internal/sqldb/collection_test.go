@@ -1,0 +1,217 @@
+package sqldb
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+)
+
+// fakeIntervalIndex is a minimal indextype for engine-level collection
+// tests: a slice of (lo, hi, rid) scanned linearly.
+type fakeIntervalIndex struct {
+	name, table string
+	cols        []string
+	lo, hi      int
+	rows        map[rel.RowID][2]int64
+	bulkCalls   int
+}
+
+func (f *fakeIntervalIndex) Name() string      { return f.name }
+func (f *fakeIntervalIndex) Table() string     { return f.table }
+func (f *fakeIntervalIndex) Columns() []string { return f.cols }
+func (f *fakeIntervalIndex) HasOperator(op string) bool {
+	return op == "intersects" || op == "contains_point"
+}
+func (f *fakeIntervalIndex) OnInsert(row []int64, rid rel.RowID) error {
+	f.rows[rid] = [2]int64{row[f.lo], row[f.hi]}
+	return nil
+}
+func (f *fakeIntervalIndex) OnDelete(row []int64, rid rel.RowID) error {
+	delete(f.rows, rid)
+	return nil
+}
+func (f *fakeIntervalIndex) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
+	f.bulkCalls++
+	for i, row := range rows {
+		f.rows[rids[i]] = [2]int64{row[f.lo], row[f.hi]}
+	}
+	return nil
+}
+func (f *fakeIntervalIndex) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	qlo, qhi := args[0], args[0]
+	if op == "intersects" {
+		qhi = args[1]
+	}
+	for rid, iv := range f.rows {
+		if iv[0] <= qhi && qlo <= iv[1] {
+			if !fn(rid) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+func (f *fakeIntervalIndex) Drop() error { return nil }
+
+func newCollectionEngine(t *testing.T) *Engine {
+	t.Helper()
+	st := pagestore.NewMem(pagestore.Options{})
+	db, err := rel.CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db)
+	e.RegisterIndexType("fake", IndexTypeFuncs{
+		Create: func(eng *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+			tab, err := eng.DB().Table(table)
+			if err != nil {
+				return nil, err
+			}
+			f := &fakeIntervalIndex{
+				name: indexName, table: table, cols: cols,
+				lo:   tab.Schema().ColIndex(cols[0]),
+				hi:   tab.Schema().ColIndex(cols[1]),
+				rows: make(map[rel.RowID][2]int64),
+			}
+			err = tab.Scan(func(rid rel.RowID, row []int64) bool {
+				f.rows[rid] = [2]int64{row[f.lo], row[f.hi]}
+				return true
+			})
+			return f, err
+		},
+	})
+	return e
+}
+
+func TestEngineCreateCollectionStatement(t *testing.T) {
+	e := newCollectionEngine(t)
+	if _, err := e.Exec("CREATE COLLECTION spans USING fake", nil); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Collections()
+	if len(infos) != 1 || infos[0].Name != "spans" || infos[0].Method != "fake" {
+		t.Fatalf("Collections = %v", infos)
+	}
+	if m, ok := e.CollectionMethod("spans"); !ok || m != "fake" {
+		t.Fatalf("CollectionMethod = %q, %v", m, ok)
+	}
+	if _, err := e.Exec("INSERT INTO spans VALUES (10, 20, 7)", nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("SELECT id FROM spans WHERE intersects(lower, upper, 15, 16)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0] != 7 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// Unknown method errors and leaves no half-made collection behind.
+	if _, err := e.Exec("CREATE COLLECTION bad USING nope", nil); err == nil {
+		t.Fatal("unknown access method accepted")
+	}
+	if _, err := e.DB().Table("bad"); err == nil {
+		t.Fatal("failed CREATE COLLECTION left the base table behind")
+	}
+	// DROP COLLECTION removes table, index and definition.
+	if _, err := e.Exec("DROP COLLECTION spans", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Collections()) != 0 {
+		t.Fatal("collection survived DROP COLLECTION")
+	}
+	if _, err := e.Exec("DROP COLLECTION spans", nil); err == nil {
+		t.Fatal("double DROP COLLECTION succeeded")
+	}
+	// DROP COLLECTION refuses plain tables; DROP TABLE handles those.
+	e.MustExec("CREATE TABLE plain (a int)", nil)
+	if _, err := e.Exec("DROP COLLECTION plain", nil); err == nil || !strings.Contains(err.Error(), "no collection") {
+		t.Fatalf("DROP COLLECTION on a plain table: %v", err)
+	}
+}
+
+func TestEngineDefaultAccessMethodAndRegistry(t *testing.T) {
+	e := newCollectionEngine(t)
+	if got := e.IndexTypes(); !slices.Equal(got, []string{"fake"}) {
+		t.Fatalf("IndexTypes = %v", got)
+	}
+	// Default method is "ritree", which this engine does not register.
+	if _, err := e.Exec("CREATE COLLECTION d1", nil); err == nil {
+		t.Fatal("default method resolved without registration")
+	}
+	e.RegisterIndexType(DefaultAccessMethod, e.indexTypes["fake"])
+	if _, err := e.Exec("CREATE COLLECTION d1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := e.CollectionMethod("d1"); m != DefaultAccessMethod {
+		t.Fatalf("method = %q", m)
+	}
+}
+
+func TestEngineProgrammaticRowDML(t *testing.T) {
+	e := newCollectionEngine(t)
+	if err := e.CreateCollection("c", "fake"); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := e.InsertRow("c", []int64{1, 5, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := e.CustomIndexByName(CollectionIndexName("c"))
+	if !ok {
+		t.Fatal("collection index not attached")
+	}
+	f := ci.(*fakeIntervalIndex)
+	if len(f.rows) != 1 {
+		t.Fatalf("maintenance missed: %v", f.rows)
+	}
+	// BulkInsert goes through the BulkMaintainer capability once.
+	rows := [][]int64{{2, 3, 101}, {4, 9, 102}, {7, 8, 103}}
+	rids, err := e.BulkInsert("c", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 || f.bulkCalls != 1 || len(f.rows) != 4 {
+		t.Fatalf("bulk: rids=%d bulkCalls=%d indexed=%d", len(rids), f.bulkCalls, len(f.rows))
+	}
+	if err := e.DeleteRowID("c", rid); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rows) != 3 {
+		t.Fatalf("delete maintenance missed: %v", f.rows)
+	}
+	tab, _ := e.DB().Table("c")
+	if tab.RowCount() != 3 {
+		t.Fatalf("heap count = %d", tab.RowCount())
+	}
+}
+
+func TestParseCollectionStatements(t *testing.T) {
+	st, err := Parse("CREATE COLLECTION flights USING hint_sharded;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := st.(*CreateCollectionStmt)
+	if !ok || cs.Name != "flights" || cs.Method != "hint_sharded" {
+		t.Fatalf("parsed %#v", st)
+	}
+	st, err = Parse("CREATE COLLECTION flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := st.(*CreateCollectionStmt); cs.Method != "" {
+		t.Fatalf("method = %q", cs.Method)
+	}
+	st, err = Parse("DROP COLLECTION flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := st.(*DropCollectionStmt); ds.Name != "flights" {
+		t.Fatalf("parsed %#v", st)
+	}
+	if _, err := Parse("CREATE COLLECTION"); err == nil {
+		t.Fatal("nameless CREATE COLLECTION parsed")
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"ritree/internal/rel"
 )
 
-// Collection is a transient, session-state relation passed as a bind
+// Transient is a transient, session-state relation passed as a bind
 // variable and scanned via TABLE(:name) — the leftNodes/rightNodes
 // mechanism of paper §4.2 ("managed in the transient session state thus
-// causing no I/O effort").
-type Collection struct {
+// causing no I/O effort"). It was formerly named Collection; that name now
+// belongs to the persistent, access-method-backed interval collections of
+// the unified API (see collection.go and the root ritree package).
+type Transient struct {
 	Cols []string
 	Rows [][]int64
 }
@@ -53,7 +55,8 @@ func NewEngine(db *rel.DB) *Engine {
 func (e *Engine) DB() *rel.DB { return e.db }
 
 // Exec parses and executes one statement. binds supplies scalar bind
-// variables (int64 or int) and collections (Collection or *Collection).
+// variables (int64 or int) and transient relations (Transient or
+// *Transient).
 func (e *Engine) Exec(sql string, binds map[string]interface{}) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
@@ -102,25 +105,11 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 			}
 			return &Result{}, e.db.DropIndex(s.Name)
 		}
-		// DROP TABLE cascades to domain indexes: leaving them registered
-		// would keep their maintenance hooks and hidden storage alive, and
-		// a recreated same-named table would then serve stale results
-		// through them. Attached ones first (iterate over a copy —
-		// dropCustomIndex mutates customByTb), then catalog definitions
-		// this session never attached.
-		for _, ci := range append([]CustomIndex(nil), e.customByTb[strings.ToLower(s.Name)]...) {
-			if err := e.dropCustomIndex(ci); err != nil {
-				return nil, err
-			}
-		}
-		for _, def := range e.db.CustomIndexes() {
-			if strings.EqualFold(def.Table, s.Name) {
-				if err := e.dropUnattachedDef(def); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return &Result{}, e.db.DropTable(s.Name)
+		return &Result{}, e.dropTableCascadeLocked(s.Name)
+	case *CreateCollectionStmt:
+		return &Result{}, e.createCollectionLocked(s.Name, s.Method)
+	case *DropCollectionStmt:
+		return &Result{}, e.dropCollectionLocked(s.Name)
 	case *InsertStmt:
 		return e.execInsert(s, binds)
 	case *DeleteStmt:
@@ -135,6 +124,28 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 		return &Result{Plan: plan}, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+// dropTableCascadeLocked drops a table, cascading to its domain indexes:
+// leaving them registered would keep their maintenance hooks and hidden
+// storage alive, and a recreated same-named table would then serve stale
+// results through them. Attached ones first (iterate over a copy —
+// dropCustomIndex mutates customByTb), then catalog definitions this
+// session never attached. Caller holds e.mu.
+func (e *Engine) dropTableCascadeLocked(name string) error {
+	for _, ci := range append([]CustomIndex(nil), e.customByTb[strings.ToLower(name)]...) {
+		if err := e.dropCustomIndex(ci); err != nil {
+			return err
+		}
+	}
+	for _, def := range e.db.CustomIndexes() {
+		if strings.EqualFold(def.Table, name) {
+			if err := e.dropUnattachedDef(def); err != nil {
+				return err
+			}
+		}
+	}
+	return e.db.DropTable(name)
 }
 
 // bindScalar resolves a scalar bind value.
@@ -155,18 +166,18 @@ func bindScalar(binds map[string]interface{}, name string) (int64, error) {
 }
 
 // bindCollection resolves a collection bind value.
-func bindCollection(binds map[string]interface{}, name string) (*Collection, error) {
+func bindCollection(binds map[string]interface{}, name string) (*Transient, error) {
 	v, ok := binds[name]
 	if !ok {
 		return nil, fmt.Errorf("sql: missing collection bind :%s", name)
 	}
 	switch x := v.(type) {
-	case *Collection:
+	case *Transient:
 		return x, nil
-	case Collection:
+	case Transient:
 		return &x, nil
 	}
-	return nil, fmt.Errorf("sql: bind :%s has type %T, want Collection", name, v)
+	return nil, fmt.Errorf("sql: bind :%s has type %T, want Transient", name, v)
 }
 
 func (e *Engine) execInsert(s *InsertStmt, binds map[string]interface{}) (*Result, error) {
@@ -186,26 +197,34 @@ func (e *Engine) execInsert(s *InsertStmt, binds map[string]interface{}) (*Resul
 		}
 		row[i] = v
 	}
-	rid, err := tab.Insert(row)
-	if err != nil {
+	if _, err := e.insertRowLocked(s.Table, tab, row); err != nil {
 		return nil, err
 	}
-	// Extensible indexing (§5): "the object-relational database server
-	// automatically triggers the maintenance ... of custom indexes".
-	// A custom index refusing the row must not leave the heap and the
-	// domain indexes divergent: undo the maintenance already performed
-	// and the heap insert before failing the statement.
-	custom := e.customByTb[s.Table]
+	return &Result{Affected: 1}, nil
+}
+
+// insertRowLocked stores row in tab and triggers domain-index maintenance
+// — extensible indexing (§5): "the object-relational database server
+// automatically triggers the maintenance ... of custom indexes". A custom
+// index refusing the row must not leave the heap and the domain indexes
+// divergent: the maintenance already performed and the heap insert are
+// undone before the failure surfaces. Caller holds e.mu.
+func (e *Engine) insertRowLocked(table string, tab *rel.Table, row []int64) (rel.RowID, error) {
+	rid, err := tab.Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	custom := e.customByTb[strings.ToLower(table)]
 	for i, ci := range custom {
 		if err := ci.OnInsert(row, rid); err != nil {
 			undoErr := undoMaintenance(custom[:i], row, rid, true)
 			if _, derr := tab.DeleteRow(rid); derr != nil && undoErr == nil {
 				undoErr = fmt.Errorf("heap rollback failed: %w", derr)
 			}
-			return nil, withUndo(err, undoErr)
+			return 0, withUndo(err, undoErr)
 		}
 	}
-	return &Result{Affected: 1}, nil
+	return rid, nil
 }
 
 // undoMaintenance applies the inverse maintenance op (delete for a failed
@@ -272,18 +291,28 @@ func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Resul
 	// heap and domain indexes never diverge. A failure mid-batch aborts
 	// the statement after a consistent prefix of the victims (victims
 	// already processed stay deleted).
-	custom := e.customByTb[s.Table]
 	for _, v := range victims {
-		for i, ci := range custom {
-			if err := ci.OnDelete(v.row, v.rid); err != nil {
-				return nil, withUndo(err, undoMaintenance(custom[:i], v.row, v.rid, false))
-			}
-		}
-		if _, err := tab.DeleteRow(v.rid); err != nil {
-			return nil, withUndo(err, undoMaintenance(custom, v.row, v.rid, false))
+		if err := e.deleteRowLocked(s.Table, tab, v.rid, v.row); err != nil {
+			return nil, err
 		}
 	}
 	return &Result{Affected: int64(len(victims))}, nil
+}
+
+// deleteRowLocked removes the row at rid (whose contents are row) from tab
+// with domain-index maintenance, undoing on failure so heap and indexes
+// never diverge. Caller holds e.mu.
+func (e *Engine) deleteRowLocked(table string, tab *rel.Table, rid rel.RowID, row []int64) error {
+	custom := e.customByTb[strings.ToLower(table)]
+	for i, ci := range custom {
+		if err := ci.OnDelete(row, rid); err != nil {
+			return withUndo(err, undoMaintenance(custom[:i], row, rid, false))
+		}
+	}
+	if _, err := tab.DeleteRow(rid); err != nil {
+		return withUndo(err, undoMaintenance(custom, row, rid, false))
+	}
+	return nil
 }
 
 func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Result, error) {

@@ -178,8 +178,25 @@ func (p *parser) createStmt() (Statement, error) {
 			st.IndexType = it
 		}
 		return st, nil
+	case p.keyword("collection"):
+		// CREATE COLLECTION name [USING method]: the unified-API shorthand
+		// for a (lower, upper, id) relation plus its access-method domain
+		// index.
+		name, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		st := &CreateCollectionStmt{Name: name}
+		if p.keyword("using") {
+			m, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			st.Method = m
+		}
+		return st, nil
 	}
-	return nil, p.errf("expected TABLE or INDEX after CREATE")
+	return nil, p.errf("expected TABLE, INDEX or COLLECTION after CREATE")
 }
 
 func (p *parser) dropStmt() (Statement, error) {
@@ -188,8 +205,14 @@ func (p *parser) dropStmt() (Statement, error) {
 	case p.keyword("table"):
 	case p.keyword("index"):
 		isIndex = true
+	case p.keyword("collection"):
+		name, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		return &DropCollectionStmt{Name: name}, nil
 	default:
-		return nil, p.errf("expected TABLE or INDEX after DROP")
+		return nil, p.errf("expected TABLE, INDEX or COLLECTION after DROP")
 	}
 	name, err := p.identifier()
 	if err != nil {

@@ -34,7 +34,7 @@ type srcPlan struct {
 	base int // slot offset of this source's columns in the env
 	kind accessKind
 	tab  *rel.Table
-	coll *Collection
+	coll *Transient
 	ix   *rel.Index
 	eq   []evalFn // equality prefix values
 	// lows/highs extend the composite start/stop keys beyond the equality

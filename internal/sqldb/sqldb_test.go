@@ -130,7 +130,7 @@ func TestJoinWithCollectionIterator(t *testing.T) {
 				map[string]interface{}{"g": g, "v": g*100 + v})
 		}
 	}
-	coll := &Collection{Cols: []string{"grp"}, Rows: [][]int64{{3}, {7}, {15}}}
+	coll := &Transient{Cols: []string{"grp"}, Rows: [][]int64{{3}, {7}, {15}}}
 	r := mustExec(t, e,
 		"SELECT d.val FROM TABLE(:groups) g, data d WHERE d.grp = g.grp ORDER BY val",
 		map[string]interface{}{"groups": coll})
@@ -165,8 +165,8 @@ func TestFigure9QueryShapeAndPlan(t *testing.T) {
 	// Query interval [5, 6]: fork path 8 -> 4 -> 5; leftNodes = {4} plus
 	// the covered pair (5, 6); rightNodes = {8}.
 	binds := map[string]interface{}{
-		"leftnodes":  &Collection{Cols: []string{"min", "max"}, Rows: [][]int64{{4, 4}, {5, 6}}},
-		"rightnodes": &Collection{Cols: []string{"node"}, Rows: [][]int64{{8}, {12}}},
+		"leftnodes":  &Transient{Cols: []string{"min", "max"}, Rows: [][]int64{{4, 4}, {5, 6}}},
+		"rightnodes": &Transient{Cols: []string{"node"}, Rows: [][]int64{{8}, {12}}},
 		"lower":      5,
 		"upper":      6,
 	}

@@ -5,7 +5,33 @@
 // composite indexes, heap relations, a SQL engine with extensible
 // indexing) and the paper's competitor access methods.
 //
-// The quickest way in:
+// # One database, many collections
+//
+// The primary entry point is the DB handle: one database hosting any
+// number of named interval collections, each served by a pluggable access
+// method (paper §5's extensible indexing) behind one uniform Querier
+// interface:
+//
+//	db, _ := ritree.OpenMemory()
+//	defer db.Close()
+//	flights, _ := db.CreateCollection("flights", ritree.AccessMethod("hint"))
+//	flights.Insert(ritree.NewInterval(10, 20), 1)
+//	ids, _ := flights.Intersecting(ritree.NewInterval(15, 18)) // -> [1]
+//
+//	// Streaming, cancellable queries (range-over-func):
+//	for id, err := range flights.Scan(ctx, ritree.Intersects(ritree.NewInterval(0, 100))) {
+//		...
+//	}
+//
+// ritree.Open(path) opens a file-backed database; collections persist in
+// its catalog and are served again after reopening. See MIGRATION.md for
+// the mapping from the pre-DB entry points.
+//
+// # The legacy single-index API
+//
+// ritree.New (an RI-tree over its own in-memory database) and
+// ritree.NewHINT (a bare main-memory HINT) remain as single-collection
+// compatibility shims:
 //
 //	idx, _ := ritree.New()
 //	defer idx.Close()
@@ -21,13 +47,10 @@ package ritree
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
-	"ritree/internal/hint"
 	"ritree/internal/interval"
 	"ritree/internal/pagestore"
-	"ritree/internal/rel"
 	ritcore "ritree/internal/ritree"
 	"ritree/internal/sqldb"
 )
@@ -38,7 +61,7 @@ type Interval = interval.Interval
 // Relation is one of Allen's thirteen interval relations (paper §4.5).
 type Relation = interval.Relation
 
-// The thirteen Allen relations, usable with Index.Query.
+// The thirteen Allen relations, usable with Querier.Query.
 const (
 	Before       = interval.Before
 	Meets        = interval.Meets
@@ -66,11 +89,13 @@ const NowMarker = interval.NowMarker
 // cache (2 KB blocks, 200-block cache by default, as in §6.1).
 type IOStats = pagestore.Stats
 
-// Result is a SQL statement result (see Index.Exec).
+// Result is a SQL statement result (see DB.Exec).
 type Result = sqldb.Result
 
-// Collection is a transient collection bind for TABLE(:name) SQL sources.
-type Collection = sqldb.Collection
+// Transient is a transient collection bind for TABLE(:name) SQL sources
+// (paper §4.2). It was formerly exported as ritree.Collection; Collection
+// now names the persistent, access-method-backed interval collections.
+type Transient = sqldb.Transient
 
 // NewInterval returns the interval [lower, upper].
 func NewInterval(lower, upper int64) Interval { return interval.New(lower, upper) }
@@ -90,7 +115,7 @@ type config struct {
 	treeOpts    ritcore.Options
 }
 
-// Option configures New and Open.
+// Option configures Open, OpenMemory, New and OpenIndex.
 type Option func(*config)
 
 // WithPageSize sets the disk block size in bytes (default 2048, the paper's
@@ -107,69 +132,10 @@ func WithReadLatency(d time.Duration) Option {
 	return func(c *config) { c.readLatency = d }
 }
 
-// WithTreeName sets the name of the interval relation (default "intervals").
+// WithTreeName sets the name of the legacy Index's interval relation
+// (default "intervals"). It has no effect on DB collections, which are
+// named explicitly.
 func WithTreeName(name string) Option { return func(c *config) { c.treeName = name } }
-
-// Index is an RI-tree over an embedded relational database. All methods
-// are safe for concurrent use: queries share a read lock, mutations take
-// the write lock (the paper inherits this from Oracle's transaction
-// management; here a simple reader-writer lock provides statement-level
-// isolation).
-type Index struct {
-	mu     sync.RWMutex
-	store  *pagestore.Store
-	db     *rel.DB
-	tree   *ritcore.Tree
-	engine *sqldb.Engine
-}
-
-// New creates an in-memory RI-tree.
-func New(opts ...Option) (*Index, error) {
-	cfg := applyOptions(opts)
-	st, err := pagestore.New(pagestore.NewMemBackend(), pagestore.Options{
-		PageSize:    cfg.pageSize,
-		CacheSize:   cfg.cacheSize,
-		ReadLatency: cfg.readLatency,
-	})
-	if err != nil {
-		return nil, err
-	}
-	db, err := rel.CreateDB(st)
-	if err != nil {
-		return nil, err
-	}
-	return attach(st, db, cfg, true)
-}
-
-// Open creates or opens a file-backed RI-tree at path.
-func Open(path string, opts ...Option) (*Index, error) {
-	cfg := applyOptions(opts)
-	cfg.path = path
-	be, err := pagestore.OpenFileBackend(path, cfg.pageSize)
-	if err != nil {
-		return nil, err
-	}
-	st, err := pagestore.New(be, pagestore.Options{
-		PageSize:    cfg.pageSize,
-		CacheSize:   cfg.cacheSize,
-		ReadLatency: cfg.readLatency,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if st.NumAllocated() == 0 {
-		db, err := rel.CreateDB(st)
-		if err != nil {
-			return nil, err
-		}
-		return attach(st, db, cfg, true)
-	}
-	db, err := rel.OpenDB(st, 1)
-	if err != nil {
-		return nil, err
-	}
-	return attach(st, db, cfg, false)
-}
 
 func applyOptions(opts []Option) *config {
 	cfg := &config{
@@ -183,161 +149,197 @@ func applyOptions(opts []Option) *config {
 	return cfg
 }
 
-func attach(st *pagestore.Store, db *rel.DB, cfg *config, create bool) (*Index, error) {
-	var tree *ritcore.Tree
+// Index is the legacy single-collection view of an RI-tree: one tree over
+// an embedded database, created by New (in-memory) or OpenIndex
+// (file-backed). It predates the DB/Collection API and remains fully
+// supported — it is now a thin shim over a DB whose single interval
+// relation is the tree itself. All methods are safe for concurrent use:
+// queries share the database read lock, mutations take the write lock
+// (the paper inherits this from Oracle's transaction management; here a
+// reader-writer lock provides statement-level isolation).
+type Index struct {
+	db   *DB
+	tree *ritcore.Tree
+}
+
+// New creates an in-memory RI-tree: a one-line shim over a
+// single-collection in-memory DB.
+func New(opts ...Option) (*Index, error) {
+	return newIndexOn(applyOptions(opts), nil)
+}
+
+// OpenIndex creates or opens a file-backed RI-tree at path — the legacy
+// single-index equivalent of Open (which returns the multi-collection DB
+// handle this shim is built on).
+func OpenIndex(path string, opts ...Option) (*Index, error) {
+	cfg := applyOptions(opts)
+	cfg.path = path
+	return newIndexOn(cfg, nil)
+}
+
+// IndexOf returns the legacy single-tree view named by WithTreeName over
+// an already open DB, creating the tree if absent. It is how New and
+// OpenIndex attach their tree, exposed for callers migrating piecemeal.
+func IndexOf(db *DB, opts ...Option) (*Index, error) {
+	return newIndexOn(applyOptions(opts), db)
+}
+
+// newIndexOn builds the legacy Index over db, opening one first per cfg
+// when db is nil.
+func newIndexOn(cfg *config, db *DB) (*Index, error) {
 	var err error
-	if create {
-		tree, err = ritcore.Create(db, cfg.treeName, cfg.treeOpts)
+	if db == nil {
+		if cfg.path == "" {
+			db, err = openMemoryCfg(cfg)
+		} else {
+			db, err = openPathCfg(cfg.path, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	var tree *ritcore.Tree
+	if _, tabErr := db.rdb.Table(cfg.treeName); tabErr == nil {
+		tree, err = ritcore.Open(db.rdb, cfg.treeName, cfg.treeOpts)
 	} else {
-		tree, err = ritcore.Open(db, cfg.treeName, cfg.treeOpts)
+		tree, err = ritcore.Create(db.rdb, cfg.treeName, cfg.treeOpts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	eng := sqldb.NewEngine(db)
-	ritcore.RegisterIndexType(eng)
-	hint.RegisterIndexType(eng)
-	if !create {
-		// Re-attach every domain index recorded in the catalog, so DML
-		// through Exec maintains them across session boundaries. Failing
-		// here (stale storage, unregistered indextype) is deliberate: the
-		// alternative is silently serving DML that corrupts the persisted
-		// index.
-		if err := eng.AttachCatalogIndexes(); err != nil {
-			return nil, err
-		}
-	}
-	return &Index{store: st, db: db, tree: tree, engine: eng}, nil
+	return &Index{db: db, tree: tree}, nil
 }
+
+// DB returns the database hosting this index, giving legacy callers a
+// path into the collection API without reopening.
+func (x *Index) DB() *DB { return x.db }
 
 // Insert registers iv under id. Multiple registrations of the same
 // (interval, id) pair are allowed and count separately. Intervals with
 // Upper == Infinity or Upper == NowMarker get the §4.6 temporal handling.
 func (x *Index) Insert(iv Interval, id int64) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	return x.tree.Insert(iv, id)
 }
 
 // InsertInfinite registers [lower, ∞) under id.
 func (x *Index) InsertInfinite(lower, id int64) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	return x.tree.InsertInfinite(lower, id)
 }
 
 // InsertNow registers the now-relative interval [lower, now] under id; its
 // effective upper bound tracks SetNow with zero index maintenance.
 func (x *Index) InsertNow(lower, id int64) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	return x.tree.InsertNow(lower, id)
 }
 
 // Delete removes one registration of (iv, id), reporting whether it existed.
 func (x *Index) Delete(iv Interval, id int64) (bool, error) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	return x.tree.Delete(iv, id)
 }
 
 // BulkLoad inserts ivs[i] under ids[i] and rebuilds the indexes tightly
 // packed — the fast path for loading large datasets.
 func (x *Index) BulkLoad(ivs []Interval, ids []int64) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	return x.tree.BulkLoad(ivs, ids)
 }
 
 // Intersecting returns the ids of all intervals intersecting q, ascending.
 func (x *Index) Intersecting(q Interval) ([]int64, error) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.Intersecting(q)
 }
 
 // IntersectingFunc streams the ids of intervals intersecting q; return
 // false from fn to stop early.
 func (x *Index) IntersectingFunc(q Interval, fn func(id int64) bool) error {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.IntersectingFunc(q, fn)
 }
 
 // Stab returns the ids of all intervals containing the point p.
 func (x *Index) Stab(p int64) ([]int64, error) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.Stab(p)
 }
 
 // CountIntersecting returns the number of intervals intersecting q.
 func (x *Index) CountIntersecting(q Interval) (int64, error) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.CountIntersecting(q)
 }
 
 // Query returns the ids of all intervals i with "i r q" for any of Allen's
 // thirteen relations (paper §4.5).
 func (x *Index) Query(r Relation, q Interval) ([]int64, error) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.QueryRelation(r, q)
 }
 
 // SetNow sets the evaluation time for now-relative intervals (§4.6).
 func (x *Index) SetNow(now int64) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
 	x.tree.SetNow(now)
 }
 
 // Now returns the evaluation time for now-relative intervals.
 func (x *Index) Now() int64 {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.Now()
 }
 
 // Count returns the number of registered intervals.
 func (x *Index) Count() int64 {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.Count()
 }
 
 // Height returns the virtual backbone height (§3.5) — it depends on the
 // data space extent and granularity, never on Count.
 func (x *Index) Height() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.Height()
 }
 
 // IndexEntries returns the total composite index entries (2 per interval).
 func (x *Index) IndexEntries() int64 {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.IndexEntries()
 }
 
 // Stats returns the I/O counters of the page store.
-func (x *Index) Stats() IOStats { return x.store.Stats() }
+func (x *Index) Stats() IOStats { return x.db.Stats() }
 
 // ResetStats zeroes the I/O counters.
-func (x *Index) ResetStats() { x.store.ResetStats() }
+func (x *Index) ResetStats() { x.db.ResetStats() }
 
 // Exec runs a SQL statement against the embedded engine. The interval
 // relation is visible as the table named by WithTreeName (default
 // "intervals") with columns (node, lower, upper, id); the engine also
 // serves CREATE TABLE / CREATE INDEX (including INDEXTYPE IS ritree, §5),
-// INSERT, DELETE, SELECT with UNION ALL, TABLE(:collection) sources, and
-// EXPLAIN.
+// CREATE COLLECTION ... USING, INSERT, DELETE, SELECT with UNION ALL,
+// TABLE(:transient) sources, and EXPLAIN.
 func (x *Index) Exec(sql string, binds map[string]interface{}) (*Result, error) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.engine.Exec(sql, binds)
+	return x.db.Exec(sql, binds)
 }
 
 // IntersectionSQL returns the paper's Figure 9 two-fold intersection
@@ -347,37 +349,29 @@ func (x *Index) IntersectionSQL() string { return x.tree.IntersectionSQL() }
 // IntersectionBinds returns the transient leftNodes/rightNodes collections
 // and scalar binds for executing IntersectionSQL against q.
 func (x *Index) IntersectionBinds(q Interval) map[string]interface{} {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	return x.tree.IntersectionBinds(q)
 }
 
 // ExplainIntersection returns the Figure 10-style execution plan of the
 // intersection statement.
 func (x *Index) ExplainIntersection(q Interval) (string, error) {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.tree.ExplainIntersection(x.engine, q)
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
+	return x.tree.ExplainIntersection(x.db.eng, q)
 }
 
 // Flush writes all dirty pages to the backing store.
-func (x *Index) Flush() error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.db.Flush()
-}
+func (x *Index) Flush() error { return x.db.Flush() }
 
-// Close flushes and closes the index.
-func (x *Index) Close() error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.db.Close()
-}
+// Close flushes and closes the index's database.
+func (x *Index) Close() error { return x.db.Close() }
 
 // String summarizes the index.
 func (x *Index) String() string {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.db.mu.RLock()
+	defer x.db.mu.RUnlock()
 	p := x.tree.Params()
 	return fmt.Sprintf("ritree.Index{n=%d, h=%d, offset=%d, leftRoot=%d, rightRoot=%d, minstep=%d}",
 		x.tree.Count(), x.tree.Height(), p.Offset, p.LeftRoot, p.RightRoot, p.MinStep)

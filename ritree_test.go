@@ -113,7 +113,7 @@ func TestPublicTemporal(t *testing.T) {
 func TestPublicPersistence(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "iv.db")
-	idx, err := Open(path)
+	idx, err := OpenIndex(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestPublicPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	idx2, err := Open(path)
+	idx2, err := OpenIndex(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestOpenReattachesDomainIndexes(t *testing.T) {
 	// DML through Exec keeps them maintained.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "iv.db")
-	idx, err := Open(path)
+	idx, err := OpenIndex(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestOpenReattachesDomainIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	idx2, err := Open(path)
+	idx2, err := OpenIndex(path)
 	if err != nil {
 		t.Fatal(err)
 	}
