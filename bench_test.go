@@ -12,6 +12,7 @@ package ritree
 // runs the full-scale versions.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -541,4 +542,77 @@ func fmtInt(v int64) string {
 func f1s(v float64) string {
 	n := int64(v * 10)
 	return fmtInt(n/10) + "." + fmtInt(n%10)
+}
+
+// BenchmarkSQLStreamLimit measures the streaming SQL cursor against the
+// materializing Exec path on the same collection SELECT — the CI smoke
+// coverage for the volcano executor (ribench -exp sqlstream is the
+// full-scale version). The LIMIT variant must do O(k) leaf work.
+func BenchmarkSQLStreamLimit(b *testing.B) {
+	db, err := OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("iv", AccessMethod(AccessMethodHINT))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	n := 50000
+	ivs := make([]Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 20)
+		ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+		ids[i] = int64(i)
+	}
+	if err := c.BulkLoad(ivs, ids); err != nil {
+		b.Fatal(err)
+	}
+	sql := "SELECT id FROM iv WHERE intersects(lower, upper, :a, :b)"
+	binds := func() map[string]interface{} {
+		lo := rng.Int63n(1 << 20)
+		return map[string]interface{}{"a": lo, "b": lo + 5000}
+	}
+	b.Run("exec-materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(sql, binds()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-limit10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(context.Background(), sql+" LIMIT 10", binds())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if st := rows.Stats(); st.LeafRows > 10 {
+				b.Fatalf("LIMIT 10 pulled %d leaf rows", st.LeafRows)
+			}
+		}
+	})
+	b.Run("query-allen-during", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(context.Background(),
+				"SELECT id FROM iv WHERE allen_during(lower, upper, :a, :b)", binds())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -33,8 +33,13 @@
 // indextype cannot be attached aborts the session rather than silently
 // serving DML without index maintenance.
 //
+// SELECT results stream: rows print as the executor pipeline produces
+// them (a LIMIT stops the underlying index scan early). The §4.5
+// fine-grained operators are available as ALLEN_<relation>(lower, upper,
+// qlo, qhi) on any access method; \help lists all thirteen.
+//
 // Meta commands: \tables, \collections, \stats, \reset (zero I/O
-// counters), \q.
+// counters), \help (operator table), \q.
 // Statements end with a semicolon and may span lines; several statements
 // may share a line. Bind variables are not available in the shell; inline
 // the values.
@@ -42,6 +47,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,7 +120,7 @@ func main() {
 	}
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
-	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \reset \q`)
+	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \reset \help \q`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -158,8 +164,10 @@ func main() {
 			case `\reset`:
 				db.ResetStats()
 				fmt.Println("  counters zeroed")
+			case `\help`:
+				printHelp()
 			default:
-				fmt.Println(`  unknown command; try \tables \collections \stats \reset \q`)
+				fmt.Println(`  unknown command; try \tables \collections \stats \reset \help \q`)
 			}
 			prompt()
 			continue
@@ -254,6 +262,43 @@ func blankSQL(s string) bool {
 }
 
 func runStatement(eng *sqldb.Engine, stmt string) {
+	// SELECTs stream through the cursor: each row prints as the pipeline
+	// produces it, so a long scan shows progress immediately and a LIMIT
+	// stops the underlying index scan early.
+	if st, err := sqldb.Parse(stmt); err == nil {
+		if _, isSelect := st.(*sqldb.SelectStmt); isSelect {
+			rows, err := eng.Query(context.Background(), stmt, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			defer rows.Close()
+			for i, c := range rows.Columns() {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%-12s", c)
+			}
+			fmt.Println()
+			n := 0
+			for rows.Next() {
+				for i, v := range rows.Row() {
+					if i > 0 {
+						fmt.Print("  ")
+					}
+					fmt.Printf("%-12d", v)
+				}
+				fmt.Println()
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("(%d rows)\n", n)
+			return
+		}
+	}
 	res, err := eng.Exec(stmt, nil)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -262,25 +307,32 @@ func runStatement(eng *sqldb.Engine, stmt string) {
 	switch {
 	case res.Plan != "":
 		fmt.Print(res.Plan)
-	case res.Cols != nil:
-		for i, c := range res.Cols {
-			if i > 0 {
-				fmt.Print("  ")
-			}
-			fmt.Printf("%-12s", c)
-		}
-		fmt.Println()
-		for _, row := range res.Rows {
-			for i, v := range row {
-				if i > 0 {
-					fmt.Print("  ")
-				}
-				fmt.Printf("%-12d", v)
-			}
-			fmt.Println()
-		}
-		fmt.Printf("(%d rows)\n", len(res.Rows))
 	default:
 		fmt.Printf("ok (%d rows affected)\n", res.Affected)
 	}
+}
+
+// printHelp lists the interval operators the engine serves (\help).
+func printHelp() {
+	fmt.Println("  interval operators (served by a domain index / collection access method):")
+	fmt.Println("    INTERSECTS(lower, upper, qlo, qhi)      rows whose interval intersects [qlo, qhi]")
+	fmt.Println("    CONTAINS_POINT(lower, upper, p)         rows whose interval contains p")
+	fmt.Println("  Allen §4.5 operators, ALLEN_<relation>(lower, upper, qlo, qhi) — row interval")
+	fmt.Println("  <relation> query interval; planned as an INTERSECTS scan over the relation's")
+	fmt.Println("  generating region plus an exact residual, on every access method:")
+	names := sqldb.AllenOperatorNames()
+	for i := 0; i < len(names); i += 4 {
+		end := i + 4
+		if end > len(names) {
+			end = len(names)
+		}
+		fmt.Print("   ")
+		for _, n := range names[i:end] {
+			fmt.Printf(" %-22s", strings.ToUpper(n))
+		}
+		fmt.Println()
+	}
+	fmt.Println("  SELECT supports DISTINCT, ORDER BY, LIMIT, UNION ALL, TABLE(:bind) sources;")
+	fmt.Println("  CREATE COLLECTION name USING method WITH (key = value, ...) tunes the access")
+	fmt.Println("  method (hint: bits, levels, shards; ritree: skeleton).")
 }

@@ -1,8 +1,10 @@
 package ritree
 
 import (
+	"context"
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -130,6 +132,7 @@ var collectionName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
 
 type collectionConfig struct {
 	method string
+	params map[string]string
 }
 
 // CollectionOption configures CreateCollection.
@@ -140,6 +143,41 @@ type CollectionOption func(*collectionConfig)
 // any indextype an embedder registered. See DB.AccessMethods.
 func AccessMethod(name string) CollectionOption {
 	return func(c *collectionConfig) { c.method = name }
+}
+
+// WithMethodParam sets one access-method parameter (the SQL WITH / Oracle
+// PARAMETERS pair) for the collection. Parameters are validated by the
+// indextype and persisted in the catalog, so a reopened database
+// re-attaches the collection with the same configuration. The built-in
+// methods accept:
+//
+//	hint, hint_sharded   bits, levels, shards
+//	ritree               skeleton (0|1, the §7 backbone materialization)
+func WithMethodParam(key, value string) CollectionOption {
+	return func(c *collectionConfig) {
+		if c.params == nil {
+			c.params = make(map[string]string)
+		}
+		c.params[key] = value
+	}
+}
+
+// WithHINTParams sets the HINT geometry of a hint / hint_sharded
+// collection: bits is the domain width floor (0 keeps the data-sized
+// default) and shards the shard count (0 keeps the method default;
+// meaningful for hint_sharded). Persisted like every method parameter.
+func WithHINTParams(bits, shards int) CollectionOption {
+	return func(c *collectionConfig) {
+		if c.params == nil {
+			c.params = make(map[string]string)
+		}
+		if bits > 0 {
+			c.params["bits"] = strconv.Itoa(bits)
+		}
+		if shards > 0 {
+			c.params["shards"] = strconv.Itoa(shards)
+		}
+	}
 }
 
 // CreateCollection creates the named interval collection. The name must
@@ -157,7 +195,7 @@ func (db *DB) CreateCollection(name string, opts ...CollectionOption) (*Collecti
 	name = strings.ToLower(name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.eng.CreateCollection(name, cc.method); err != nil {
+	if err := db.eng.CreateCollection(name, cc.method, cc.params); err != nil {
 		return nil, err
 	}
 	return db.collectionLocked(name)
@@ -231,14 +269,34 @@ func (db *DB) DropCollection(name string) error {
 func (db *DB) AccessMethods() []string { return db.eng.IndexTypes() }
 
 // Exec runs a SQL statement against the embedded engine: CREATE TABLE /
-// CREATE INDEX (INDEXTYPE IS ..., §5) / CREATE COLLECTION ... USING,
-// INSERT, DELETE, SELECT with UNION ALL and TABLE(:transient) sources,
-// EXPLAIN, and the DROP statements. Collections are visible as tables
-// with columns (lower, upper, id).
+// CREATE INDEX (INDEXTYPE IS ..., §5) / CREATE COLLECTION ... USING ...
+// WITH (...), INSERT, DELETE, SELECT with UNION ALL, DISTINCT, ORDER BY,
+// LIMIT, TABLE(:transient) sources and the ALLEN_* operators, EXPLAIN,
+// and the DROP statements. Collections are visible as tables with
+// columns (lower, upper, id). SELECT results are fully materialized in
+// the Result; use Query for a streaming cursor.
 func (db *DB) Exec(sql string, binds map[string]interface{}) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.eng.Exec(sql, binds)
+}
+
+// Query executes a SELECT statement as a streaming cursor: rows are
+// produced as the underlying access-method scans advance, so
+// SELECT ... LIMIT k (or an early Rows.Close) does O(k) index work
+// instead of materializing the full result, and cancelling ctx stops the
+// scan mid-flight, surfacing as the cursor's Err. The cursor holds the
+// database read lock until it is closed or exhausted — always Close it,
+// and do not run mutating statements from the consuming loop.
+func (db *DB) Query(ctx context.Context, sql string, binds map[string]interface{}) (*Rows, error) {
+	db.mu.RLock()
+	rows, err := db.eng.Query(ctx, sql, binds)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	rows.OnClose(db.mu.RUnlock)
+	return rows, nil
 }
 
 // Stats returns the I/O counters of the page store.

@@ -41,7 +41,7 @@ func newCollectionAM(c Config, method string) (*collectionAM, error) {
 	ritree.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
 	hint.RegisterShardedIndexType(eng, 0)
-	if err := eng.CreateCollection("iv", method); err != nil {
+	if err := eng.CreateCollection("iv", method, nil); err != nil {
 		return nil, err
 	}
 	ci, ok := eng.CustomIndexByName(sqldb.CollectionIndexName("iv"))

@@ -766,7 +766,7 @@ func AblationSkeleton(c Config) (*Table, error) {
 // Experiments lists every experiment id in run order.
 func Experiments() []string {
 	return []string{"table1", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"winlist", "hint", "hintopt", "collections", "reopen",
+		"winlist", "hint", "hintopt", "collections", "reopen", "sqlstream",
 		"ablation-minstep", "ablation-queryform", "ablation-skeleton"}
 }
 
@@ -799,6 +799,8 @@ func Run(id string, c Config) (*Table, error) {
 		return Collections(c)
 	case "reopen":
 		return Reopen(c)
+	case "sqlstream":
+		return SQLStream(c)
 	case "ablation-minstep":
 		return AblationMinStep(c)
 	case "ablation-queryform":

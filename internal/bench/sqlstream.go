@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ritree/internal/hint"
+	"ritree/internal/interval"
+	"ritree/internal/ritree"
+	"ritree/internal/workload"
+)
+
+// The "sqlstream" experiment measures what the streaming SQL executor
+// buys over the materializing path: the same SELECT over a collection's
+// INTERSECTS operator executed (a) through Exec, which drains the whole
+// result into a *Result, and (b) through the Query cursor with LIMIT k,
+// which stops the access-method scan after O(k) leaf rows. The "leaf
+// rows/q" column is the executor's own operator count — and the run
+// FAILS (not just reports) when a LIMIT query scans more than k leaf
+// rows, when an ALLEN_* query stops being served by the domain index,
+// or when its results diverge from a brute-force evaluation of the
+// relation — so the CI smoke of this experiment is a real regression
+// gate for the cursor path.
+func SQLStream(c Config) (*Table, error) {
+	c = c.WithDefaults()
+	t := &Table{
+		ID:     "sqlstream",
+		Title:  "streaming SQL cursor vs materialized SELECT, D1",
+		Header: []string{"method", "mode", "leaf rows/q", "rows out/q", "ms/query", "queries/s"},
+		Notes: []string{
+			"Exec materializes every matching row before the caller sees one; the Query",
+			"cursor streams through the volcano pipeline, so LIMIT k stops the underlying",
+			"index scan after O(k) leaf rows — the leaf-row counts are the executor's own",
+			"operator statistics (Rows.Stats) and are asserted (> k fails the run);",
+			"allen_overlaps counts are crosschecked against brute-force relation checks",
+		},
+	}
+	n := c.scaled(100000)
+	spec := workload.Spec{Kind: workload.D1, N: n, D: 2000}
+	ivs := workload.Generate(spec, c.Seed)
+	ids := workload.IDs(spec.N)
+	queries := workload.Queries(200, 4000, c.Seed+1)
+	const limit = 10
+
+	// Brute-force baseline for the Allen mode, computed once: the count
+	// of stored intervals overlapping each query under the exact §4.5
+	// relation.
+	allenWant := make([]int64, len(queries))
+	for qi, q := range queries {
+		for _, iv := range ivs {
+			if interval.Overlaps.Holds(iv, q) {
+				allenWant[qi]++
+			}
+		}
+	}
+
+	methods := []string{ritree.IndexTypeName, hint.IndexTypeName, hint.ShardedIndexTypeName}
+	var ams []AM
+	for _, method := range methods {
+		am, err := newCollectionAM(c, method)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("  loading %s (n=%d)...", am.Name(), n)
+		if err := am.Load(ivs, ids); err != nil {
+			return nil, fmt.Errorf("%s load: %w", am.Name(), err)
+		}
+		// The Allen operator must be index-served (generating-region scan),
+		// not a full-table residual.
+		plan, err := am.eng.Exec("EXPLAIN SELECT id FROM iv WHERE allen_overlaps(lower, upper, 1, 2)", nil)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.Contains(plan.Plan, "VIA INTERSECTS REGION") {
+			return nil, fmt.Errorf("%s: ALLEN operator fell off the domain index:\n%s", am.Name(), plan.Plan)
+		}
+		sql := "SELECT id FROM iv WHERE intersects(lower, upper, :qlo, :qhi)"
+		modes := []struct {
+			name string
+			run  func(qi int, binds map[string]interface{}) (leaf, out int64, err error)
+		}{
+			{"exec (materialized)", func(_ int, binds map[string]interface{}) (int64, int64, error) {
+				res, err := am.eng.Exec(sql, binds)
+				if err != nil {
+					return 0, 0, err
+				}
+				// Exec drains the full scan: leaf rows == result rows here.
+				return int64(len(res.Rows)), int64(len(res.Rows)), nil
+			}},
+			{fmt.Sprintf("query (LIMIT %d)", limit), func(_ int, binds map[string]interface{}) (int64, int64, error) {
+				rows, err := am.eng.Query(context.Background(), fmt.Sprintf("%s LIMIT %d", sql, limit), binds)
+				if err != nil {
+					return 0, 0, err
+				}
+				defer rows.Close()
+				var out int64
+				for rows.Next() {
+					out++
+				}
+				if err := rows.Err(); err != nil {
+					return 0, 0, err
+				}
+				st := rows.Stats()
+				if st.LeafRows > limit {
+					return 0, 0, fmt.Errorf("LIMIT %d pulled %d leaf rows — the cursor did not stop the scan", limit, st.LeafRows)
+				}
+				return st.LeafRows, out, nil
+			}},
+			{"query (allen_overlaps)", func(qi int, binds map[string]interface{}) (int64, int64, error) {
+				rows, err := am.eng.Query(context.Background(),
+					"SELECT id FROM iv WHERE allen_overlaps(lower, upper, :qlo, :qhi)", binds)
+				if err != nil {
+					return 0, 0, err
+				}
+				defer rows.Close()
+				var out int64
+				for rows.Next() {
+					out++
+				}
+				if err := rows.Err(); err != nil {
+					return 0, 0, err
+				}
+				if out != allenWant[qi] {
+					return 0, 0, fmt.Errorf("allen_overlaps query %d returned %d rows, brute force says %d", qi, out, allenWant[qi])
+				}
+				return rows.Stats().LeafRows, out, nil
+			}},
+		}
+		for _, mode := range modes {
+			var leaf, out int64
+			start := time.Now()
+			for qi, q := range queries {
+				binds := map[string]interface{}{"qlo": q.Lower, "qhi": q.Upper}
+				l, o, err := mode.run(qi, binds)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", am.Name(), mode.name, err)
+				}
+				leaf += l
+				out += o
+			}
+			elapsed := time.Since(start)
+			nq := float64(len(queries))
+			ms := elapsed.Seconds() * 1000 / nq
+			t.AddRow(am.Name(), mode.name, f1(float64(leaf)/nq), f1(float64(out)/nq),
+				f3(ms), f1(1000/ms))
+		}
+		ams = append(ams, am)
+	}
+	t.SetMethods(ams...)
+	return t, nil
+}

@@ -3,6 +3,7 @@ package hint
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -96,8 +97,8 @@ func RegisterShardedIndexType(e *sqldb.Engine, shards int) {
 }
 
 func registerIndexType(e *sqldb.Engine, name string, shards int) {
-	build := func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-		return newIndexType(eng, indexName, table, cols, shards)
+	build := func(eng *sqldb.Engine, indexName, table string, cols []string, params map[string]string) (sqldb.CustomIndex, error) {
+		return newIndexType(eng, indexName, table, cols, shards, params)
 	}
 	e.RegisterIndexType(name, sqldb.IndexTypeFuncs{
 		Create: build,
@@ -109,13 +110,54 @@ func registerIndexType(e *sqldb.Engine, name string, shards int) {
 	})
 }
 
+// hintParams are the tunable knobs of the hint / hint_sharded
+// indextypes, set per index (per collection) through the SQL PARAMETERS
+// / WITH clause or the public WithHINTParams collection option, and
+// persisted in the catalog so a reopened database rebuilds with the same
+// configuration.
+type hintParams struct {
+	minBits int // lower bound on the domain width (0: size to the data)
+	levels  int // m, the hierarchy depth (0: DefaultLevels)
+	shards  int // shard count override (0: the indextype's default)
+}
+
+// parseHintParams validates the parameter map. Unknown keys are errors:
+// a silently ignored typo would build an index with the wrong geometry.
+func parseHintParams(params map[string]string) (hintParams, error) {
+	var hp hintParams
+	intIn := func(key, v string, lo, hi int) (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < lo || n > hi {
+			return 0, fmt.Errorf("hint indextype: parameter %s must be an integer in [%d, %d], got %q", key, lo, hi, v)
+		}
+		return n, nil
+	}
+	var err error
+	for k, v := range params {
+		switch k {
+		case "bits":
+			hp.minBits, err = intIn(k, v, 1, maxBits)
+		case "levels":
+			hp.levels, err = intIn(k, v, 1, maxLevels)
+		case "shards":
+			hp.shards, err = intIn(k, v, 1, 1024)
+		default:
+			err = fmt.Errorf("hint indextype: unknown parameter %q (supported: bits, levels, shards)", k)
+		}
+		if err != nil {
+			return hp, err
+		}
+	}
+	return hp, nil
+}
+
 // AttachIndexType rebuilds a hint domain index for a new session over an
 // existing database. HINT is main-memory: nothing persists in the page
 // store, so attaching re-scans the base table. Most callers should prefer
 // sqldb.Engine.AttachCatalogIndexes, which re-attaches every persisted
 // definition.
 func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
-	ci, err := newIndexType(e, indexName, table, cols, 1)
+	ci, err := newIndexType(e, indexName, table, cols, 1, nil)
 	if err != nil {
 		return err
 	}
@@ -129,6 +171,7 @@ type indexType struct {
 	loPos  int
 	hiPos  int
 	shards int
+	hp     hintParams
 	tab    *rel.Table
 	// mu lets Scan run concurrently with other Scans while trigger
 	// maintenance and rebuilds take the write side. The SQL engine
@@ -139,9 +182,16 @@ type indexType struct {
 	ix  *Sharded
 }
 
-func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shards int) (*indexType, error) {
+func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shards int, params map[string]string) (*indexType, error) {
 	if len(cols) != 2 {
 		return nil, fmt.Errorf("hint indextype needs exactly (lower, upper) columns, got %d", len(cols))
+	}
+	hp, err := parseHintParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if hp.shards > 0 {
+		shards = hp.shards
 	}
 	tab, err := e.DB().Table(table)
 	if err != nil {
@@ -159,6 +209,7 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shard
 		loPos:  lo,
 		hiPos:  hi,
 		shards: shards,
+		hp:     hp,
 		tab:    tab,
 	}
 	// Backfill from existing rows, sizing the domain to the data.
@@ -170,9 +221,14 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shard
 
 // geometry picks a domain offset and width covering [minLo, maxLo] with
 // headroom on both sides, so ordinary growth does not force rebuilds.
-func geometry(minLo, maxLo int64) (off int64, bits int) {
+// minBits raises the floor on the width (the per-collection "bits"
+// parameter); 0 means the default.
+func geometry(minLo, maxLo int64, minBits int) (off int64, bits int) {
 	width := maxLo - minLo + 1 // >= 1; inputs are within ±2^59
 	bits = DefaultBits
+	if minBits > 0 {
+		bits = minBits
+	}
 	for bits < maxBits && (int64(1)<<uint(bits))/4 < width {
 		bits++
 	}
@@ -254,8 +310,11 @@ func (x *indexType) rebuild() error {
 	if err != nil {
 		return err
 	}
-	off, bits := geometry(minLo, maxLo)
+	off, bits := geometry(minLo, maxLo, x.hp.minBits)
 	levels := DefaultLevels
+	if x.hp.levels > 0 {
+		levels = x.hp.levels
+	}
 	if levels > bits {
 		levels = bits
 	}

@@ -40,6 +40,9 @@ type catCustomIndex struct {
 	IndexType string   `json:"indextype"`
 	Table     string   `json:"table"`
 	Columns   []string `json:"columns"`
+	// Params persists the indextype parameters (omitempty keeps catalogs
+	// without them byte-identical to the earlier format).
+	Params map[string]string `json:"params,omitempty"`
 }
 
 type catalogData struct {
@@ -81,6 +84,7 @@ func (db *DB) saveCatalog() error {
 			IndexType: def.IndexType,
 			Table:     def.Table,
 			Columns:   def.Columns,
+			Params:    def.Params,
 		})
 	}
 	sort.Slice(data.CustomIndexes, func(i, j int) bool {
@@ -223,6 +227,7 @@ func (db *DB) loadCatalog() error {
 			IndexType: cc.IndexType,
 			Table:     cc.Table,
 			Columns:   cc.Columns,
+			Params:    cc.Params,
 		}
 	}
 	return nil

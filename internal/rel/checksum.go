@@ -1,0 +1,34 @@
+package rel
+
+// Content checksums — the ROADMAP follow-up to the PR-2 row-count
+// staleness check. Every heap maintains an order-independent checksum of
+// its live rows: the XOR of RowChecksum(row, rid) over them, updated
+// incrementally on insert, delete and update and persisted in the table
+// header page (the same page the row count already lives on, so the
+// maintenance is free). A domain index that mirrors the same XOR over
+// the rows it was maintained with can then detect divergence that nets
+// to zero rows — insert-then-delete DML run while the index was not
+// attached — which the count comparison provably cannot.
+
+// RowChecksum hashes one row and its rid into the table-content
+// checksum contribution. XOR-aggregating it over rows is
+// order-independent and self-inverse, so inserts and deletes apply the
+// same operation. The per-field splitmix64 finalizer keeps near-equal
+// rows from cancelling structurally.
+func RowChecksum(row []int64, rid RowID) uint64 {
+	h := mix64(uint64(rid) ^ 0x9e3779b97f4a7c15)
+	for _, v := range row {
+		h = mix64(h ^ mix64(uint64(v)))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,106 @@
+package rel
+
+import (
+	"testing"
+
+	"ritree/internal/pagestore"
+)
+
+func TestContentChecksumMaintenance(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{})
+	db, err := CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("t", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := tab.ContentChecksum()
+
+	r1, err := tab.Insert([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterOne := tab.ContentChecksum()
+	if afterOne == empty {
+		t.Fatal("insert did not change the content checksum")
+	}
+	r2, err := tab.Insert([]int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deleting what was inserted restores the previous checksum (XOR is
+	// self-inverse)...
+	if _, err := tab.DeleteRow(r2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ContentChecksum(); got != afterOne {
+		t.Fatalf("checksum after insert+delete = %x, want %x", got, afterOne)
+	}
+	// ...while zero-net-row churn that changes content changes it: the
+	// exact divergence the row-count staleness check cannot see.
+	if _, err := tab.Insert([]int64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.DeleteRow(r1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowCount() != 1 {
+		t.Fatalf("RowCount = %d", tab.RowCount())
+	}
+	if got := tab.ContentChecksum(); got == afterOne {
+		t.Fatal("zero-net-row DML left the checksum unchanged")
+	}
+
+	// Update folds old out and new in.
+	var onlyRid RowID
+	if err := tab.Scan(func(rid RowID, _ []int64) bool { onlyRid = rid; return false }); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.ContentChecksum()
+	if err := tab.Update(onlyRid, []int64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ContentChecksum() == before {
+		t.Fatal("update did not change the checksum")
+	}
+	if err := tab.Update(onlyRid, []int64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ContentChecksum(); got != before {
+		t.Fatalf("update round-trip checksum = %x, want %x", got, before)
+	}
+}
+
+func TestContentChecksumPersists(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{})
+	db, err := CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert([]int64{42}); err != nil {
+		t.Fatal(err)
+	}
+	want := tab.ContentChecksum()
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDB(st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := db2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab2.ContentChecksum(); got != want {
+		t.Fatalf("reopened checksum = %x, want %x", got, want)
+	}
+}

@@ -17,12 +17,28 @@ import (
 // and later queries wrong).
 
 // CustomIndexDef describes one user-defined domain index: the index name,
-// the indextype implementing it, and the base table columns it indexes.
+// the indextype implementing it, the base table columns it indexes, and
+// the indextype parameters it was created with (nil when none). Params
+// round-trip through the catalog so a later session re-attaches the
+// index with the same configuration.
 type CustomIndexDef struct {
 	Name      string
 	IndexType string
 	Table     string
 	Columns   []string
+	Params    map[string]string
+}
+
+// cloneParams copies a parameter map (nil stays nil).
+func cloneParams(p map[string]string) map[string]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
 }
 
 // RecordCustomIndex persists a domain-index definition in the catalog.
@@ -62,6 +78,7 @@ func (db *DB) RecordCustomIndex(def CustomIndexDef) error {
 		}
 	}
 	def.Columns = append([]string(nil), def.Columns...)
+	def.Params = cloneParams(def.Params)
 	db.customIx[def.Name] = def
 	if err := db.saveCatalog(); err != nil {
 		delete(db.customIx, def.Name)
@@ -96,6 +113,7 @@ func (db *DB) CustomIndexes() []CustomIndexDef {
 	defs := make([]CustomIndexDef, 0, len(db.customIx))
 	for _, def := range db.customIx {
 		def.Columns = append([]string(nil), def.Columns...)
+		def.Params = cloneParams(def.Params)
 		defs = append(defs, def)
 	}
 	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
@@ -112,6 +130,7 @@ func (db *DB) CustomIndex(name string) (CustomIndexDef, bool) {
 	def, ok := db.customIndexNamed(name)
 	if ok {
 		def.Columns = append([]string(nil), def.Columns...)
+		def.Params = cloneParams(def.Params)
 	}
 	return def, ok
 }

@@ -51,9 +51,15 @@ type heap struct {
 	lastPage  pagestore.PageID
 	rowCount  int64
 	freeHint  pagestore.PageID // page that most recently gained a free slot
+	// chk is the content checksum: XOR of RowChecksum(row, rid) over the
+	// live rows. Headers written before the field existed read as 0; the
+	// consumers of the checksum (domain-index staleness checks) treat a
+	// matching pair of maintained values as the signal, so a legacy zero
+	// on both sides stays compatible.
+	chk uint64
 }
 
-// Table header page layout: magic, first, last, rowCount, freeHint.
+// Table header page layout: magic, first, last, rowCount, freeHint, chk.
 const heapHeaderMagic = uint32(0x52495448) // "RITH"
 
 func createHeap(st *pagestore.Store, ncols int) (*heap, error) {
@@ -90,6 +96,7 @@ func openHeap(st *pagestore.Store, header pagestore.PageID, ncols int) (*heap, e
 	h.lastPage = pagestore.PageID(binary.LittleEndian.Uint32(d[8:12]))
 	h.rowCount = int64(binary.LittleEndian.Uint64(d[12:20]))
 	h.freeHint = pagestore.PageID(binary.LittleEndian.Uint32(d[20:24]))
+	h.chk = binary.LittleEndian.Uint64(d[24:32])
 	return h, nil
 }
 
@@ -104,6 +111,7 @@ func (h *heap) writeHeader() error {
 	binary.LittleEndian.PutUint32(d[8:12], uint32(h.lastPage))
 	binary.LittleEndian.PutUint64(d[12:20], uint64(h.rowCount))
 	binary.LittleEndian.PutUint32(d[20:24], uint32(h.freeHint))
+	binary.LittleEndian.PutUint64(d[24:32], h.chk)
 	p.MarkDirty()
 	p.Release()
 	return nil
@@ -177,6 +185,7 @@ func (h *heap) insert(row []int64) (RowID, error) {
 		}
 		if ok {
 			h.rowCount++
+			h.chk ^= RowChecksum(row, rid)
 			return rid, h.writeHeader()
 		}
 	}
@@ -201,6 +210,7 @@ func (h *heap) insert(row []int64) (RowID, error) {
 		return 0, fmt.Errorf("rel: fresh heap page %d rejected insert", id)
 	}
 	h.rowCount++
+	h.chk ^= RowChecksum(row, rid)
 	return rid, h.writeHeader()
 }
 
@@ -250,7 +260,8 @@ func (h *heap) get(rid RowID, dst []int64) error {
 	return nil
 }
 
-// update overwrites the row at rid in place.
+// update overwrites the row at rid in place, folding the old and new
+// contents into the content checksum.
 func (h *heap) update(rid RowID, row []int64) error {
 	pid := pagestore.PageID(rid.page())
 	slot := rid.slot()
@@ -261,14 +272,18 @@ func (h *heap) update(rid RowID, row []int64) error {
 	if err != nil {
 		return ErrNoSuchRow
 	}
-	defer p.Release()
 	d := p.Data()
 	if d[0] != heapPageType || !h.slotUsed(d, slot) {
+		p.Release()
 		return ErrNoSuchRow
 	}
+	old := make([]int64, h.ncols)
+	decodeRow(old, h.rowAt(d, slot))
 	encodeRow(h.rowAt(d, slot), row)
 	p.MarkDirty()
-	return nil
+	p.Release()
+	h.chk ^= RowChecksum(old, rid) ^ RowChecksum(row, rid)
+	return h.writeHeader()
 }
 
 // delete removes the row at rid, returning the deleted contents in dst.
@@ -293,6 +308,7 @@ func (h *heap) delete(rid RowID, dst []int64) error {
 	p.MarkDirty()
 	p.Release()
 	h.rowCount--
+	h.chk ^= RowChecksum(dst, rid)
 	h.freeHint = pid
 	return h.writeHeader()
 }

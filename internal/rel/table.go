@@ -27,6 +27,18 @@ func (t *Table) RowCount() int64 {
 	return t.h.rowCount
 }
 
+// ContentChecksum returns the table's content checksum: the XOR of
+// RowChecksum(row, rid) over its live rows, maintained incrementally and
+// persisted in the table header. Two relations (or a relation and an
+// index mirror) that were maintained through the same DML hold the same
+// value — a divergence that nets to zero rows still changes it, which is
+// what the domain-index staleness check relies on.
+func (t *Table) ContentChecksum() uint64 {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.h.chk
+}
+
 // Indexes returns the table's indexes.
 func (t *Table) Indexes() []*Index {
 	t.db.mu.RLock()

@@ -34,17 +34,27 @@ const IndexTypeName = "ritree"
 // hiddenTreeName returns the name of the indextype's backing RI-tree.
 func hiddenTreeName(indexName string) string { return indexName + "_rit$" }
 
+// chkTableName returns the name of the indextype's checksum-mirror
+// relation: a single (chk) row holding the XOR of rel.RowChecksum over
+// the base rows the index was maintained with. Comparing it against the
+// base table's ContentChecksum at attach time catches DML that ran
+// without index maintenance even when it nets to zero rows — the case
+// the PR-2 row-count verification provably misses.
+func chkTableName(indexName string) string { return hiddenTreeName(indexName) + "_chk" }
+
 // RegisterIndexType makes "INDEXTYPE IS ritree" available on the engine,
 // for both CREATE INDEX (build new hidden relations) and catalog
 // re-attach on reopen (adopt the persisted relations after verifying them
-// against the base table).
+// against the base table). The optional PARAMETERS / WITH pairs:
+//
+//	skeleton = 0|1   materialize the backbone (§7 Skeleton-Index outlook)
 func RegisterIndexType(e *sqldb.Engine) {
 	e.RegisterIndexType(IndexTypeName, sqldb.IndexTypeFuncs{
-		Create: func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-			return newIndexType(eng, indexName, table, cols, true)
+		Create: func(eng *sqldb.Engine, indexName, table string, cols []string, params map[string]string) (sqldb.CustomIndex, error) {
+			return newIndexType(eng, indexName, table, cols, params, true)
 		},
-		Attach: func(eng *sqldb.Engine, indexName, table string, cols []string) (sqldb.CustomIndex, error) {
-			return newIndexType(eng, indexName, table, cols, false)
+		Attach: func(eng *sqldb.Engine, indexName, table string, cols []string, params map[string]string) (sqldb.CustomIndex, error) {
+			return newIndexType(eng, indexName, table, cols, params, false)
 		},
 		DropStorage: func(eng *sqldb.Engine, indexName, _ string, _ []string) error {
 			return DropIndexStorage(eng.DB(), indexName)
@@ -59,12 +69,32 @@ func RegisterIndexType(e *sqldb.Engine) {
 func DropIndexStorage(db *rel.DB, indexName string) error {
 	hidden := hiddenTreeName(indexName)
 	var firstErr error
-	for _, tb := range []string{tableName(hidden), paramsName(hidden)} {
+	for _, tb := range []string{tableName(hidden), paramsName(hidden), chkTableName(indexName)} {
 		if err := db.DropTable(tb); err != nil && !errors.Is(err, rel.ErrNoSuchTable) && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// parseTreeOptions validates the indextype parameters.
+func parseTreeOptions(params map[string]string) (Options, error) {
+	var opts Options
+	for k, v := range params {
+		switch k {
+		case "skeleton":
+			switch v {
+			case "0":
+			case "1":
+				opts.MaterializeBackbone = true
+			default:
+				return opts, fmt.Errorf("ritree indextype: parameter skeleton must be 0 or 1, got %q", v)
+			}
+		default:
+			return opts, fmt.Errorf("ritree indextype: unknown parameter %q (supported: skeleton)", k)
+		}
+	}
+	return opts, nil
 }
 
 // AttachIndexType re-attaches an existing ritree domain index after the
@@ -75,7 +105,7 @@ func DropIndexStorage(db *rel.DB, indexName string) error {
 // themselves. The persisted tree is verified against the base table before
 // it is trusted (see newIndexType).
 func AttachIndexType(e *sqldb.Engine, indexName, table string, cols []string) error {
-	ci, err := newIndexType(e, indexName, table, cols, false)
+	ci, err := newIndexType(e, indexName, table, cols, nil, false)
 	if err != nil {
 		return err
 	}
@@ -89,11 +119,20 @@ type indexType struct {
 	loPos int
 	hiPos int
 	tree  *Tree
+	// Checksum mirror: chk is the XOR of rel.RowChecksum over the rows
+	// this index was maintained with, persisted at chkRid in chkTab.
+	chkTab *rel.Table
+	chkRid rel.RowID
+	chk    uint64
 }
 
-func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, create bool) (*indexType, error) {
+func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, params map[string]string, create bool) (*indexType, error) {
 	if len(cols) != 2 {
 		return nil, fmt.Errorf("ritree indextype needs exactly (lower, upper) columns, got %d", len(cols))
+	}
+	opts, err := parseTreeOptions(params)
+	if err != nil {
+		return nil, err
 	}
 	tab, err := e.DB().Table(table)
 	if err != nil {
@@ -104,16 +143,23 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, creat
 	if lo < 0 || hi < 0 {
 		return nil, fmt.Errorf("ritree indextype: columns %v not in %s", cols, table)
 	}
-	var tree *Tree
+	ix := &indexType{
+		name:  indexName,
+		table: table,
+		cols:  append([]string(nil), cols...),
+		loPos: lo,
+		hiPos: hi,
+	}
 	if create {
-		tree, err = Create(e.DB(), hiddenTreeName(indexName), Options{})
+		tree, err := Create(e.DB(), hiddenTreeName(indexName), opts)
 		if err != nil {
 			return nil, err
 		}
 		// Backfill from existing rows, keyed by heap row id. Rows are
 		// collected first: the scan holds the database read lock, and
 		// inserting from inside the callback would self-deadlock on the
-		// write lock.
+		// write lock. The checksum mirror accumulates over the same scan,
+		// so it lands equal to the base table's ContentChecksum.
 		type entry struct {
 			iv  interval.Interval
 			rid rel.RowID
@@ -130,12 +176,25 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, creat
 				}
 			}
 		}
+		if err == nil {
+			// Seed the mirror from the table's own maintained checksum
+			// (not a recomputation): the two then agree by definition at
+			// creation, including over tables whose header predates the
+			// checksum field.
+			ix.chkTab, err = e.DB().CreateTable(chkTableName(indexName), []string{"chk"})
+			if err == nil {
+				ix.chk = tab.ContentChecksum()
+				ix.chkRid, err = ix.chkTab.Insert([]int64{int64(ix.chk)})
+			}
+		}
 		if err != nil {
 			_ = tree.Drop()
+			_ = e.DB().DropTable(chkTableName(indexName))
 			return nil, err
 		}
+		ix.tree = tree
 	} else {
-		tree, err = Open(e.DB(), hiddenTreeName(indexName), Options{})
+		tree, err := Open(e.DB(), hiddenTreeName(indexName), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -143,23 +202,56 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, creat
 		// count mismatch proves DML ran while the index was not attached
 		// (e.g. a session that reopened the database without
 		// AttachCatalogIndexes). Trusting such a tree returns wrong query
-		// results; refuse it instead. The converse does not hold — equal
-		// counts do not prove consistency (unattended DML netting to zero
-		// rows slips through; a checksum is a ROADMAP follow-up) — but the
-		// check catches the common divergence cheaply, at O(1).
+		// results; refuse it instead.
 		if have, want := tree.Count(), tab.RowCount(); have != want {
 			return nil, fmt.Errorf("ritree indextype: persisted index %s is stale: hidden tree holds %d intervals but table %s has %d rows — DML ran without index maintenance; DROP INDEX %s and recreate it",
 				indexName, have, table, want, indexName)
 		}
+		// Content-level check: equal counts do not prove consistency
+		// (unattended insert-then-delete DML nets to zero rows). The
+		// persisted checksum mirror reflects exactly the DML this index
+		// was maintained with; the base table's content checksum reflects
+		// all DML. Divergence means maintenance was skipped. Indexes
+		// created before the mirror existed have no chk relation and fall
+		// back to the count check alone.
+		if chkTab, err := e.DB().Table(chkTableName(indexName)); err == nil {
+			found := false
+			var chk uint64
+			var chkRid rel.RowID
+			scanErr := chkTab.Scan(func(rid rel.RowID, row []int64) bool {
+				chkRid, chk, found = rid, uint64(row[0]), true
+				return false
+			})
+			if scanErr != nil {
+				return nil, scanErr
+			}
+			if !found {
+				return nil, fmt.Errorf("ritree indextype: checksum relation of index %s is empty", indexName)
+			}
+			if have := tab.ContentChecksum(); chk != have {
+				return nil, fmt.Errorf("ritree indextype: persisted index %s is stale: content checksum %x does not match table %s checksum %x — DML ran without index maintenance (row counts happen to agree); DROP INDEX %s and recreate it",
+					indexName, chk, table, have, indexName)
+			}
+			ix.chkTab, ix.chkRid, ix.chk = chkTab, chkRid, chk
+		}
+		ix.tree = tree
 	}
-	return &indexType{
-		name:  indexName,
-		table: table,
-		cols:  append([]string(nil), cols...),
-		loPos: lo,
-		hiPos: hi,
-		tree:  tree,
-	}, nil
+	return ix, nil
+}
+
+// foldChecksum XORs delta into the persisted checksum mirror. A nil
+// chkTab (an index created before the mirror existed and attached via
+// the fallback path) keeps working without content-level detection.
+func (ix *indexType) foldChecksum(delta uint64) error {
+	if ix.chkTab == nil {
+		return nil
+	}
+	ix.chk ^= delta
+	if err := ix.chkTab.Update(ix.chkRid, []int64{int64(ix.chk)}); err != nil {
+		ix.chk ^= delta
+		return err
+	}
+	return nil
 }
 
 // Name implements sqldb.CustomIndex.
@@ -179,15 +271,21 @@ func (ix *indexType) HasOperator(op string) bool {
 
 // OnInsert implements sqldb.CustomIndex: index maintenance by trigger
 // (§5: "the computation and storage of the fork node ... can be performed
-// automatically by database triggers").
+// automatically by database triggers"). The checksum mirror folds in the
+// same row the heap folded in, keeping the two in lockstep.
 func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
-	return ix.tree.Insert(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid))
+	if err := ix.tree.Insert(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid)); err != nil {
+		return err
+	}
+	return ix.foldChecksum(rel.RowChecksum(row, rid))
 }
 
 // OnDelete implements sqldb.CustomIndex.
 func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
-	_, err := ix.tree.Delete(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid))
-	return err
+	if _, err := ix.tree.Delete(interval.New(row[ix.loPos], row[ix.hiPos]), int64(rid)); err != nil {
+		return err
+	}
+	return ix.foldChecksum(rel.RowChecksum(row, rid))
 }
 
 // OnBulkInsert implements sqldb.BulkMaintainer: a bulk append to the base
@@ -203,6 +301,7 @@ func (ix *indexType) OnDelete(row []int64, rid rel.RowID) error {
 func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
 	ivs := make([]interval.Interval, len(rows))
 	ids := make([]int64, len(rows))
+	delta := uint64(0)
 	for i, row := range rows {
 		iv := interval.New(row[ix.loPos], row[ix.hiPos])
 		if !iv.Valid() && iv.Upper != interval.Infinity && iv.Upper != interval.NowMarker {
@@ -210,8 +309,12 @@ func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
 		}
 		ivs[i] = iv
 		ids[i] = int64(rids[i])
+		delta ^= rel.RowChecksum(row, rids[i])
 	}
-	return ix.tree.BulkLoad(ivs, ids)
+	if err := ix.tree.BulkLoad(ivs, ids); err != nil {
+		return err
+	}
+	return ix.foldChecksum(delta)
 }
 
 // SetNow implements sqldb.NowKeeper: the RI-tree carries the paper's
@@ -244,7 +347,15 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 }
 
 // Drop implements sqldb.CustomIndex.
-func (ix *indexType) Drop() error { return ix.tree.Drop() }
+func (ix *indexType) Drop() error {
+	if err := ix.tree.Drop(); err != nil {
+		return err
+	}
+	if err := ix.tree.db.DropTable(chkTableName(ix.name)); err != nil && !errors.Is(err, rel.ErrNoSuchTable) {
+		return err
+	}
+	return nil
+}
 
 // BackingTree exposes the hidden RI-tree (for statistics in tests and
 // benchmarks).

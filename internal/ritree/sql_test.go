@@ -186,3 +186,58 @@ func TestAttachRejectsStaleTree(t *testing.T) {
 		t.Fatalf("AttachIndexType over stale tree = %v, want stale error", err)
 	}
 }
+
+func TestAttachRejectsZeroNetRowDML(t *testing.T) {
+	// Insert-then-delete DML by a session without the index attached nets
+	// to zero rows, so the PR-2 row-count verification passes — only the
+	// content checksum catches it. Trusting the tree would serve the
+	// deleted row and miss the new one.
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 256})
+	db, _ := rel.CreateDB(st)
+	e := sqldb.NewEngine(db)
+	RegisterIndexType(e)
+	e.MustExec("CREATE TABLE ev (lo int, hi int, id int)", nil)
+	e.MustExec("CREATE INDEX ev_iv ON ev (lo, hi) INDEXTYPE IS ritree", nil)
+	e.MustExec("INSERT INTO ev VALUES (10, 20, 1)", nil)
+	e.MustExec("INSERT INTO ev VALUES (30, 40, 2)", nil)
+
+	// A rogue session nets zero rows: one insert, one delete.
+	rogue := sqldb.NewEngine(db)
+	rogue.MustExec("INSERT INTO ev VALUES (50, 60, 3)", nil)
+	rogue.MustExec("DELETE FROM ev WHERE id = 1", nil)
+
+	tab, _ := db.Table("ev")
+	if tab.RowCount() != 2 {
+		t.Fatalf("RowCount = %d, want 2 (the count check must be blind here)", tab.RowCount())
+	}
+	e3 := sqldb.NewEngine(db)
+	RegisterIndexType(e3)
+	err := AttachIndexType(e3, "ev_iv", "ev", []string{"lo", "hi"})
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("AttachIndexType over zero-net-row divergence = %v, want checksum-stale error", err)
+	}
+}
+
+func TestAttachAcceptsMaintainedIndexChecksum(t *testing.T) {
+	// DML through the engine (with maintenance) keeps checksum parity, so
+	// a later attach succeeds — including after deletes.
+	st := pagestore.NewMem(pagestore.Options{PageSize: 1024, CacheSize: 256})
+	db, _ := rel.CreateDB(st)
+	e := sqldb.NewEngine(db)
+	RegisterIndexType(e)
+	e.MustExec("CREATE TABLE ev (lo int, hi int, id int)", nil)
+	e.MustExec("CREATE INDEX ev_iv ON ev (lo, hi) INDEXTYPE IS ritree", nil)
+	e.MustExec("INSERT INTO ev VALUES (10, 20, 1)", nil)
+	e.MustExec("INSERT INTO ev VALUES (30, 40, 2)", nil)
+	e.MustExec("DELETE FROM ev WHERE id = 1", nil)
+
+	e2 := sqldb.NewEngine(db)
+	RegisterIndexType(e2)
+	if err := AttachIndexType(e2, "ev_iv", "ev", []string{"lo", "hi"}); err != nil {
+		t.Fatalf("attach after maintained DML: %v", err)
+	}
+	r := e2.MustExec("SELECT id FROM ev WHERE intersects(lo, hi, 35, 36)", nil)
+	if len(r.Rows) != 1 || r.Rows[0][0] != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}

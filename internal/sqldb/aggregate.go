@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-
-	"ritree/internal/rel"
 )
 
 // Aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX without grouping —
@@ -78,37 +76,92 @@ func (a *aggState) result() (int64, error) {
 	return 0, fmt.Errorf("sql: unknown aggregate %q", a.name)
 }
 
-// runAggregate executes one aggregate-projecting select block and appends
-// its single result row to res.
-func (e *Engine) runAggregate(s *SelectStmt, binds map[string]interface{}, res *Result) error {
+// aggNode is the aggregation sink of the streaming pipeline — a
+// pipeline breaker: Open drains the source join (which streams, so
+// filters and index scans still do their per-row work lazily underneath)
+// and computes the single output row; Next emits it once.
+type aggNode struct {
+	join   *joinNode
+	env    []int64
+	states []*aggState
+	out    []int64
+	done   bool
+}
+
+func (n *aggNode) Open(ec *execCtx) error {
+	n.done = false
+	for _, st := range n.states {
+		st.count, st.sum, st.seen = 0, 0, false
+	}
+	if err := n.join.Open(ec); err != nil {
+		return err
+	}
+	for {
+		ok, err := n.join.Next(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, st := range n.states {
+			st.add(n.env)
+		}
+	}
+	_ = n.join.Close()
+	n.out = make([]int64, len(n.states))
+	for i, st := range n.states {
+		v, err := st.result()
+		if err != nil {
+			return err
+		}
+		n.out[i] = v
+	}
+	return nil
+}
+
+func (n *aggNode) Next(ec *execCtx) (bool, error) {
+	if n.done {
+		return false, nil
+	}
+	n.done = true
+	return true, nil
+}
+
+func (n *aggNode) Close() error { return n.join.Close() }
+func (n *aggNode) Row() []int64 { return n.out }
+
+// buildAggregate compiles one aggregate-projecting select block into its
+// pipeline sink and output column names.
+func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}) (rowNode, []string, error) {
 	plan, err := e.planSelect(&SelectStmt{
 		Items: []SelectItem{{Star: true}},
 		From:  s.From,
 		Where: s.Where,
 	}, binds)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	var states []*aggState
 	var cols []string
 	for _, item := range s.Items {
 		call, ok := item.Expr.(*CallExpr)
 		if !ok || !aggregateNames[strings.ToLower(call.Name)] {
-			return fmt.Errorf("sql: cannot mix aggregates and scalar expressions without GROUP BY (unsupported)")
+			return nil, nil, fmt.Errorf("sql: cannot mix aggregates and scalar expressions without GROUP BY (unsupported)")
 		}
 		name := strings.ToLower(call.Name)
 		st := &aggState{name: name}
 		if call.Star {
 			if name != "count" {
-				return fmt.Errorf("sql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(name))
+				return nil, nil, fmt.Errorf("sql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(name))
 			}
 		} else {
 			if len(call.Args) != 1 {
-				return fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
+				return nil, nil, fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
 			}
 			f, err := plan.compile(call.Args[0], binds, len(plan.sources)-1)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			st.arg = f
 		}
@@ -119,28 +172,6 @@ func (e *Engine) runAggregate(s *SelectStmt, binds map[string]interface{}, res *
 		}
 		cols = append(cols, label)
 	}
-	err = plan.run(func(env []int64, _ []rel.RowID) bool {
-		for _, st := range states {
-			st.add(env)
-		}
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	row := make([]int64, len(states))
-	for i, st := range states {
-		v, err := st.result()
-		if err != nil {
-			return err
-		}
-		row[i] = v
-	}
-	if res.Cols == nil {
-		res.Cols = cols
-	} else if len(res.Cols) != len(cols) {
-		return fmt.Errorf("sql: UNION ALL branches project %d vs %d columns", len(res.Cols), len(cols))
-	}
-	res.Rows = append(res.Rows, row)
-	return nil
+	join, env, _ := newJoinOverPlan(plan)
+	return &aggNode{join: join, env: env, states: states}, cols, nil
 }

@@ -12,12 +12,16 @@ type CreateTableStmt struct {
 }
 
 // CreateIndexStmt is CREATE INDEX name ON table (col, ...)
-// [INDEXTYPE IS typename].
+// [INDEXTYPE IS typename [PARAMETERS (key = value, ...)]].
 type CreateIndexStmt struct {
 	Name      string
 	Table     string
 	Columns   []string
 	IndexType string // empty for a built-in composite index
+	// Params are the indextype tuning parameters of the PARAMETERS clause
+	// (Oracle passes them as an opaque string; here they are key = value
+	// pairs validated by the indextype handler). nil when absent.
+	Params map[string]string
 }
 
 // DropStmt is DROP TABLE name or DROP INDEX name.
@@ -26,12 +30,15 @@ type DropStmt struct {
 	Name  string
 }
 
-// CreateCollectionStmt is CREATE COLLECTION name [USING method]: a
-// (lower, upper, id) interval relation served by the named access method
-// (a registered indextype; the unified-API face of paper §5).
+// CreateCollectionStmt is CREATE COLLECTION name [USING method
+// [WITH (key = value, ...)]]: a (lower, upper, id) interval relation
+// served by the named access method (a registered indextype; the
+// unified-API face of paper §5), with optional per-collection access
+// method parameters persisted in the catalog.
 type CreateCollectionStmt struct {
 	Name   string
 	Method string // empty: the engine's default access method
+	Params map[string]string
 }
 
 // DropCollectionStmt is DROP COLLECTION name.
@@ -52,12 +59,16 @@ type DeleteStmt struct {
 }
 
 // SelectStmt is one SELECT block; Union chains UNION ALL branches.
+// Distinct applies to the block; OrderBy and Limit are parsed once, after
+// the whole union chain, and stored on the head block.
 type SelectStmt struct {
-	Items   []SelectItem
-	From    []TableRef
-	Where   Expr // nil when absent
-	Union   *SelectStmt
-	OrderBy []OrderItem
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	Union    *SelectStmt
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent; a constant expression
 }
 
 // ExplainStmt is EXPLAIN <select>.

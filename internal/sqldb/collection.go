@@ -77,13 +77,17 @@ func (e *Engine) CustomIndexByName(name string) (CustomIndex, bool) {
 
 // CreateCollection creates the named interval collection served by the
 // given access method (indextype name; empty means DefaultAccessMethod).
-func (e *Engine) CreateCollection(name, method string) error {
+// params carries per-collection access-method options (the SQL WITH
+// clause); they are validated by the indextype and persisted in the
+// catalog, so a reopened database re-attaches the collection with the
+// same configuration.
+func (e *Engine) CreateCollection(name, method string, params map[string]string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.createCollectionLocked(name, method)
+	return e.createCollectionLocked(name, method, params)
 }
 
-func (e *Engine) createCollectionLocked(name, method string) error {
+func (e *Engine) createCollectionLocked(name, method string, params map[string]string) error {
 	name = strings.ToLower(name)
 	if method == "" {
 		method = DefaultAccessMethod
@@ -105,6 +109,7 @@ func (e *Engine) createCollectionLocked(name, method string) error {
 		Table:     name,
 		Columns:   []string{"lower", "upper"},
 		IndexType: method,
+		Params:    params,
 	})
 	if err != nil {
 		_ = e.db.DropTable(name)

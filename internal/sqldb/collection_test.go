@@ -65,7 +65,7 @@ func newCollectionEngine(t *testing.T) *Engine {
 	}
 	e := NewEngine(db)
 	e.RegisterIndexType("fake", IndexTypeFuncs{
-		Create: func(eng *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+		Create: func(eng *Engine, indexName, table string, cols []string, _ map[string]string) (CustomIndex, error) {
 			tab, err := eng.DB().Table(table)
 			if err != nil {
 				return nil, err
@@ -152,7 +152,7 @@ func TestEngineDefaultAccessMethodAndRegistry(t *testing.T) {
 
 func TestEngineProgrammaticRowDML(t *testing.T) {
 	e := newCollectionEngine(t)
-	if err := e.CreateCollection("c", "fake"); err != nil {
+	if err := e.CreateCollection("c", "fake", nil); err != nil {
 		t.Fatal(err)
 	}
 	rid, err := e.InsertRow("c", []int64{1, 5, 100})

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -107,7 +108,7 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 		}
 		return &Result{}, e.dropTableCascadeLocked(s.Name)
 	case *CreateCollectionStmt:
-		return &Result{}, e.createCollectionLocked(s.Name, s.Method)
+		return &Result{}, e.createCollectionLocked(s.Name, s.Method, s.Params)
 	case *DropCollectionStmt:
 		return &Result{}, e.dropCollectionLocked(s.Name)
 	case *InsertStmt:
@@ -277,7 +278,7 @@ func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Resul
 		row []int64
 	}
 	var victims []victim
-	err = plan.run(func(env []int64, rids []rel.RowID) bool {
+	err = drainPlan(plan, func(env []int64, rids []rel.RowID) bool {
 		row := make([]int64, tab.Schema().NumCols())
 		copy(row, env[:len(row)])
 		victims = append(victims, victim{rids[0], row})
@@ -315,41 +316,21 @@ func (e *Engine) deleteRowLocked(table string, tab *rel.Table, rid rel.RowID, ro
 	return nil
 }
 
+// execSelect materializes a SELECT by draining the same streaming
+// pipeline Query serves — Exec is now a drain-the-cursor wrapper over
+// the volcano executor. Caller holds e.mu.
 func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
-	res := &Result{}
-	for blk := s; blk != nil; blk = blk.Union {
-		if isAggregate(blk) {
-			if err := e.runAggregate(blk, binds, res); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		plan, err := e.planSelect(blk, binds)
-		if err != nil {
-			return nil, err
-		}
-		if res.Cols == nil {
-			res.Cols = plan.outCols
-		} else if len(res.Cols) != len(plan.outCols) {
-			return nil, fmt.Errorf("sql: UNION ALL branches project %d vs %d columns",
-				len(res.Cols), len(plan.outCols))
-		}
-		err = plan.run(func(env []int64, _ []rel.RowID) bool {
-			out := make([]int64, len(plan.project))
-			for i, f := range plan.project {
-				out[i] = f(env)
-			}
-			res.Rows = append(res.Rows, out)
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
+	rows, err := e.buildRowsLocked(context.Background(), s, binds)
+	if err != nil {
+		return nil, err
 	}
-	if len(s.OrderBy) > 0 {
-		if err := e.sortResult(s, res, binds); err != nil {
-			return nil, err
-		}
+	defer rows.Close()
+	res := &Result{Cols: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, append([]int64(nil), rows.Row()...))
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -17,11 +17,15 @@ import (
 // built-in index."
 
 // IndexTypeHandler creates instances of a user-defined indextype in
-// response to CREATE INDEX ... INDEXTYPE IS <name>.
+// response to CREATE INDEX ... INDEXTYPE IS <name> [PARAMETERS (...)].
 type IndexTypeHandler interface {
 	// CreateIndex builds the custom index named indexName over the given
-	// columns of table, backfilling from existing rows.
-	CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+	// columns of table, backfilling from existing rows. params carries
+	// the PARAMETERS pairs (nil when absent); implementations must reject
+	// keys they do not understand — a silently ignored typo would create
+	// an index with the wrong geometry. The params are persisted in the
+	// catalog and handed back verbatim on attach.
+	CreateIndex(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error)
 }
 
 // Attacher is the reopen capability of an indextype handler: where
@@ -32,10 +36,11 @@ type IndexTypeHandler interface {
 type Attacher interface {
 	// AttachIndex attaches the custom index named indexName over the given
 	// columns of table, whose definition an earlier session recorded in the
-	// catalog. Implementations must verify any persisted storage is
-	// consistent with the base table before trusting it, and fail loudly
-	// otherwise.
-	AttachIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+	// catalog. params is the persisted PARAMETERS map of that definition,
+	// so an index re-attaches with the geometry it was created with.
+	// Implementations must verify any persisted storage is consistent with
+	// the base table before trusting it, and fail loudly otherwise.
+	AttachIndex(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error)
 }
 
 // StorageDropper is the optional third capability of an indextype
@@ -56,11 +61,11 @@ type StorageDropper interface {
 var ErrNoStorageDrop = errors.New("sql: indextype has no storage-drop implementation")
 
 // IndexTypeFunc adapts a function to IndexTypeHandler.
-type IndexTypeFunc func(e *Engine, indexName, table string, cols []string) (CustomIndex, error)
+type IndexTypeFunc func(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error)
 
 // CreateIndex implements IndexTypeHandler.
-func (f IndexTypeFunc) CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
-	return f(e, indexName, table, cols)
+func (f IndexTypeFunc) CreateIndex(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error) {
+	return f(e, indexName, table, cols, params)
 }
 
 // IndexTypeFuncs bundles the create-new, attach-existing, and
@@ -76,21 +81,21 @@ type IndexTypeFuncs struct {
 }
 
 // CreateIndex implements IndexTypeHandler.
-func (f IndexTypeFuncs) CreateIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+func (f IndexTypeFuncs) CreateIndex(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error) {
 	if f.Create == nil {
 		return nil, fmt.Errorf("sql: indextype registered without a Create implementation")
 	}
-	return f.Create(e, indexName, table, cols)
+	return f.Create(e, indexName, table, cols, params)
 }
 
 // AttachIndex implements Attacher. A nil Attach field reports the same
 // does-not-support-attach condition as a handler without the Attacher
 // interface (the zero field would otherwise panic on call).
-func (f IndexTypeFuncs) AttachIndex(e *Engine, indexName, table string, cols []string) (CustomIndex, error) {
+func (f IndexTypeFuncs) AttachIndex(e *Engine, indexName, table string, cols []string, params map[string]string) (CustomIndex, error) {
 	if f.Attach == nil {
 		return nil, fmt.Errorf("sql: indextype does not support attach (IndexTypeFuncs.Attach is nil); it cannot serve a reopened database")
 	}
-	return f.Attach(e, indexName, table, cols)
+	return f.Attach(e, indexName, table, cols, params)
 }
 
 // DropIndexStorage implements StorageDropper.
@@ -176,11 +181,12 @@ func (e *Engine) createCustomIndex(s *CreateIndexStmt) (*Result, error) {
 		IndexType: strings.ToLower(s.IndexType),
 		Table:     s.Table,
 		Columns:   s.Columns,
+		Params:    s.Params,
 	}
 	if err := e.db.RecordCustomIndex(def); err != nil {
 		return nil, err
 	}
-	ci, err := h.CreateIndex(e, s.Name, s.Table, s.Columns)
+	ci, err := h.CreateIndex(e, s.Name, s.Table, s.Columns, s.Params)
 	if err != nil {
 		_ = e.db.RemoveCustomIndex(s.Name)
 		return nil, err
@@ -240,7 +246,7 @@ func (e *Engine) dropUnattachedDef(def rel.CustomIndexDef) error {
 		}
 		if !dropped {
 			if at, ok := h.(Attacher); ok {
-				if ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns); err == nil {
+				if ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns, def.Params); err == nil {
 					if err := ci.Drop(); err != nil {
 						return fmt.Errorf("sql: dropping index %s: %w", def.Name, err)
 					}
@@ -278,7 +284,7 @@ func (e *Engine) AttachCatalogIndexes() error {
 			return fmt.Errorf("sql: indextype %q of catalog index %s does not support attach (handler implements no Attacher); it cannot serve a reopened database",
 				def.IndexType, def.Name)
 		}
-		ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns)
+		ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns, def.Params)
 		if err != nil {
 			return fmt.Errorf("sql: attaching catalog index %s (indextype %s): %w", def.Name, def.IndexType, err)
 		}

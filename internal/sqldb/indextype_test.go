@@ -37,7 +37,7 @@ func (f *fakeIndex) Drop() error {
 
 func registerFake(e *Engine, last **fakeIndex, dropErr error) {
 	build := func(attached bool) IndexTypeFunc {
-		return func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+		return func(_ *Engine, name, table string, cols []string, _ map[string]string) (CustomIndex, error) {
 			fi := &fakeIndex{name: name, table: table, cols: cols, attached: attached, dropErr: dropErr}
 			if last != nil {
 				*last = fi
@@ -166,7 +166,7 @@ func TestAttachCatalogIndexesUnregisteredTypeFailsLoudly(t *testing.T) {
 	// A handler without the Attacher capability is equally loud.
 	e3 := NewEngine(e.DB())
 	e3.RegisterIndexType("fake", IndexTypeFunc(
-		func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+		func(_ *Engine, name, table string, cols []string, _ map[string]string) (CustomIndex, error) {
 			return &fakeIndex{name: name, table: table, cols: cols}, nil
 		}))
 	err = e3.AttachCatalogIndexes()
@@ -178,7 +178,7 @@ func TestAttachCatalogIndexesUnregisteredTypeFailsLoudly(t *testing.T) {
 	// missing Attacher, not panic on a nil function call.
 	e4 := NewEngine(e.DB())
 	e4.RegisterIndexType("fake", IndexTypeFuncs{
-		Create: func(_ *Engine, name, table string, cols []string) (CustomIndex, error) {
+		Create: func(_ *Engine, name, table string, cols []string, _ map[string]string) (CustomIndex, error) {
 			return &fakeIndex{name: name, table: table, cols: cols}, nil
 		},
 	})

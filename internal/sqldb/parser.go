@@ -104,7 +104,7 @@ var reserved = map[string]bool{
 	"into": true, "values": true, "delete": true, "create": true, "table": true,
 	"index": true, "drop": true, "on": true, "order": true, "by": true,
 	"asc": true, "desc": true, "explain": true, "as": true, "is": true,
-	"indextype": true,
+	"indextype": true, "distinct": true, "limit": true,
 }
 
 func (p *parser) createStmt() (Statement, error) {
@@ -166,7 +166,8 @@ func (p *parser) createStmt() (Statement, error) {
 			return nil, err
 		}
 		st := &CreateIndexStmt{Name: name, Table: table, Columns: cols}
-		// Oracle-style: CREATE INDEX ... INDEXTYPE IS ritree (paper §5).
+		// Oracle-style: CREATE INDEX ... INDEXTYPE IS ritree (paper §5),
+		// optionally tuned with PARAMETERS (key = value, ...).
 		if p.keyword("indextype") {
 			if !p.keyword("is") {
 				return nil, p.errf("expected IS after INDEXTYPE")
@@ -176,6 +177,13 @@ func (p *parser) createStmt() (Statement, error) {
 				return nil, err
 			}
 			st.IndexType = it
+			if p.keyword("parameters") {
+				params, err := p.paramList()
+				if err != nil {
+					return nil, err
+				}
+				st.Params = params
+			}
 		}
 		return st, nil
 	case p.keyword("collection"):
@@ -194,9 +202,63 @@ func (p *parser) createStmt() (Statement, error) {
 			}
 			st.Method = m
 		}
+		// WITH (key = value, ...) tunes the access method; the pairs are
+		// validated by the indextype and persisted in the catalog, so a
+		// reopened database re-attaches the collection with the same
+		// geometry.
+		if p.keyword("with") {
+			params, err := p.paramList()
+			if err != nil {
+				return nil, err
+			}
+			st.Params = params
+		}
 		return st, nil
 	}
 	return nil, p.errf("expected TABLE, INDEX or COLLECTION after CREATE")
+}
+
+// paramList parses (key = value, ...) where value is a signed integer or
+// an identifier; values are kept as strings for the indextype to
+// interpret.
+func (p *parser) paramList() (map[string]string, error) {
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	params := make(map[string]string)
+	for {
+		key, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := params[key]; dup {
+			return nil, p.errf("duplicate parameter %q", key)
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return nil, err
+		}
+		neg := p.accept(tkSymbol, "-")
+		var val string
+		switch {
+		case p.at(tkNumber, ""):
+			val = p.next().text
+		case !neg && p.cur().kind == tkIdent && !reserved[p.cur().text]:
+			val = p.next().text
+		default:
+			return nil, p.errf("expected a number or identifier value for parameter %q", key)
+		}
+		if neg {
+			val = "-" + val
+		}
+		params[key] = val
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return params, nil
 }
 
 func (p *parser) dropStmt() (Statement, error) {
@@ -302,6 +364,14 @@ func (p *parser) selectStmt() (Statement, error) {
 			}
 		}
 	}
+	// LIMIT applies to the whole union chain, after ORDER BY.
+	if p.keyword("limit") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+	}
 	return sel, nil
 }
 
@@ -309,6 +379,9 @@ func (p *parser) selectStmt() (Statement, error) {
 // continuation.
 func (p *parser) selectBlock() (*SelectStmt, error) {
 	st := &SelectStmt{}
+	if p.keyword("distinct") {
+		st.Distinct = true
+	}
 	for {
 		item, err := p.selectItem()
 		if err != nil {

@@ -1,0 +1,214 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+)
+
+// Rows is a streaming SELECT cursor: rows are produced one at a time by
+// the volcano pipeline, so the underlying access-method scans advance
+// only as far as the consumer pulls. The usage contract mirrors
+// database/sql:
+//
+//	rows, err := eng.Query(ctx, "SELECT id FROM iv WHERE intersects(lower, upper, :a, :b) LIMIT 10", binds)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var id int64
+//		_ = rows.Scan(&id)
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The cursor holds the engine's statement lock (and, through DB.Query,
+// the database read lock) until it is closed or exhausted — always call
+// Close (it is idempotent; Next auto-closes on exhaustion and error). A
+// cancelled ctx surfaces as Err() after Next returns false, including
+// mid-scan: the pipeline polls the context at every leaf row and
+// abandoning the cursor stops the suspended access-method scan.
+type Rows struct {
+	root   rowNode
+	ec     *execCtx
+	cols   []string
+	err    error
+	opened bool
+	closed bool
+	// closers run once on Close, LIFO — lock releases pushed by Query.
+	closers []func()
+}
+
+// Columns names the projected columns.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, reporting whether one is available. On
+// false, the cursor has auto-closed; consult Err.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	ok, err := r.step()
+	if err != nil {
+		r.err = err
+		_ = r.Close()
+		return false
+	}
+	if !ok {
+		_ = r.Close()
+		return false
+	}
+	r.ec.stats.RowsOut++
+	return true
+}
+
+// step opens the pipeline lazily and advances it, converting runtime
+// faults in compiled expressions (division by zero, inverted Allen query
+// bounds from join columns) into errors.
+func (r *Rows) step() (ok bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if re, isRE := rec.(sqlRuntimeError); isRE {
+				ok, err = false, re
+				return
+			}
+			panic(rec)
+		}
+	}()
+	if !r.opened {
+		r.opened = true
+		if err := ctxErr(r.ec.ctx); err != nil {
+			return false, err
+		}
+		if err := r.root.Open(r.ec); err != nil {
+			return false, err
+		}
+	}
+	return r.root.Next(r.ec)
+}
+
+// Row returns the current output row. It is valid only after a true
+// Next and until the following Next or Close; copy it to retain it.
+func (r *Rows) Row() []int64 { return r.root.Row() }
+
+// Scan copies the current row into dest, one pointer per column.
+func (r *Rows) Scan(dest ...*int64) error {
+	row := r.Row()
+	if len(dest) != len(row) {
+		return fmt.Errorf("sql: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		*d = row[i]
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. A cancelled
+// context surfaces here as its context error.
+func (r *Rows) Err() error { return r.err }
+
+// Stats returns the work counters of this cursor (see ExecStats).
+func (r *Rows) Stats() ExecStats { return r.ec.stats }
+
+// Close stops the pipeline — terminating any suspended access-method
+// scans — and releases the locks the cursor holds. Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.root.Close()
+	for i := len(r.closers) - 1; i >= 0; i-- {
+		r.closers[i]()
+	}
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return err
+}
+
+// onClose registers fn to run once when the cursor closes (LIFO).
+func (r *Rows) onClose(fn func()) { r.closers = append(r.closers, fn) }
+
+// OnClose registers fn to run once when the cursor closes — the hook the
+// public DB wrapper uses to scope its read lock to the cursor lifetime.
+func (r *Rows) OnClose(fn func()) { r.onClose(fn) }
+
+// Query parses and executes a SELECT statement, returning a streaming
+// cursor. Non-SELECT statements are rejected — use Exec. The engine's
+// statement lock is held until the cursor is closed or exhausted, so a
+// session must finish (or Close) one cursor before issuing the next
+// statement.
+func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interface{}) (*Rows, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T (use Exec)", st)
+	}
+	e.mu.Lock()
+	rows, err := e.buildRowsLocked(ctx, sel, binds)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	rows.onClose(e.mu.Unlock)
+	return rows, nil
+}
+
+// buildRowsLocked compiles the union chain of s into a streaming
+// pipeline. Caller holds e.mu; the returned cursor releases nothing on
+// Close unless closers are registered.
+func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[string]interface{}) (*Rows, error) {
+	var branches []rowNode
+	var cols []string
+	for blk := s; blk != nil; blk = blk.Union {
+		var bn rowNode
+		var bcols []string
+		if isAggregate(blk) {
+			an, acols, err := e.buildAggregate(blk, binds)
+			if err != nil {
+				return nil, err
+			}
+			bn, bcols = an, acols
+		} else {
+			plan, err := e.planSelect(blk, binds)
+			if err != nil {
+				return nil, err
+			}
+			bn, bcols = newProjectOverPlan(plan), plan.outCols
+		}
+		if blk.Distinct {
+			bn = &distinctNode{in: bn}
+		}
+		if cols == nil {
+			cols = bcols
+		} else if len(cols) != len(bcols) {
+			return nil, fmt.Errorf("sql: UNION ALL branches project %d vs %d columns", len(cols), len(bcols))
+		}
+		branches = append(branches, bn)
+	}
+	var root rowNode
+	if len(branches) == 1 {
+		root = branches[0]
+	} else {
+		root = &concatNode{ins: branches}
+	}
+	if len(s.OrderBy) > 0 {
+		keys, err := sortKeys(s.OrderBy, cols)
+		if err != nil {
+			return nil, err
+		}
+		root = &sortNode{in: root, keys: keys}
+	}
+	if s.Limit != nil {
+		n, err := evalConst(s.Limit, binds)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sql: LIMIT must not be negative, got %d", n)
+		}
+		root = &limitNode{in: root, n: n}
+	}
+	return &Rows{root: root, ec: &execCtx{ctx: ctx}, cols: cols}, nil
+}

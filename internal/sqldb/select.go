@@ -2,10 +2,10 @@ package sqldb
 
 import (
 	"fmt"
-
 	"sort"
 	"strings"
 
+	"ritree/internal/interval"
 	"ritree/internal/rel"
 )
 
@@ -25,6 +25,10 @@ const (
 	accessIndexRange
 	accessCollection
 	accessCustom
+	// accessAllen serves an ALLEN_* operator through a domain index's
+	// INTERSECTS scan over the relation's generating region (§4.5), with
+	// the exact relation applied as a residual filter by the executor.
+	accessAllen
 )
 
 // srcPlan is the access plan for one FROM source.
@@ -47,11 +51,19 @@ type srcPlan struct {
 	customOp   string
 	customArgs []evalFn
 
+	// Allen access (kind == accessAllen): the relation, the query-bound
+	// argument functions (customArgs holds them), and the row positions of
+	// the indexed (lower, upper) columns for the residual check.
+	allenRel   interval.Relation
+	allenLoPos int
+	allenHiPos int
+
 	filters []evalFn // predicates checked once this source is bound
 }
 
 // selectPlan is a compiled single SELECT block.
 type selectPlan struct {
+	eng     *Engine
 	sources []*srcPlan
 	project []evalFn
 	outCols []string
@@ -69,7 +81,7 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
 	}
-	p := &selectPlan{}
+	p := &selectPlan{eng: e}
 	seen := map[string]bool{}
 	for _, ref := range s.From {
 		sp := &srcPlan{ref: ref, base: p.envSize}
@@ -366,9 +378,75 @@ func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) 
 		}
 		return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
 	case *CallExpr:
+		// The ALLEN_* operators evaluate as plain predicates over any
+		// expressions (the residual form): this serves sources without a
+		// domain index (transient collections, extra Allen conjuncts after
+		// one drove the access path). Index-served evaluation through the
+		// generating region is chosen by chooseAccess before compilation
+		// gets here.
+		if r, ok := allenRelation(x.Name); ok {
+			if len(x.Args) != 4 {
+				return nil, fmt.Errorf("sql: %s needs (lower, upper, :qlo, :qhi), got %d args",
+					strings.ToUpper(x.Name), len(x.Args))
+			}
+			fns := make([]evalFn, 4)
+			for i, a := range x.Args {
+				f, err := p.compile(a, binds, maxSrc)
+				if err != nil {
+					return nil, err
+				}
+				fns[i] = f
+			}
+			// Now-relative rows (§4.6) must evaluate against the same
+			// clock here as on the index-served path, or the answer would
+			// depend on which conjunct drove the access plan: when the
+			// upper argument is a column of a source whose table has a
+			// NowKeeper domain index, that keeper's clock resolves the
+			// NowMarker sentinel (no keeper: now = 0, like the executor).
+			nk := p.nowKeeperFor(x.Args[1])
+			return func(env []int64) int64 {
+				q, err := allenQuery(r, fns[2](env), fns[3](env))
+				if err != nil {
+					panic(sqlRuntimeError{err.Error()})
+				}
+				iv := interval.New(fns[0](env), fns[1](env))
+				if iv.Upper == interval.NowMarker {
+					now := int64(0)
+					if nk != nil {
+						now = nk.Now()
+					}
+					iv.Upper = now
+					if !iv.Valid() {
+						return 0 // born in the future of the evaluation time
+					}
+				}
+				return b2i(r.Holds(iv, q))
+			}, nil
+		}
 		return nil, fmt.Errorf("sql: operator %s is not supported by any index of the queried table (extensible operators must be served by a DOMAIN INDEX, §5)", x.Name)
 	}
 	return nil, fmt.Errorf("sql: unsupported expression %T", ex)
+}
+
+// nowKeeperFor finds the NowKeeper clock that governs ex, when ex is a
+// column of a base-table source with a NowKeeper domain index. nil when
+// no clock applies (transient sources, non-column expressions, tables
+// without a now-capable index).
+func (p *selectPlan) nowKeeperFor(ex Expr) NowKeeper {
+	ce, ok := ex.(*ColumnExpr)
+	if !ok || p.eng == nil {
+		return nil
+	}
+	si, _, err := p.resolve(ce)
+	if err != nil || p.sources[si].tab == nil {
+		return nil
+	}
+	for _, ci := range p.eng.customByTb[strings.ToLower(p.sources[si].tab.Name())] {
+		if nk, isNK := ci.(NowKeeper); isNK {
+			return nk
+		}
+	}
+	return nil
 }
 
 func b2i(b bool) int64 {
@@ -468,6 +546,70 @@ func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*c
 			sp.custom = ci
 			sp.customOp = call.Name
 			sp.customArgs = args
+			c.used = true
+			return nil
+		}
+	}
+
+	// ALLEN_* operators over a domain index: any index serving INTERSECTS
+	// on the referenced (lower, upper) columns evaluates all thirteen
+	// relations through the shared generating-region path (§4.5) — the
+	// scan runs INTERSECTS over the region derived from the relation, and
+	// the executor applies the exact relation as a residual filter. No
+	// per-access-method code is involved.
+	for _, c := range conjuncts {
+		call, ok := c.ex.(*CallExpr)
+		if !ok || c.used {
+			continue
+		}
+		r, isAllen := allenRelation(call.Name)
+		if !isAllen || len(call.Args) != 4 {
+			continue
+		}
+		for _, ci := range e.customByTb[sp.ref.Name] {
+			idxCols := ci.Columns()
+			if len(idxCols) != 2 || !ci.HasOperator(opIntersects) {
+				continue
+			}
+			match := true
+			for k, col := range idxCols {
+				ce, ok := call.Args[k].(*ColumnExpr)
+				if !ok || !strings.EqualFold(ce.Column, col) {
+					match = false
+					break
+				}
+				if csi, _, err := p.resolve(ce); err != nil || csi != si {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			var args []evalFn
+			argOK := true
+			for _, a := range call.Args[2:] {
+				m, err := p.maxSource(a)
+				if err != nil || m >= si {
+					argOK = false
+					break
+				}
+				f, err := p.compile(a, binds, si-1)
+				if err != nil {
+					return err
+				}
+				args = append(args, f)
+			}
+			if !argOK {
+				continue
+			}
+			sp.kind = accessAllen
+			sp.custom = ci
+			sp.customOp = strings.ToLower(call.Name)
+			sp.customArgs = args
+			sp.allenRel = r
+			sp.allenLoPos = sp.tab.Schema().ColIndex(idxCols[0])
+			sp.allenHiPos = sp.tab.Schema().ColIndex(idxCols[1])
 			c.used = true
 			return nil
 		}
@@ -618,197 +760,72 @@ func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*c
 	return nil
 }
 
-// run executes the plan, emitting each joined row's env and per-source row
-// ids. Returning false from emit stops execution.
-func (p *selectPlan) run(emit func(env []int64, rids []rel.RowID) bool) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if re, ok := r.(sqlRuntimeError); ok {
-				err = re
-				return
-			}
-			panic(r)
-		}
-	}()
-	env := make([]int64, p.envSize)
-	rids := make([]rel.RowID, len(p.sources))
-	stop := false
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(p.sources) {
-			if !emit(env, rids) {
-				stop = true
-			}
-			return nil
-		}
-		sp := p.sources[i]
-		deliver := func(rid rel.RowID) (bool, error) {
-			rids[i] = rid
-			for _, f := range sp.filters {
-				if f(env) == 0 {
-					return true, nil
-				}
-			}
-			if err := rec(i + 1); err != nil {
-				return false, err
-			}
-			return !stop, nil
-		}
-		switch sp.kind {
-		case accessCollection:
-			width := len(sp.cols)
-			for ri, row := range sp.coll.Rows {
-				if len(row) != width {
-					return fmt.Errorf("sql: collection :%s row %d has %d columns, want %d",
-						sp.ref.Collection, ri, len(row), width)
-				}
-				copy(env[sp.base:sp.base+width], row)
-				cont, err := deliver(0)
-				if err != nil || !cont {
-					return err
-				}
-			}
-			return nil
-		case accessFull:
-			var inner error
-			err := sp.tab.Scan(func(rid rel.RowID, row []int64) bool {
-				copy(env[sp.base:sp.base+len(row)], row)
-				cont, e2 := deliver(rid)
-				inner = e2
-				return cont && e2 == nil
-			})
-			if inner != nil {
-				return inner
-			}
-			return err
-		case accessIndexRange:
-			low := make([]int64, 0, len(sp.eq)+2)
-			high := make([]int64, 0, len(sp.eq)+2)
-			for _, f := range sp.eq {
-				v := f(env)
-				low = append(low, v)
-				high = append(high, v)
-			}
-			for _, f := range sp.lows {
-				low = append(low, f(env))
-			}
-			for _, f := range sp.highs {
-				high = append(high, f(env))
-			}
-			var inner error
-			err := sp.ix.Scan(low, high, func(_ []int64, rid rel.RowID) bool {
-				row, e2 := sp.tab.GetRaw(rid)
-				if e2 != nil {
-					inner = e2
-					return false
-				}
-				copy(env[sp.base:sp.base+len(row)], row)
-				cont, e2 := deliver(rid)
-				inner = e2
-				return cont && e2 == nil
-			})
-			if inner != nil {
-				return inner
-			}
-			return err
-		case accessCustom:
-			args := make([]int64, len(sp.customArgs))
-			for k, f := range sp.customArgs {
-				args[k] = f(env)
-			}
-			var inner error
-			err := sp.custom.Scan(sp.customOp, args, func(rid rel.RowID) bool {
-				row, e2 := sp.tab.GetRaw(rid)
-				if e2 != nil {
-					inner = e2
-					return false
-				}
-				copy(env[sp.base:sp.base+len(row)], row)
-				cont, e2 := deliver(rid)
-				inner = e2
-				return cont && e2 == nil
-			})
-			if inner != nil {
-				return inner
-			}
-			return err
-		}
-		return fmt.Errorf("sql: unknown access kind %d", sp.kind)
-	}
-	return rec(0)
-}
-
-// sortResult applies ORDER BY over the materialized result. Keys may be
-// output column names, select aliases, or 1-based ordinals.
-func (e *Engine) sortResult(s *SelectStmt, res *Result, binds map[string]interface{}) error {
-	type key struct {
-		idx  int
-		desc bool
-	}
-	var keys []key
-	for _, item := range s.OrderBy {
+// sortKeys resolves ORDER BY items against the output columns. Keys may
+// be output column names, select aliases, or 1-based ordinals.
+func sortKeys(items []OrderItem, cols []string) ([]sortKey, error) {
+	var keys []sortKey
+	for _, item := range items {
 		switch x := item.Expr.(type) {
 		case *NumberExpr:
-			if x.Value < 1 || int(x.Value) > len(res.Cols) {
-				return fmt.Errorf("sql: ORDER BY ordinal %d out of range", x.Value)
+			if x.Value < 1 || int(x.Value) > len(cols) {
+				return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", x.Value)
 			}
-			keys = append(keys, key{int(x.Value) - 1, item.Desc})
+			keys = append(keys, sortKey{int(x.Value) - 1, item.Desc})
 		case *ColumnExpr:
 			found := -1
-			for i, c := range res.Cols {
+			for i, c := range cols {
 				if strings.EqualFold(c, x.Column) {
 					found = i
 					break
 				}
 			}
 			if found < 0 {
-				return fmt.Errorf("sql: ORDER BY column %q not in the select list", x.Column)
+				return nil, fmt.Errorf("sql: ORDER BY column %q not in the select list", x.Column)
 			}
-			keys = append(keys, key{found, item.Desc})
+			keys = append(keys, sortKey{found, item.Desc})
 		default:
-			return fmt.Errorf("sql: ORDER BY supports output columns and ordinals")
+			return nil, fmt.Errorf("sql: ORDER BY supports output columns and ordinals")
 		}
 	}
-	sort.SliceStable(res.Rows, func(i, j int) bool {
-		for _, k := range keys {
-			a, b := res.Rows[i][k.idx], res.Rows[j][k.idx]
-			if a != b {
-				if k.desc {
-					return a > b
-				}
-				return a < b
-			}
-		}
-		return false
-	})
-	return nil
+	return keys, nil
 }
 
-// explain renders the Figure 10-style execution plan of a SELECT.
+// explain renders the Figure 10-style execution plan of a SELECT,
+// including the streaming pipeline's explicit sinks (SORT, DISTINCT,
+// LIMIT) above the per-block join trees.
 func (e *Engine) explain(s *SelectStmt, binds map[string]interface{}) (string, error) {
 	var sb strings.Builder
 	sb.WriteString("SELECT STATEMENT\n")
 	indent := 1
-	hasUnion := s.Union != nil
-	if hasUnion {
-		sb.WriteString("  UNION-ALL\n")
-		indent = 2
+	if s.Limit != nil {
+		n, err := evalConst(s.Limit, binds)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%sLIMIT %d\n", strings.Repeat("  ", indent), n)
+		indent++
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(strings.Repeat("  ", indent) + "SORT ORDER BY\n")
+		indent++
+	}
+	if s.Union != nil {
+		sb.WriteString(strings.Repeat("  ", indent) + "UNION-ALL\n")
+		indent++
 	}
 	for blk := s; blk != nil; blk = blk.Union {
 		plan, err := e.planSelect(blk, binds)
 		if err != nil {
 			return "", err
 		}
-		if err := explainBlock(&sb, plan, indent); err != nil {
-			return "", err
+		bi := indent
+		if blk.Distinct {
+			sb.WriteString(strings.Repeat("  ", bi) + "DISTINCT\n")
+			bi++
 		}
+		printJoin(&sb, plan.sources, bi)
 	}
 	return sb.String(), nil
-}
-
-func explainBlock(sb *strings.Builder, p *selectPlan, indent int) error {
-	printJoin(sb, p.sources, indent)
-	return nil
 }
 
 // printJoin renders the left-deep nested-loop tree NL(NL(s0,s1),s2)...
@@ -874,6 +891,9 @@ func accessLine(sp *srcPlan) string {
 		return "INDEX RANGE SCAN " + strings.ToUpper(sp.ix.Name())
 	case accessCustom:
 		return fmt.Sprintf("DOMAIN INDEX %s (%s)", strings.ToUpper(sp.custom.Name()), strings.ToUpper(sp.customOp))
+	case accessAllen:
+		return fmt.Sprintf("DOMAIN INDEX %s (%s VIA INTERSECTS REGION + RESIDUAL)",
+			strings.ToUpper(sp.custom.Name()), strings.ToUpper(sp.customOp))
 	default:
 		return "TABLE ACCESS FULL " + strings.ToUpper(sp.ref.Name)
 	}

@@ -1,0 +1,258 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// streamEngine builds an engine with one indexed table of n rows
+// (a ascending, b = a*2).
+func streamEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (a int, b int)", nil)
+	mustExec(t, e, "CREATE INDEX t_a ON t (a)", nil)
+	for i := 0; i < n; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i*2), nil)
+	}
+	return e
+}
+
+func collectRows(t *testing.T, rows *Rows) [][]int64 {
+	t.Helper()
+	var out [][]int64
+	for rows.Next() {
+		out = append(out, append([]int64(nil), rows.Row()...))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	return out
+}
+
+func TestQueryExecParity(t *testing.T) {
+	e := streamEngine(t, 50)
+	for _, sql := range []string{
+		"SELECT a, b FROM t WHERE a BETWEEN 10 AND 20",
+		"SELECT a FROM t WHERE a < 5 UNION ALL SELECT b FROM t WHERE a < 3",
+		"SELECT b, a FROM t ORDER BY a DESC LIMIT 7",
+		"SELECT DISTINCT b / 10 FROM t ORDER BY 1",
+		"SELECT count(*), min(a), max(b) FROM t WHERE a >= 25",
+	} {
+		res, err := e.Exec(sql, nil)
+		if err != nil {
+			t.Fatalf("%s: Exec: %v", sql, err)
+		}
+		rows, err := e.Query(context.Background(), sql, nil)
+		if err != nil {
+			t.Fatalf("%s: Query: %v", sql, err)
+		}
+		got := collectRows(t, rows)
+		if !reflect.DeepEqual(got, res.Rows) && !(len(got) == 0 && len(res.Rows) == 0) {
+			t.Fatalf("%s: cursor rows %v != Exec rows %v", sql, got, res.Rows)
+		}
+		if !reflect.DeepEqual(rows.Columns(), res.Cols) {
+			t.Fatalf("%s: cursor cols %v != Exec cols %v", sql, rows.Columns(), res.Cols)
+		}
+	}
+}
+
+func TestQueryRejectsNonSelect(t *testing.T) {
+	e := streamEngine(t, 1)
+	if _, err := e.Query(context.Background(), "INSERT INTO t VALUES (9, 9)", nil); err == nil ||
+		!strings.Contains(err.Error(), "requires a SELECT") {
+		t.Fatalf("Query(INSERT) = %v, want requires-a-SELECT error", err)
+	}
+}
+
+func TestLimitStopsLeafScan(t *testing.T) {
+	e := streamEngine(t, 500)
+	rows, err := e.Query(context.Background(), "SELECT a FROM t WHERE a >= 0 LIMIT 3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectRows(t, rows)
+	if len(got) != 3 {
+		t.Fatalf("LIMIT 3 returned %d rows", len(got))
+	}
+	if st := rows.Stats(); st.LeafRows > 3 {
+		t.Fatalf("LIMIT 3 pulled %d leaf rows from the index scan, want <= 3", st.LeafRows)
+	}
+}
+
+func TestEarlyCloseReleasesEngine(t *testing.T) {
+	e := streamEngine(t, 100)
+	rows, err := e.Query(context.Background(), "SELECT a FROM t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() || !rows.Next() {
+		t.Fatalf("expected at least two rows; err=%v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rows.Stats(); st.LeafRows > 2 {
+		t.Fatalf("closed after 2 rows but scanned %d leaf rows", st.LeafRows)
+	}
+	// The statement lock must be free again.
+	mustExec(t, e, "INSERT INTO t VALUES (1000, 2000)", nil)
+	if rows.Next() {
+		t.Fatal("Next after Close returned a row")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+}
+
+func TestContextCancelMidScan(t *testing.T) {
+	e := streamEngine(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := e.Query(ctx, "SELECT a FROM t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("first Next failed: %v", rows.Err())
+	}
+	cancel()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n > 0 {
+		t.Fatalf("cursor yielded %d rows after cancellation", n)
+	}
+	if err := rows.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	// The engine is usable again (the auto-close released the lock).
+	mustExec(t, e, "SELECT a FROM t LIMIT 1", nil)
+}
+
+func TestContextCancelledBeforeStart(t *testing.T) {
+	e := streamEngine(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := e.Query(ctx, "SELECT a FROM t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Fatal("Next on a cancelled ctx returned a row")
+	}
+	if rows.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", rows.Err())
+	}
+}
+
+func TestRowsScanAndColumns(t *testing.T) {
+	e := streamEngine(t, 10)
+	rows, err := e.Query(context.Background(), "SELECT a, b AS twice FROM t WHERE a = 4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); !reflect.DeepEqual(cols, []string{"a", "twice"}) {
+		t.Fatalf("Columns = %v", cols)
+	}
+	if !rows.Next() {
+		t.Fatalf("no row: %v", rows.Err())
+	}
+	var a, b int64
+	if err := rows.Scan(&a, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != 4 || b != 8 {
+		t.Fatalf("Scan got (%d, %d)", a, b)
+	}
+	if err := rows.Scan(&a); err == nil {
+		t.Fatal("Scan with wrong arity did not error")
+	}
+}
+
+func TestLimitEdgeCases(t *testing.T) {
+	e := streamEngine(t, 10)
+	r := mustExec(t, e, "SELECT a FROM t LIMIT 0", nil)
+	if len(r.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %v", r.Rows)
+	}
+	r = mustExec(t, e, "SELECT a FROM t ORDER BY a DESC LIMIT :k", map[string]interface{}{"k": 2})
+	if len(r.Rows) != 2 || r.Rows[0][0] != 9 || r.Rows[1][0] != 8 {
+		t.Fatalf("ORDER BY ... LIMIT :k = %v", r.Rows)
+	}
+	if _, err := e.Exec("SELECT a FROM t LIMIT 0 - 1", nil); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative LIMIT = %v, want error", err)
+	}
+	// LIMIT over a union chain caps the concatenated stream.
+	r = mustExec(t, e, "SELECT a FROM t WHERE a < 2 UNION ALL SELECT a FROM t WHERE a < 2 LIMIT 3", nil)
+	if len(r.Rows) != 3 {
+		t.Fatalf("union LIMIT 3 = %v", r.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := streamEngine(t, 10)
+	r := mustExec(t, e, "SELECT DISTINCT a / 5 FROM t ORDER BY 1", nil)
+	if len(r.Rows) != 2 || r.Rows[0][0] != 0 || r.Rows[1][0] != 1 {
+		t.Fatalf("DISTINCT = %v", r.Rows)
+	}
+	// DISTINCT applies per union branch.
+	r = mustExec(t, e, "SELECT DISTINCT a / 5 FROM t UNION ALL SELECT DISTINCT a / 5 FROM t", nil)
+	if len(r.Rows) != 4 {
+		t.Fatalf("DISTINCT per branch = %v", r.Rows)
+	}
+}
+
+func TestRuntimeErrorThroughCursor(t *testing.T) {
+	e := streamEngine(t, 3)
+	rows, err := e.Query(context.Background(), "SELECT a, 10 / a FROM t WHERE a < 2 ORDER BY a DESC", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("Err = %v, want division by zero", err)
+	}
+	mustExec(t, e, "SELECT a FROM t LIMIT 1", nil) // lock released after the fault
+}
+
+func TestAllenResidualOverTransient(t *testing.T) {
+	// Without any domain index, ALLEN_* still evaluates as a residual
+	// predicate — here over a transient collection source.
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE dummy (x int)", nil)
+	mustExec(t, e, "INSERT INTO dummy VALUES (0)", nil)
+	tr := &Transient{Cols: []string{"lo", "hi", "id"}, Rows: [][]int64{
+		{10, 20, 1}, {20, 30, 2}, {5, 40, 3}, {12, 18, 4},
+	}}
+	r := mustExec(t, e, "SELECT id FROM TABLE(:ivs) WHERE allen_during(lo, hi, 10, 20) ORDER BY id",
+		map[string]interface{}{"ivs": tr})
+	if len(r.Rows) != 1 || r.Rows[0][0] != 4 {
+		t.Fatalf("allen_during over transient = %v, want [[4]]", r.Rows)
+	}
+	r = mustExec(t, e, "SELECT id FROM TABLE(:ivs) WHERE allen_meets(lo, hi, 20, 30) ORDER BY id",
+		map[string]interface{}{"ivs": tr})
+	if len(r.Rows) != 1 || r.Rows[0][0] != 1 {
+		t.Fatalf("allen_meets over transient = %v, want [[1]]", r.Rows)
+	}
+	if _, err := e.Exec("SELECT id FROM TABLE(:ivs) WHERE allen_during(lo, hi, 20)",
+		map[string]interface{}{"ivs": tr}); err == nil {
+		t.Fatal("allen with 3 args did not error")
+	}
+}
+
+func TestExplainShowsPipelineSinks(t *testing.T) {
+	e := streamEngine(t, 1)
+	r := mustExec(t, e, "EXPLAIN SELECT DISTINCT a FROM t ORDER BY a LIMIT 5", nil)
+	for _, want := range []string{"LIMIT 5", "SORT ORDER BY", "DISTINCT"} {
+		if !strings.Contains(r.Plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, r.Plan)
+		}
+	}
+}

@@ -92,6 +92,15 @@ type IOStats = pagestore.Stats
 // Result is a SQL statement result (see DB.Exec).
 type Result = sqldb.Result
 
+// Rows is a streaming SELECT cursor (see DB.Query): Next/Scan/Err/Close
+// in the database/sql style, over the same volcano pipeline Exec drains.
+type Rows = sqldb.Rows
+
+// ExecStats counts the work one cursor performed (Rows.Stats); LeafRows
+// is the number of rows the access-method scans produced, the observable
+// evidence that LIMIT and early Close stop the scan.
+type ExecStats = sqldb.ExecStats
+
 // Transient is a transient collection bind for TABLE(:name) SQL sources
 // (paper §4.2). It was formerly exported as ritree.Collection; Collection
 // now names the persistent, access-method-backed interval collections.
