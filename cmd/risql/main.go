@@ -39,7 +39,14 @@
 // qlo, qhi) on any access method; \help lists all thirteen.
 //
 // Meta commands: \tables, \collections, \stats, \reset (zero I/O
-// counters), \help (operator table), \q.
+// counters), \metrics (the session's metrics registry: executor
+// counters, per-statement-kind latency histograms, page-store I/O, and
+// each domain index's family), \slow [dur] (arm the slow-query trace log
+// at the given threshold, or drain and print the captured statements
+// with their operator stats), \help (operator table), \q.
+// EXPLAIN ANALYZE SELECT ... executes the statement and prints the
+// per-operator tree annotated with rows, leaf rows, probes and wall
+// time.
 // Statements end with a semicolon and may span lines; several statements
 // may share a line. Bind variables are not available in the shell; inline
 // the values.
@@ -51,9 +58,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"ritree/internal/hint"
+	"ritree/internal/obs"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
 	"ritree/internal/ritree"
@@ -93,7 +103,14 @@ func main() {
 	}
 	defer db.Close()
 
+	// One metrics registry per session: page-store I/O, executor counters
+	// and per-kind latency histograms, and each attached domain index's
+	// family all publish into it (\metrics prints it, \slow arms the
+	// slow-query trace log).
+	reg := obs.NewRegistry()
+	st.SetMetrics(reg, "pagestore")
 	eng := sqldb.NewEngine(db)
+	eng.SetMetricsRegistry(reg)
 	ritree.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
 	hint.RegisterShardedIndexType(eng, 0)
@@ -120,7 +137,7 @@ func main() {
 	}
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
-	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \reset \help \q`)
+	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \metrics \slow \reset \help \q`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -137,7 +154,11 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			switch trimmed {
+			cmd, arg := trimmed, ""
+			if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+				cmd, arg = trimmed[:i], strings.TrimSpace(trimmed[i:])
+			}
+			switch cmd {
 			case `\q`, `\quit`:
 				return
 			case `\tables`:
@@ -164,10 +185,14 @@ func main() {
 			case `\reset`:
 				db.ResetStats()
 				fmt.Println("  counters zeroed")
+			case `\metrics`:
+				printMetrics(reg)
+			case `\slow`:
+				runSlow(eng, arg)
 			case `\help`:
 				printHelp()
 			default:
-				fmt.Println(`  unknown command; try \tables \collections \stats \reset \help \q`)
+				fmt.Println(`  unknown command; try \tables \collections \stats \metrics \slow \reset \help \q`)
 			}
 			prompt()
 			continue
@@ -309,6 +334,68 @@ func runStatement(eng *sqldb.Engine, stmt string) {
 		fmt.Print(res.Plan)
 	default:
 		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+	}
+}
+
+// printMetrics dumps the session's metrics registry (\metrics): counters
+// sorted by name, then the latency histograms with their quantiles.
+func printMetrics(reg *obs.Registry) {
+	s := reg.Snapshot()
+	if len(s.Counters) == 0 && len(s.Histograms) == 0 {
+		fmt.Println("  (no metrics recorded yet)")
+		return
+	}
+	for _, name := range s.CounterNames() {
+		fmt.Printf("  %-40s %12d\n", name, s.Counters[name])
+	}
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		fmt.Printf("  %-40s count=%d p50=%s p95=%s p99=%s max=%s\n",
+			name, h.Count, time.Duration(h.P50), time.Duration(h.P95),
+			time.Duration(h.P99), time.Duration(h.Max))
+	}
+}
+
+// runSlow implements \slow: with a duration argument it arms the
+// slow-query threshold; bare it drains and prints the captured ring.
+func runSlow(eng *sqldb.Engine, arg string) {
+	if arg != "" {
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			fmt.Printf("  bad duration %q; try \\slow 100ms (0 disables)\n", arg)
+			return
+		}
+		eng.SetSlowQueryThreshold(d)
+		if d == 0 {
+			fmt.Println("  slow-query capture disabled")
+		} else {
+			fmt.Printf("  capturing statements taking >= %s\n", d)
+		}
+		return
+	}
+	slow := eng.SlowQueries()
+	if len(slow) == 0 {
+		if eng.SlowQueryThreshold() == 0 {
+			fmt.Println(`  (capture disarmed — \slow 100ms to arm)`)
+		} else {
+			fmt.Println("  (no slow queries captured)")
+		}
+		return
+	}
+	for _, sq := range slow {
+		fmt.Printf("  [%s] %s  binds=%d  leaf=%d rows=%d\n    %s\n",
+			sq.When.Format("15:04:05.000"), sq.Duration, sq.Binds,
+			sq.Stats.LeafRows, sq.Stats.RowsOut, strings.TrimSpace(sq.SQL))
+		if sq.Plan.Label != "" {
+			for _, line := range strings.Split(strings.TrimRight(sq.Plan.Render(), "\n"), "\n") {
+				fmt.Println("    " + line)
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"slices"
+	"strings"
 
 	"ritree/internal/interval"
 	"ritree/internal/rel"
@@ -91,6 +92,23 @@ func (c *Collection) Count() int64 {
 // String summarizes the collection.
 func (c *Collection) String() string {
 	return fmt.Sprintf("ritree.Collection{%s, method=%s, n=%d}", c.name, c.method, c.Count())
+}
+
+// Metrics returns this collection's access-method counters from the DB's
+// metrics registry, keyed by bare metric name (the "index.<name>."
+// family prefix stripped): RI-tree collections report queries,
+// node_visits and scratch-pool reuse; HINT collections report queries,
+// shard_scans, partitions visited/skipped and flat-vs-overlay run
+// counts. Counters are cumulative since the index was attached.
+func (c *Collection) Metrics() map[string]int64 {
+	prefix := "index." + sqldb.CollectionIndexName(c.name) + "."
+	out := make(map[string]int64)
+	for name, v := range c.db.Metrics().Counters {
+		if strings.HasPrefix(name, prefix) {
+			out[strings.TrimPrefix(name, prefix)] = v
+		}
+	}
+	return out
 }
 
 func (c *Collection) checkInsert(iv Interval) error {

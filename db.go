@@ -3,12 +3,15 @@ package ritree
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"regexp"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ritree/internal/hint"
+	"ritree/internal/obs"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
 	ritcore "ritree/internal/ritree"
@@ -38,6 +41,7 @@ type DB struct {
 	store *pagestore.Store
 	rdb   *rel.DB
 	eng   *sqldb.Engine
+	reg   *obs.Registry
 	cols  map[string]*Collection
 }
 
@@ -78,7 +82,7 @@ func openMemoryCfg(cfg *config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDB(st, rdb, false)
+	return newDB(st, rdb, cfg, false)
 }
 
 func openPathCfg(path string, cfg *config) (*DB, error) {
@@ -99,17 +103,27 @@ func openPathCfg(path string, cfg *config) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newDB(st, rdb, false)
+		return newDB(st, rdb, cfg, false)
 	}
 	rdb, err := rel.OpenDB(st, 1)
 	if err != nil {
 		return nil, err
 	}
-	return newDB(st, rdb, true)
+	return newDB(st, rdb, cfg, true)
 }
 
-func newDB(st *pagestore.Store, rdb *rel.DB, reopened bool) (*DB, error) {
+func newDB(st *pagestore.Store, rdb *rel.DB, cfg *config, reopened bool) (*DB, error) {
+	// Every DB carries its own metrics registry: the page store, the SQL
+	// executor, and each collection's access method publish into one
+	// per-database family. The registry is attached before the catalog
+	// indexes, so re-attached access methods bind their counters too.
+	reg := obs.NewRegistry()
+	st.SetMetrics(reg, "pagestore")
 	eng := sqldb.NewEngine(rdb)
+	eng.SetMetricsRegistry(reg)
+	if cfg.slowQuery > 0 {
+		eng.SetSlowQueryThreshold(cfg.slowQuery)
+	}
 	ritcore.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
 	hint.RegisterShardedIndexType(eng, 0)
@@ -123,7 +137,7 @@ func newDB(st *pagestore.Store, rdb *rel.DB, reopened bool) (*DB, error) {
 			return nil, err
 		}
 	}
-	return &DB{store: st, rdb: rdb, eng: eng, cols: make(map[string]*Collection)}, nil
+	return &DB{store: st, rdb: rdb, eng: eng, reg: reg, cols: make(map[string]*Collection)}, nil
 }
 
 // collectionName constrains collection names to SQL identifiers, so a
@@ -302,8 +316,38 @@ func (db *DB) Query(ctx context.Context, sql string, binds map[string]interface{
 // Stats returns the I/O counters of the page store.
 func (db *DB) Stats() IOStats { return db.store.Stats() }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters. The metrics registry (see Metrics)
+// is not affected: its counters are cumulative for the DB's lifetime.
 func (db *DB) ResetStats() { db.store.ResetStats() }
+
+// Metrics returns a point-in-time snapshot of the database's metrics
+// registry: page-store I/O ("pagestore.*"), SQL executor work and
+// per-statement-kind latency histograms ("sql.*"), and each collection's
+// access-method counters ("index.<collection>$ix.*" — RI-tree node
+// visits and scratch-pool reuse, HINT partition and shard fan-out
+// counts). Counters are cumulative since Open; use Snapshot.Sub to meter
+// an interval of work.
+func (db *DB) Metrics() MetricsSnapshot { return db.reg.Snapshot() }
+
+// MetricsHandler serves the registry over HTTP: /metrics (the Snapshot
+// as indented JSON), /debug/vars (expvar), and /debug/pprof. Mount it on
+// any mux; the handler holds no locks beyond atomic counter reads.
+func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.reg) }
+
+// SetSlowQueryThreshold arms the slow-query log: any statement at or
+// above d lands in a bounded ring buffer drained by SlowQueries. Zero
+// disables capture (the default unless WithSlowQueryThreshold was given).
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.eng.SetSlowQueryThreshold(d) }
+
+// SlowQueryThreshold returns the current slow-query threshold.
+func (db *DB) SlowQueryThreshold() time.Duration { return db.eng.SlowQueryThreshold() }
+
+// SlowQueries drains the slow-query ring buffer, oldest first: every
+// captured statement carries its SQL text, bind count, duration, cursor
+// counters, and (for statements that ran a plan) the per-operator stats
+// tree. The buffer keeps the most recent captures up to a fixed cap;
+// draining clears it.
+func (db *DB) SlowQueries() []SlowQuery { return db.eng.SlowQueries() }
 
 // Flush writes all dirty pages to the backing store.
 func (db *DB) Flush() error {

@@ -6,6 +6,7 @@ import (
 
 	"ritree/internal/hint"
 	"ritree/internal/interval"
+	"ritree/internal/obs"
 	"ritree/internal/pagestore"
 	"ritree/internal/rel"
 	"ritree/internal/ritree"
@@ -27,6 +28,7 @@ type collectionAM struct {
 	st     *pagestore.Store
 	eng    *sqldb.Engine
 	ci     sqldb.CustomIndex
+	reg    *obs.Registry
 	name   string
 	method string
 	loadMS float64
@@ -37,7 +39,12 @@ func newCollectionAM(c Config, method string) (*collectionAM, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Wire the same per-DB metrics registry the public API attaches, so
+	// experiments can embed and crosscheck the engine's own counters.
+	reg := obs.NewRegistry()
+	st.SetMetrics(reg, "pagestore")
 	eng := sqldb.NewEngine(db)
+	eng.SetMetricsRegistry(reg)
 	ritree.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
 	hint.RegisterShardedIndexType(eng, 0)
@@ -48,7 +55,7 @@ func newCollectionAM(c Config, method string) (*collectionAM, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: collection index not attached for %s", method)
 	}
-	return &collectionAM{st: st, eng: eng, ci: ci, name: "collection(" + method + ")", method: method}, nil
+	return &collectionAM{st: st, eng: eng, ci: ci, reg: reg, name: "collection(" + method + ")", method: method}, nil
 }
 
 func (a *collectionAM) Name() string { return a.name }

@@ -76,6 +76,10 @@ func SQLStream(c Config) (*Table, error) {
 		if !strings.Contains(plan.Plan, "VIA INTERSECTS REGION") {
 			return nil, fmt.Errorf("%s: ALLEN operator fell off the domain index:\n%s", am.Name(), plan.Plan)
 		}
+		// Registry baseline for the metrics crosscheck below (taken after
+		// the EXPLAIN so only the measured statements land in the window).
+		obsBefore := am.reg.Snapshot()
+		var leafTotal int64
 		sql := "SELECT id FROM iv WHERE intersects(lower, upper, :qlo, :qhi)"
 		modes := []struct {
 			name string
@@ -145,7 +149,18 @@ func SQLStream(c Config) (*Table, error) {
 			ms := elapsed.Seconds() * 1000 / nq
 			t.AddRow(am.Name(), mode.name, f1(float64(leaf)/nq), f1(float64(out)/nq),
 				f3(ms), f1(1000/ms))
+			leafTotal += leaf
 		}
+		// Metrics crosscheck: the engine publishes every cursor's counters
+		// into the DB registry at close, so the registry's leaf-row total
+		// over the window must equal the sum of the per-query Rows.Stats
+		// the modes reported. A mismatch means the registry and the
+		// per-cursor stats diverged — fail the run, don't just report.
+		obsDelta := am.reg.Snapshot().Sub(obsBefore)
+		if got := obsDelta.Counter("sql.leaf_rows"); got != leafTotal {
+			return nil, fmt.Errorf("%s: registry sql.leaf_rows = %d, sum of Rows.Stats().LeafRows = %d — metrics diverged from cursor stats", am.Name(), got, leafTotal)
+		}
+		t.AddObs(am.Name(), obsDelta.Counters)
 		ams = append(ams, am)
 	}
 	t.SetMethods(ams...)

@@ -175,6 +175,10 @@ type Index struct {
 
 	bulk bool // BulkLoad in progress: raw appends, Optimize sorts after
 
+	// met mirrors query-shape counters into an obs registry; nil (the
+	// default) records nothing. See metrics.go.
+	met *indexMetrics
+
 	count    int64 // live intervals
 	entries  int64 // stored copies, originals + replicas
 	replicas int64

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"ritree/internal/interval"
+	"ritree/internal/obs"
 	"ritree/internal/rel"
 	"ritree/internal/sqldb"
 )
@@ -180,6 +181,10 @@ type indexType struct {
 	mu  sync.RWMutex
 	off int64 // indexed value = column value - off
 	ix  *Sharded
+	// Bound obs registry, remembered so geometry rebuilds (which replace
+	// ix wholesale) re-attach the same counter family.
+	reg       *obs.Registry
+	regPrefix string
 }
 
 func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shards int, params map[string]string) (*indexType, error) {
@@ -334,8 +339,23 @@ func (x *indexType) rebuild() error {
 	if err := ix.BulkLoad(shifted, ridIDs); err != nil {
 		return err
 	}
+	if x.reg != nil {
+		ix.SetMetrics(x.reg, x.regPrefix)
+	}
 	x.off, x.ix = off, ix
 	return nil
+}
+
+// BindMetrics implements sqldb.MetricsBinder: the engine calls it with
+// the DB's registry and an "index.<name>" prefix when the index is
+// created or re-attached, wiring the HINT query-shape counters into the
+// same family as the executor and page-store metrics. The binding
+// survives geometry rebuilds.
+func (ix *indexType) BindMetrics(reg *obs.Registry, prefix string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.reg, ix.regPrefix = reg, prefix
+	ix.ix.SetMetrics(reg, prefix)
 }
 
 // Name implements sqldb.CustomIndex.

@@ -1,0 +1,85 @@
+package hint
+
+import "ritree/internal/obs"
+
+// indexMetrics publishes the index's query-shape counters into a DB-level
+// obs registry family — the observability hooks for the questions the
+// HINT paper's experiments ask: how many partitions does a query consult
+// versus skip through the nonempty bitmaps, how much of the data is
+// served from the flat cache-conscious storage versus the dynamic
+// overlay, and how wide the sharded fan-out runs. A nil *indexMetrics is
+// valid and every method is a no-op, so unattached indexes pay nothing.
+type indexMetrics struct {
+	queries      *obs.Counter // logical queries (counted once per Sharded call)
+	shardScans   *obs.Counter // per-shard scans: fan-out = shardScans/queries
+	partsVisited *obs.Counter // nonempty partitions consulted
+	partsSkipped *obs.Counter // relevant partitions skipped via bitmap
+	flatRuns     *obs.Counter // nonempty flat segments scanned
+	overlayRuns  *obs.Counter // nonempty overlay buckets scanned
+}
+
+func newIndexMetrics(reg *obs.Registry, prefix string) *indexMetrics {
+	return &indexMetrics{
+		queries:      reg.Counter(prefix + ".queries"),
+		shardScans:   reg.Counter(prefix + ".shard_scans"),
+		partsVisited: reg.Counter(prefix + ".partitions_visited"),
+		partsSkipped: reg.Counter(prefix + ".partitions_skipped"),
+		flatRuns:     reg.Counter(prefix + ".flat_runs"),
+		overlayRuns:  reg.Counter(prefix + ".overlay_runs"),
+	}
+}
+
+func (m *indexMetrics) query() {
+	if m != nil {
+		m.queries.Inc()
+	}
+}
+
+// queryTally accumulates one scan's counts in plain locals so the hot
+// loop pays no atomics; flush folds it into the registry once per scan.
+type queryTally struct {
+	visited, skipped      int64
+	flatRuns, overlayRuns int64
+}
+
+func (m *indexMetrics) flush(t *queryTally) {
+	if m == nil {
+		return
+	}
+	m.shardScans.Inc()
+	m.partsVisited.Add(t.visited)
+	m.partsSkipped.Add(t.skipped)
+	m.flatRuns.Add(t.flatRuns)
+	m.overlayRuns.Add(t.overlayRuns)
+}
+
+// SetMetrics mirrors the index's query counters into reg under prefix
+// (e.g. "index.resv_iv"). Pass reg == nil to detach. Not safe to call
+// concurrently with queries on a bare Index; Sharded.SetMetrics takes the
+// shard locks.
+func (x *Index) SetMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		x.met = nil
+		return
+	}
+	x.met = newIndexMetrics(reg, prefix)
+}
+
+// SetMetrics mirrors every shard's query counters into reg under prefix.
+// All shards share one counter family (obs counters are atomic), so the
+// published numbers aggregate across the fan-out; "<prefix>.queries"
+// counts logical calls against the sharded index, "<prefix>.shard_scans"
+// the per-shard scans they fanned into. Pass reg == nil to detach.
+func (s *Sharded) SetMetrics(reg *obs.Registry, prefix string) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.ix.SetMetrics(reg, prefix)
+		sh.mu.Unlock()
+	}
+	if reg == nil {
+		s.met = nil
+		return
+	}
+	s.met = newIndexMetrics(reg, prefix)
+}

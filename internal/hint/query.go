@@ -67,6 +67,15 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 	cmpFree := x.cmpFree && loExact && hiExact
 	sorted := !x.noSort
 
+	// Metrics are tallied in plain locals through the scan and flushed
+	// once at the end (flush on a nil met is a no-op). An early-stopped
+	// scan counts the partitions it never reached as skipped: they were
+	// relevant but not consulted.
+	var tally queryTally
+	if x.met != nil {
+		defer x.met.flush(&tally)
+	}
+
 	emit := func(s []entry) bool {
 		for i := range s {
 			if !fn(s[i]) {
@@ -150,6 +159,12 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 			if p := parts[idx]; p != nil {
 				dyn = p.subs[c]
 			}
+			if len(flatSeg) > 0 {
+				tally.flatRuns++
+			}
+			if len(dyn) > 0 {
+				tally.overlayRuns++
+			}
 			return flatSeg, dyn
 		}
 		both := func(idx int64, c int, e func(s []entry) bool) bool {
@@ -159,6 +174,7 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 		span := uint(x.bits - l) // log2 of the partition width at level l
 		if f == t {
 			if x.hasAny(l, f) {
+				tally.visited++
 				// q lies inside a single partition: originals need the
 				// comparisons their subdivision cannot rule out, replicas
 				// start before the partition (hence before q.hi) for free.
@@ -184,9 +200,12 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 				if !both(f, cRAft, emit) {
 					return nil
 				}
+			} else {
+				tally.skipped++
 			}
 		} else {
 			if x.hasAny(l, f) {
+				tally.visited++
 				skipEnd := cmpFree || (loExact && f<<span == qlo)
 				if skipEnd {
 					if !both(f, cOIn, emit) || !both(f, cRIn, emit) {
@@ -199,14 +218,21 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 				if !both(f, cOAft, emit) || !both(f, cRAft, emit) {
 					return nil
 				}
+			} else {
+				tally.skipped++
 			}
+			nmid := t - f - 1
 			ok := x.forNonempty(l, f+1, t-1, func(i int64) bool {
+				tally.visited++
+				nmid--
 				return both(i, cOIn, emit) && both(i, cOAft, emit)
 			})
+			tally.skipped += nmid
 			if !ok {
 				return nil
 			}
 			if x.hasAny(l, t) {
+				tally.visited++
 				skipStart := cmpFree || (hiExact && (t+1)<<span-1 == qhi)
 				if skipStart {
 					if !both(t, cOIn, emit) || !both(t, cOAft, emit) {
@@ -216,6 +242,8 @@ func (x *Index) intersectingEntries(q interval.Interval, fn func(e entry) bool) 
 					!both(t, cOAft, func(s []entry) bool { return emitStartLE(s, q.Upper) }) {
 					return nil
 				}
+			} else {
+				tally.skipped++
 			}
 		}
 		f >>= 1

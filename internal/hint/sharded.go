@@ -23,6 +23,9 @@ import (
 // Sharded is a concurrency-safe HINT index of one or more shards.
 type Sharded struct {
 	shards []shard
+	// met counts logical queries against the sharded API; the per-shard
+	// scan counters live on the shards themselves. See metrics.go.
+	met *indexMetrics
 }
 
 type shard struct {
@@ -145,6 +148,7 @@ func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) 
 	if !q.Valid() {
 		return fmt.Errorf("hint: invalid query %v", q)
 	}
+	s.met.query()
 	stopped := false
 	wrapped := func(id int64) bool {
 		if !fn(id) {
@@ -172,6 +176,7 @@ func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) 
 // fan-out turns the shard count from a query tax into a latency divider
 // on multi-core hardware.
 func queryShardsParallel[T any](s *Sharded, query func(ix *Index) (T, error)) ([]T, error) {
+	s.met.query()
 	results := make([]T, len(s.shards))
 	if len(s.shards) == 1 {
 		sh := &s.shards[0]
@@ -288,6 +293,7 @@ func (s *Sharded) Stab(p int64) ([]int64, error) {
 // consulted sequentially under their read locks (a streaming callback
 // cannot be fanned out without racing the caller).
 func (s *Sharded) QueryRelationFunc(r interval.Relation, q interval.Interval, fn func(id int64) bool) error {
+	s.met.query()
 	stopped := false
 	wrapped := func(id int64) bool {
 		if !fn(id) {

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets bounds the histogram: bucket i counts values v with
+// bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 counts v == 0).
+// 64 buckets cover the full non-negative int64 range, so recording can
+// never index out of bounds and needs no resizing or locking.
+const histBuckets = 65
+
+// Histogram is a bounded log2-bucket histogram of non-negative values
+// (typically latencies in nanoseconds). Record is two atomic adds plus
+// one atomic increment; Snapshot may run concurrently with recorders.
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Merge folds o's observations into h. Both histograms may be receiving
+// concurrent Records; the merge transfers each bucket with one atomic
+// load+add, so totals are exact with respect to the observations o held
+// at the moment each of its fields was read.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// HistogramSnapshot summarizes a histogram at one instant.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Snapshot summarizes the histogram. Quantiles are upper bounds of the
+// log2 bucket holding the quantile rank — accurate to a factor of two,
+// which is the resolution this histogram trades for lock-free recording.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		// Report the count implied by the buckets read above so that
+		// Count always equals the population the quantiles describe,
+		// even while recorders are mid-flight.
+		Count: total,
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if total == 0 {
+		return s
+	}
+	s.P50 = quantile(&counts, total, 50)
+	s.P95 = quantile(&counts, total, 95)
+	s.P99 = quantile(&counts, total, 99)
+	if s.Max > 0 {
+		// The max is exact while bucket bounds are powers of two; no
+		// quantile can exceed the largest observed value.
+		s.P50 = min64(s.P50, s.Max)
+		s.P95 = min64(s.P95, s.Max)
+		s.P99 = min64(s.P99, s.Max)
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// percentile rank of the population described by counts.
+func quantile(counts *[histBuckets]int64, total int64, q int64) int64 {
+	rank := (total*q + 99) / 100 // ceil(total * q/100)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range counts {
+		cum += counts[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is the inclusive upper bound of bucket i: 0 for bucket 0,
+// else 2^i - 1.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry and the standard Go diagnostics on one
+// mux, with zero dependencies beyond net/http:
+//
+//	/metrics          registry snapshot as indented JSON
+//	/debug/vars       the process expvar page (includes every Publish'd registry)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// cmd/ tools and a future riserver mount it directly:
+//
+//	go http.ListenAndServe(addr, obs.Handler(db.Metrics()))
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

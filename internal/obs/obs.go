@@ -1,0 +1,214 @@
+// Package obs is the unified observability substrate of the engine: a
+// lock-cheap metrics registry (atomic counters, gauges, and bounded
+// log2-bucket latency histograms) plus a context-carried tracer with
+// span start/finish hooks.
+//
+// The design goals, in order:
+//
+//  1. Hot-path cost: recording a metric is one or two uncontended atomic
+//     adds — cheap enough to leave enabled on the query path (the
+//     acceptance bar is <= 5% on a LIMIT-10 cursor benchmark).
+//  2. Race-freedom: every metric may be written and snapshotted from any
+//     number of goroutines concurrently; the whole package is exercised
+//     under -race.
+//  3. Zero dependencies: the registry doubles as an expvar.Var and the
+//     HTTP surface (Handler) serves it with net/http + net/http/pprof
+//     only, so cmd/ tools and a future network server can expose the
+//     same numbers without pulling anything in.
+//
+// Each ritree.DB owns one Registry; the layers underneath (pagestore,
+// hint, ritree, sqldb) publish per-DB metric families into it under
+// dotted names ("pagestore.logical_reads", "sql.leaf_rows",
+// "index.iv_iv.shard_scans"). Registry.Counter et al. are get-or-create,
+// so independent layers may share a family without coordination.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter (Reset exists for
+// benchmark harnesses; long-lived registries should treat counters as
+// monotonic). The zero value is ready to use, so structs can embed
+// counters without construction.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; metric accessors are get-or-create, so any layer can
+// resolve a family by name without registration ceremony. A Registry is
+// an expvar.Var (String renders the full snapshot as JSON), so
+// expvar.Publish("ritree", reg) exposes it on /debug/vars.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Values
+// of different metrics are read without a global pause, so counters
+// incremented together by one operation may differ by in-flight
+// operations — each individual value is a consistent atomic load.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Sub returns a snapshot holding the counter-wise difference s - o;
+// gauges keep s's values and histograms are dropped (they do not
+// subtract meaningfully bucket-wise once summarized).
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := Snapshot{Counters: make(map[string]int64, len(s.Counters)), Gauges: s.Gauges}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - o.Counters[name]
+	}
+	return d
+}
+
+// CounterNames returns the counter names of the snapshot, sorted.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// String implements expvar.Var: the full snapshot as JSON.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+var _ expvar.Var = (*Registry)(nil)
+
+// Publish registers r under name on the process-wide expvar page
+// (/debug/vars). Unlike expvar.Publish it is idempotent per name: a
+// second call for an already published name is a no-op rather than a
+// panic, so tests and tools can publish freely.
+func Publish(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r)
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	s := r.Snapshot()
+	if s.Counter("a.b") != 5 || s.Gauges["g"] != 4 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if s.Counter("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(10)
+	before := r.Snapshot()
+	r.Counter("x").Add(7)
+	r.Counter("y").Add(2)
+	d := r.Snapshot().Sub(before)
+	if d.Counter("x") != 7 || d.Counter("y") != 2 {
+		t.Fatalf("sub = %+v", d.Counters)
+	}
+	names := d.CounterNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 values: 1..100. Log2 buckets give upper-bound quantiles:
+	// p50 rank is 50 -> bucket of 50 (32..63) -> 63.
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	if s.P50 != 63 {
+		t.Fatalf("p50 = %d, want 63", s.P50)
+	}
+	// p95 rank 95 and p99 rank 99 both land in bucket 64..127, whose
+	// upper bound 127 is clamped to the exact max 100.
+	if s.P95 != 100 || s.P99 != 100 {
+		t.Fatalf("p95/p99 = %d/%d, want 100/100", s.P95, s.P99)
+	}
+	if s.Mean() != 50 {
+		t.Fatalf("mean = %d, want 50", s.Mean())
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var empty Histogram
+	if es := empty.Snapshot(); es.Count != 0 || es.P50 != 0 || es.Mean() != 0 {
+		t.Fatalf("empty snapshot = %+v", es)
+	}
+}
+
+// TestHistogramConcurrent exercises the satellite requirement: histograms
+// must merge correctly under concurrent recording — recorders, mergers,
+// and snapshotters all racing.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var parts [workers]Histogram
+	var merged Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	// Concurrent snapshotter: only checks invariants, never exact values.
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := merged.Snapshot()
+			if s.Count < 0 || s.P50 > s.P99 && s.Count > 0 {
+				t.Errorf("inconsistent mid-flight snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := int64(w*perW + i)
+				parts[w].Record(v)
+				merged.Record(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	// Merge the per-worker histograms into a fresh one; it must agree
+	// exactly with the directly shared histogram now that recording is
+	// quiescent.
+	var folded Histogram
+	for w := range parts {
+		folded.Merge(&parts[w])
+	}
+	fs, ms := folded.Snapshot(), merged.Snapshot()
+	if fs != ms {
+		t.Fatalf("merged snapshot %+v != direct %+v", fs, ms)
+	}
+	if fs.Count != workers*perW {
+		t.Fatalf("count = %d, want %d", fs.Count, workers*perW)
+	}
+}
+
+// TestRegistryConcurrent races get-or-create accessors, writers, and
+// snapshotters; run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := names[i%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n).Set(int64(i))
+				r.Histogram(n).Record(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, n := range names {
+		total += s.Counter(n)
+	}
+	if total != 8*2000 {
+		t.Fatalf("total = %d, want %d", total, 8*2000)
+	}
+	for _, n := range names {
+		if s.Histograms[n].Count != 8*2000/int64(len(names)) {
+			t.Fatalf("hist %s count = %d", n, s.Histograms[n].Count)
+		}
+	}
+}
+
+func TestRegistryExpvarString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows").Add(3)
+	r.Histogram("lat").Record(100)
+	var s Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &s); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	if s.Counter("rows") != 3 || s.Histograms["lat"].Count != 1 {
+		t.Fatalf("decoded snapshot = %+v", s)
+	}
+	// Publish must be idempotent (expvar.Publish panics on duplicates).
+	Publish("obs_test_registry", r)
+	Publish("obs_test_registry", r)
+}
+
+func TestTracer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	var finished []string
+	tr.OnFinish = func(name string, _ time.Time, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for %s", name)
+		}
+		finished = append(finished, name)
+	}
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("TracerFrom lost the tracer")
+	}
+	sp := StartSpan(ctx, "query")
+	sp.Finish()
+	if len(finished) != 1 || finished[0] != "query" {
+		t.Fatalf("finished = %v", finished)
+	}
+	if r.Snapshot().Histograms["trace.query"].Count != 1 {
+		t.Fatal("span latency not recorded")
+	}
+	// Nil-tracer path: contexts without a tracer produce free no-op spans.
+	StartSpan(context.Background(), "x").Finish()
+	var nilT *Tracer
+	nilT.Start("y").Finish()
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pages").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("pages") != 9 {
+		t.Fatalf("served snapshot = %+v", s)
+	}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	// With a single observation every quantile is clamped to the exact
+	// max, regardless of the log2 bucket's upper bound.
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		var h Histogram
+		h.Record(v)
+		s := h.Snapshot()
+		if s.P99 != v || s.P50 != v {
+			t.Errorf("Record(%d): p50/p99 = %d/%d, want %d", v, s.P50, s.P99, v)
+		}
+	}
+	if got := bucketUpper(2); got != 3 {
+		t.Errorf("bucketUpper(2) = %d, want 3", got)
+	}
+	if got := bucketUpper(64); got <= 0 {
+		t.Errorf("bucketUpper(64) = %d, want MaxInt64", got)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"counters"`) {
+		t.Fatalf("json = %s", b)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span is one traced operation in flight.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+}
+
+// Finish closes the span: it records the elapsed wall time into the
+// tracer's per-name latency histogram and invokes the finish hook. Safe
+// on a nil or zero span (the no-op Tracer path costs one nil check).
+func (s *Span) Finish() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.tr.reg != nil {
+		s.tr.reg.Histogram("trace." + s.name).Record(d.Nanoseconds())
+	}
+	if s.tr.OnFinish != nil {
+		s.tr.OnFinish(s.name, s.start, d)
+	}
+}
+
+// Tracer records named spans into a registry's "trace.<name>" histogram
+// family and exposes optional start/finish hooks for callers that want
+// live events (a future riserver's request log, test assertions). A nil
+// *Tracer is valid and free: Start returns a nil span whose Finish is a
+// no-op, so instrumented code needs no conditionals.
+type Tracer struct {
+	reg *Registry
+	// OnStart, when set, observes every span start.
+	OnStart func(name string, start time.Time)
+	// OnFinish, when set, observes every span finish with its duration.
+	OnFinish func(name string, start time.Time, d time.Duration)
+}
+
+// NewTracer returns a tracer recording span latencies into reg (which
+// may be nil when only the hooks are wanted).
+func NewTracer(reg *Registry) *Tracer { return &Tracer{reg: reg} }
+
+// Start opens a span. The returned span must be Finished exactly once;
+// it is not reused.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	if t.OnStart != nil {
+		t.OnStart(name, s.start)
+	}
+	return s
+}
+
+// tracerKey is the context key carrying a *Tracer.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom extracts the tracer carried by ctx, or nil — callers use
+// the result directly since a nil Tracer is a valid no-op tracer.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer (no-op span when the
+// context carries none).
+func StartSpan(ctx context.Context, name string) *Span {
+	return TracerFrom(ctx).Start(name)
+}

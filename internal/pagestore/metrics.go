@@ -1,0 +1,79 @@
+package pagestore
+
+import "ritree/internal/obs"
+
+// storeMetrics mirrors the Stats counters into a DB-level obs registry
+// family. The mu-guarded Stats struct stays the source of truth for
+// consistent per-operation snapshots (Stats()/Sub); the obs counters are
+// the always-on aggregate view served over expvar/HTTP. A nil
+// *storeMetrics is valid and every method is a no-op, so the hot paths
+// carry no conditionals of their own.
+type storeMetrics struct {
+	logicalReads   *obs.Counter
+	physicalReads  *obs.Counter
+	physicalWrites *obs.Counter
+	evictions      *obs.Counter
+	allocations    *obs.Counter
+	frees          *obs.Counter
+}
+
+func (m *storeMetrics) logicalRead() {
+	if m != nil {
+		m.logicalReads.Inc()
+	}
+}
+
+func (m *storeMetrics) physicalRead() {
+	if m != nil {
+		m.physicalReads.Inc()
+	}
+}
+
+func (m *storeMetrics) physicalWrite() {
+	if m != nil {
+		m.physicalWrites.Inc()
+	}
+}
+
+func (m *storeMetrics) eviction() {
+	if m != nil {
+		m.evictions.Inc()
+	}
+}
+
+func (m *storeMetrics) allocation() {
+	if m != nil {
+		m.allocations.Inc()
+	}
+}
+
+func (m *storeMetrics) free() {
+	if m != nil {
+		m.frees.Inc()
+	}
+}
+
+// SetMetrics mirrors the store's I/O counters into reg under prefix
+// (empty: "pagestore"): "<prefix>.logical_reads" and so on. Counter
+// resolution is get-or-create, so several stores may aggregate into one
+// family. ResetStats does not touch the registry — the obs counters are
+// cumulative for the registry's lifetime. Pass reg == nil to detach.
+func (s *Store) SetMetrics(reg *obs.Registry, prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.obsm = nil
+		return
+	}
+	if prefix == "" {
+		prefix = "pagestore"
+	}
+	s.obsm = &storeMetrics{
+		logicalReads:   reg.Counter(prefix + ".logical_reads"),
+		physicalReads:  reg.Counter(prefix + ".physical_reads"),
+		physicalWrites: reg.Counter(prefix + ".physical_writes"),
+		evictions:      reg.Counter(prefix + ".evictions"),
+		allocations:    reg.Counter(prefix + ".allocations"),
+		frees:          reg.Counter(prefix + ".frees"),
+	}
+}

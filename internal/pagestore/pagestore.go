@@ -145,6 +145,8 @@ type Store struct {
 	free    []PageID
 	closed  bool
 	latency time.Duration
+	// obsm optionally mirrors stats into an obs registry (SetMetrics).
+	obsm *storeMetrics
 	// handles recycles Page values between Get and Release: the handle was
 	// the last per-logical-read heap allocation on the query path (the LRU
 	// frames themselves already stay resident across pin/release cycles).
@@ -279,6 +281,7 @@ func (s *Store) Allocate() (PageID, error) {
 		return InvalidPage, ErrClosed
 	}
 	s.stats.Allocations++
+	s.obsm.allocation()
 	var id PageID
 	if n := len(s.free); n > 0 {
 		id = s.free[n-1]
@@ -316,6 +319,7 @@ func (s *Store) Free(id PageID) error {
 		delete(s.frames, id)
 	}
 	s.stats.Frees++
+	s.obsm.free()
 	s.free = append(s.free, id)
 	return nil
 }
@@ -385,6 +389,7 @@ func (s *Store) Get(id PageID) (*Page, error) {
 		return nil, fmt.Errorf("pagestore: get of invalid page %d", id)
 	}
 	s.stats.LogicalReads++
+	s.obsm.logicalRead()
 	if f, ok := s.frames[id]; ok {
 		s.pinLocked(f)
 		s.mu.Unlock()
@@ -392,6 +397,7 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	}
 	// Miss: fetch from the backend.
 	s.stats.PhysicalReads++
+	s.obsm.physicalRead()
 	lat := s.latency
 	f := &frame{id: id, data: make([]byte, s.opts.PageSize)}
 	// Read outside the lock would be nicer for parallelism, but the layer
@@ -451,6 +457,7 @@ func (s *Store) shrinkToLocked(limit int) error {
 		f := back.Value.(*frame)
 		if f.dirty {
 			s.stats.PhysicalWrites++
+			s.obsm.physicalWrite()
 			if err := s.backend.WritePage(f.id, f.data); err != nil {
 				return err
 			}
@@ -459,6 +466,7 @@ func (s *Store) shrinkToLocked(limit int) error {
 		s.lru.Remove(back)
 		delete(s.frames, f.id)
 		s.stats.Evictions++
+		s.obsm.eviction()
 	}
 	return nil
 }
@@ -474,6 +482,7 @@ func (s *Store) FlushAll() error {
 	for _, f := range s.frames {
 		if f.dirty {
 			s.stats.PhysicalWrites++
+			s.obsm.physicalWrite()
 			if err := s.backend.WritePage(f.id, f.data); err != nil {
 				return err
 			}
@@ -496,6 +505,7 @@ func (s *Store) Close() error {
 	for _, f := range s.frames {
 		if f.dirty {
 			s.stats.PhysicalWrites++
+			s.obsm.physicalWrite()
 			if err := s.backend.WritePage(f.id, f.data); err != nil {
 				s.mu.Unlock()
 				return err

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ritree/internal/interval"
+	"ritree/internal/obs"
 	"ritree/internal/rel"
 	"ritree/internal/sqldb"
 )
@@ -355,6 +356,14 @@ func (ix *indexType) Drop() error {
 		return err
 	}
 	return nil
+}
+
+// BindMetrics implements sqldb.MetricsBinder: the engine calls it with
+// the DB's registry and an "index.<name>" prefix when the index is
+// created or re-attached, wiring the RI-tree query-shape counters into
+// the same family as the executor and page-store metrics.
+func (ix *indexType) BindMetrics(reg *obs.Registry, prefix string) {
+	ix.tree.SetMetrics(reg, prefix)
 }
 
 // BackingTree exposes the hidden RI-tree (for statistics in tests and

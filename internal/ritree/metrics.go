@@ -1,0 +1,52 @@
+package ritree
+
+import "ritree/internal/obs"
+
+// treeMetrics publishes the RI-tree's query-shape counters into a
+// DB-level obs registry family: how many transient backbone nodes each
+// intersection query probes (the paper's O(h) bound made observable) and
+// how often the pooled query scratch is reused versus reallocated. A nil
+// *treeMetrics is valid and every method is a no-op.
+type treeMetrics struct {
+	queries       *obs.Counter // intersection queries run
+	nodeVisits    *obs.Counter // transient nodes probed (left ranges + right nodes)
+	scratchHits   *obs.Counter // queryScratch served from the pool
+	scratchMisses *obs.Counter // queryScratch freshly allocated
+}
+
+func (m *treeMetrics) query(nodes int64) {
+	if m != nil {
+		m.queries.Inc()
+		m.nodeVisits.Add(nodes)
+	}
+}
+
+func (m *treeMetrics) scratch(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.scratchHits.Inc()
+	} else {
+		m.scratchMisses.Inc()
+	}
+}
+
+// SetMetrics mirrors the tree's query counters into reg under prefix
+// (e.g. "index.resv_iv"): "<prefix>.queries", "<prefix>.node_visits",
+// "<prefix>.scratch_hits", "<prefix>.scratch_misses". Pass reg == nil to
+// detach. Counters are atomic, so concurrent readers may keep querying
+// while metrics are recorded; attach before serving to avoid racing the
+// field itself.
+func (t *Tree) SetMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		t.met = nil
+		return
+	}
+	t.met = &treeMetrics{
+		queries:       reg.Counter(prefix + ".queries"),
+		nodeVisits:    reg.Counter(prefix + ".node_visits"),
+		scratchHits:   reg.Counter(prefix + ".scratch_hits"),
+		scratchMisses: reg.Counter(prefix + ".scratch_misses"),
+	}
+}

@@ -71,11 +71,13 @@ type queryScratch struct {
 
 func (t *Tree) getScratch() *queryScratch {
 	if v := t.scratch.Get(); v != nil {
+		t.met.scratch(true)
 		s := v.(*queryScratch)
 		s.tn.Left = s.tn.Left[:0]
 		s.tn.Right = s.tn.Right[:0]
 		return s
 	}
+	t.met.scratch(false)
 	return &queryScratch{}
 }
 
@@ -235,6 +237,7 @@ func (t *Tree) IntersectingFunc(q interval.Interval, fn func(id int64) bool) err
 	s := t.getScratch()
 	defer t.scratch.Put(s)
 	t.collectNodesInto(q, &s.tn)
+	t.met.query(int64(len(s.tn.Left) + len(s.tn.Right)))
 	stop := false
 	for _, nr := range s.tn.Left {
 		// SELECT id FROM Intervals i WHERE i.node BETWEEN nr.Min AND nr.Max

@@ -99,6 +99,9 @@ type Tree struct {
 	// allocations; a pool (not a plain field) because the top-level API
 	// runs queries concurrently under a read lock.
 	scratch sync.Pool
+	// met mirrors query-shape counters into an obs registry; nil (the
+	// default) records nothing. See metrics.go.
+	met *treeMetrics
 }
 
 // Column layout of the interval relation.

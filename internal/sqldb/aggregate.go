@@ -86,9 +86,15 @@ type aggNode struct {
 	states []*aggState
 	out    []int64
 	done   bool
+	ns     *nodeStats
 }
 
+func (n *aggNode) statsNode() *nodeStats { return n.ns }
+
 func (n *aggNode) Open(ec *execCtx) error {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
 	n.done = false
 	for _, st := range n.states {
 		st.count, st.sum, st.seen = 0, 0, false
@@ -96,6 +102,7 @@ func (n *aggNode) Open(ec *execCtx) error {
 	if err := n.join.Open(ec); err != nil {
 		return err
 	}
+	var drained int64
 	for {
 		ok, err := n.join.Next(ec)
 		if err != nil {
@@ -104,11 +111,16 @@ func (n *aggNode) Open(ec *execCtx) error {
 		if !ok {
 			break
 		}
+		drained++
 		for _, st := range n.states {
 			st.add(n.env)
 		}
 	}
 	_ = n.join.Close()
+	// Aggregation consumes its whole input in Open — a pipeline breaker;
+	// the drained rows are its spill cost.
+	ec.stats.spillRows.Add(drained)
+	n.ns.addSpill(drained)
 	n.out = make([]int64, len(n.states))
 	for i, st := range n.states {
 		v, err := st.result()
@@ -125,6 +137,7 @@ func (n *aggNode) Next(ec *execCtx) (bool, error) {
 		return false, nil
 	}
 	n.done = true
+	n.ns.addRowsOut(1)
 	return true, nil
 }
 
@@ -173,5 +186,9 @@ func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}) (ro
 		cols = append(cols, label)
 	}
 	join, env, _ := newJoinOverPlan(plan)
-	return &aggNode{join: join, env: env, states: states}, cols, nil
+	ns := &nodeStats{label: "AGGREGATE"}
+	if child := join.statsNode(); child != nil {
+		ns.children = []*nodeStats{child}
+	}
+	return &aggNode{join: join, env: env, states: states, ns: ns}, cols, nil
 }

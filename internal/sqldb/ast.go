@@ -71,9 +71,12 @@ type SelectStmt struct {
 	Limit    Expr // nil when absent; a constant expression
 }
 
-// ExplainStmt is EXPLAIN <select>.
+// ExplainStmt is EXPLAIN [ANALYZE] <select>. With Analyze the query is
+// actually executed and the plan is annotated with measured per-operator
+// counters and wall times.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 func (*CreateTableStmt) stmt()      {}

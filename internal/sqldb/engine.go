@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
+	"ritree/internal/obs"
 	"ritree/internal/rel"
 )
 
@@ -40,6 +42,22 @@ type Engine struct {
 	indexTypes map[string]IndexTypeHandler
 	custom     map[string]CustomIndex   // by index name
 	customByTb map[string][]CustomIndex // by table name
+
+	// reg is the DB-level metrics registry statement telemetry publishes
+	// into (nil: metrics off). Guarded by mu.
+	reg *obs.Registry
+	// tel is the slow-query ring (own mutex — see telemetry.go).
+	tel telemetry
+	// sqlMet caches the registry handles of the per-statement counter
+	// families, so the per-statement observation performs no name
+	// concatenation or registry map lookups. Guarded by mu.
+	sqlMet *sqlMetrics
+	// capStats/capPlan carry the cursor counters of the statement
+	// currently executing under mu from execSelect/explainAnalyze back to
+	// Exec's observation point. capPlan is a thunk so the per-operator
+	// tree is snapshotted only when slow-query capture actually fires.
+	capStats ExecStats
+	capPlan  func() PlanNodeStats
 }
 
 // NewEngine creates an Engine over db.
@@ -65,7 +83,14 @@ func (e *Engine) Exec(sql string, binds map[string]interface{}) (*Result, error)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.execStmt(st, binds)
+	start := time.Now()
+	e.capStats, e.capPlan = ExecStats{}, nil
+	res, err := e.execStmt(st, binds)
+	if err != nil {
+		return nil, err
+	}
+	e.observeStmt(sql, stmtKind(st), len(binds), time.Since(start), e.capStats, e.capPlan)
+	return res, nil
 }
 
 // MustExec is Exec for statements that cannot fail in tests and examples;
@@ -118,6 +143,9 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 	case *SelectStmt:
 		return e.execSelect(s, binds)
 	case *ExplainStmt:
+		if s.Analyze {
+			return e.explainAnalyze(s.Query, binds)
+		}
 		plan, err := e.explain(s.Query, binds)
 		if err != nil {
 			return nil, err
@@ -316,6 +344,27 @@ func (e *Engine) deleteRowLocked(table string, tab *rel.Table, rid rel.RowID, ro
 	return nil
 }
 
+// explainAnalyze really executes the query — through the same pipeline a
+// cursor would use, with per-operator timing enabled — and renders the
+// plan tree annotated with the measured counters. The query's rows are
+// discarded; the plan text is the result. Caller holds e.mu.
+func (e *Engine) explainAnalyze(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
+	rows, err := e.buildRowsLocked(context.Background(), s, binds)
+	if err != nil {
+		return nil, err
+	}
+	rows.ec.timed = true
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	ps := rows.PlanStats()
+	e.capStats, e.capPlan = rows.Stats(), func() PlanNodeStats { return ps }
+	return &Result{Plan: ps.Render()}, nil
+}
+
 // execSelect materializes a SELECT by draining the same streaming
 // pipeline Query serves — Exec is now a drain-the-cursor wrapper over
 // the volcano executor. Caller holds e.mu.
@@ -332,5 +381,6 @@ func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Resul
 	if err := rows.Err(); err != nil {
 		return nil, err
 	}
+	e.capStats, e.capPlan = rows.Stats(), rows.PlanStats
 	return res, nil
 }

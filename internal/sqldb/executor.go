@@ -22,20 +22,14 @@ import (
 // mid-scan as the cursor's error.
 
 // execCtx carries per-execution state shared by all nodes of one cursor.
+// stats is updated with atomic operations so Rows.Stats() can snapshot it
+// while another goroutine drives the cursor (see stats.go); timed enables
+// per-operator wall-clock collection (EXPLAIN ANALYZE only — time.Now
+// per row is the one instrumentation cost kept off the normal path).
 type execCtx struct {
 	ctx   context.Context
-	stats ExecStats
-}
-
-// ExecStats counts the work one cursor performed — the observable
-// evidence that LIMIT and early Close actually stop the leaf scans.
-type ExecStats struct {
-	// LeafRows is the number of rows pulled from leaf access paths
-	// (before residual filtering). A SELECT ... LIMIT k served by an
-	// index scan pulls O(k) leaf rows, not O(n).
-	LeafRows int64
-	// RowsOut is the number of rows the cursor yielded.
-	RowsOut int64
+	stats cursorStats
+	timed bool
 }
 
 // ctxErr polls ctx without blocking.
@@ -98,6 +92,9 @@ type srcScan struct {
 	// residual), keeping LeafRows an honest measure of scan work.
 	ec *execCtx
 
+	// ns is this scan's plan-tree stats record (nil-tolerant).
+	ns *nodeStats
+
 	next func() (leafHit, bool)
 	stop func()
 	serr *error
@@ -112,6 +109,13 @@ func (s *srcScan) Open(ec *execCtx) error {
 	}
 	if run == nil { // provably empty (e.g. an empty generating region)
 		return nil
+	}
+	switch s.sp.kind {
+	case accessIndexRange, accessCustom, accessAllen:
+		// One probe per binding: the inner side of a nested-loops join
+		// probes its index once per outer row.
+		ec.stats.indexProbes.Add(1)
+		s.ns.addProbes(1)
 	}
 	scanErr := new(error)
 	seq := func(yield func(leafHit) bool) {
@@ -128,6 +132,9 @@ func (s *srcScan) Next(ec *execCtx) (bool, error) {
 	if s.next == nil {
 		return false, nil
 	}
+	if start := ec.startTimer(); !start.IsZero() {
+		defer s.ns.timeFrom(start)
+	}
 	for {
 		if err := ctxErr(ec.ctx); err != nil {
 			return false, err
@@ -138,7 +145,8 @@ func (s *srcScan) Next(ec *execCtx) (bool, error) {
 			s.Close()
 			return false, err
 		}
-		ec.stats.LeafRows++
+		ec.stats.leafRows.Add(1)
+		s.ns.addLeafRows(1)
 		// The borrowed row slice is stable here: the producing scan is
 		// suspended inside its callback until the next pull.
 		copy(s.env[s.sp.base:s.sp.base+len(s.sp.cols)], hit.row)
@@ -151,8 +159,11 @@ func (s *srcScan) Next(ec *execCtx) (bool, error) {
 			}
 		}
 		if pass {
+			s.ns.addRowsOut(1)
 			return true, nil
 		}
+		ec.stats.residualDrops.Add(1)
+		s.ns.addResidual(1)
 	}
 }
 
@@ -162,6 +173,16 @@ func (s *srcScan) Close() error {
 	}
 	s.next, s.stop, s.serr = nil, nil, nil
 	return nil
+}
+
+// dropResidual records a row the access path consumed but dropped before
+// emitting (the Allen exact-relation residual): it cost leaf-scan work,
+// so it counts as a leaf row and as a residual drop.
+func (s *srcScan) dropResidual() {
+	s.ec.stats.leafRows.Add(1)
+	s.ec.stats.residualDrops.Add(1)
+	s.ns.addLeafRows(1)
+	s.ns.addResidual(1)
 }
 
 // bind evaluates the source's access arguments against the current env
@@ -265,15 +286,17 @@ func (s *srcScan) bind() (scanRunner, error) {
 				if iv.Upper == interval.NowMarker {
 					iv.Upper = now
 					if !iv.Valid() {
-						s.ec.stats.LeafRows++ // consumed, never emitted
-						return true           // born in the future of the evaluation time
+						// Consumed, never emitted: born in the future of the
+						// evaluation time.
+						s.dropResidual()
+						return true
 					}
 				}
 				if !r.Holds(iv, q) {
 					// Residual: a candidate from the generating region with
 					// the wrong exact relation. Count it — it cost a scan
 					// step and a heap fetch even though it is dropped here.
-					s.ec.stats.LeafRows++
+					s.dropResidual()
 					return true
 				}
 				return emit(rid, s.rowBuf)
@@ -294,6 +317,23 @@ func (s *srcScan) bind() (scanRunner, error) {
 type joinNode struct {
 	srcs  []execNode
 	depth int // deepest open source; -1 when exhausted or closed
+	ns    *nodeStats
+}
+
+// statsNode returns the plan-stats record representing this join: the
+// NESTED LOOPS node for a real join, or the lone scan's record when
+// there is only one source (matching EXPLAIN, which prints no join line
+// then).
+func (j *joinNode) statsNode() *nodeStats {
+	if j.ns != nil {
+		return j.ns
+	}
+	if len(j.srcs) == 1 {
+		if sc, ok := j.srcs[0].(*srcScan); ok {
+			return sc.ns
+		}
+	}
+	return nil
 }
 
 func (j *joinNode) Open(ec *execCtx) error {
@@ -306,6 +346,9 @@ func (j *joinNode) Open(ec *execCtx) error {
 }
 
 func (j *joinNode) Next(ec *execCtx) (bool, error) {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer j.ns.timeFrom(start)
+	}
 	i := j.depth
 	last := len(j.srcs) - 1
 	for i >= 0 {
@@ -320,9 +363,12 @@ func (j *joinNode) Next(ec *execCtx) (bool, error) {
 		}
 		if i == last {
 			j.depth = i
+			j.ns.addRowsOut(1)
 			return true, nil
 		}
 		i++
+		ec.stats.joinRebinds.Add(1)
+		j.ns.addRebinds(1)
 		if err := j.srcs[i].Open(ec); err != nil {
 			j.depth = i
 			return false, err
@@ -342,19 +388,27 @@ func (j *joinNode) Close() error {
 
 // newJoinOverPlan builds the scan+filter+join pipeline of a compiled
 // plan, returning the join node and the shared env / rids the scans
-// populate.
+// populate. Every operator gets a nodeStats record labelled with its
+// EXPLAIN plan line, forming the tree EXPLAIN ANALYZE reports.
 func newJoinOverPlan(p *selectPlan) (*joinNode, []int64, []rel.RowID) {
 	env := make([]int64, p.envSize)
 	rids := make([]rel.RowID, len(p.sources))
 	srcs := make([]execNode, len(p.sources))
+	scanStats := make([]*nodeStats, len(p.sources))
 	for i, sp := range p.sources {
-		sc := &srcScan{sp: sp, idx: i, env: env, rids: rids}
+		sc := &srcScan{sp: sp, idx: i, env: env, rids: rids,
+			ns: &nodeStats{labelFn: func() string { return accessLine(sp) }}}
 		if sp.kind != accessCollection && sp.tab != nil {
 			sc.rowBuf = make([]int64, sp.tab.Schema().NumCols())
 		}
 		srcs[i] = sc
+		scanStats[i] = sc.ns
 	}
-	return &joinNode{srcs: srcs, depth: -1}, env, rids
+	j := &joinNode{srcs: srcs, depth: -1}
+	if len(srcs) > 1 {
+		j.ns = &nodeStats{label: "NESTED LOOPS", children: scanStats}
+	}
+	return j, env, rids
 }
 
 // projectNode computes the output row of one select block.
@@ -386,11 +440,23 @@ func (n *projectNode) Next(ec *execCtx) (bool, error) {
 func (n *projectNode) Close() error { return n.in.Close() }
 func (n *projectNode) Row() []int64 { return n.out }
 
+// statsNode: projection is a 1:1 pass-through with no plan line of its
+// own; it is represented by its input join in the stats tree.
+func (n *projectNode) statsNode() *nodeStats {
+	if sn, ok := n.in.(interface{ statsNode() *nodeStats }); ok {
+		return sn.statsNode()
+	}
+	return nil
+}
+
 // concatNode streams its inputs in order — UNION ALL.
 type concatNode struct {
 	ins []rowNode
 	cur int
+	ns  *nodeStats
 }
+
+func (n *concatNode) statsNode() *nodeStats { return n.ns }
 
 func (n *concatNode) Open(ec *execCtx) error {
 	n.cur = 0
@@ -407,6 +473,7 @@ func (n *concatNode) Next(ec *execCtx) (bool, error) {
 			return false, err
 		}
 		if ok {
+			n.ns.addRowsOut(1)
 			return true, nil
 		}
 		_ = n.ins[n.cur].Close()
@@ -447,9 +514,15 @@ type sortNode struct {
 	keys []sortKey
 	rows [][]int64
 	pos  int
+	ns   *nodeStats
 }
 
+func (n *sortNode) statsNode() *nodeStats { return n.ns }
+
 func (n *sortNode) Open(ec *execCtx) error {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
 	n.rows, n.pos = nil, 0
 	if err := n.in.Open(ec); err != nil {
 		return err
@@ -465,6 +538,10 @@ func (n *sortNode) Open(ec *execCtx) error {
 		n.rows = append(n.rows, append([]int64(nil), n.in.Row()...))
 	}
 	_ = n.in.Close()
+	// The sort buffer is the pipeline's materialization cost: every
+	// buffered row is a spill row.
+	ec.stats.spillRows.Add(int64(len(n.rows)))
+	n.ns.addSpill(int64(len(n.rows)))
 	keys := n.keys
 	sort.SliceStable(n.rows, func(i, j int) bool {
 		for _, k := range keys {
@@ -486,6 +563,7 @@ func (n *sortNode) Next(ec *execCtx) (bool, error) {
 		return false, nil
 	}
 	n.pos++
+	n.ns.addRowsOut(1)
 	return true, nil
 }
 
@@ -502,7 +580,10 @@ type distinctNode struct {
 	in   rowNode
 	seen map[string]struct{}
 	key  []byte // reused encoding buffer; duplicates cost zero allocations
+	ns   *nodeStats
 }
+
+func (n *distinctNode) statsNode() *nodeStats { return n.ns }
 
 func (n *distinctNode) Open(ec *execCtx) error {
 	n.seen = make(map[string]struct{})
@@ -510,6 +591,9 @@ func (n *distinctNode) Open(ec *execCtx) error {
 }
 
 func (n *distinctNode) Next(ec *execCtx) (bool, error) {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
 	for {
 		ok, err := n.in.Next(ec)
 		if !ok || err != nil {
@@ -528,6 +612,7 @@ func (n *distinctNode) Next(ec *execCtx) (bool, error) {
 			continue
 		}
 		n.seen[string(key)] = struct{}{}
+		n.ns.addRowsOut(1)
 		return true, nil
 	}
 }
@@ -545,7 +630,10 @@ type limitNode struct {
 	in      rowNode
 	n       int64
 	emitted int64
+	ns      *nodeStats
 }
+
+func (n *limitNode) statsNode() *nodeStats { return n.ns }
 
 func (n *limitNode) Open(ec *execCtx) error {
 	n.emitted = 0
@@ -564,6 +652,7 @@ func (n *limitNode) Next(ec *execCtx) (bool, error) {
 		return false, err
 	}
 	n.emitted++
+	n.ns.addRowsOut(1)
 	return true, nil
 }
 

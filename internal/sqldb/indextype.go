@@ -154,6 +154,11 @@ func (e *Engine) attachLocked(ci CustomIndex) error {
 	e.custom[name] = ci
 	tb := strings.ToLower(ci.Table())
 	e.customByTb[tb] = append(e.customByTb[tb], ci)
+	if e.reg != nil {
+		if mb, ok := ci.(MetricsBinder); ok {
+			mb.BindMetrics(e.reg, "index."+name)
+		}
+	}
 	return nil
 }
 

@@ -75,6 +75,9 @@ func (p *parser) statement() (Statement, error) {
 	case p.keyword("select"):
 		return p.selectStmt()
 	case p.keyword("explain"):
+		// ANALYZE is a contextual keyword: EXPLAIN ANALYZE executes the
+		// query and annotates the plan with the measured operator stats.
+		analyze := p.keyword("analyze")
 		if !p.keyword("select") {
 			return nil, p.errf("EXPLAIN supports SELECT statements only")
 		}
@@ -82,7 +85,7 @@ func (p *parser) statement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel.(*SelectStmt)}, nil
+		return &ExplainStmt{Query: sel.(*SelectStmt), Analyze: analyze}, nil
 	}
 	return nil, p.errf("unknown statement %q", p.cur().text)
 }

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // Rows is a streaming SELECT cursor: rows are produced one at a time by
@@ -32,6 +33,8 @@ type Rows struct {
 	err    error
 	opened bool
 	closed bool
+	// planRoot is the root of the per-operator stats tree (PlanStats).
+	planRoot *nodeStats
 	// closers run once on Close, LIFO — lock releases pushed by Query.
 	closers []func()
 }
@@ -55,7 +58,7 @@ func (r *Rows) Next() bool {
 		_ = r.Close()
 		return false
 	}
-	r.ec.stats.RowsOut++
+	r.ec.stats.rowsOut.Add(1)
 	return true
 }
 
@@ -104,8 +107,20 @@ func (r *Rows) Scan(dest ...*int64) error {
 // context surfaces here as its context error.
 func (r *Rows) Err() error { return r.err }
 
-// Stats returns the work counters of this cursor (see ExecStats).
-func (r *Rows) Stats() ExecStats { return r.ec.stats }
+// Stats returns the work counters of this cursor (see ExecStats). The
+// counters are maintained atomically, so Stats may be called from a
+// different goroutine than the one driving Next.
+func (r *Rows) Stats() ExecStats { return r.ec.stats.snapshot() }
+
+// PlanStats returns the executed plan tree with per-operator counters —
+// the data behind EXPLAIN ANALYZE. Wall times are populated only when
+// the statement ran as EXPLAIN ANALYZE; the counters are always live.
+func (r *Rows) PlanStats() PlanNodeStats {
+	if r.planRoot == nil {
+		return PlanNodeStats{}
+	}
+	return snapshotNode(r.planRoot)
+}
 
 // Close stops the pipeline — terminating any suspended access-method
 // scans — and releases the locks the cursor holds. Idempotent.
@@ -152,6 +167,13 @@ func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interfa
 		return nil, err
 	}
 	rows.onClose(e.mu.Unlock)
+	// Statement telemetry spans Query to Close. Closers run LIFO, so this
+	// observation fires before the statement lock above is released.
+	start := time.Now()
+	nbinds := len(binds)
+	rows.onClose(func() {
+		e.observeStmt(sql, "select", nbinds, time.Since(start), rows.ec.stats.snapshot(), rows.PlanStats)
+	})
 	return rows, nil
 }
 
@@ -178,7 +200,7 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 			bn, bcols = newProjectOverPlan(plan), plan.outCols
 		}
 		if blk.Distinct {
-			bn = &distinctNode{in: bn}
+			bn = &distinctNode{in: bn, ns: statsOver("DISTINCT", bn)}
 		}
 		if cols == nil {
 			cols = bcols
@@ -191,14 +213,21 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 	if len(branches) == 1 {
 		root = branches[0]
 	} else {
-		root = &concatNode{ins: branches}
+		cn := &concatNode{ins: branches}
+		cn.ns = &nodeStats{label: "UNION-ALL"}
+		for _, b := range branches {
+			if child := statsNodeOf(b); child != nil {
+				cn.ns.children = append(cn.ns.children, child)
+			}
+		}
+		root = cn
 	}
 	if len(s.OrderBy) > 0 {
 		keys, err := sortKeys(s.OrderBy, cols)
 		if err != nil {
 			return nil, err
 		}
-		root = &sortNode{in: root, keys: keys}
+		root = &sortNode{in: root, keys: keys, ns: statsOver("SORT ORDER BY", root)}
 	}
 	if s.Limit != nil {
 		n, err := evalConst(s.Limit, binds)
@@ -208,7 +237,28 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 		if n < 0 {
 			return nil, fmt.Errorf("sql: LIMIT must not be negative, got %d", n)
 		}
-		root = &limitNode{in: root, n: n}
+		ns := statsOver("", root)
+		ns.labelFn = func() string { return fmt.Sprintf("LIMIT %d", n) }
+		root = &limitNode{in: root, n: n, ns: ns}
 	}
-	return &Rows{root: root, ec: &execCtx{ctx: ctx}, cols: cols}, nil
+	return &Rows{root: root, ec: &execCtx{ctx: ctx}, cols: cols, planRoot: statsNodeOf(root)}, nil
+}
+
+// statsNodeOf extracts the plan-stats record of a node (nil when it has
+// none — e.g. a bare projection delegates to its join).
+func statsNodeOf(n rowNode) *nodeStats {
+	if sn, ok := n.(interface{ statsNode() *nodeStats }); ok {
+		return sn.statsNode()
+	}
+	return nil
+}
+
+// statsOver builds a stats record labelled label whose child is in's
+// record.
+func statsOver(label string, in rowNode) *nodeStats {
+	ns := &nodeStats{label: label}
+	if child := statsNodeOf(in); child != nil {
+		ns.children = []*nodeStats{child}
+	}
+	return ns
 }

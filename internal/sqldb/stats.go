@@ -1,0 +1,235 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Cursor- and operator-level execution statistics. Two granularities
+// share the same atomic counters:
+//
+//   - cursorStats aggregates over the whole cursor and backs Rows.Stats()
+//     — counters are atomic because Stats() is explicitly allowed while
+//     another goroutine drives Next (the torn-read fix).
+//   - nodeStats hangs one record off every operator of the pipeline and
+//     backs EXPLAIN ANALYZE / Rows.PlanStats().
+//
+// Counters are always on: each is a single uncontended atomic add on a
+// hot path that already does a heap fetch per row. Wall-clock timing is
+// not — time.Now() twice per row is the one cost that would break the
+// <=5% overhead budget, so it runs only when the execCtx is timed
+// (EXPLAIN ANALYZE).
+
+// cursorStats is the live, atomically updated form of ExecStats.
+type cursorStats struct {
+	leafRows      atomic.Int64
+	rowsOut       atomic.Int64
+	indexProbes   atomic.Int64
+	joinRebinds   atomic.Int64
+	residualDrops atomic.Int64
+	spillRows     atomic.Int64
+}
+
+// snapshot copies the counters into the exported value form.
+func (c *cursorStats) snapshot() ExecStats {
+	return ExecStats{
+		LeafRows:      c.leafRows.Load(),
+		RowsOut:       c.rowsOut.Load(),
+		IndexProbes:   c.indexProbes.Load(),
+		JoinRebinds:   c.joinRebinds.Load(),
+		ResidualDrops: c.residualDrops.Load(),
+		SpillRows:     c.spillRows.Load(),
+	}
+}
+
+// ExecStats counts the work one cursor performed — the observable
+// evidence that LIMIT and early Close actually stop the leaf scans. It
+// is a plain value snapshot; Rows.Stats() may be called while another
+// goroutine is still advancing the cursor.
+type ExecStats struct {
+	// LeafRows is the number of rows pulled from leaf access paths
+	// (before residual filtering). A SELECT ... LIMIT k served by an
+	// index scan pulls O(k) leaf rows, not O(n).
+	LeafRows int64
+	// RowsOut is the number of rows the cursor yielded.
+	RowsOut int64
+	// IndexProbes is the number of access-path bindings that hit an
+	// index (range, domain, or Allen-region scans); a nested-loops inner
+	// side probes once per outer row.
+	IndexProbes int64
+	// JoinRebinds is the number of inner-source re-opens the
+	// nested-loops join performed.
+	JoinRebinds int64
+	// ResidualDrops counts rows an access path consumed but dropped in a
+	// residual filter (the exact-relation check over an Allen generating
+	// region, or a scan filter) — work the index could not avoid.
+	ResidualDrops int64
+	// SpillRows is the number of rows materialized by pipeline-breaking
+	// sinks (SORT ORDER BY buffers, aggregate input rows).
+	SpillRows int64
+}
+
+// nodeStats is the per-operator record of the pipeline. All fields are
+// atomic for the same reason as cursorStats; the struct is built once at
+// plan time and never reallocated, so child pointers need no locking. A
+// nil *nodeStats is valid and all methods are no-ops — operators that
+// render no plan line (projection) simply carry none.
+type nodeStats struct {
+	// label names the operator's plan line. Sites whose label needs
+	// formatting set labelFn instead, deferring the string build to the
+	// first snapshot — pipelines are compiled per statement, so an eager
+	// Sprintf here would cost every query what only analyzed ones use.
+	label    string
+	labelFn  func() string
+	rowsOut  atomic.Int64
+	leafRows atomic.Int64
+	probes   atomic.Int64
+	rebinds  atomic.Int64
+	residual atomic.Int64
+	spill    atomic.Int64
+	elapsed  atomic.Int64 // wall ns; recorded only under EXPLAIN ANALYZE
+	children []*nodeStats
+}
+
+func (n *nodeStats) addRowsOut(d int64) {
+	if n != nil {
+		n.rowsOut.Add(d)
+	}
+}
+func (n *nodeStats) addLeafRows(d int64) {
+	if n != nil {
+		n.leafRows.Add(d)
+	}
+}
+func (n *nodeStats) addProbes(d int64) {
+	if n != nil {
+		n.probes.Add(d)
+	}
+}
+func (n *nodeStats) addRebinds(d int64) {
+	if n != nil {
+		n.rebinds.Add(d)
+	}
+}
+func (n *nodeStats) addResidual(d int64) {
+	if n != nil {
+		n.residual.Add(d)
+	}
+}
+func (n *nodeStats) addSpill(d int64) {
+	if n != nil {
+		n.spill.Add(d)
+	}
+}
+
+// timeFrom adds the wall time since start; start is the zero Time when
+// the execution is not timed, making this a cheap no-op.
+func (n *nodeStats) timeFrom(start time.Time) {
+	if n == nil || start.IsZero() {
+		return
+	}
+	n.elapsed.Add(time.Since(start).Nanoseconds())
+}
+
+// startTimer returns now under EXPLAIN ANALYZE and the zero Time
+// otherwise, so untimed executions never call time.Now.
+func (ec *execCtx) startTimer() time.Time {
+	if ec.timed {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// PlanNodeStats is one operator's snapshot in an executed plan tree —
+// the value form of nodeStats, returned by Rows.PlanStats and rendered
+// by EXPLAIN ANALYZE.
+type PlanNodeStats struct {
+	// Label is the plan line of the operator, matching EXPLAIN output
+	// ("NESTED LOOPS", "INDEX RANGE SCAN IV_LOWER", ...).
+	Label string
+	// RowsOut is the number of rows this operator produced.
+	RowsOut int64
+	// LeafRows, Probes, Residual are scan-level counters (see ExecStats).
+	LeafRows int64
+	Probes   int64
+	Residual int64
+	// Rebinds counts inner re-opens (join operators only).
+	Rebinds int64
+	// Spill counts materialized rows (sort/aggregate sinks only).
+	Spill int64
+	// Elapsed is the operator's cumulative wall time, populated only for
+	// timed executions (EXPLAIN ANALYZE); zero otherwise.
+	Elapsed time.Duration
+	// Children are the operator's inputs in plan order.
+	Children []PlanNodeStats
+}
+
+// labelName resolves the operator's plan line (see labelFn above).
+func (n *nodeStats) labelName() string {
+	if n.labelFn != nil {
+		return n.labelFn()
+	}
+	return n.label
+}
+
+// snapshotNode converts a nodeStats tree into its value form.
+func snapshotNode(n *nodeStats) PlanNodeStats {
+	s := PlanNodeStats{
+		Label:    n.labelName(),
+		RowsOut:  n.rowsOut.Load(),
+		LeafRows: n.leafRows.Load(),
+		Probes:   n.probes.Load(),
+		Residual: n.residual.Load(),
+		Rebinds:  n.rebinds.Load(),
+		Spill:    n.spill.Load(),
+		Elapsed:  time.Duration(n.elapsed.Load()),
+	}
+	for _, c := range n.children {
+		s.Children = append(s.Children, snapshotNode(c))
+	}
+	return s
+}
+
+// Render formats the executed plan tree in the EXPLAIN layout, each line
+// annotated with the operator's counters:
+//
+//	SELECT STATEMENT (ANALYZED)
+//	  LIMIT 10 (rows=10 time=412µs)
+//	    DOMAIN INDEX IV_IDX (INTERSECTS) (rows=10 leaf=12 probes=1 residual=2)
+func (s PlanNodeStats) Render() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT STATEMENT (ANALYZED)\n")
+	renderNode(&sb, s, 1)
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, s PlanNodeStats, indent int) {
+	sb.WriteString(strings.Repeat("  ", indent))
+	sb.WriteString(s.Label)
+	sb.WriteString(" (")
+	fmt.Fprintf(sb, "rows=%d", s.RowsOut)
+	if s.LeafRows > 0 {
+		fmt.Fprintf(sb, " leaf=%d", s.LeafRows)
+	}
+	if s.Probes > 0 {
+		fmt.Fprintf(sb, " probes=%d", s.Probes)
+	}
+	if s.Residual > 0 {
+		fmt.Fprintf(sb, " residual=%d", s.Residual)
+	}
+	if s.Rebinds > 0 {
+		fmt.Fprintf(sb, " rebinds=%d", s.Rebinds)
+	}
+	if s.Spill > 0 {
+		fmt.Fprintf(sb, " spill=%d", s.Spill)
+	}
+	if s.Elapsed > 0 {
+		fmt.Fprintf(sb, " time=%s", s.Elapsed.Round(time.Microsecond))
+	}
+	sb.WriteString(")\n")
+	for _, c := range s.Children {
+		renderNode(sb, c, indent+1)
+	}
+}

@@ -1,0 +1,62 @@
+package sqldb
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRowsStatsConcurrentWithNext reads Stats and PlanStats from another
+// goroutine while the cursor is being driven — the documented contract
+// behind the atomic counters. Under -race this fails if any counter is
+// read non-atomically (the torn-read regression this guards against).
+func TestRowsStatsConcurrentWithNext(t *testing.T) {
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (k int, v int)", nil)
+	mustExec(t, e, "CREATE INDEX tk ON t (k)", nil)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		mustExec(t, e, "INSERT INTO t VALUES (:k, :v)", map[string]interface{}{"k": i, "v": -i})
+	}
+	rows, err := e.Query(context.Background(), "SELECT v FROM t WHERE k >= 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := rows.Stats()
+			if st.LeafRows < last {
+				t.Errorf("LeafRows went backwards: %d after %d", st.LeafRows, last)
+				return
+			}
+			last = st.LeafRows
+			_ = rows.PlanStats()
+		}
+	}()
+	got := 0
+	for rows.Next() {
+		got++
+	}
+	close(done)
+	wg.Wait()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if got != n {
+		t.Fatalf("drained %d rows, want %d", got, n)
+	}
+	if st := rows.Stats(); st.LeafRows != n || st.RowsOut != n {
+		t.Fatalf("final stats = %+v, want %d leaf / %d out", st, n, n)
+	}
+}

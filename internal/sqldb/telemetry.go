@@ -1,0 +1,236 @@
+package sqldb
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"ritree/internal/obs"
+)
+
+// Statement-level telemetry: every executed statement records a latency
+// observation into the engine's metrics registry (keyed by statement
+// kind) and, when it ran longer than the configured threshold, a full
+// trace — SQL text, bind count, duration, cursor counters, and the
+// executed operator tree — into a bounded ring buffer drained by
+// SlowQueries. The registry also accumulates the cursor work counters
+// ("sql.leaf_rows", ...), which is what lets a bench run assert that the
+// registry agrees with Rows.Stats().
+
+// MetricsBinder is the observability capability of a custom index
+// (alongside Attacher and StorageDropper): an index implementing it is
+// handed the DB-level registry when one is configured, so its internal
+// counters (shard fan-outs, partition skips, node visits) surface in the
+// same Snapshot as the SQL and pagestore families. prefix is
+// "index.<name>" — implementations should publish under "<prefix>.<metric>".
+type MetricsBinder interface {
+	BindMetrics(reg *obs.Registry, prefix string)
+}
+
+// SlowQuery is one captured slow statement.
+type SlowQuery struct {
+	// SQL is the statement text as submitted.
+	SQL string
+	// Binds is the number of bind variables supplied.
+	Binds int
+	// Duration is the statement's wall time (for cursors: Query to Close).
+	Duration time.Duration
+	// Stats are the cursor work counters (zero for DDL/DML).
+	Stats ExecStats
+	// Plan is the executed operator tree (zero Label when the statement
+	// produced no cursor).
+	Plan PlanNodeStats
+	// When is the capture time.
+	When time.Time
+}
+
+// slowRingCap bounds the slow-query ring; older entries are overwritten.
+const slowRingCap = 64
+
+// telemetry is the engine's slow-query ring. It has its own mutex (not
+// e.mu) because cursor-close observation may need to run while a future
+// caller already waits on the statement lock.
+type telemetry struct {
+	mu        sync.Mutex
+	threshold time.Duration // <= 0: capture disabled
+	ring      []SlowQuery
+	start     int // index of the oldest entry once the ring is full
+}
+
+func (t *telemetry) setThreshold(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threshold = d
+}
+
+func (t *telemetry) getThreshold() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.threshold
+}
+
+// maybeCapture records sq if it crossed the threshold.
+func (t *telemetry) maybeCapture(sq SlowQuery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.threshold <= 0 || sq.Duration < t.threshold {
+		return
+	}
+	if len(t.ring) < slowRingCap {
+		t.ring = append(t.ring, sq)
+		return
+	}
+	t.ring[t.start] = sq
+	t.start = (t.start + 1) % slowRingCap
+}
+
+// drain returns the captured slow queries oldest-first and clears the ring.
+func (t *telemetry) drain() []SlowQuery {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return nil
+	}
+	out := make([]SlowQuery, 0, len(t.ring))
+	out = append(out, t.ring[t.start:]...)
+	out = append(out, t.ring[:t.start]...)
+	t.ring, t.start = nil, 0
+	return out
+}
+
+// sqlMetrics holds resolved registry handles for the per-statement
+// counter families, built once in SetMetricsRegistry. Observation then
+// costs a handful of uncontended atomic adds — no name concatenation,
+// no registry map lookups on the per-statement path.
+type sqlMetrics struct {
+	reg                                                        *obs.Registry
+	leafRows, rowsOut, indexProbes, joinRebinds, residualDrops *obs.Counter
+	spillRows                                                  *obs.Counter
+	stmt                                                       map[string]*obs.Counter
+	latency                                                    map[string]*obs.Histogram
+}
+
+// stmtKinds enumerates every value stmtKind can return, so the handle
+// maps are complete at build time.
+var stmtKinds = []string{"select", "insert", "delete", "explain", "ddl"}
+
+func newSQLMetrics(reg *obs.Registry) *sqlMetrics {
+	m := &sqlMetrics{
+		reg:           reg,
+		leafRows:      reg.Counter("sql.leaf_rows"),
+		rowsOut:       reg.Counter("sql.rows_out"),
+		indexProbes:   reg.Counter("sql.index_probes"),
+		joinRebinds:   reg.Counter("sql.join_rebinds"),
+		residualDrops: reg.Counter("sql.residual_drops"),
+		spillRows:     reg.Counter("sql.spill_rows"),
+		stmt:          make(map[string]*obs.Counter, len(stmtKinds)),
+		latency:       make(map[string]*obs.Histogram, len(stmtKinds)),
+	}
+	for _, k := range stmtKinds {
+		m.stmt[k] = reg.Counter("sql.stmt." + k)
+		m.latency[k] = reg.Histogram("sql.latency." + k)
+	}
+	return m
+}
+
+// observe records one statement's latency and cursor work counters.
+func (m *sqlMetrics) observe(kind string, d time.Duration, st ExecStats) {
+	h, ok := m.latency[kind]
+	if !ok { // unknown kind: fall back to a registry lookup
+		h = m.reg.Histogram("sql.latency." + kind)
+	}
+	h.Record(d.Nanoseconds())
+	c, ok := m.stmt[kind]
+	if !ok {
+		c = m.reg.Counter("sql.stmt." + kind)
+	}
+	c.Inc()
+	m.leafRows.Add(st.LeafRows)
+	m.rowsOut.Add(st.RowsOut)
+	m.indexProbes.Add(st.IndexProbes)
+	m.joinRebinds.Add(st.JoinRebinds)
+	m.residualDrops.Add(st.ResidualDrops)
+	m.spillRows.Add(st.SpillRows)
+}
+
+// SetMetricsRegistry configures the registry statement telemetry and
+// layer metric families publish into, and offers it to every attached
+// custom index that implements MetricsBinder. It must be set before
+// AttachCatalogIndexes for reopened indexes to bind (indexes attached
+// later bind at attach time).
+func (e *Engine) SetMetricsRegistry(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reg = reg
+	if reg == nil {
+		e.sqlMet = nil
+		return
+	}
+	e.sqlMet = newSQLMetrics(reg)
+	for _, ci := range e.custom {
+		if mb, ok := ci.(MetricsBinder); ok {
+			mb.BindMetrics(reg, "index."+strings.ToLower(ci.Name()))
+		}
+	}
+}
+
+// MetricsRegistry returns the configured registry (nil when none).
+func (e *Engine) MetricsRegistry() *obs.Registry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reg
+}
+
+// SetSlowQueryThreshold enables slow-query capture for statements running
+// at least d (0 disables).
+func (e *Engine) SetSlowQueryThreshold(d time.Duration) { e.tel.setThreshold(d) }
+
+// SlowQueryThreshold returns the current slow-query threshold.
+func (e *Engine) SlowQueryThreshold() time.Duration { return e.tel.getThreshold() }
+
+// SlowQueries drains the slow-query ring, oldest first.
+func (e *Engine) SlowQueries() []SlowQuery { return e.tel.drain() }
+
+// stmtKind buckets a statement for the per-kind latency histograms.
+func stmtKind(st Statement) string {
+	switch st.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt:
+		return "insert"
+	case *DeleteStmt:
+		return "delete"
+	case *ExplainStmt:
+		return "explain"
+	default:
+		return "ddl"
+	}
+}
+
+// observeStmt records one finished statement: kind-keyed latency, the
+// cursor work counters, and (over threshold) a slow-query trace. Caller
+// holds e.mu — for cursors this is the close hook, which runs before the
+// statement lock is released. plan is a thunk (nil for plan-less
+// statements): the per-operator tree is snapshotted only when the
+// statement actually crossed the slow-query threshold, keeping the
+// always-on path free of that allocation.
+func (e *Engine) observeStmt(sql, kind string, nbinds int, d time.Duration, st ExecStats, plan func() PlanNodeStats) {
+	if e.sqlMet != nil {
+		e.sqlMet.observe(kind, d, st)
+	}
+	if th := e.tel.getThreshold(); th <= 0 || d < th {
+		return
+	}
+	var ps PlanNodeStats
+	if plan != nil {
+		ps = plan()
+	}
+	e.tel.maybeCapture(SlowQuery{
+		SQL:      sql,
+		Binds:    nbinds,
+		Duration: d,
+		Stats:    st,
+		Plan:     ps,
+		When:     time.Now(),
+	})
+}

@@ -1,0 +1,445 @@
+package ritree
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ritree/internal/interval"
+)
+
+// The observability acceptance tests: EXPLAIN ANALYZE's per-operator
+// counters, Rows.Stats/PlanStats, the DB metrics registry, and the
+// slow-query ring must all agree with hand-computed work counts — on
+// every access method, including a large collection where O(k) LIMIT
+// behaviour is distinguishable from O(n).
+
+// TestExplainAnalyzeLimitLargeCollection is the headline acceptance
+// check: over a 100k-row collection, SELECT ... LIMIT 10 performs
+// exactly 10 leaf-row fetches, and the three reporting surfaces —
+// Rows.Stats(), Rows.PlanStats(), and the DB registry snapshot — all
+// report that same number. EXPLAIN ANALYZE renders it per operator.
+func TestExplainAnalyzeLimitLargeCollection(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("big", AccessMethod(AccessMethodHINT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	ivs := make([]Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := int64(i)
+		ivs[i] = NewInterval(lo, lo+50)
+		ids[i] = int64(i)
+	}
+	if err := c.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 10
+	sql := fmt.Sprintf("SELECT id FROM big WHERE intersects(lower, upper, 50000, 50100) LIMIT %d", k)
+	before := db.Metrics()
+	rows, err := db.Query(context.Background(), sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for rows.Next() {
+		got++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if got != k {
+		t.Fatalf("LIMIT %d returned %d rows", k, got)
+	}
+
+	// Surface 1: cursor totals. Pure INTERSECTS has no residual filter,
+	// so leaf rows == rows out == k exactly, with one index probe.
+	want := ExecStats{LeafRows: k, RowsOut: k, IndexProbes: 1}
+	if st := rows.Stats(); st != want {
+		t.Fatalf("Rows.Stats() = %+v, want %+v", st, want)
+	}
+
+	// Surface 2: the per-operator tree. Root is the LIMIT node; its
+	// single child is the domain-index scan carrying the leaf count.
+	ps := rows.PlanStats()
+	if ps.Label != fmt.Sprintf("LIMIT %d", k) || ps.RowsOut != k {
+		t.Fatalf("plan root = %q rows=%d, want LIMIT %d rows=%d\n%s", ps.Label, ps.RowsOut, k, k, ps.Render())
+	}
+	if len(ps.Children) != 1 {
+		t.Fatalf("plan root has %d children:\n%s", len(ps.Children), ps.Render())
+	}
+	scan := ps.Children[0]
+	if scan.Label != "DOMAIN INDEX BIG$AM (INTERSECTS)" ||
+		scan.LeafRows != k || scan.RowsOut != k || scan.Probes != 1 {
+		t.Fatalf("scan node = %+v, want leaf=%d rows=%d probes=1", scan, k, k)
+	}
+
+	// Surface 3: the DB registry accumulated the same counters when the
+	// cursor closed.
+	delta := db.Metrics().Sub(before)
+	if v := delta.Counter("sql.leaf_rows"); v != k {
+		t.Fatalf("registry sql.leaf_rows delta = %d, want %d", v, k)
+	}
+	if v := delta.Counter("sql.rows_out"); v != k {
+		t.Fatalf("registry sql.rows_out delta = %d, want %d", v, k)
+	}
+	if v := delta.Counter("sql.stmt.select"); v != 1 {
+		t.Fatalf("registry sql.stmt.select delta = %d, want 1", v)
+	}
+	// The access method's own family counted the scan too.
+	if v := delta.Counter("index.big$am.queries"); v != 1 {
+		t.Fatalf("registry index.big$am.queries delta = %d, want 1 (have %v)", v, delta.CounterNames())
+	}
+
+	// EXPLAIN ANALYZE renders the same counters inline, with wall time.
+	r, err := db.Exec("EXPLAIN ANALYZE "+sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantLine := range []string{
+		"SELECT STATEMENT (ANALYZED)",
+		fmt.Sprintf("LIMIT %d (rows=%d", k, k),
+		fmt.Sprintf("DOMAIN INDEX BIG$AM (INTERSECTS) (rows=%d leaf=%d probes=1", k, k),
+	} {
+		if !strings.Contains(r.Plan, wantLine) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", wantLine, r.Plan)
+		}
+	}
+}
+
+// TestExplainAnalyzeJoinCounters hand-computes every operator counter of
+// a nested-loops join: a 3-row transient collection driving an index
+// range scan over 20 groups x 5 rows. The inner side must be probed once
+// per outer row (3 probes, 3 rebinds) and fetch exactly the 15 matching
+// rows.
+func TestExplainAnalyzeJoinCounters(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE data (grp int, val int)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX dg ON data (grp, val)", nil); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 20; g++ {
+		for v := 0; v < 5; v++ {
+			if _, err := db.Exec("INSERT INTO data VALUES (:g, :v)",
+				map[string]interface{}{"g": g, "v": g*100 + v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	binds := map[string]interface{}{
+		"groups": &Transient{Cols: []string{"grp"}, Rows: [][]int64{{3}, {7}, {15}}},
+	}
+	sql := "SELECT d.val FROM TABLE(:groups) g, data d WHERE d.grp = g.grp"
+
+	rows, err := db.Query(context.Background(), sql, binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := 0
+	for rows.Next() {
+		out++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if out != 15 {
+		t.Fatalf("join returned %d rows, want 15", out)
+	}
+	// Leaf rows: 3 from the collection iterator + 15 from the inner index
+	// scans. One inner probe and one rebind per outer row.
+	want := ExecStats{LeafRows: 18, RowsOut: 15, IndexProbes: 3, JoinRebinds: 3}
+	if st := rows.Stats(); st != want {
+		t.Fatalf("Rows.Stats() = %+v, want %+v", st, want)
+	}
+
+	ps := rows.PlanStats()
+	if ps.Label != "NESTED LOOPS" || ps.RowsOut != 15 || ps.Rebinds != 3 {
+		t.Fatalf("join node = %+v, want NESTED LOOPS rows=15 rebinds=3\n%s", ps, ps.Render())
+	}
+	if len(ps.Children) != 2 {
+		t.Fatalf("join node has %d children:\n%s", len(ps.Children), ps.Render())
+	}
+	outer, inner := ps.Children[0], ps.Children[1]
+	if outer.Label != "COLLECTION ITERATOR :GROUPS" || outer.RowsOut != 3 || outer.LeafRows != 3 {
+		t.Fatalf("outer node = %+v, want 3 rows / 3 leaf", outer)
+	}
+	if inner.Label != "INDEX RANGE SCAN DG" || inner.RowsOut != 15 || inner.LeafRows != 15 || inner.Probes != 3 {
+		t.Fatalf("inner node = %+v, want 15 rows / 15 leaf / 3 probes", inner)
+	}
+
+	r, err := db.Exec("EXPLAIN ANALYZE "+sql, binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantLine := range []string{
+		"NESTED LOOPS (rows=15 rebinds=3",
+		"COLLECTION ITERATOR :GROUPS (rows=3 leaf=3",
+		"INDEX RANGE SCAN DG (rows=15 leaf=15 probes=3",
+	} {
+		if !strings.Contains(r.Plan, wantLine) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", wantLine, r.Plan)
+		}
+	}
+}
+
+// TestExplainAnalyzeAllenDuringAcrossMethods checks the residual
+// accounting of the generating-region strategy on every access method:
+// ALLEN_DURING scans the INTERSECTS region (= the query interval), so
+// leaf rows must equal the brute-force count of intersecting intervals,
+// rows out the count of strictly-contained ones, and residual drops
+// exactly the difference — identically on ritree, hint and hint_sharded.
+func TestExplainAnalyzeAllenDuringAcrossMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 2000
+	ivs := make([]Interval, n)
+	ids := make([]int64, n)
+	for i := range ivs {
+		lo := int64(rng.Intn(3000))
+		ivs[i] = NewInterval(lo, lo+int64(rng.Intn(400)))
+		ids[i] = int64(i)
+	}
+	q := NewInterval(500, 1500)
+	var inter, dur int64
+	for _, iv := range ivs {
+		if iv.Lower <= q.Upper && iv.Upper >= q.Lower {
+			inter++
+		}
+		if interval.During.Holds(iv, q) {
+			dur++
+		}
+	}
+	if dur == 0 || inter <= dur {
+		t.Fatalf("degenerate workload: inter=%d dur=%d", inter, dur)
+	}
+
+	for _, method := range []string{AccessMethodRITree, AccessMethodHINT, AccessMethodHINTSharded} {
+		db, err := OpenMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := db.CreateCollection("iv", AccessMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BulkLoad(ivs, ids); err != nil {
+			t.Fatal(err)
+		}
+		sql := "SELECT id FROM iv WHERE allen_during(lower, upper, :a, :b)"
+		binds := map[string]interface{}{"a": q.Lower, "b": q.Upper}
+		rows, err := db.Query(context.Background(), sql, binds)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		var out int64
+		for rows.Next() {
+			out++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		rows.Close()
+		if out != dur {
+			t.Fatalf("%s: allen_during returned %d rows, brute force says %d", method, out, dur)
+		}
+		want := ExecStats{LeafRows: inter, RowsOut: dur, IndexProbes: 1, ResidualDrops: inter - dur}
+		if st := rows.Stats(); st != want {
+			t.Fatalf("%s: Rows.Stats() = %+v, want %+v", method, st, want)
+		}
+
+		r, err := db.Exec("EXPLAIN ANALYZE "+sql, binds)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		wantLine := fmt.Sprintf("VIA INTERSECTS REGION + RESIDUAL) (rows=%d leaf=%d probes=1 residual=%d",
+			dur, inter, inter-dur)
+		if !strings.Contains(r.Plan, wantLine) {
+			t.Fatalf("%s: EXPLAIN ANALYZE missing %q:\n%s", method, wantLine, r.Plan)
+		}
+		db.Close()
+	}
+}
+
+// TestSlowQueryCapture covers WithSlowQueryThreshold, the runtime
+// setter, DB.SlowQueries draining, and that captured entries carry the
+// executed plan tree.
+func TestSlowQueryCapture(t *testing.T) {
+	db, err := OpenMemory(WithSlowQueryThreshold(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.SlowQueryThreshold(); got != time.Nanosecond {
+		t.Fatalf("SlowQueryThreshold = %v, want 1ns", got)
+	}
+	c, err := db.CreateCollection("s", AccessMethod(AccessMethodHINT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []IntervalRow
+	for i := 0; i < 100; i++ {
+		batch = append(batch, IntervalRow{NewInterval(int64(i), int64(i+5)), int64(i)})
+	}
+	if err := c.InsertMany(batch); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT id FROM s WHERE intersects(lower, upper, 10, 20)"
+	if _, err := db.Exec(sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	var captured *SlowQuery
+	for _, sq := range db.SlowQueries() {
+		if sq.SQL == sql {
+			sq := sq
+			captured = &sq
+		}
+	}
+	if captured == nil {
+		t.Fatal("1ns threshold did not capture the SELECT")
+	}
+	if captured.Duration <= 0 || captured.When.IsZero() {
+		t.Fatalf("capture missing timing: %+v", captured)
+	}
+	if captured.Stats.LeafRows == 0 || captured.Stats.RowsOut == 0 {
+		t.Fatalf("capture missing cursor stats: %+v", captured.Stats)
+	}
+	if captured.Plan.Label == "" || !strings.Contains(captured.Plan.Render(), "DOMAIN INDEX S$AM") {
+		t.Fatalf("capture missing plan tree: %q", captured.Plan.Render())
+	}
+	// The drain cleared the ring.
+	if left := db.SlowQueries(); len(left) != 0 {
+		t.Fatalf("ring not cleared: %d entries", len(left))
+	}
+	// 0 disables capture.
+	db.SetSlowQueryThreshold(0)
+	if _, err := db.Exec(sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SlowQueries(); len(got) != 0 {
+		t.Fatalf("capture ran while disabled: %v", got)
+	}
+	// Re-armed at runtime, the cursor path (Query..Close) is captured too.
+	db.SetSlowQueryThreshold(time.Nanosecond)
+	rows, err := db.Query(context.Background(), sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	rows.Close()
+	found := false
+	for _, sq := range db.SlowQueries() {
+		if sq.SQL == sql && sq.Stats.LeafRows > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cursor statement not captured after re-arming")
+	}
+}
+
+// TestCollectionMetrics checks the per-collection counter view on every
+// access method: the access-method family must record the scans the
+// collection served, under the method-specific counter names.
+func TestCollectionMetrics(t *testing.T) {
+	for _, method := range []string{AccessMethodRITree, AccessMethodHINT, AccessMethodHINTSharded} {
+		db, err := OpenMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := db.CreateCollection("cm", AccessMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []IntervalRow
+		for i := 0; i < 500; i++ {
+			batch = append(batch, IntervalRow{NewInterval(int64(i), int64(i+10)), int64(i)})
+		}
+		if err := c.InsertMany(batch); err != nil {
+			t.Fatal(err)
+		}
+		const nq = 7
+		for i := 0; i < nq; i++ {
+			if _, err := c.Intersecting(NewInterval(int64(i*50), int64(i*50+20))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := c.Metrics()
+		if m["queries"] < nq {
+			t.Fatalf("%s: Collection.Metrics queries = %d, want >= %d (have %v)", method, m["queries"], nq, m)
+		}
+		switch method {
+		case AccessMethodRITree:
+			if m["node_visits"] == 0 {
+				t.Fatalf("%s: no node_visits recorded: %v", method, m)
+			}
+		default: // hint variants
+			if m["shard_scans"] < m["queries"] {
+				t.Fatalf("%s: shard_scans %d < queries %d: %v", method, m["shard_scans"], m["queries"], m)
+			}
+			if m["partitions_visited"] == 0 {
+				t.Fatalf("%s: no partitions_visited recorded: %v", method, m)
+			}
+		}
+		// The same counters appear in the DB-wide snapshot under the
+		// index.<name>$am prefix.
+		if v := db.Metrics().Counter("index.cm$am.queries"); v != m["queries"] {
+			t.Fatalf("%s: DB.Metrics index.cm$am.queries = %d, Collection.Metrics = %d", method, v, m["queries"])
+		}
+		db.Close()
+	}
+}
+
+// TestMetricsLatencyHistograms checks the per-kind latency histograms:
+// every executed statement lands one observation under its kind.
+func TestMetricsLatencyHistograms(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("h", AccessMethod(AccessMethodHINT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(NewInterval(1, 5), 1); err != nil {
+		t.Fatal(err)
+	}
+	const nq = 5
+	for i := 0; i < nq; i++ {
+		if _, err := db.Exec("SELECT id FROM h WHERE intersects(lower, upper, 0, 10)", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Metrics()
+	h, ok := snap.Histograms["sql.latency.select"]
+	if !ok {
+		t.Fatalf("no sql.latency.select histogram: %v", snap.Histograms)
+	}
+	if h.Count != nq {
+		t.Fatalf("sql.latency.select count = %d, want %d", h.Count, nq)
+	}
+	if h.P50 <= 0 || h.Max < h.P50 {
+		t.Fatalf("implausible latency quantiles: %+v", h)
+	}
+	if snap.Counter("sql.stmt.select") != nq {
+		t.Fatalf("sql.stmt.select = %d, want %d", snap.Counter("sql.stmt.select"), nq)
+	}
+}

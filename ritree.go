@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"ritree/internal/interval"
+	"ritree/internal/obs"
 	"ritree/internal/pagestore"
 	ritcore "ritree/internal/ritree"
 	"ritree/internal/sqldb"
@@ -101,6 +102,24 @@ type Rows = sqldb.Rows
 // evidence that LIMIT and early Close stop the scan.
 type ExecStats = sqldb.ExecStats
 
+// PlanNodeStats is one operator's node in the executed-plan stats tree
+// (Rows.PlanStats, EXPLAIN ANALYZE, SlowQuery.Plan): rows produced,
+// leaf rows scanned, index probes, residual-filter drops, join rebinds,
+// spill sizes, and — when the plan ran under EXPLAIN ANALYZE — wall time.
+type PlanNodeStats = sqldb.PlanNodeStats
+
+// MetricsSnapshot is a point-in-time copy of a DB's metrics registry
+// (DB.Metrics): counters, gauges, and latency-histogram summaries keyed
+// by dotted name. Sub diffs two snapshots to meter a window of work.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot summarizes one latency histogram inside a
+// MetricsSnapshot: count, sum, max, and p50/p95/p99 upper bounds.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// SlowQuery is one captured slow statement (DB.SlowQueries).
+type SlowQuery = sqldb.SlowQuery
+
 // Transient is a transient collection bind for TABLE(:name) SQL sources
 // (paper §4.2). It was formerly exported as ritree.Collection; Collection
 // now names the persistent, access-method-backed interval collections.
@@ -120,6 +139,7 @@ type config struct {
 	pageSize    int
 	cacheSize   int
 	readLatency time.Duration
+	slowQuery   time.Duration
 	treeName    string
 	treeOpts    ritcore.Options
 }
@@ -139,6 +159,15 @@ func WithCacheSize(pages int) Option { return func(c *config) { c.cacheSize = pa
 // measurements approximate a disk with that access time.
 func WithReadLatency(d time.Duration) Option {
 	return func(c *config) { c.readLatency = d }
+}
+
+// WithSlowQueryThreshold arms the slow-query trace log from Open: any
+// statement whose execution takes at least d is captured into a bounded
+// ring buffer with its SQL text, bind count, duration, and operator
+// stats, drained by DB.SlowQueries. Zero (the default) disables capture;
+// DB.SetSlowQueryThreshold changes it at runtime.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *config) { c.slowQuery = d }
 }
 
 // WithTreeName sets the name of the legacy Index's interval relation
@@ -216,6 +245,9 @@ func newIndexOn(cfg *config, db *DB) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The legacy tree is not a catalog index, so it binds its metric
+	// family directly: "tree.<name>.*" alongside the DB's other families.
+	tree.SetMetrics(db.reg, "tree."+cfg.treeName)
 	return &Index{db: db, tree: tree}, nil
 }
 
