@@ -38,12 +38,22 @@
 // fine-grained operators are available as ALLEN_<relation>(lower, upper,
 // qlo, qhi) on any access method; \help lists all thirteen.
 //
-// Meta commands: \tables, \collections, \stats, \reset (zero I/O
-// counters), \metrics (the session's metrics registry: executor
-// counters, per-statement-kind latency histograms, page-store I/O, and
-// each domain index's family), \slow [dur] (arm the slow-query trace log
-// at the given threshold, or drain and print the captured statements
-// with their operator stats), \help (operator table), \q.
+// Transactions work as in the engine: BEGIN; buffers INSERT/DELETE and
+// answers reads from the BEGIN snapshot, COMMIT; applies them with
+// first-committer-wins conflict detection, ROLLBACK; discards.
+// \begin, \commit and \rollback are shorthands for the SQL statements.
+// File-backed sessions (-db) write ahead to a <file>.wal sidecar exactly
+// like the public API, so a crashed session replays its committed tail on
+// the next open.
+//
+// Meta commands: \tables, \collections, \begin/\commit/\rollback,
+// \stats, \reset (zero I/O counters), \metrics (the session's metrics
+// registry: executor counters, per-statement-kind latency histograms,
+// page-store I/O, WAL commit/fsync and transaction conflict counters
+// (wal.*, txn.*), and each domain index's family), \slow [dur] (arm the
+// slow-query trace log at the given threshold, or drain and print the
+// captured statements with their operator stats), \help (operator
+// table), \q.
 // EXPLAIN ANALYZE SELECT ... executes the statement and prints the
 // per-operator tree annotated with rows, leaf rows, probes and wall
 // time.
@@ -86,7 +96,14 @@ func main() {
 		var be *pagestore.FileBackend
 		be, err = pagestore.OpenFileBackend(*dbPath, pagestore.DefaultPageSize)
 		if err == nil {
-			st, err = pagestore.New(be, pagestore.Options{})
+			// Same durability wiring as the public DB API: a sidecar WAL
+			// whose committed tail replays into the page file on open, so
+			// a risql session survives a crash mid-commit.
+			var wal *pagestore.FileWAL
+			wal, err = pagestore.OpenFileWAL(*dbPath + ".wal")
+			if err == nil {
+				st, err = pagestore.New(be, pagestore.Options{WAL: wal})
+			}
 		}
 		if err == nil {
 			if st.NumAllocated() == 0 {
@@ -137,7 +154,7 @@ func main() {
 	}
 
 	fmt.Println("risql — SQL shell over the RI-tree reproduction engine")
-	fmt.Println(`type SQL ending with ';', or \tables \collections \stats \metrics \slow \reset \help \q`)
+	fmt.Println(`type SQL ending with ';', or \tables \collections \begin \commit \rollback \stats \metrics \slow \reset \help \q`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -185,6 +202,11 @@ func main() {
 			case `\reset`:
 				db.ResetStats()
 				fmt.Println("  counters zeroed")
+			case `\begin`, `\commit`, `\rollback`:
+				// Passthrough to the SQL transaction statements, for
+				// symmetry with other shells; BEGIN; / COMMIT; /
+				// ROLLBACK; typed as SQL work identically.
+				runStatement(eng, strings.ToUpper(cmd[1:])+";")
 			case `\metrics`:
 				printMetrics(reg)
 			case `\slow`:
@@ -192,7 +214,7 @@ func main() {
 			case `\help`:
 				printHelp()
 			default:
-				fmt.Println(`  unknown command; try \tables \collections \stats \metrics \slow \reset \help \q`)
+				fmt.Println(`  unknown command; try \tables \collections \begin \commit \rollback \stats \metrics \slow \reset \help \q`)
 			}
 			prompt()
 			continue
@@ -422,4 +444,10 @@ func printHelp() {
 	fmt.Println("  SELECT supports DISTINCT, ORDER BY, LIMIT, UNION ALL, TABLE(:bind) sources;")
 	fmt.Println("  CREATE COLLECTION name USING method WITH (key = value, ...) tunes the access")
 	fmt.Println("  method (hint: bits, levels, shards; ritree: skeleton).")
+	fmt.Println("  transactions: BEGIN; buffers INSERT/DELETE, reads answer from the BEGIN")
+	fmt.Println("  snapshot; COMMIT; applies them unless another writer changed a touched table")
+	fmt.Println("  first (first committer wins — the COMMIT errors and applies nothing);")
+	fmt.Println("  ROLLBACK; discards. \\begin \\commit \\rollback are shorthands. DDL and")
+	fmt.Println("  CREATE/DROP COLLECTION are rejected inside a transaction. The wal.* and")
+	fmt.Println("  txn.* families in \\metrics trace commits, fsync batching and conflicts.")
 }

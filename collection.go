@@ -372,21 +372,48 @@ func (c *Collection) Now() (int64, bool) {
 	return nk.Now(), true
 }
 
+// scanStatement translates a streaming Query into the SQL statement and
+// binds serving it — Collection.Scan runs over the engine's snapshot
+// cursors, so it shares their operator rewrites (INTERSECTS,
+// CONTAINS_POINT, ALLEN_*) and their no-lock streaming.
+func (c *Collection) scanStatement(q Query) (string, map[string]interface{}, error) {
+	switch q.kind {
+	case queryIntersects:
+		return "SELECT id FROM " + c.name + " WHERE intersects(lower, upper, :qlo, :qhi)",
+			map[string]interface{}{"qlo": q.iv.Lower, "qhi": q.iv.Upper}, nil
+	case queryStab:
+		return "SELECT id FROM " + c.name + " WHERE contains_point(lower, upper, :p)",
+			map[string]interface{}{"p": q.p}, nil
+	case queryRelation:
+		op := "allen_" + strings.ReplaceAll(q.r.String(), "-", "_")
+		return "SELECT id FROM " + c.name + " WHERE " + op + "(lower, upper, :qlo, :qhi)",
+			map[string]interface{}{"qlo": q.iv.Lower, "qhi": q.iv.Upper}, nil
+	}
+	return "", nil, errZeroQuery
+}
+
 // Scan streams the ids matching q as a cancellable range-over-func
-// iterator. The scan holds the DB read lock while the loop runs: break
-// out to release it early, and do not call mutating methods from inside
-// the loop. A cancelled ctx surfaces as the iterator's final (0, err)
-// pair.
+// iterator. The scan holds NO lock: it reads from a page-store snapshot
+// pinned when iteration starts, so concurrent writes — including
+// mutating this collection from inside the loop — proceed freely and
+// never shift the scan's results. A cancelled ctx surfaces as the
+// iterator's final (0, err) pair.
 func (c *Collection) Scan(ctx context.Context, q Query) iter.Seq2[int64, error] {
-	return scanSeq(ctx, c.db.mu.RLock, c.db.mu.RUnlock, func(fn func(int64) bool) error {
-		switch q.kind {
-		case queryIntersects:
-			return c.intersectingFuncLocked(q.iv, fn)
-		case queryStab:
-			return c.intersectingFuncLocked(Point(q.p), fn)
-		case queryRelation:
-			return c.queryRelationFuncLocked(q.r, q.iv, fn)
+	return scanSeq(ctx, nil, nil, func(fn func(int64) bool) error {
+		sql, binds, err := c.scanStatement(q)
+		if err != nil {
+			return err
 		}
-		return errZeroQuery
+		rows, err := c.db.Query(ctx, sql, binds)
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		for rows.Next() {
+			if !fn(rows.Row()[0]) {
+				break
+			}
+		}
+		return rows.Err()
 	})
 }

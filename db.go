@@ -34,8 +34,12 @@ import (
 // from the heap), so a database closed with two collections serves both
 // after Open.
 //
-// All methods are safe for concurrent use: collection queries share a
-// read lock, mutations and Exec take the write lock.
+// All methods are safe for concurrent use. Streaming Query cursors (and
+// Collection.Scan) read from pinned page-store snapshots and hold no
+// lock, so an open cursor never blocks a concurrent write; the synchronous
+// collection queries share a read lock and mutations take the write lock.
+// File-backed databases write ahead to a <path>.wal sidecar log and replay
+// it on Open, so a crash between commit and page writeback loses nothing.
 type DB struct {
 	mu    sync.RWMutex
 	store *pagestore.Store
@@ -90,10 +94,19 @@ func openPathCfg(path string, cfg *config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// File-backed databases write ahead to a sidecar log: pagestore.New
+	// replays any committed-but-unapplied tail into the backend before the
+	// first read (crash recovery), and every commit thereafter reaches the
+	// log's fsync before the statement returns.
+	wal, err := pagestore.OpenFileWAL(path + ".wal")
+	if err != nil {
+		return nil, err
+	}
 	st, err := pagestore.New(be, pagestore.Options{
 		PageSize:    cfg.pageSize,
 		CacheSize:   cfg.cacheSize,
 		ReadLatency: cfg.readLatency,
+		WAL:         wal,
 	})
 	if err != nil {
 		return nil, err
@@ -299,18 +312,72 @@ func (db *DB) Exec(sql string, binds map[string]interface{}) (*Result, error) {
 // produced as the underlying access-method scans advance, so
 // SELECT ... LIMIT k (or an early Rows.Close) does O(k) index work
 // instead of materializing the full result, and cancelling ctx stops the
-// scan mid-flight, surfacing as the cursor's Err. The cursor holds the
-// database read lock until it is closed or exhausted — always Close it,
-// and do not run mutating statements from the consuming loop.
+// scan mid-flight, surfacing as the cursor's Err. The cursor holds no
+// lock: it reads from a page-store snapshot pinned when the cursor
+// opened, so concurrent writes — Insert, Delete, Exec, even on the same
+// collection — proceed freely and never shift the cursor's results.
+// Always Close the cursor (Next auto-closes on exhaustion); an open
+// cursor pins its snapshot's pre-image retention.
 func (db *DB) Query(ctx context.Context, sql string, binds map[string]interface{}) (*Rows, error) {
-	db.mu.RLock()
-	rows, err := db.eng.Query(ctx, sql, binds)
-	if err != nil {
-		db.mu.RUnlock()
+	return db.eng.Query(ctx, sql, binds)
+}
+
+// Begin opens an explicit transaction: SQL reads inside it answer from a
+// snapshot pinned at Begin, SQL writes are buffered, and Commit applies
+// them only if no concurrent writer changed a touched collection or table
+// since Begin (first committer wins — Commit returns ErrTxnConflict
+// otherwise and applies nothing). One transaction may be open per DB at a
+// time; DDL inside it is rejected, and programmatic collection writes
+// (Insert, InsertMany, Delete) remain auto-commit — they are exactly the
+// concurrent writers Commit detects.
+func (db *DB) Begin() (*Txn, error) {
+	if _, err := db.eng.Exec("BEGIN", nil); err != nil {
 		return nil, err
 	}
-	rows.OnClose(db.mu.RUnlock)
-	return rows, nil
+	return &Txn{db: db}, nil
+}
+
+// ErrTxnConflict aborts a Txn.Commit whose touched tables were changed by
+// a concurrent writer after Begin. The transaction is rolled back; retry
+// it from Begin.
+var ErrTxnConflict = sqldb.ErrTxnConflict
+
+// Txn is an open explicit transaction (see DB.Begin).
+type Txn struct {
+	db   *DB
+	done bool
+}
+
+// Exec runs one SQL statement inside the transaction: SELECTs read the
+// transaction's snapshot, INSERT/DELETE are buffered until Commit.
+func (t *Txn) Exec(sql string, binds map[string]interface{}) (*Result, error) {
+	if t.done {
+		return nil, fmt.Errorf("ritree: transaction already finished")
+	}
+	return t.db.eng.Exec(sql, binds)
+}
+
+// Commit validates and applies the transaction's buffered writes,
+// returning ErrTxnConflict (wrapped) if a concurrent writer touched the
+// same tables since Begin. The transaction is finished either way.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("ritree: transaction already finished")
+	}
+	t.done = true
+	_, err := t.db.eng.Exec("COMMIT", nil)
+	return err
+}
+
+// Rollback discards the transaction's buffered writes. Safe to defer
+// after Begin: on a finished transaction it is a no-op.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	_, err := t.db.eng.Exec("ROLLBACK", nil)
+	return err
 }
 
 // Stats returns the I/O counters of the page store.
@@ -357,7 +424,8 @@ func (db *DB) Flush() error {
 }
 
 // Close flushes and closes the database. Collection handles are invalid
-// afterwards.
+// afterwards. Cursors still open when Close runs do not block it and do
+// not panic: their next read fails cleanly and surfaces through Rows.Err.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

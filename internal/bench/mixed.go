@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ritree/internal/hint"
+	"ritree/internal/interval"
+	"ritree/internal/sqldb"
+	"ritree/internal/workload"
+)
+
+// The "mixed" experiment measures the PR-7 concurrency claim directly:
+// streaming cursors read pinned snapshots, so reader throughput must stay
+// flat as concurrent writer goroutines are added — no DB-wide cursor lock
+// for writers to queue behind. Each scenario runs the same reader pool
+// (full cursor drains of intersection windows) against 0, 2, and 4
+// writers committing two-row batches; one writer drives explicit
+// BEGIN/COMMIT transactions so first-committer-wins conflicts show up in
+// the recorded txn.* counters.
+//
+// The experiment is self-checking: every committed batch inserts exactly
+// two rows atomically, the base load is even-sized, and each reader
+// interleaves a COUNT(*) with its drains — any odd count is a torn
+// snapshot (a cursor observing half a commit) and fails the run.
+
+const (
+	mixedReaders       = 4
+	mixedDrainsPerSide = 25 // window drains per reader (each paired with a COUNT(*) parity probe)
+	// mixedWritePace spaces each writer's commits so the scenarios compare
+	// blocking, not CPU saturation: writers model a steady ingest stream
+	// (~250 two-row batches/s each), and the readers' drain rate should
+	// hold flat as writers are added — before this refactor every commit
+	// queued behind the cursors' DB-wide read lock.
+	mixedWritePace = 4 * time.Millisecond
+	// mixedMaxBatches bounds each writer's total commits, so table growth
+	// stays bounded even when slow readers (tiny scale under -race in CI)
+	// stretch the scenario; at full scale the readers finish long before
+	// any writer reaches it.
+	mixedMaxBatches = 500
+)
+
+type mixedResult struct {
+	drains    int64
+	rows      int64
+	elapsed   time.Duration
+	writes    int64 // rows committed by writers during the reader phase
+	conflicts int64
+}
+
+// Mixed runs the reader/writer goroutine mix over the unified collection
+// API on the sharded HINT method (the tentpole's copy-on-write reader
+// path) at increasing writer counts.
+func Mixed(c Config) (*Table, error) {
+	c = c.WithDefaults()
+	t := &Table{
+		ID:     "mixed",
+		Title:  "snapshot readers under concurrent writers (no DB-wide cursor lock)",
+		Header: []string{"writers", "readers", "drains/s", "ms/drain", "rows/drain", "writes/s", "txn conflicts"},
+		Notes: []string{
+			fmt.Sprintf("%d readers each stream %d full cursor drains; writers commit 2-row batches", mixedReaders, mixedDrainsPerSide),
+			"until the readers finish; one writer uses BEGIN/COMMIT and falls back to",
+			"auto-commit on first-committer-wins conflicts; every reader interleaves a",
+			"COUNT(*) parity probe — an odd count would be a torn snapshot and fails the run",
+		},
+	}
+	n := c.scaled(20000)
+	n -= n % 2 // even base: the parity self-check's ground state
+	spec := workload.Spec{Kind: workload.D1, N: n, D: 2000}
+	ivs := workload.Generate(spec, c.Seed)
+	ids := workload.IDs(spec.N)
+	queries := workload.Queries(64, 4000, c.Seed+1)
+
+	var lastAM *collectionAM
+	for _, writers := range []int{0, 2, 4} {
+		am, err := newCollectionAM(c, hint.ShardedIndexTypeName)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("  mixed: loading n=%d, then %d writers vs %d readers...", n, writers, mixedReaders)
+		if err := am.Load(ivs, ids); err != nil {
+			return nil, fmt.Errorf("mixed load: %w", err)
+		}
+		r, err := runMixed(am, writers, queries)
+		if err != nil {
+			return nil, err
+		}
+		secs := r.elapsed.Seconds()
+		t.AddRow(
+			d0(int64(writers)), d0(mixedReaders),
+			f1(float64(r.drains)/secs),
+			f3(secs*1000/float64(r.drains)),
+			f1(float64(r.rows)/float64(r.drains)),
+			f1(float64(r.writes)/secs),
+			d0(r.conflicts),
+		)
+		lastAM = am
+	}
+	t.SetMethods(lastAM)
+	t.AddObs(fmt.Sprintf("w4.%s", lastAM.Name()), lastAM.reg.Snapshot().Counters)
+	return t, nil
+}
+
+// runMixed races the reader pool against `writers` writer goroutines on
+// am's engine and returns the reader-phase measurements.
+func runMixed(am *collectionAM, writers int, queries []interval.Interval) (mixedResult, error) {
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		writeRows atomic.Int64
+		conflicts atomic.Int64
+		torn      atomic.Int64
+		errOnce   sync.Once
+		firstErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			useTxn := w == 0 // one writer exercises explicit transactions
+			tick := time.NewTicker(mixedWritePace)
+			defer tick.Stop()
+			for seq := 0; seq < mixedMaxBatches; seq++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				lo := int64((seq * 37) % 2000)
+				id := int64(10_000_000 + w*1_000_000 + seq)
+				if err := mixedCommitPair(am.eng, useTxn, lo, id, &conflicts); err != nil {
+					fail(fmt.Errorf("writer %d: %w", w, err))
+					return
+				}
+				writeRows.Add(2)
+			}
+		}(w)
+	}
+
+	var drains, rows atomic.Int64
+	var rg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < mixedReaders; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			for k := 0; k < mixedDrainsPerSide; k++ {
+				q := queries[(r*mixedDrainsPerSide+k)%len(queries)]
+				got, err := mixedDrain(am.eng, q.Lower, q.Upper)
+				if err != nil {
+					fail(fmt.Errorf("reader %d: %w", r, err))
+					return
+				}
+				drains.Add(1)
+				rows.Add(got)
+				cnt, err := mixedCount(am.eng)
+				if err != nil {
+					fail(fmt.Errorf("reader %d count: %w", r, err))
+					return
+				}
+				if cnt%2 != 0 {
+					torn.Add(1)
+				}
+			}
+		}(r)
+	}
+	rg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if firstErr != nil {
+		return mixedResult{}, firstErr
+	}
+	if v := torn.Load(); v != 0 {
+		return mixedResult{}, fmt.Errorf("mixed: %d torn snapshots — a cursor observed half of a two-row commit", v)
+	}
+	return mixedResult{
+		drains:    drains.Load(),
+		rows:      rows.Load(),
+		elapsed:   elapsed,
+		writes:    writeRows.Load(),
+		conflicts: conflicts.Load(),
+	}, nil
+}
+
+// mixedCommitPair commits two rows atomically: through a BEGIN/COMMIT
+// transaction when useTxn is set (falling back to an auto-commit bulk
+// insert when a concurrent writer wins the conflict check), else through
+// one BulkInsert batch.
+func mixedCommitPair(eng *sqldb.Engine, useTxn bool, lo, id int64, conflicts *atomic.Int64) error {
+	pair := [][]int64{{lo, lo + 500, id}, {lo + 7, lo + 900, -id}}
+	if useTxn {
+		if _, err := eng.Exec("BEGIN", nil); err != nil {
+			return err
+		}
+		for _, row := range pair {
+			if _, err := eng.Exec(fmt.Sprintf("INSERT INTO iv VALUES (%d, %d, %d)", row[0], row[1], row[2]), nil); err != nil {
+				_, _ = eng.Exec("ROLLBACK", nil)
+				return err
+			}
+		}
+		// Hold the transaction open for a beat, like a client doing work
+		// between its statements: concurrent auto-commit batches land in
+		// the window and the first-committer-wins check catches them.
+		time.Sleep(mixedWritePace)
+		_, err := eng.Exec("COMMIT", nil)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, sqldb.ErrTxnConflict) {
+			return err
+		}
+		conflicts.Add(1)
+		// First committer won; retry the batch as a single auto-commit.
+	}
+	_, err := eng.BulkInsert("iv", pair)
+	return err
+}
+
+// mixedDrain streams one full intersection-window cursor and returns the
+// row count it observed from its snapshot.
+func mixedDrain(eng *sqldb.Engine, qlo, qhi int64) (int64, error) {
+	rows, err := eng.Query(context.Background(),
+		"SELECT id FROM iv WHERE intersects(lower, upper, :qlo, :qhi)",
+		map[string]interface{}{"qlo": qlo, "qhi": qhi})
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}
+
+// mixedCount reads the table cardinality through the same snapshot
+// cursor path the drains use.
+func mixedCount(eng *sqldb.Engine) (int64, error) {
+	rows, err := eng.Query(context.Background(), "SELECT COUNT(*) FROM iv", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		return 0, fmt.Errorf("COUNT(*) returned no row: %v", rows.Err())
+	}
+	cnt := rows.Row()[0]
+	return cnt, rows.Err()
+}

@@ -79,12 +79,11 @@ func Create(st *pagestore.Store, ncols int) (*Tree, error) {
 	if t.leafCap < 4 || t.innerCap < 4 {
 		return nil, fmt.Errorf("btree: page size %d too small for %d-column keys", st.PageSize(), ncols)
 	}
-	p, err := st.Get(rootID)
+	p, err := st.GetMut(rootID)
 	if err != nil {
 		return nil, err
 	}
 	p.Data()[0] = leafType
-	p.MarkDirty()
 	p.Release()
 	if err := t.saveMeta(); err != nil {
 		return nil, err
@@ -122,7 +121,7 @@ func (t *Tree) derive() {
 }
 
 func (t *Tree) saveMeta() error {
-	p, err := t.st.Get(t.meta)
+	p, err := t.st.GetMut(t.meta)
 	if err != nil {
 		return err
 	}
@@ -132,7 +131,6 @@ func (t *Tree) saveMeta() error {
 	binary.LittleEndian.PutUint32(d[8:12], uint32(t.root))
 	binary.LittleEndian.PutUint32(d[12:16], uint32(t.height))
 	binary.LittleEndian.PutUint64(d[16:24], uint64(t.count))
-	p.MarkDirty()
 	p.Release()
 	return nil
 }
@@ -169,7 +167,11 @@ func (n nodeRef) isLeaf() bool   { return n.data()[0] == leafType }
 func (n nodeRef) count() int     { return int(binary.LittleEndian.Uint16(n.data()[2:4])) }
 func (n nodeRef) setCount(c int) { binary.LittleEndian.PutUint16(n.data()[2:4], uint16(c)) }
 func (n nodeRef) release()       { n.p.Release() }
-func (n nodeRef) dirty()         { n.p.MarkDirty() }
+
+// beginWrite declares the node is about to be modified. It must run before
+// the first mutation (it stashes the pre-image for snapshot readers);
+// within one commit epoch repeated calls are cheap no-ops.
+func (n nodeRef) beginWrite() { n.p.BeginWrite() }
 
 // next is the right sibling (leaf) or the leftmost child (inner).
 func (n nodeRef) next() pagestore.PageID {
@@ -233,27 +235,28 @@ func (n nodeRef) innerSearch(key []byte) int {
 
 // insertLeafAt shifts entries right and writes key at position i.
 func (n nodeRef) insertLeafAt(i int, key []byte) {
+	n.beginWrite()
 	es := n.t.es
 	c := n.count()
 	base := headerSize
 	copy(n.data()[base+(i+1)*es:base+(c+1)*es], n.data()[base+i*es:base+c*es])
 	copy(n.data()[base+i*es:base+(i+1)*es], key)
 	n.setCount(c + 1)
-	n.dirty()
 }
 
 // removeLeafAt deletes entry i.
 func (n nodeRef) removeLeafAt(i int) {
+	n.beginWrite()
 	es := n.t.es
 	c := n.count()
 	base := headerSize
 	copy(n.data()[base+i*es:], n.data()[base+(i+1)*es:base+c*es])
 	n.setCount(c - 1)
-	n.dirty()
 }
 
 // insertInnerAt inserts separator key with right child at position i.
 func (n nodeRef) insertInnerAt(i int, key []byte, right pagestore.PageID) {
+	n.beginWrite()
 	ps := n.t.es + childSize
 	c := n.count()
 	base := headerSize
@@ -261,17 +264,16 @@ func (n nodeRef) insertInnerAt(i int, key []byte, right pagestore.PageID) {
 	copy(n.data()[base+i*ps:base+i*ps+n.t.es], key)
 	binary.LittleEndian.PutUint32(n.data()[base+i*ps+n.t.es:], uint32(right))
 	n.setCount(c + 1)
-	n.dirty()
 }
 
 // removeInnerAt deletes separator i together with its right child pointer.
 func (n nodeRef) removeInnerAt(i int) {
+	n.beginWrite()
 	ps := n.t.es + childSize
 	c := n.count()
 	base := headerSize
 	copy(n.data()[base+i*ps:], n.data()[base+(i+1)*ps:base+c*ps])
 	n.setCount(c - 1)
-	n.dirty()
 }
 
 // --- insert ----------------------------------------------------------------
@@ -298,6 +300,7 @@ func (t *Tree) Insert(key []int64) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		nr.beginWrite()
 		nr.data()[0] = innerType
 		nr.setCount(0)
 		nr.setChild(0, t.root)
@@ -405,6 +408,8 @@ func (t *Tree) splitLeaf(n nodeRef) ([]byte, pagestore.PageID, error) {
 		return nil, 0, err
 	}
 	defer r.release()
+	n.beginWrite()
+	r.beginWrite()
 	r.data()[0] = leafType
 	c := n.count()
 	mid := c / 2
@@ -414,8 +419,6 @@ func (t *Tree) splitLeaf(n nodeRef) ([]byte, pagestore.PageID, error) {
 	r.setNext(n.next())
 	n.setCount(mid)
 	n.setNext(rightID)
-	n.dirty()
-	r.dirty()
 	sep := make([]byte, es)
 	copy(sep, r.leafEntry(0))
 	return sep, rightID, nil
@@ -433,6 +436,8 @@ func (t *Tree) splitInner(n nodeRef) ([]byte, pagestore.PageID, error) {
 		return nil, 0, err
 	}
 	defer r.release()
+	n.beginWrite()
+	r.beginWrite()
 	r.data()[0] = innerType
 	c := n.count()
 	mid := c / 2
@@ -444,8 +449,6 @@ func (t *Tree) splitInner(n nodeRef) ([]byte, pagestore.PageID, error) {
 	copy(r.data()[headerSize:], n.data()[headerSize+(mid+1)*ps:headerSize+c*ps])
 	r.setCount(c - mid - 1)
 	n.setCount(mid)
-	n.dirty()
-	r.dirty()
 	return sep, rightID, nil
 }
 

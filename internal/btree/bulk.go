@@ -41,8 +41,8 @@ func (t *Tree) BulkLoad(next func() ([]int64, bool)) error {
 	if err != nil {
 		return err
 	}
+	cur.beginWrite()
 	cur.data()[0] = leafType
-	cur.dirty()
 	leaves = append(leaves, levelNode{id: t.root})
 	prev := make([]byte, t.es)
 	havePrev := false
@@ -77,17 +77,18 @@ func (t *Tree) BulkLoad(next func() ([]int64, bool)) error {
 				cur.release()
 				return err
 			}
+			n.beginWrite()
 			n.data()[0] = leafType
 			cur.setNext(newID)
-			cur.dirty()
 			cur.release()
 			cur = n
 			leaves = append(leaves, levelNode{id: newID, firstKey: ek})
 		}
+		// cur was beginWrite'd when it became the fill target, so the tight
+		// per-key loop does not touch the store lock.
 		c := cur.count()
 		copy(cur.data()[headerSize+c*t.es:], ek)
 		cur.setCount(c + 1)
-		cur.dirty()
 		total++
 	}
 	cur.release()
@@ -116,6 +117,7 @@ func (t *Tree) BulkLoad(next func() ([]int64, bool)) error {
 			if err != nil {
 				return err
 			}
+			n.beginWrite()
 			n.data()[0] = innerType
 			n.setChild(0, group[0].id)
 			for i, ch := range group[1:] {
@@ -125,7 +127,6 @@ func (t *Tree) BulkLoad(next func() ([]int64, bool)) error {
 				n.setCount(i + 1)
 				n.setChild(i+1, ch.id)
 			}
-			n.dirty()
 			n.release()
 			parents = append(parents, levelNode{id: id, firstKey: group[0].firstKey})
 		}

@@ -107,19 +107,19 @@ func (t *Tree) rebalance(parent nodeRef, ci int, c nodeRef, childLevel int) erro
 			if leaf {
 				last := l.count() - 1
 				c.insertLeafAt(0, l.leafEntry(last))
+				l.beginWrite()
 				l.setCount(last)
-				l.dirty()
+				parent.beginWrite()
 				copy(parent.innerKey(ci-1), c.leafEntry(0))
-				parent.dirty()
 			} else {
 				lc := l.count()
 				oldLeftmost := c.child(0)
 				c.insertInnerAt(0, parent.innerKey(ci-1), oldLeftmost)
 				c.setChild(0, l.child(lc))
+				parent.beginWrite()
 				copy(parent.innerKey(ci-1), l.innerKey(lc-1))
-				parent.dirty()
+				l.beginWrite()
 				l.setCount(lc - 1)
-				l.dirty()
 			}
 			l.release()
 			c.release()
@@ -138,12 +138,13 @@ func (t *Tree) rebalance(parent nodeRef, ci int, c nodeRef, childLevel int) erro
 			if leaf {
 				c.insertLeafAt(c.count(), r.leafEntry(0))
 				r.removeLeafAt(0)
+				parent.beginWrite()
 				copy(parent.innerKey(ci), r.leafEntry(0))
-				parent.dirty()
 			} else {
 				c.insertInnerAt(c.count(), parent.innerKey(ci), r.child(0))
+				parent.beginWrite()
 				copy(parent.innerKey(ci), r.innerKey(0))
-				parent.dirty()
+				r.beginWrite()
 				r.setChild(0, r.child(1))
 				r.removeInnerAt(0)
 			}
@@ -178,17 +179,16 @@ func (t *Tree) merge(parent nodeRef, sepIdx int, left, right nodeRef, leaf bool)
 	if leaf {
 		es := t.es
 		lc, rc := left.count(), right.count()
+		left.beginWrite()
 		copy(left.data()[headerSize+lc*es:], right.data()[headerSize:headerSize+rc*es])
 		left.setCount(lc + rc)
 		left.setNext(right.next())
-		left.dirty()
 	} else {
 		ps := t.es + childSize
 		lc, rc := left.count(), right.count()
 		left.insertInnerAt(lc, parent.innerKey(sepIdx), right.child(0))
 		copy(left.data()[headerSize+(lc+1)*ps:], right.data()[headerSize:headerSize+rc*ps])
 		left.setCount(lc + 1 + rc)
-		left.dirty()
 	}
 	parent.removeInnerAt(sepIdx)
 	left.release()

@@ -1,0 +1,115 @@
+package hint
+
+// Copy-on-write generations. Sharded publishes each shard's Index through
+// an atomic pointer: readers grab the pointer and scan a generation that
+// is immutable from their point of view, so an open scan never blocks a
+// writer and a writer never blocks readers. Writers (serialized per shard)
+// call cloneForWrite to derive the next generation and mutate that clone
+// through the own* helpers below, which lazily privatize exactly the
+// structures a mutation touches — the level's partition-pointer slice, the
+// partition struct, the subdivision bucket, the nonempty bitmap, the flat
+// arrays — and share everything else with the published generation.
+//
+// Ownership is tracked by generation stamps: every mutable structure
+// records the x.gen that created (and therefore owns) it. A stamp equal
+// to the index's current gen means "private, mutate in place"; anything
+// older is shared with a published generation and must be copied first.
+// A bare Index (never cloned) has gen 0 everywhere, so every helper
+// degenerates to mutate-in-place and single-owner use pays nothing.
+
+import "slices"
+
+// cloneForWrite derives the next generation: scalars are copied, the
+// outer per-level slices are copied shallowly (headers only), and all
+// inner structures stay shared until a mutation touches them. The clone
+// is private to the caller until it is published; the receiver must be
+// treated as immutable afterwards.
+func (x *Index) cloneForWrite() *Index {
+	c := *x
+	c.gen = x.gen + 1
+	c.levels = slices.Clone(x.levels)
+	c.nonempty = slices.Clone(x.nonempty)
+	c.flat = slices.Clone(x.flat)
+	c.levelsGen = slices.Clone(x.levelsGen)
+	c.bitGen = slices.Clone(x.bitGen)
+	return &c
+}
+
+// ownLevel privatizes level l's partition-pointer slice.
+func (x *Index) ownLevel(l int) {
+	if x.levelsGen[l] != x.gen {
+		x.levels[l] = slices.Clone(x.levels[l])
+		x.levelsGen[l] = x.gen
+	}
+}
+
+// ownBits privatizes level l's nonempty bitmap.
+func (x *Index) ownBits(l int) {
+	if x.bitGen[l] != x.gen {
+		x.nonempty[l] = slices.Clone(x.nonempty[l])
+		x.bitGen[l] = x.gen
+	}
+}
+
+// ownPart privatizes (creating if absent) partition idx of level l and
+// returns it. Its buckets remain shared until ownBucket claims them.
+func (x *Index) ownPart(l int, idx int64) *part {
+	x.ownLevel(l)
+	p := x.levels[l][idx]
+	if p == nil {
+		p = &part{gen: x.gen}
+		for c := range p.subGen {
+			p.subGen[c] = x.gen
+		}
+		x.levels[l][idx] = p
+		return p
+	}
+	if p.gen != x.gen {
+		cp := *p
+		cp.gen = x.gen
+		p = &cp
+		x.levels[l][idx] = p
+	}
+	return p
+}
+
+// ownBucket privatizes class c of the (already owned) partition p and
+// returns the bucket for mutation. The copy takes growth headroom so a
+// run of inserts within one generation amortizes to plain appends.
+func (x *Index) ownBucket(p *part, c int) *[]entry {
+	if p.subGen[c] != x.gen {
+		old := p.subs[c]
+		nb := make([]entry, len(old), len(old)+len(old)/4+8)
+		copy(nb, old)
+		p.subs[c] = nb
+		p.subGen[c] = x.gen
+	}
+	return &p.subs[c]
+}
+
+// flatRemove deletes one copy of e from partition idx's class-c flat
+// segment of level l, privatizing the level's flat arrays first (once per
+// generation). Reports whether the copy was found.
+func (x *Index) flatRemove(l int, idx int64, c int, e entry) bool {
+	fs := &x.flat[l].subs[c]
+	s := fs.seg(idx)
+	at := -1
+	for i := range s {
+		if s[i] == e {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false
+	}
+	if fs.gen != x.gen {
+		fs.ents = slices.Clone(fs.ents)
+		fs.cnt = slices.Clone(fs.cnt)
+		fs.gen = x.gen
+		s = fs.seg(idx)
+	}
+	copy(s[at:], s[at+1:])
+	fs.cnt[idx]--
+	return true
+}

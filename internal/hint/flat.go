@@ -32,6 +32,9 @@ type flatSub struct {
 	ents []entry
 	off  []int32
 	cnt  []int32
+	// gen is the COW generation owning ents/cnt (see cow.go); flatRemove
+	// clones them once per generation before compacting in place.
+	gen uint64
 }
 
 // seg returns partition i's live entries (nil if the class is empty at
@@ -49,21 +52,8 @@ type flatLevel struct {
 	subs [numSubs]flatSub
 }
 
-// remove deletes one copy of e from partition idx's class-c segment,
-// shifting the segment's tail left so live entries stay a sorted prefix.
-// Reports whether the copy was found.
-func (fl *flatLevel) remove(idx int64, c int, e entry) bool {
-	fs := &fl.subs[c]
-	s := fs.seg(idx)
-	for i := range s {
-		if s[i] == e {
-			copy(s[i:], s[i+1:])
-			fs.cnt[idx]--
-			return true
-		}
-	}
-	return false
-}
+// Flat-segment deletion lives in cow.go (Index.flatRemove): it must
+// privatize the level's arrays before compacting a segment in place.
 
 // Optimize compacts the index into its cache-conscious layout: per level
 // and subdivision class, one flat sorted entry array plus offset table,
@@ -84,13 +74,16 @@ func (x *Index) Optimize() {
 			if x.flat != nil {
 				flat[l] = x.flat[l]
 			}
-			for _, p := range x.levels[l] {
+			for i, p := range x.levels[l] {
 				if p == nil {
 					continue
 				}
 				for c := 0; c < numSubs; c++ {
-					if !x.noSort && c != cRAft {
-						sortSegment(p.subs[c], c)
+					if !x.noSort && c != cRAft && len(p.subs[c]) > 1 {
+						// Sorting writes; privatize the bucket first.
+						op := x.ownPart(l, int64(i))
+						sortSegment(*x.ownBucket(op, c), c)
+						p = x.levels[l][i]
 					}
 					overlayLeft += int64(len(p.subs[c]))
 				}
@@ -135,6 +128,7 @@ func (x *Index) optimizeLevel(l int, out *flatLevel) bool {
 		}
 	}
 
+	x.ownBits(l)
 	words := x.nonempty[l]
 	clear(words)
 	for c := 0; c < numSubs; c++ {
@@ -142,6 +136,7 @@ func (x *Index) optimizeLevel(l int, out *flatLevel) bool {
 			continue
 		}
 		fs := &out.subs[c]
+		fs.gen = x.gen
 		fs.ents = make([]entry, 0, total[c])
 		fs.off = make([]int32, P+1)
 		fs.cnt = make([]int32, P)
@@ -169,6 +164,7 @@ func (x *Index) optimizeLevel(l int, out *flatLevel) bool {
 		fs.off[P] = int32(len(fs.ents))
 	}
 	x.levels[l] = make([]*part, P)
+	x.levelsGen[l] = x.gen
 	return true
 }
 

@@ -149,6 +149,10 @@ func classKey(c int, e entry) int64 {
 // folds them into the flat arrays.
 type part struct {
 	subs [numSubs][]entry
+	// COW generation stamps (see cow.go): gen owns the struct, subGen[c]
+	// owns bucket c's backing array.
+	gen    uint64
+	subGen [numSubs]uint64
 }
 
 // Index is a HINT^m hierarchical interval index. It is not safe for
@@ -172,6 +176,13 @@ type Index struct {
 	// nonempty[l] is a bitmap over level l's partitions: bit i set iff
 	// partition i holds at least one entry (overlay or flat).
 	nonempty [][]uint64
+
+	// COW generation bookkeeping (see cow.go): gen is this Index's
+	// generation (0 on a bare, never-cloned index); levelsGen[l] and
+	// bitGen[l] record which generation owns levels[l] and nonempty[l].
+	gen       uint64
+	levelsGen []uint64
+	bitGen    []uint64
 
 	bulk bool // BulkLoad in progress: raw appends, Optimize sorts after
 
@@ -212,6 +223,8 @@ func New(opts Options) (*Index, error) {
 	}
 	x.levels = make([][]*part, x.m+1)
 	x.nonempty = make([][]uint64, x.m+1)
+	x.levelsGen = make([]uint64, x.m+1)
+	x.bitGen = make([]uint64, x.m+1)
 	for l := 0; l <= x.m; l++ {
 		x.levels[l] = make([]*part, 1<<uint(l))
 		x.nonempty[l] = make([]uint64, (1<<uint(l)+63)/64)
@@ -340,11 +353,10 @@ func insertSorted(b *[]entry, c int, e entry) {
 	*b = s
 }
 
-// removeFromBucket removes one copy of e from the overlay bucket,
-// preserving order; reports whether it was found. Sorted buckets narrow
-// to the equal-key run by binary search first.
-func (x *Index) removeFromBucket(b *[]entry, c int, e entry) bool {
-	s := *b
+// findInBucket locates one copy of e in an overlay bucket, returning -1
+// if absent. Sorted buckets narrow to the equal-key run by binary search
+// first.
+func (x *Index) findInBucket(s []entry, c int, e entry) int {
 	from, to := 0, len(s)
 	if !x.noSort && !x.bulk && c != cRAft {
 		k := classKey(c, e)
@@ -353,12 +365,24 @@ func (x *Index) removeFromBucket(b *[]entry, c int, e entry) bool {
 	}
 	for i := from; i < to; i++ {
 		if s[i] == e {
-			copy(s[i:], s[i+1:])
-			*b = s[:len(s)-1]
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
+}
+
+// removeFromBucket removes one copy of e from the overlay bucket,
+// preserving order; reports whether it was found. The bucket must be
+// owned by the current generation.
+func (x *Index) removeFromBucket(b *[]entry, c int, e entry) bool {
+	s := *b
+	i := x.findInBucket(s, c, e)
+	if i < 0 {
+		return false
+	}
+	copy(s[i:], s[i+1:])
+	*b = s[:len(s)-1]
+	return true
 }
 
 // Insert registers iv under id. Multiple registrations of the same
@@ -369,18 +393,15 @@ func (x *Index) Insert(iv interval.Interval, id int64) error {
 	}
 	e := entry{lo: iv.Lower, hi: iv.Upper, id: id}
 	x.assign(iv, func(l int, idx int64, orig, in bool) {
-		p := x.levels[l][idx]
-		if p == nil {
-			p = &part{}
-			x.levels[l][idx] = p
-		}
+		p := x.ownPart(l, idx)
 		c := classOf(orig, in)
-		b := &p.subs[c]
+		b := x.ownBucket(p, c)
 		if x.bulk || x.noSort || c == cRAft {
 			*b = append(*b, e)
 		} else {
 			insertSorted(b, c, e)
 		}
+		x.ownBits(l)
 		x.setBit(l, idx)
 		x.entries++
 		x.overlay++
@@ -404,10 +425,13 @@ func (x *Index) Delete(iv interval.Interval, id int64) (bool, error) {
 	x.assign(iv, func(l int, idx int64, orig, in bool) {
 		c := classOf(orig, in)
 		ok := false
-		if p := x.levels[l][idx]; p != nil && x.removeFromBucket(&p.subs[c], c, e) {
+		// Peek read-only first so a miss privatizes nothing.
+		if p := x.levels[l][idx]; p != nil && x.findInBucket(p.subs[c], c, e) >= 0 {
+			op := x.ownPart(l, idx)
+			x.removeFromBucket(x.ownBucket(op, c), c, e)
 			ok = true
 			x.overlay--
-		} else if x.flat != nil && x.flat[l].remove(idx, c, e) {
+		} else if x.flat != nil && x.flatRemove(l, idx, c, e) {
 			ok = true
 		}
 		if !ok {
@@ -418,6 +442,7 @@ func (x *Index) Delete(iv interval.Interval, id int64) (bool, error) {
 			x.replicas--
 		}
 		if x.partEmpty(l, idx) {
+			x.ownBits(l)
 			x.clearBit(l, idx)
 		}
 		removed = true
@@ -475,7 +500,9 @@ func (x *Index) BulkLoad(ivs []interval.Interval, ids []int64) error {
 func (x *Index) Clear() {
 	for l := range x.levels {
 		x.levels[l] = make([]*part, 1<<uint(l))
-		clear(x.nonempty[l])
+		x.levelsGen[l] = x.gen
+		x.nonempty[l] = make([]uint64, (1<<uint(l)+63)/64)
+		x.bitGen[l] = x.gen
 	}
 	x.flat = nil
 	x.count, x.entries, x.replicas, x.overlay = 0, 0, 0, 0

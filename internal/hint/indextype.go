@@ -174,10 +174,11 @@ type indexType struct {
 	shards int
 	hp     hintParams
 	tab    *rel.Table
-	// mu lets Scan run concurrently with other Scans while trigger
-	// maintenance and rebuilds take the write side. The SQL engine
-	// serializes statements anyway; the lock makes the indextype safe
-	// for embedding callers that drive it directly.
+	// mu protects the (off, ix) pair across trigger maintenance and
+	// geometry rebuilds. Scans take it only long enough to grab the pair
+	// (see view) and then run lock-free over the Sharded index's
+	// atomically published generations — an open cursor never blocks a
+	// concurrent insert or delete, not even a rebuild.
 	mu  sync.RWMutex
 	off int64 // indexed value = column value - off
 	ix  *Sharded
@@ -403,11 +404,12 @@ func (ix *indexType) OnInsert(row []int64, rid rel.RowID) error {
 // OnBulkInsert implements sqldb.BulkMaintainer. The whole batch is
 // validated before anything mutates (so a refused batch leaves the index
 // untouched and the engine can roll the heap back cleanly); a batch that
-// fits the current geometry is inserted incrementally and compacted once
-// — repeated chunked loads stay O(batch + compaction), not a heap
-// rescan per chunk — while a batch that widens the domain rebuilds from
-// the heap (which already holds the new rows) with a wider geometry in
-// one pass.
+// fits the current geometry goes through Sharded.BulkInsert — one
+// copy-on-write generation per touched shard for the whole batch — and
+// is compacted once, so repeated chunked loads stay O(batch +
+// compaction), not a heap rescan per chunk. A batch that widens the
+// domain rebuilds from the heap (which already holds the new rows) with
+// a wider geometry in one pass.
 func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
 	for _, row := range rows {
 		if err := checkRow(row[ix.loPos], row[ix.hiPos]); err != nil {
@@ -421,10 +423,14 @@ func (ix *indexType) OnBulkInsert(rows [][]int64, rids []rel.RowID) error {
 			return ix.rebuild()
 		}
 	}
+	ivs := make([]interval.Interval, len(rows))
+	ids := make([]int64, len(rows))
 	for i, row := range rows {
-		if err := ix.ix.Insert(ix.shiftIv(row[ix.loPos], row[ix.hiPos]), int64(rids[i])); err != nil {
-			return err
-		}
+		ivs[i] = ix.shiftIv(row[ix.loPos], row[ix.hiPos])
+		ids[i] = int64(rids[i])
+	}
+	if err := ix.ix.BulkInsert(ivs, ids); err != nil {
+		return err
 	}
 	ix.ix.Optimize()
 	return nil
@@ -467,6 +473,17 @@ func parseOpBounds(op string, args []int64) (qlo, qhi int64, err error) {
 	return qlo, qhi, nil
 }
 
+// view grabs the (off, ix) pair under a brief read lock. The returned
+// Sharded index serves scans lock-free over its published generations,
+// so holding the pair across a long cursor never blocks writers; a
+// geometry rebuild mid-scan swaps ix.ix wholesale and the scan simply
+// finishes on the index it started with.
+func (ix *indexType) view() (int64, *Sharded) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.off, ix.ix
+}
+
 // Scan implements sqldb.CustomIndex: the operator dispatch. Query bounds
 // are shifted like row bounds; bounds beyond the saturation range match
 // exactly the rows a linear scan would (starts are exact within ±2^59,
@@ -478,9 +495,8 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 	if err != nil {
 		return err
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	q := interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off)
+	off, six := ix.view()
+	q := interval.New(sat(qlo)-off, sat(qhi)-off)
 	if qlo > maxAbsBound {
 		// Far-tail query start: saturated stored ends cannot be ordered
 		// against it in index coordinates. Every indexed start is within
@@ -490,7 +506,7 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 		// endpoint, keeping the operator exact where the legacy path
 		// errored out (the unified Querier contract requires an answer).
 		row := make([]int64, ix.tab.Schema().NumCols())
-		return ix.ix.IntersectingFunc(q, func(id int64) bool {
+		return six.IntersectingFunc(q, func(id int64) bool {
 			if ix.tab.GetRawInto(rel.RowID(id), row) != nil {
 				return true
 			}
@@ -500,9 +516,68 @@ func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) 
 			return true
 		})
 	}
-	return ix.ix.IntersectingFunc(q, func(id int64) bool {
+	return six.IntersectingFunc(q, func(id int64) bool {
 		return fn(rel.RowID(id))
 	})
+}
+
+// SnapshotScan implements sqldb.SnapshotScanner: an operator scan bound
+// to the committed state the engine is snapshotting. The in-memory HINT
+// is frozen by capturing each shard's published COW generation — those
+// are immutable, so the returned scan keeps answering from them while
+// the live index moves on — and the far-tail verification reads row
+// endpoints from the shadow (snapshot) base table instead of the live
+// heap. The geometry pair (off, generations) is consistent because the
+// capture runs under the engine's statement lock at a committed boundary.
+func (ix *indexType) SnapshotScan(shadow *rel.DB) (sqldb.ScanFunc, error) {
+	stab, err := shadow.Table(ix.table)
+	if err != nil {
+		return nil, err
+	}
+	off, six := ix.view()
+	gens := six.freeze()
+	hiPos, width := ix.hiPos, ix.tab.Schema().NumCols()
+	return func(op string, args []int64, fn func(rid rel.RowID) bool) error {
+		qlo, qhi, err := parseOpBounds(op, args)
+		if err != nil {
+			return err
+		}
+		// Logical-query accounting matches the live path (the per-shard
+		// counters flush from the frozen generations' own bindings).
+		six.met.query()
+		q := interval.New(sat(qlo)-off, sat(qhi)-off)
+		// Per-invocation state only — one view's scan may serve several
+		// concurrent cursors.
+		wrapped := func(id int64) bool { return fn(rel.RowID(id)) }
+		if qlo > maxAbsBound {
+			// Far-tail query start, verified against the snapshot's true
+			// row endpoints (see Scan for the geometry argument).
+			row := make([]int64, width)
+			wrapped = func(id int64) bool {
+				if stab.GetRawInto(rel.RowID(id), row) != nil {
+					return true
+				}
+				if row[hiPos] >= qlo {
+					return fn(rel.RowID(id))
+				}
+				return true
+			}
+		}
+		stopped := false
+		stopping := func(id int64) bool {
+			if !wrapped(id) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		for _, gen := range gens {
+			if err := gen.IntersectingFunc(q, stopping); err != nil || stopped {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // ScanCount implements sqldb.OperatorCounter: operator hit counting
@@ -520,9 +595,8 @@ func (ix *indexType) ScanCount(op string, args []int64) (int64, error) {
 		err := ix.Scan(op, args, func(rel.RowID) bool { n++; return true })
 		return n, err
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.ix.CountIntersecting(interval.New(sat(qlo)-ix.off, sat(qhi)-ix.off))
+	off, six := ix.view()
+	return six.CountIntersecting(interval.New(sat(qlo)-off, sat(qhi)-off))
 }
 
 // Drop implements sqldb.CustomIndex: main-memory storage is simply

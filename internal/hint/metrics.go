@@ -69,13 +69,15 @@ func (x *Index) SetMetrics(reg *obs.Registry, prefix string) {
 // All shards share one counter family (obs counters are atomic), so the
 // published numbers aggregate across the fan-out; "<prefix>.queries"
 // counts logical calls against the sharded index, "<prefix>.shard_scans"
-// the per-shard scans they fanned into. Pass reg == nil to detach.
+// the per-shard scans they fanned into. Pass reg == nil to detach. The
+// binding publishes a new generation per shard, so in-flight scans keep
+// their old counter family.
 func (s *Sharded) SetMetrics(reg *obs.Registry, prefix string) {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.ix.SetMetrics(reg, prefix)
-		sh.mu.Unlock()
+		_ = s.shards[i].update(func(ix *Index) error {
+			ix.SetMetrics(reg, prefix)
+			return nil
+		})
 	}
 	if reg == nil {
 		s.met = nil

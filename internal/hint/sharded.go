@@ -1,13 +1,15 @@
 package hint
 
-// Sharded packages N independently locked HINT indexes behind one
-// interval-index API, the concurrency story for the millions-of-users
-// regime: every interval is owned by exactly one shard (chosen by a
-// mixed hash of its id), mutations take that shard's write lock only,
-// and queries fan over the shards under read locks — so readers never
-// block readers, and a writer stalls only the readers of its own shard
-// while the other shards keep serving. All methods are safe for
-// concurrent use.
+// Sharded packages N HINT indexes behind one interval-index API, the
+// concurrency story for the millions-of-users regime: every interval is
+// owned by exactly one shard (chosen by a mixed hash of its id), and each
+// shard publishes its current generation through an atomic pointer.
+// Readers load the pointer and scan an immutable generation — no lock, no
+// reader registration — so an open scan never blocks a writer and a
+// writer never stalls any reader, not even on its own shard. Writers
+// serialize per shard behind a plain mutex, derive the next generation by
+// copy-on-write (see cow.go) and publish it atomically when done. All
+// methods are safe for concurrent use.
 //
 // Intersection results are the disjoint union of the shards' results, so
 // the exactly-once reporting guarantee of the single-shard algorithm is
@@ -16,6 +18,7 @@ package hint
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ritree/internal/interval"
 )
@@ -29,8 +32,27 @@ type Sharded struct {
 }
 
 type shard struct {
-	mu sync.RWMutex
-	ix *Index
+	// wmu serializes writers; readers never take it.
+	wmu sync.Mutex
+	// cur is the published generation. Once stored it is immutable:
+	// writers mutate only private clones.
+	cur atomic.Pointer[Index]
+}
+
+// load returns the shard's current immutable generation.
+func (sh *shard) load() *Index { return sh.cur.Load() }
+
+// update runs f on a private clone of the current generation and
+// publishes the clone. Mutations stay invisible to concurrent readers
+// until the publish; readers that already hold the previous generation
+// keep scanning it untouched.
+func (sh *shard) update(f func(ix *Index) error) error {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	c := sh.cur.Load().cloneForWrite()
+	err := f(c)
+	sh.cur.Store(c)
+	return err
 }
 
 // NewSharded returns an empty concurrent index with opts.Shards shards
@@ -50,7 +72,7 @@ func NewSharded(opts Options) (*Sharded, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i].ix = ix
+		s.shards[i].cur.Store(ix)
 	}
 	return s, nil
 }
@@ -68,21 +90,69 @@ func (s *Sharded) shardOf(id int64) int {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// Insert registers iv under id, locking only the owning shard.
+// Insert registers iv under id, publishing a new generation of the owning
+// shard. Concurrent readers are never blocked.
 func (s *Sharded) Insert(iv interval.Interval, id int64) error {
 	sh := &s.shards[s.shardOf(id)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.ix.Insert(iv, id)
+	return sh.update(func(ix *Index) error { return ix.Insert(iv, id) })
 }
 
 // Delete removes one registration of (iv, id), reporting whether it
 // existed.
 func (s *Sharded) Delete(iv interval.Interval, id int64) (bool, error) {
 	sh := &s.shards[s.shardOf(id)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.ix.Delete(iv, id)
+	var existed bool
+	err := sh.update(func(ix *Index) error {
+		var err error
+		existed, err = ix.Delete(iv, id)
+		return err
+	})
+	return existed, err
+}
+
+// batchByShard splits a dataset by owning shard.
+func (s *Sharded) batchByShard(ivs []interval.Interval, ids []int64) ([][]interval.Interval, [][]int64) {
+	bIvs := make([][]interval.Interval, len(s.shards))
+	bIDs := make([][]int64, len(s.shards))
+	if len(s.shards) == 1 {
+		bIvs[0], bIDs[0] = ivs, ids
+		return bIvs, bIDs
+	}
+	for i := range ivs {
+		w := s.shardOf(ids[i])
+		bIvs[w] = append(bIvs[w], ivs[i])
+		bIDs[w] = append(bIDs[w], ids[i])
+	}
+	return bIvs, bIDs
+}
+
+// BulkInsert registers the whole batch, cloning each touched shard once —
+// the write path for batched DML (the engine's InsertMany), where a
+// clone per row would tax the copy-on-write machinery. Each shard
+// publishes one new generation holding all of its batch; readers observe
+// a shard's batch atomically.
+func (s *Sharded) BulkInsert(ivs []interval.Interval, ids []int64) error {
+	if len(ivs) != len(ids) {
+		return fmt.Errorf("hint: BulkInsert got %d intervals, %d ids", len(ivs), len(ids))
+	}
+	bIvs, bIDs := s.batchByShard(ivs, ids)
+	for i := range s.shards {
+		if len(bIDs[i]) == 0 {
+			continue
+		}
+		err := s.shards[i].update(func(ix *Index) error {
+			for j := range bIDs[i] {
+				if err := ix.Insert(bIvs[i][j], bIDs[i][j]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // BulkLoad splits the dataset by owning shard and bulk loads each shard
@@ -91,27 +161,11 @@ func (s *Sharded) BulkLoad(ivs []interval.Interval, ids []int64) error {
 	if len(ivs) != len(ids) {
 		return fmt.Errorf("hint: BulkLoad got %d intervals, %d ids", len(ivs), len(ids))
 	}
-	if len(s.shards) == 1 {
-		sh := &s.shards[0]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		return sh.ix.BulkLoad(ivs, ids)
-	}
-	type batch struct {
-		ivs []interval.Interval
-		ids []int64
-	}
-	batches := make([]batch, len(s.shards))
-	for i := range ivs {
-		b := &batches[s.shardOf(ids[i])]
-		b.ivs = append(b.ivs, ivs[i])
-		b.ids = append(b.ids, ids[i])
-	}
+	bIvs, bIDs := s.batchByShard(ivs, ids)
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		err := sh.ix.BulkLoad(batches[i].ivs, batches[i].ids)
-		sh.mu.Unlock()
+		err := s.shards[i].update(func(ix *Index) error {
+			return ix.BulkLoad(bIvs[i], bIDs[i])
+		})
 		if err != nil {
 			return err
 		}
@@ -122,28 +176,34 @@ func (s *Sharded) BulkLoad(ivs []interval.Interval, ids []int64) error {
 // Optimize compacts every shard into its cache-conscious flat layout.
 func (s *Sharded) Optimize() {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.ix.Optimize()
-		sh.mu.Unlock()
+		_ = s.shards[i].update(func(ix *Index) error { ix.Optimize(); return nil })
 	}
 }
 
 // Clear drops every stored interval, keeping the configuration.
 func (s *Sharded) Clear() {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.ix.Clear()
-		sh.mu.Unlock()
+		_ = s.shards[i].update(func(ix *Index) error { ix.Clear(); return nil })
 	}
+}
+
+// freeze captures every shard's currently published generation. The
+// returned indexes are immutable (writers only ever publish fresh
+// clones), so scanning them later answers exactly as the index stood at
+// the freeze — the basis of the snapshot-bound scans SnapshotScan hands
+// to the SQL layer.
+func (s *Sharded) freeze() []*Index {
+	gens := make([]*Index, len(s.shards))
+	for i := range s.shards {
+		gens[i] = s.shards[i].load()
+	}
+	return gens
 }
 
 // IntersectingFunc streams the ids of intervals intersecting q in no
 // particular order; return false from fn to stop early. Each shard is
-// consulted under its read lock, so the scan runs concurrently with
-// other readers and with writers on other shards. fn must not call the
-// index's mutating methods (the locks are not reentrant).
+// scanned on its generation current at the scan's start, so the scan runs
+// lock-free, concurrently with writers on every shard.
 func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) error {
 	if !q.Valid() {
 		return fmt.Errorf("hint: invalid query %v", q)
@@ -158,10 +218,7 @@ func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) 
 		return true
 	}
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		err := sh.ix.IntersectingFunc(q, wrapped)
-		sh.mu.RUnlock()
+		err := s.shards[i].load().IntersectingFunc(q, wrapped)
 		if err != nil || stopped {
 			return err
 		}
@@ -170,20 +227,17 @@ func (s *Sharded) IntersectingFunc(q interval.Interval, fn func(id int64) bool) 
 }
 
 // queryShardsParallel runs query on every shard of s in parallel — one
-// goroutine per shard, under that shard's read lock — and returns the
-// per-shard results in shard order. With a single shard it degenerates
-// to a plain sequential call. Queries visit every shard anyway, so the
-// fan-out turns the shard count from a query tax into a latency divider
-// on multi-core hardware.
+// goroutine per shard, each over that shard's current immutable
+// generation — and returns the per-shard results in shard order. With a
+// single shard it degenerates to a plain sequential call. Queries visit
+// every shard anyway, so the fan-out turns the shard count from a query
+// tax into a latency divider on multi-core hardware.
 func queryShardsParallel[T any](s *Sharded, query func(ix *Index) (T, error)) ([]T, error) {
 	s.met.query()
 	results := make([]T, len(s.shards))
 	if len(s.shards) == 1 {
-		sh := &s.shards[0]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
 		var err error
-		results[0], err = query(sh.ix)
+		results[0], err = query(s.shards[0].load())
 		if err != nil {
 			return nil, err
 		}
@@ -195,10 +249,7 @@ func queryShardsParallel[T any](s *Sharded, query func(ix *Index) (T, error)) ([
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sh := &s.shards[i]
-			sh.mu.RLock()
-			results[i], errs[i] = query(sh.ix)
-			sh.mu.RUnlock()
+			results[i], errs[i] = query(s.shards[i].load())
 		}(i)
 	}
 	wg.Wait()
@@ -290,8 +341,8 @@ func (s *Sharded) Stab(p int64) ([]int64, error) {
 
 // QueryRelationFunc streams the ids of intervals i with "i r q" in no
 // particular order; return false from fn to stop early. Shards are
-// consulted sequentially under their read locks (a streaming callback
-// cannot be fanned out without racing the caller).
+// scanned sequentially, each on its current immutable generation (a
+// streaming callback cannot be fanned out without racing the caller).
 func (s *Sharded) QueryRelationFunc(r interval.Relation, q interval.Interval, fn func(id int64) bool) error {
 	s.met.query()
 	stopped := false
@@ -303,10 +354,7 @@ func (s *Sharded) QueryRelationFunc(r interval.Relation, q interval.Interval, fn
 		return true
 	}
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		err := sh.ix.QueryRelationFunc(r, q, wrapped)
-		sh.mu.RUnlock()
+		err := s.shards[i].load().QueryRelationFunc(r, q, wrapped)
 		if err != nil || stopped {
 			return err
 		}
@@ -343,35 +391,28 @@ func (s *Sharded) FlatEntries() int64 {
 func (s *Sharded) sum(f func(ix *Index) int64) int64 {
 	var total int64
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		total += f(sh.ix)
-		sh.mu.RUnlock()
+		total += f(s.shards[i].load())
 	}
 	return total
 }
 
 // Levels returns m, the depth of the bisection hierarchy.
-func (s *Sharded) Levels() int { return s.shards[0].ix.Levels() }
+func (s *Sharded) Levels() int { return s.shards[0].load().Levels() }
 
 // Bits returns the domain width in bits.
-func (s *Sharded) Bits() int { return s.shards[0].ix.Bits() }
+func (s *Sharded) Bits() int { return s.shards[0].load().Bits() }
 
 // ComparisonFree reports whether the shards run the comparison-free
 // variant (Levels == Bits).
-func (s *Sharded) ComparisonFree() bool { return s.shards[0].ix.ComparisonFree() }
+func (s *Sharded) ComparisonFree() bool { return s.shards[0].load().ComparisonFree() }
 
 // DomainMax returns the largest admissible interval start, 2^Bits-1.
-func (s *Sharded) DomainMax() int64 { return s.shards[0].ix.DomainMax() }
+func (s *Sharded) DomainMax() int64 { return s.shards[0].load().DomainMax() }
 
 // Optimized reports whether every shard has its flat storage built.
 func (s *Sharded) Optimized() bool {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		ok := sh.ix.Optimized()
-		sh.mu.RUnlock()
-		if !ok {
+		if !s.shards[i].load().Optimized() {
 			return false
 		}
 	}
@@ -381,9 +422,9 @@ func (s *Sharded) Optimized() bool {
 // Name identifies the index and its configuration.
 func (s *Sharded) Name() string {
 	if len(s.shards) == 1 {
-		return s.shards[0].ix.Name()
+		return s.shards[0].load().Name()
 	}
-	return fmt.Sprintf("%s x%d", s.shards[0].ix.Name(), len(s.shards))
+	return fmt.Sprintf("%s x%d", s.shards[0].load().Name(), len(s.shards))
 }
 
 // String summarizes the index.

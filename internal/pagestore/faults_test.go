@@ -49,8 +49,8 @@ func TestReadFaultSurfaces(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		id, _ := s.Allocate()
 		p, _ := s.Get(id)
+		p.BeginWrite()
 		p.Data()[0] = byte(i)
-		p.MarkDirty()
 		p.Release()
 		ids = append(ids, id)
 	}
@@ -106,7 +106,7 @@ func TestWriteFaultSurfacesOnEviction(t *testing.T) {
 			sawError = true
 			break
 		}
-		p.MarkDirty()
+		p.BeginWrite()
 		p.Release()
 	}
 	if !sawError {
@@ -119,7 +119,7 @@ func TestFlushFaultSurfaces(t *testing.T) {
 	s, _ := New(fb, Options{PageSize: 256, CacheSize: 8})
 	id, _ := s.Allocate()
 	p, _ := s.Get(id)
-	p.MarkDirty()
+	p.BeginWrite()
 	p.Release()
 	fb.writesLeft = 0
 	if err := s.FlushAll(); !errors.Is(err, errInjected) {

@@ -15,6 +15,15 @@ type storeMetrics struct {
 	evictions      *obs.Counter
 	allocations    *obs.Counter
 	frees          *obs.Counter
+	// wal.* family: the commit/durability pipeline. Batch size of group
+	// commit is walBatchedCommits / walFsyncs.
+	walCommits         *obs.Counter
+	walPages           *obs.Counter
+	walFsyncs          *obs.Counter
+	walBatchedCommits  *obs.Counter
+	walResets          *obs.Counter
+	walRecoveredCommit *obs.Counter
+	walRecoveredPages  *obs.Counter
 }
 
 func (m *storeMetrics) logicalRead() {
@@ -53,6 +62,31 @@ func (m *storeMetrics) free() {
 	}
 }
 
+// walCommit records one commit that reached a boundary (pages = page
+// images appended to the WAL; 0 when the store runs without one).
+func (m *storeMetrics) walCommit(pages int) {
+	if m != nil {
+		m.walCommits.Inc()
+		if pages > 0 {
+			m.walPages.Add(int64(pages))
+		}
+	}
+}
+
+// walFsync records one WAL fsync that made `batch` commits durable.
+func (m *storeMetrics) walFsync(batch uint64) {
+	if m != nil {
+		m.walFsyncs.Inc()
+		m.walBatchedCommits.Add(int64(batch))
+	}
+}
+
+func (m *storeMetrics) walReset() {
+	if m != nil {
+		m.walResets.Inc()
+	}
+}
+
 // SetMetrics mirrors the store's I/O counters into reg under prefix
 // (empty: "pagestore"): "<prefix>.logical_reads" and so on. Counter
 // resolution is get-or-create, so several stores may aggregate into one
@@ -75,5 +109,20 @@ func (s *Store) SetMetrics(reg *obs.Registry, prefix string) {
 		evictions:      reg.Counter(prefix + ".evictions"),
 		allocations:    reg.Counter(prefix + ".allocations"),
 		frees:          reg.Counter(prefix + ".frees"),
+		// The wal.* family is registered without the store prefix: it is
+		// the engine-wide commit pipeline, shared by the metrics gate.
+		walCommits:         reg.Counter("wal.commits"),
+		walPages:           reg.Counter("wal.pages"),
+		walFsyncs:          reg.Counter("wal.fsyncs"),
+		walBatchedCommits:  reg.Counter("wal.batched_commits"),
+		walResets:          reg.Counter("wal.resets"),
+		walRecoveredCommit: reg.Counter("wal.recovered_commits"),
+		walRecoveredPages:  reg.Counter("wal.recovered_pages"),
 	}
+	// Publish what recovery replayed at open, once per store.
+	if !s.recoveryPublished && (s.recovery.Commits > 0 || s.recovery.Pages > 0) {
+		s.obsm.walRecoveredCommit.Add(int64(s.recovery.Commits))
+		s.obsm.walRecoveredPages.Add(int64(s.recovery.Pages))
+	}
+	s.recoveryPublished = true
 }

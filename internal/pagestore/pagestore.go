@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,6 +98,12 @@ type Options struct {
 	// ReadLatency, if nonzero, is slept on every physical read so that
 	// wall-clock measurements approximate a disk with that access time.
 	ReadLatency time.Duration
+	// WAL, if set, enables write-ahead logging: Commit logs the after-image
+	// of every page dirtied since the previous commit before any of them
+	// may reach the backend (no-steal until logged and synced), and New
+	// replays complete commit batches left behind by a crash. Without a
+	// WAL, Commit only advances the snapshot epoch.
+	WAL WAL
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +135,20 @@ type frame struct {
 	dirty bool
 	pins  int
 	elem  *list.Element // position in lru; set for every cached frame, pinned or not
+	// stashEpoch is 1 + the epoch whose pre-image was last stashed for
+	// snapshot readers; BeginWrite stashes only when stashEpoch <= epoch.
+	stashEpoch uint64
+	// logSeq is the commit sequence whose WAL record matches this frame's
+	// content (0 = content not in the log). A dirty frame may be written
+	// to the backend only once its logSeq is durably synced (no-steal).
+	logSeq uint64
+}
+
+// pageVersion is a stashed pre-image: the page's content as of commit
+// `tag`, retained while a snapshot at epoch <= tag is live.
+type pageVersion struct {
+	tag  uint64
+	data []byte
 }
 
 // Store is a buffer-cached page store. It is safe for concurrent use; the
@@ -151,10 +172,40 @@ type Store struct {
 	// the last per-logical-read heap allocation on the query path (the LRU
 	// frames themselves already stay resident across pin/release cycles).
 	handles sync.Pool
+
+	// --- commit / snapshot state ---
+	wal     WAL
+	epoch   uint64 // commits so far; snapshots observe state as of an epoch
+	mutated bool   // a page/allocator mutation happened since the last commit
+	// snaps counts live snapshots per acquire epoch; versions holds the
+	// stashed pre-images they read (see BeginWrite and Snapshot.ReadPage).
+	snaps    map[uint64]int
+	versions map[PageID][]pageVersion
+	// recovery records what the WAL replay restored at New.
+	recovery          RecoveryStats
+	recoveryPublished bool
+	// appendSeq/syncedSeq track group commit: the highest commit sequence
+	// appended to the WAL and the highest known durable. Atomics so the
+	// eviction path can check no-steal without touching the gate lock.
+	appendSeq atomic.Uint64
+	syncedSeq atomic.Uint64
+	gate      commitGate
+}
+
+// commitGate batches WAL fsyncs: the first committer to arrive becomes the
+// leader and syncs everything appended so far; committers arriving while a
+// sync is in flight wait and are usually covered by the next one.
+type commitGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	syncing bool
 }
 
 // New creates a Store over backend. If the backend already contains a store
-// header (page 0), allocator state is restored from it.
+// header (page 0), allocator state is restored from it. If opts.WAL holds
+// records from a crashed predecessor, every complete commit batch is
+// replayed into the backend (redo recovery) before the header is read; the
+// result is reported by RecoveryStats.
 func New(backend Backend, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -168,10 +219,44 @@ func New(backend Backend, opts Options) (*Store, error) {
 		next:    1,
 		latency: opts.ReadLatency,
 	}
+	s.gate.cond = sync.NewCond(&s.gate.mu)
+	if opts.WAL != nil {
+		rs, err := opts.WAL.Replay(opts.PageSize, backend.WritePage)
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: wal replay: %w", err)
+		}
+		s.recovery = rs
+		if rs.Pages > 0 {
+			if err := backend.Sync(); err != nil {
+				return nil, err
+			}
+		}
+		// The backend now reflects every committed batch; start a fresh log
+		// (this also discards a torn tail).
+		if err := opts.WAL.Reset(); err != nil {
+			return nil, err
+		}
+		s.wal = opts.WAL
+	}
 	if err := s.loadHeader(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// RecoveryStats reports what the WAL replay applied when the store was
+// opened (zero when no WAL was configured or the log was empty).
+func (s *Store) RecoveryStats() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Epoch returns the current commit epoch (the number of commits so far).
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // NewMem creates a Store over a fresh in-memory backend.
@@ -219,21 +304,29 @@ func (s *Store) loadHeader() error {
 	return nil
 }
 
-func (s *Store) saveHeaderLocked() error {
-	buf := make([]byte, s.opts.PageSize)
+// composeHeaderInto serializes an allocator header page into buf.
+func composeHeaderInto(buf []byte, pageSize int, next PageID, free []PageID) {
+	for i := range buf {
+		buf[i] = 0
+	}
 	binary.LittleEndian.PutUint64(buf[0:8], headerMagic)
 	binary.LittleEndian.PutUint32(buf[8:12], headerVersion)
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(s.opts.PageSize))
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(s.next))
-	nfree := len(s.free)
-	maxFree := (s.opts.PageSize - 24) / 4
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(pageSize))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(next))
+	nfree := len(free)
+	maxFree := (pageSize - 24) / 4
 	if nfree > maxFree {
 		nfree = maxFree // leak the remainder; documented limitation
 	}
 	binary.LittleEndian.PutUint32(buf[20:24], uint32(nfree))
 	for i := 0; i < nfree; i++ {
-		binary.LittleEndian.PutUint32(buf[24+4*i:], uint32(s.free[i]))
+		binary.LittleEndian.PutUint32(buf[24+4*i:], uint32(free[i]))
 	}
+}
+
+func (s *Store) saveHeaderLocked() error {
+	buf := make([]byte, s.opts.PageSize)
+	composeHeaderInto(buf, s.opts.PageSize, s.next, s.free)
 	return s.backend.WritePage(0, buf)
 }
 
@@ -291,11 +384,14 @@ func (s *Store) Allocate() (PageID, error) {
 		s.next++
 	}
 	// Install a zeroed frame so the first Get does not count a physical
-	// read for a page that has never been written.
-	f := &frame{id: id, data: make([]byte, s.opts.PageSize), dirty: true}
+	// read for a page that has never been written. The pre-image of a
+	// recycled page was stashed when it was freed, so stashEpoch may start
+	// past the current epoch.
+	f := &frame{id: id, data: make([]byte, s.opts.PageSize), dirty: true, stashEpoch: s.epoch + 1}
 	if err := s.installLocked(f); err != nil {
 		return InvalidPage, err
 	}
+	s.mutated = true
 	return id, nil
 }
 
@@ -309,10 +405,27 @@ func (s *Store) Free(id PageID) error {
 	if id == InvalidPage || id >= s.next {
 		return fmt.Errorf("pagestore: free of invalid page %d", id)
 	}
-	if f, ok := s.frames[id]; ok {
-		if f.pins > 0 {
-			return ErrPinned
+	if f, ok := s.frames[id]; ok && f.pins > 0 {
+		return ErrPinned
+	}
+	// Live snapshots may still reach this page through their as-of catalog;
+	// stash its pre-image before the allocator can hand it out again.
+	if len(s.snaps) > 0 {
+		vs := s.versions[id]
+		if len(vs) == 0 || vs[len(vs)-1].tag < s.epoch {
+			data := make([]byte, s.opts.PageSize)
+			if f, ok := s.frames[id]; ok {
+				copy(data, f.data)
+			} else if err := s.backend.ReadPage(id, data); err != nil {
+				return err
+			}
+			if s.versions == nil {
+				s.versions = make(map[PageID][]pageVersion)
+			}
+			s.versions[id] = append(vs, pageVersion{tag: s.epoch, data: data})
 		}
+	}
+	if f, ok := s.frames[id]; ok {
 		if f.elem != nil {
 			s.lru.Remove(f.elem)
 		}
@@ -321,6 +434,7 @@ func (s *Store) Free(id PageID) error {
 	s.stats.Frees++
 	s.obsm.free()
 	s.free = append(s.free, id)
+	s.mutated = true
 	return nil
 }
 
@@ -337,12 +451,46 @@ func (p *Page) ID() PageID { return p.f.id }
 // Data returns the page contents. The slice is valid until Release.
 func (p *Page) Data() []byte { return p.f.data }
 
-// MarkDirty records that the page was modified and must be written back
-// before eviction.
-func (p *Page) MarkDirty() {
-	p.s.mu.Lock()
-	p.f.dirty = true
-	p.s.mu.Unlock()
+// BeginWrite declares that the caller is about to modify the page. It MUST
+// be called before the first mutation (not after, as the old MarkDirty
+// was): when snapshot readers are live it stashes the page's pre-image so
+// they keep seeing the state as of their epoch, and it invalidates any WAL
+// record covering the old content. Idempotent within an epoch.
+func (p *Page) BeginWrite() {
+	s := p.s
+	s.mu.Lock()
+	s.beginWriteLocked(p.f)
+	s.mu.Unlock()
+}
+
+func (s *Store) beginWriteLocked(f *frame) {
+	if len(s.snaps) > 0 && f.stashEpoch <= s.epoch {
+		vs := s.versions[f.id]
+		// A stash tagged with the current epoch already holds the true
+		// pre-image (e.g. the page was freed and recycled this epoch).
+		if len(vs) == 0 || vs[len(vs)-1].tag < s.epoch {
+			data := make([]byte, len(f.data))
+			copy(data, f.data)
+			if s.versions == nil {
+				s.versions = make(map[PageID][]pageVersion)
+			}
+			s.versions[f.id] = append(vs, pageVersion{tag: s.epoch, data: data})
+		}
+	}
+	f.stashEpoch = s.epoch + 1
+	f.dirty = true
+	f.logSeq = 0
+	s.mutated = true
+}
+
+// GetMut pins page id for modification: Get plus BeginWrite.
+func (s *Store) GetMut(id PageID) (*Page, error) {
+	p, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	p.BeginWrite()
+	return p, nil
 }
 
 // Release unpins the page, making it evictable again, and returns the
@@ -440,19 +588,34 @@ func (s *Store) installLocked(f *frame) error {
 
 func (s *Store) shrinkLocked() { _ = s.shrinkToLocked(s.opts.CacheSize) }
 
+// evictableLocked reports whether frame f may leave the cache. With a WAL
+// the store is no-steal: a dirty frame may only be written back once its
+// content is durably logged, so a crash can never leave the backend with
+// pages from an uncommitted (or unsynced) batch.
+func (s *Store) evictableLocked(f *frame) bool {
+	if f.pins > 0 {
+		return false
+	}
+	if !f.dirty || s.wal == nil {
+		return true
+	}
+	return f.logSeq != 0 && f.logSeq <= s.syncedSeq.Load()
+}
+
 // shrinkToLocked evicts least-recently-used unpinned frames until at most
-// limit frames remain. If every frame is pinned the cache is allowed to
-// exceed its capacity (the caller holds the pins and will release them).
+// limit frames remain. If every frame is pinned (or pinned by the no-steal
+// rule) the cache is allowed to exceed its capacity until the pins drop or
+// the next commit makes the dirty frames loggable.
 func (s *Store) shrinkToLocked(limit int) error {
 	for len(s.frames) > limit {
-		// Pinned frames stay in the list; walk past them to the
-		// least-recently-used evictable frame.
+		// Pinned and unloggable frames stay in the list; walk past them to
+		// the least-recently-used evictable frame.
 		back := s.lru.Back()
-		for back != nil && back.Value.(*frame).pins > 0 {
+		for back != nil && !s.evictableLocked(back.Value.(*frame)) {
 			back = back.Prev()
 		}
 		if back == nil {
-			return nil // everything pinned; temporarily over capacity
+			return nil // nothing evictable; temporarily over capacity
 		}
 		f := back.Value.(*frame)
 		if f.dirty {
@@ -462,6 +625,7 @@ func (s *Store) shrinkToLocked(limit int) error {
 				return err
 			}
 			f.dirty = false
+			f.logSeq = 0
 		}
 		s.lru.Remove(back)
 		delete(s.frames, f.id)
@@ -471,14 +635,141 @@ func (s *Store) shrinkToLocked(limit int) error {
 	return nil
 }
 
+// Commit makes every mutation since the previous commit atomically
+// durable (when a WAL is configured) and advances the snapshot epoch:
+// snapshots acquired from now on observe the new state. Commit is
+// CommitAsync followed by WaitDurable; callers that serialize writes
+// behind a lock should CommitAsync inside it and WaitDurable outside, so
+// concurrent committers share fsyncs (group commit). A commit with
+// nothing mutated is a no-op.
+func (s *Store) Commit() error {
+	seq, err := s.CommitAsync()
+	if err != nil || seq == 0 {
+		return err
+	}
+	return s.WaitDurable(seq)
+}
+
+// CommitAsync appends the commit batch — the after-image of every page
+// dirtied since the previous commit plus the allocator header — to the
+// WAL and advances the snapshot epoch, without waiting for durability.
+// It returns the commit sequence to pass to WaitDurable, or 0 when there
+// is nothing to wait for (nothing mutated, or no WAL configured).
+//
+// The caller must serialize CommitAsync against page mutations (the
+// engine's write lock): the batch is "everything dirty right now".
+func (s *Store) CommitAsync() (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !s.mutated {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	if s.wal == nil {
+		s.epoch++
+		s.mutated = false
+		s.obsm.walCommit(0)
+		s.mu.Unlock()
+		return 0, nil
+	}
+	seq := s.epoch + 1
+	pages := 0
+	for _, f := range s.frames {
+		if f.dirty && f.logSeq == 0 {
+			if err := s.wal.AppendPage(f.id, f.data); err != nil {
+				s.mu.Unlock()
+				return 0, err
+			}
+			f.logSeq = seq
+			pages++
+		}
+	}
+	// Log the allocator header too, so recovery restores the page
+	// allocator to this commit's state without a separate flush.
+	hdr := make([]byte, s.opts.PageSize)
+	composeHeaderInto(hdr, s.opts.PageSize, s.next, s.free)
+	if err := s.wal.AppendPage(0, hdr); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	if err := s.wal.AppendCommit(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.epoch++
+	s.mutated = false
+	s.appendSeq.Store(seq)
+	s.obsm.walCommit(pages + 1)
+	s.mu.Unlock()
+	return seq, nil
+}
+
+// WaitDurable blocks until commit sequence seq (from CommitAsync) is
+// fsynced to the WAL, syncing it if no sync is in flight (leader) or
+// riding on the next one (group commit).
+func (s *Store) WaitDurable(seq uint64) error {
+	if seq == 0 || s.wal == nil {
+		return nil
+	}
+	return s.groupSync(seq)
+}
+
+// groupSync waits until commit sequence seq is durable, syncing the WAL
+// itself if no sync is in flight (leader) or riding on the next one.
+func (s *Store) groupSync(seq uint64) error {
+	g := &s.gate
+	g.mu.Lock()
+	for s.syncedSeq.Load() < seq {
+		if g.syncing {
+			g.cond.Wait()
+			continue
+		}
+		g.syncing = true
+		// Everything appended before the fsync starts is covered by it.
+		top := s.appendSeq.Load()
+		g.mu.Unlock()
+		err := s.wal.Sync()
+		g.mu.Lock()
+		g.syncing = false
+		if err == nil {
+			if prev := s.syncedSeq.Load(); top > prev {
+				s.syncedSeq.Store(top)
+				s.obsm.walFsync(top - prev)
+			}
+		}
+		g.cond.Broadcast()
+		if err != nil {
+			g.mu.Unlock()
+			return err
+		}
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// Checkpoint writes every dirty page and the allocator header to the
+// backend, syncs it, and truncates the WAL: the backend alone now holds
+// the full state, so recovery after this point replays nothing. Must not
+// run concurrently with Commit.
+func (s *Store) Checkpoint() error { return s.FlushAll() }
+
 // FlushAll writes every dirty cached page and the allocator header to the
-// backend and syncs it.
+// backend and syncs it. With a WAL this is a checkpoint: once the backend
+// is durable the log is truncated (it would otherwise replay stale images
+// over the flushed state). Any pending mutations become a commit boundary.
 func (s *Store) FlushAll() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
+	return s.flushAllLocked()
+}
+
+func (s *Store) flushAllLocked() error {
 	for _, f := range s.frames {
 		if f.dirty {
 			s.stats.PhysicalWrites++
@@ -487,40 +778,48 @@ func (s *Store) FlushAll() error {
 				return err
 			}
 			f.dirty = false
+			f.logSeq = 0
 		}
 	}
 	if err := s.saveHeaderLocked(); err != nil {
 		return err
 	}
-	return s.backend.Sync()
+	if err := s.backend.Sync(); err != nil {
+		return err
+	}
+	if s.mutated {
+		s.epoch++
+		s.mutated = false
+	}
+	if s.wal != nil {
+		if err := s.wal.Reset(); err != nil {
+			return err
+		}
+		s.obsm.walReset()
+	}
+	return nil
 }
 
-// Close flushes and closes the store. Further operations fail with ErrClosed.
+// Close flushes and closes the store (checkpointing and closing the WAL
+// when one is configured). Further operations — including reads through
+// still-live snapshots — fail with ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
-	for _, f := range s.frames {
-		if f.dirty {
-			s.stats.PhysicalWrites++
-			s.obsm.physicalWrite()
-			if err := s.backend.WritePage(f.id, f.data); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			f.dirty = false
-		}
-	}
-	if err := s.saveHeaderLocked(); err != nil {
+	if err := s.flushAllLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	s.closed = true
+	wal := s.wal
 	s.mu.Unlock()
-	if err := s.backend.Sync(); err != nil {
-		return err
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			return err
+		}
 	}
 	return s.backend.Close()
 }

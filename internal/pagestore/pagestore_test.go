@@ -27,8 +27,8 @@ func TestAllocateGetRelease(t *testing.T) {
 			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
 		}
 	}
+	p.BeginWrite()
 	p.Data()[0] = 42
-	p.MarkDirty()
 	p.Release()
 
 	p2, err := s.Get(id)
@@ -64,8 +64,8 @@ func TestEvictionWritesBack(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.BeginWrite()
 		p.Data()[0] = byte(i + 1)
-		p.MarkDirty()
 		p.Release()
 	}
 	// All pages must survive eviction through the tiny cache.
@@ -166,8 +166,8 @@ func TestPinnedPagesSurviveCachePressure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.BeginWrite()
 		p.Data()[0] = byte(i + 1)
-		p.MarkDirty()
 		pages = append(pages, p)
 	}
 	for i, p := range pages {
@@ -224,8 +224,8 @@ func TestFileBackendPersistence(t *testing.T) {
 		id, _ := s.Allocate()
 		ids = append(ids, id)
 		p, _ := s.Get(id)
+		p.BeginWrite()
 		p.Data()[5] = byte(0x10 + i)
-		p.MarkDirty()
 		p.Release()
 	}
 	if err := s.Close(); err != nil {
@@ -336,9 +336,9 @@ func TestRandomizedAgainstModel(t *testing.T) {
 			}
 			off := rng.Intn(128)
 			val := byte(rng.Intn(256))
+			p.BeginWrite()
 			p.Data()[off] = val
 			model[id][off] = val
-			p.MarkDirty()
 			p.Release()
 		case op < 8 && len(live) > 1: // free
 			i := rng.Intn(len(live))

@@ -1,0 +1,150 @@
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSnapshotWrite is returned when something attempts to write through a
+// snapshot (snapshots are strictly read-only).
+var ErrSnapshotWrite = errors.New("pagestore: write through a read-only snapshot")
+
+// Snapshot is a consistent read-only view of the store as of the commit
+// epoch at which it was acquired. It implements Backend, so a second
+// (read-only) Store — and the whole relational stack above it — can be
+// opened over a snapshot and scanned while writers keep committing to the
+// live store:
+//
+//	sn, _ := st.AcquireSnapshot()
+//	shadow, _ := pagestore.New(sn, pagestore.Options{PageSize: st.PageSize()})
+//	... read through shadow ...
+//	sn.Release()
+//
+// How it stays consistent: Store.BeginWrite stashes the pre-image of a
+// page the first time it is mutated in an epoch while snapshots are live
+// (copy-on-write at page granularity), so ReadPage serves the newest stash
+// whose tag covers the snapshot's epoch, else the live frame, else the
+// backend — all copied under the store mutex, so a reader never borrows a
+// byte slice a writer is mutating.
+//
+// Snapshots must be acquired at a committed boundary (no page mutated
+// since the last Commit); the engine layer guarantees this by acquiring
+// under the same lock that serializes write statements.
+//
+// Never call FlushAll/Close on a store opened over a Snapshot — writes
+// (including the header writeback) fail with ErrSnapshotWrite. Drop the
+// shadow store and Release the snapshot instead.
+type Snapshot struct {
+	s        *Store
+	se       uint64 // commit epoch this snapshot observes
+	next     PageID // allocator high-water mark at acquire
+	released bool   // guarded by s.mu
+}
+
+// AcquireSnapshot pins the current commit epoch for reading. Callers must
+// Release it; live snapshots retain pre-images of every page mutated after
+// them, so leaking snapshots leaks memory proportional to write traffic.
+func (s *Store) AcquireSnapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.snaps == nil {
+		s.snaps = make(map[uint64]int)
+	}
+	s.snaps[s.epoch]++
+	return &Snapshot{s: s, se: s.epoch, next: s.next}, nil
+}
+
+// Epoch returns the commit epoch the snapshot observes.
+func (sn *Snapshot) Epoch() uint64 { return sn.se }
+
+// Release unpins the snapshot and prunes pre-images no live snapshot
+// needs. Idempotent.
+func (sn *Snapshot) Release() {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn.released {
+		return
+	}
+	sn.released = true
+	if n := s.snaps[sn.se]; n > 1 {
+		s.snaps[sn.se] = n - 1
+		return
+	}
+	delete(s.snaps, sn.se)
+	s.pruneVersionsLocked()
+}
+
+// pruneVersionsLocked drops stashed pre-images that no live snapshot can
+// reach: a version tagged T serves snapshots with epoch <= T only.
+func (s *Store) pruneVersionsLocked() {
+	if len(s.snaps) == 0 {
+		s.versions = nil
+		return
+	}
+	min := ^uint64(0)
+	for se := range s.snaps {
+		if se < min {
+			min = se
+		}
+	}
+	for id, vs := range s.versions {
+		keep := vs[:0]
+		for _, v := range vs {
+			if v.tag >= min {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.versions, id)
+		} else {
+			s.versions[id] = keep
+		}
+	}
+}
+
+// ReadPage implements Backend: it serves the page contents as of the
+// snapshot's epoch.
+func (sn *Snapshot) ReadPage(id PageID, buf []byte) error {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if sn.released {
+		return fmt.Errorf("pagestore: read through released snapshot (page %d)", id)
+	}
+	if id == 0 {
+		// The backend's header page is only current as of the last flush;
+		// compose one from the state captured at acquire. The free list is
+		// reported empty — a read-only store never allocates.
+		composeHeaderInto(buf, s.opts.PageSize, sn.next, nil)
+		return nil
+	}
+	// Oldest stash tagged at-or-after the snapshot epoch is the page's
+	// content as of that epoch (versions are appended in tag order).
+	for _, v := range s.versions[id] {
+		if v.tag >= sn.se {
+			copy(buf, v.data)
+			return nil
+		}
+	}
+	if f, ok := s.frames[id]; ok {
+		copy(buf, f.data)
+		return nil
+	}
+	return s.backend.ReadPage(id, buf)
+}
+
+// WritePage implements Backend and always fails: snapshots are read-only.
+func (sn *Snapshot) WritePage(id PageID, buf []byte) error { return ErrSnapshotWrite }
+
+// Sync implements Backend as a no-op (nothing to make durable).
+func (sn *Snapshot) Sync() error { return nil }
+
+// Close implements Backend as a no-op; release the snapshot with Release.
+func (sn *Snapshot) Close() error { return nil }

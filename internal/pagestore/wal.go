@@ -1,0 +1,254 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL is a redo-only write-ahead log of full page images. The store appends
+// the after-image of every dirty page followed by a commit record, then
+// fsyncs the log (batched across concurrent committers, see Store.Commit)
+// before the pages are allowed to reach the backend. On open the store
+// replays every complete commit batch into the backend, so a crash at any
+// point loses at most the uncommitted tail.
+//
+// Implementations must tolerate Append* and Sync being called from different
+// goroutines (appends are serialized by the store; Sync is issued by the
+// group-commit leader).
+type WAL interface {
+	// AppendPage logs the after-image of page id.
+	AppendPage(id PageID, data []byte) error
+	// AppendCommit marks every page image appended since the previous
+	// commit record as an atomic batch.
+	AppendCommit() error
+	// Sync makes all appended records durable.
+	Sync() error
+	// Reset discards the log contents (after a checkpoint has made the
+	// backend itself durable).
+	Reset() error
+	// Replay feeds every page image of every complete commit batch, in log
+	// order, to apply. Incomplete or corrupt tails are not errors: replay
+	// stops there and reports Torn. pageSize guards against mismatched logs.
+	Replay(pageSize int, apply func(id PageID, data []byte) error) (RecoveryStats, error)
+	// Close releases log resources.
+	Close() error
+}
+
+// RecoveryStats describes what a WAL replay recovered.
+type RecoveryStats struct {
+	Commits int  // complete commit batches applied
+	Pages   int  // page images applied
+	Torn    bool // the log ended mid-record or mid-batch (tail discarded)
+}
+
+// Log record framing. Every record carries a trailing CRC32 (IEEE) of the
+// bytes before it; a mismatch or a short read marks the torn tail.
+//
+//	page record:   [recPage][pageID u32][len u32][data ...][crc u32]
+//	commit record: [recCommit][crc u32]
+const (
+	recPage   = byte(1)
+	recCommit = byte(2)
+)
+
+// ErrWALPageSize is returned by Replay when a logged image does not match
+// the page size of the opening store.
+var ErrWALPageSize = errors.New("pagestore: wal page size mismatch")
+
+func appendPageRecord(dst []byte, id PageID, data []byte) []byte {
+	start := len(dst)
+	dst = append(dst, recPage)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(id))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(data)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, data...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
+}
+
+func appendCommitRecord(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, recCommit)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
+}
+
+// replayBytes decodes log (the raw WAL byte stream) and applies complete
+// commit batches. Shared by both WAL implementations.
+func replayBytes(log []byte, pageSize int, apply func(id PageID, data []byte) error) (RecoveryStats, error) {
+	var st RecoveryStats
+	type img struct {
+		id   PageID
+		data []byte
+	}
+	var pending []img
+	off := 0
+	for off < len(log) {
+		switch log[off] {
+		case recPage:
+			// type + id + len + data + crc
+			if off+9 > len(log) {
+				st.Torn = true
+				return st, nil
+			}
+			n := int(binary.LittleEndian.Uint32(log[off+5 : off+9]))
+			end := off + 9 + n + 4
+			if n < 0 || n > 1<<26 || end > len(log) {
+				st.Torn = true
+				return st, nil
+			}
+			want := binary.LittleEndian.Uint32(log[end-4 : end])
+			if crc32.ChecksumIEEE(log[off:end-4]) != want {
+				st.Torn = true
+				return st, nil
+			}
+			if n != pageSize {
+				return st, fmt.Errorf("%w: logged %d, store %d", ErrWALPageSize, n, pageSize)
+			}
+			id := PageID(binary.LittleEndian.Uint32(log[off+1 : off+5]))
+			pending = append(pending, img{id: id, data: log[off+9 : off+9+n]})
+			off = end
+		case recCommit:
+			end := off + 5
+			if end > len(log) {
+				st.Torn = true
+				return st, nil
+			}
+			want := binary.LittleEndian.Uint32(log[end-4 : end])
+			if crc32.ChecksumIEEE(log[off:off+1]) != want {
+				st.Torn = true
+				return st, nil
+			}
+			for _, im := range pending {
+				if err := apply(im.id, im.data); err != nil {
+					return st, err
+				}
+				st.Pages++
+			}
+			st.Commits++
+			pending = pending[:0]
+			off = end
+		default:
+			st.Torn = true
+			return st, nil
+		}
+	}
+	if len(pending) > 0 {
+		st.Torn = true // page images with no commit record behind them
+	}
+	return st, nil
+}
+
+// MemWAL is an in-memory WAL, useful for tests and for exercising the
+// commit protocol without a filesystem. Sync is a counted no-op.
+type MemWAL struct {
+	log   []byte
+	syncs int64
+}
+
+// NewMemWAL returns an empty in-memory WAL.
+func NewMemWAL() *MemWAL { return &MemWAL{} }
+
+func (w *MemWAL) AppendPage(id PageID, data []byte) error {
+	w.log = appendPageRecord(w.log, id, data)
+	return nil
+}
+
+func (w *MemWAL) AppendCommit() error {
+	w.log = appendCommitRecord(w.log)
+	return nil
+}
+
+func (w *MemWAL) Sync() error { w.syncs++; return nil }
+
+// Syncs returns how many times Sync was called (group-commit batching
+// makes this smaller than the number of commits under contention).
+func (w *MemWAL) Syncs() int64 { return w.syncs }
+
+// Len returns the current log size in bytes.
+func (w *MemWAL) Len() int { return len(w.log) }
+
+// Bytes returns the raw log contents (borrowed; for tests that simulate
+// torn writes by truncating).
+func (w *MemWAL) Bytes() []byte { return w.log }
+
+// SetBytes replaces the log contents (for tests).
+func (w *MemWAL) SetBytes(b []byte) { w.log = b }
+
+func (w *MemWAL) Reset() error { w.log = w.log[:0]; return nil }
+
+func (w *MemWAL) Replay(pageSize int, apply func(id PageID, data []byte) error) (RecoveryStats, error) {
+	return replayBytes(w.log, pageSize, apply)
+}
+
+func (w *MemWAL) Close() error { return nil }
+
+// FileWAL is a file-backed WAL: records are appended to a flat file and
+// Sync fsyncs it. The conventional location is the store path + ".wal"
+// (see OpenFileWAL).
+type FileWAL struct {
+	f    *os.File
+	path string
+}
+
+// OpenFileWAL opens (creating if absent) the WAL file at path.
+func OpenFileWAL(path string) (*FileWAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileWAL{f: f, path: path}, nil
+}
+
+// Path returns the WAL file path.
+func (w *FileWAL) Path() string { return w.path }
+
+func (w *FileWAL) AppendPage(id PageID, data []byte) error {
+	buf := appendPageRecord(make([]byte, 0, 13+len(data)), id, data)
+	_, err := w.f.Write(buf)
+	return err
+}
+
+func (w *FileWAL) AppendCommit() error {
+	_, err := w.f.Write(appendCommitRecord(nil))
+	return err
+}
+
+func (w *FileWAL) Sync() error { return w.f.Sync() }
+
+func (w *FileWAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *FileWAL) Replay(pageSize int, apply func(id PageID, data []byte) error) (RecoveryStats, error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return RecoveryStats{}, err
+	}
+	log, err := io.ReadAll(w.f)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return RecoveryStats{}, err
+	}
+	return replayBytes(log, pageSize, apply)
+}
+
+func (w *FileWAL) Close() error { return w.f.Close() }

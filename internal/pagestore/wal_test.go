@@ -1,0 +1,434 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// writePage mutates one byte of page id under the BeginWrite protocol.
+func writePage(t *testing.T, s *Store, id PageID, off int, val byte) {
+	t.Helper()
+	p, err := s.GetMut(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data()[off] = val
+	p.Release()
+}
+
+func readPageByte(t *testing.T, s *Store, id PageID, off int) byte {
+	t.Helper()
+	p, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	return p.Data()[off]
+}
+
+func TestWALCommitRecoversAfterCrash(t *testing.T) {
+	backend := NewMemBackend()
+	wal := NewMemWAL()
+	s, err := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		writePage(t, s, id, 3, byte(0x40+i))
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon the store without Close/FlushAll. The cache was big
+	// enough that nothing was written back, so the backend holds only what
+	// recovery replays.
+	s2, err := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := s2.RecoveryStats()
+	if rs.Commits != 1 || rs.Pages == 0 || rs.Torn {
+		t.Fatalf("recovery = %+v, want 1 untorn commit with pages", rs)
+	}
+	if got := s2.NumAllocated(); got != 5 {
+		t.Fatalf("NumAllocated after recovery = %d, want 5", got)
+	}
+	for i, id := range ids {
+		if got := readPageByte(t, s2, id, 3); got != byte(0x40+i) {
+			t.Fatalf("page %d byte = %#x, want %#x", id, got, 0x40+i)
+		}
+	}
+	if wal.Len() != 0 {
+		t.Fatalf("wal not reset after replay: %d bytes", wal.Len())
+	}
+}
+
+func TestWALUncommittedBatchIsLost(t *testing.T) {
+	backend := NewMemBackend()
+	wal := NewMemWAL()
+	s, _ := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	id, _ := s.Allocate()
+	writePage(t, s, id, 0, 0xAA)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch that never commits.
+	writePage(t, s, id, 0, 0xBB)
+	id2, _ := s.Allocate()
+	writePage(t, s, id2, 0, 0xCC)
+
+	s2, err := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.NumAllocated(); got != 1 {
+		t.Fatalf("NumAllocated = %d, want 1 (second allocation uncommitted)", got)
+	}
+	if got := readPageByte(t, s2, id, 0); got != 0xAA {
+		t.Fatalf("page byte = %#x, want committed 0xAA", got)
+	}
+}
+
+// TestWALCrashAtEveryTruncation is the crash matrix: a workload of commits
+// is run with nothing written back to the backend, then the WAL is cut at
+// every possible byte length. Reopening must always recover exactly the
+// state of the last complete commit batch in the prefix — never a torn
+// in-between state.
+func TestWALCrashAtEveryTruncation(t *testing.T) {
+	wal := NewMemWAL()
+	s, err := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// expected[j] = (allocated count, page contents) after commit j.
+	type state struct {
+		alloc int
+		bytes map[PageID]byte
+	}
+	expected := []state{{0, nil}}
+	boundaries := []int{0}
+	cur := map[PageID]byte{}
+	var ids []PageID
+	for commit := 1; commit <= 4; commit++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		for i, id := range ids {
+			v := byte(commit*16 + i)
+			writePage(t, s, id, 7, v)
+			cur[id] = v
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		snap := make(map[PageID]byte, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		expected = append(expected, state{alloc: len(ids), bytes: snap})
+		boundaries = append(boundaries, wal.Len())
+	}
+	log := append([]byte(nil), wal.Bytes()...)
+
+	for k := 0; k <= len(log); k++ {
+		trial := NewMemWAL()
+		trial.SetBytes(append([]byte(nil), log[:k]...))
+		s2, err := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 64, WAL: trial})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", k, err)
+		}
+		// How many complete batches fit in the prefix?
+		want := 0
+		for j, b := range boundaries {
+			if k >= b {
+				want = j
+			}
+		}
+		rs := s2.RecoveryStats()
+		if rs.Commits != want {
+			t.Fatalf("cut %d: recovered %d commits, want %d", k, rs.Commits, want)
+		}
+		atBoundary := k == boundaries[want]
+		if rs.Torn == atBoundary {
+			t.Fatalf("cut %d: Torn = %v, boundary = %v", k, rs.Torn, atBoundary)
+		}
+		exp := expected[want]
+		if got := s2.NumAllocated(); got != exp.alloc {
+			t.Fatalf("cut %d: NumAllocated = %d, want %d", k, got, exp.alloc)
+		}
+		for id, v := range exp.bytes {
+			if got := readPageByte(t, s2, id, 7); got != v {
+				t.Fatalf("cut %d: page %d = %#x, want %#x", k, id, got, v)
+			}
+		}
+	}
+}
+
+func TestFileWALPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "pages.db")
+	walPath := dbPath + ".wal"
+
+	b, err := OpenFileBackend(dbPath, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenFileWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(b, Options{PageSize: 256, CacheSize: 64, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	writePage(t, s, id, 9, 0x7E)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: close the file handles without flushing the store.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, _ := OpenFileBackend(dbPath, 256)
+	w2, _ := OpenFileWAL(walPath)
+	s2, err := New(b2, Options{PageSize: 256, CacheSize: 64, WAL: w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rs := s2.RecoveryStats(); rs.Commits != 1 {
+		t.Fatalf("recovery = %+v, want 1 commit", rs)
+	}
+	if got := readPageByte(t, s2, id, 9); got != 0x7E {
+		t.Fatalf("recovered byte = %#x, want 0x7E", got)
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	backend := NewMemBackend()
+	wal := NewMemWAL()
+	s, _ := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	id, _ := s.Allocate()
+	writePage(t, s, id, 0, 0x11)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if wal.Len() == 0 {
+		t.Fatal("wal empty after commit")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if wal.Len() != 0 {
+		t.Fatalf("wal not truncated by checkpoint: %d bytes", wal.Len())
+	}
+	// The backend alone now carries the state.
+	s2, err := New(backend, Options{PageSize: 256, CacheSize: 64, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := s2.RecoveryStats(); rs.Commits != 0 {
+		t.Fatalf("recovery after checkpoint = %+v, want nothing", rs)
+	}
+	if got := readPageByte(t, s2, id, 0); got != 0x11 {
+		t.Fatalf("byte after checkpointed reopen = %#x, want 0x11", got)
+	}
+}
+
+// TestNoStealKeepsUncommittedPagesOutOfBackend drives the cache over
+// capacity with uncommitted dirty pages: the no-steal rule must hold them
+// in memory rather than leak an uncommitted image to the backend.
+func TestNoStealKeepsUncommittedPagesOutOfBackend(t *testing.T) {
+	backend := NewMemBackend()
+	wal := NewMemWAL()
+	s, _ := New(backend, Options{PageSize: 256, CacheSize: 4, WAL: wal})
+	var ids []PageID
+	for i := 0; i < 12; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		writePage(t, s, id, 0, byte(i+1))
+	}
+	buf := make([]byte, 256)
+	for _, id := range ids {
+		if err := backend.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, make([]byte, 256)) {
+			t.Fatalf("uncommitted page %d reached the backend", id)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Commit makes them loggable; cache pressure may now write them back.
+	for i := 0; i < 8; i++ {
+		id, _ := s.Allocate()
+		writePage(t, s, id, 0, 0xFF)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if got := readPageByte(t, s, id, 0); got != byte(i+1) {
+			t.Fatalf("page %d = %#x after pressure, want %#x", id, got, i+1)
+		}
+	}
+}
+
+// slowWAL delays Sync so concurrent committers pile up behind the leader.
+type slowWAL struct {
+	*MemWAL
+	delay time.Duration
+}
+
+func (w *slowWAL) Sync() error {
+	time.Sleep(w.delay)
+	return w.MemWAL.Sync()
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	wal := &slowWAL{MemWAL: NewMemWAL(), delay: 2 * time.Millisecond}
+	s, _ := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 256, WAL: wal})
+	const workers, commitsPer = 8, 10
+	ids := make([]PageID, workers)
+	for i := range ids {
+		ids[i], _ = s.Allocate()
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	base := wal.Syncs()
+
+	// The engine pattern: mutate + CommitAsync under a shared write lock,
+	// WaitDurable outside it.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < commitsPer; c++ {
+				mu.Lock()
+				p, err := s.GetMut(ids[w])
+				if err != nil {
+					mu.Unlock()
+					errs <- err
+					return
+				}
+				p.Data()[c] = byte(w + 1)
+				p.Release()
+				seq, err := s.CommitAsync()
+				mu.Unlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := s.WaitDurable(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	total := workers * commitsPer
+	syncs := wal.Syncs() - base
+	if syncs <= 0 || syncs >= int64(total) {
+		t.Fatalf("syncs = %d for %d commits, want batching (0 < syncs < commits)", syncs, total)
+	}
+	t.Logf("group commit: %d commits in %d fsyncs", total, syncs)
+}
+
+// faultWAL fails appends/syncs after a countdown, mirroring faultBackend.
+type faultWAL struct {
+	inner      WAL
+	appendLeft int
+	syncsLeft  int
+}
+
+var errWALInjected = errors.New("injected wal fault")
+
+func (w *faultWAL) AppendPage(id PageID, data []byte) error {
+	if w.appendLeft == 0 {
+		return errWALInjected
+	}
+	if w.appendLeft > 0 {
+		w.appendLeft--
+	}
+	return w.inner.AppendPage(id, data)
+}
+
+func (w *faultWAL) AppendCommit() error {
+	if w.appendLeft == 0 {
+		return errWALInjected
+	}
+	if w.appendLeft > 0 {
+		w.appendLeft--
+	}
+	return w.inner.AppendCommit()
+}
+
+func (w *faultWAL) Sync() error {
+	if w.syncsLeft == 0 {
+		return errWALInjected
+	}
+	if w.syncsLeft > 0 {
+		w.syncsLeft--
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultWAL) Reset() error { return w.inner.Reset() }
+func (w *faultWAL) Replay(ps int, apply func(PageID, []byte) error) (RecoveryStats, error) {
+	return w.inner.Replay(ps, apply)
+}
+func (w *faultWAL) Close() error { return w.inner.Close() }
+
+func TestWALFaultsSurfaceOnCommit(t *testing.T) {
+	fw := &faultWAL{inner: NewMemWAL(), appendLeft: -1, syncsLeft: -1}
+	s, _ := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 16, WAL: fw})
+	id, _ := s.Allocate()
+	writePage(t, s, id, 0, 1)
+	fw.appendLeft = 0
+	if err := s.Commit(); !errors.Is(err, errWALInjected) {
+		t.Fatalf("Commit with failing append = %v, want injected fault", err)
+	}
+	fw.appendLeft = -1
+	fw.syncsLeft = 0
+	if err := s.Commit(); !errors.Is(err, errWALInjected) {
+		t.Fatalf("Commit with failing sync = %v, want injected fault", err)
+	}
+	// Heal: the batch is re-attempted (pages were never marked clean).
+	fw.syncsLeft = -1
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit after heal = %v", err)
+	}
+	if got := readPageByte(t, s, id, 0); got != 1 {
+		t.Fatalf("byte = %d, want 1", got)
+	}
+}

@@ -106,15 +106,14 @@ func (db *DB) saveCatalog() error {
 				return err
 			}
 			// Link from the previous page.
-			pp, err := db.st.Get(prev)
+			pp, err := db.st.GetMut(prev)
 			if err != nil {
 				return err
 			}
 			setCatNext(pp.Data(), pid)
-			pp.MarkDirty()
 			pp.Release()
 		}
-		p, err := db.st.Get(pid)
+		p, err := db.st.GetMut(pid)
 		if err != nil {
 			return err
 		}
@@ -132,7 +131,6 @@ func (db *DB) saveCatalog() error {
 			setCatNext(d, pagestore.InvalidPage)
 			freeFrom = next
 		}
-		p.MarkDirty()
 		p.Release()
 		prev = pid
 		pid = next

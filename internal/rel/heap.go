@@ -101,7 +101,7 @@ func openHeap(st *pagestore.Store, header pagestore.PageID, ncols int) (*heap, e
 }
 
 func (h *heap) writeHeader() error {
-	p, err := h.st.Get(h.header)
+	p, err := h.st.GetMut(h.header)
 	if err != nil {
 		return err
 	}
@@ -112,7 +112,6 @@ func (h *heap) writeHeader() error {
 	binary.LittleEndian.PutUint64(d[12:20], uint64(h.rowCount))
 	binary.LittleEndian.PutUint32(d[20:24], uint32(h.freeHint))
 	binary.LittleEndian.PutUint64(d[24:32], h.chk)
-	p.MarkDirty()
 	p.Release()
 	return nil
 }
@@ -122,12 +121,11 @@ func (h *heap) newPage() (pagestore.PageID, error) {
 	if err != nil {
 		return 0, err
 	}
-	p, err := h.st.Get(id)
+	p, err := h.st.GetMut(id)
 	if err != nil {
 		return 0, err
 	}
 	p.Data()[0] = heapPageType
-	p.MarkDirty()
 	p.Release()
 	return id, nil
 }
@@ -193,12 +191,11 @@ func (h *heap) insert(row []int64) (RowID, error) {
 	if err != nil {
 		return 0, err
 	}
-	lp, err := h.st.Get(h.lastPage)
+	lp, err := h.st.GetMut(h.lastPage)
 	if err != nil {
 		return 0, err
 	}
 	setPageNext(lp.Data(), id)
-	lp.MarkDirty()
 	lp.Release()
 	h.lastPage = id
 	h.freeHint = id
@@ -230,10 +227,10 @@ func (h *heap) tryInsertInto(id pagestore.PageID, row []int64) (RowID, bool, err
 	}
 	for slot := 0; slot < h.slots; slot++ {
 		if !h.slotUsed(d, slot) {
+			p.BeginWrite()
 			encodeRow(h.rowAt(d, slot), row)
 			h.setSlot(d, slot, true)
 			setPageCount(d, c+1)
-			p.MarkDirty()
 			return makeRowID(uint32(id), slot), true, nil
 		}
 	}
@@ -279,8 +276,8 @@ func (h *heap) update(rid RowID, row []int64) error {
 	}
 	old := make([]int64, h.ncols)
 	decodeRow(old, h.rowAt(d, slot))
+	p.BeginWrite()
 	encodeRow(h.rowAt(d, slot), row)
-	p.MarkDirty()
 	p.Release()
 	h.chk ^= RowChecksum(old, rid) ^ RowChecksum(row, rid)
 	return h.writeHeader()
@@ -303,9 +300,9 @@ func (h *heap) delete(rid RowID, dst []int64) error {
 		return ErrNoSuchRow
 	}
 	decodeRow(dst, h.rowAt(d, slot))
+	p.BeginWrite()
 	h.setSlot(d, slot, false)
 	setPageCount(d, pageCount(d)-1)
-	p.MarkDirty()
 	p.Release()
 	h.rowCount--
 	h.chk ^= RowChecksum(dst, rid)

@@ -325,26 +325,60 @@ func (ix *indexType) SetNow(now int64) { ix.tree.SetNow(now) }
 // Now implements sqldb.NowKeeper.
 func (ix *indexType) Now() int64 { return ix.tree.Now() }
 
-// Scan implements sqldb.CustomIndex: the operator dispatch.
-func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
-	var q interval.Interval
+// opQuery resolves an operator invocation into the query interval.
+func opQuery(op string, args []int64) (interval.Interval, error) {
 	switch strings.ToLower(op) {
 	case OperatorIntersects:
 		if len(args) != 2 {
-			return fmt.Errorf("ritree indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
+			return interval.Interval{}, fmt.Errorf("ritree indextype: INTERSECTS needs (:lo, :hi), got %d args", len(args))
 		}
-		q = interval.New(args[0], args[1])
+		return interval.New(args[0], args[1]), nil
 	case OperatorContainsPoint:
 		if len(args) != 1 {
-			return fmt.Errorf("ritree indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
+			return interval.Interval{}, fmt.Errorf("ritree indextype: CONTAINS_POINT needs (:p), got %d args", len(args))
 		}
-		q = interval.Point(args[0])
-	default:
-		return fmt.Errorf("ritree indextype: unknown operator %q", op)
+		return interval.Point(args[0]), nil
+	}
+	return interval.Interval{}, fmt.Errorf("ritree indextype: unknown operator %q", op)
+}
+
+// Scan implements sqldb.CustomIndex: the operator dispatch.
+func (ix *indexType) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	q, err := opQuery(op, args)
+	if err != nil {
+		return err
 	}
 	return ix.tree.IntersectingFunc(q, func(id int64) bool {
 		return fn(rel.RowID(id))
 	})
+}
+
+// SnapshotScan implements sqldb.SnapshotScanner: the RI-tree's relational
+// storage lives entirely in the page store, so the snapshot-bound scan is
+// simply the same tree opened read-only against the shadow (snapshot)
+// database. The shadow tree sees exactly the committed B+-tree state the
+// snapshot pinned, and its evaluation clock is frozen at the live tree's
+// current now.
+func (ix *indexType) SnapshotScan(shadow *rel.DB) (sqldb.ScanFunc, error) {
+	opts := ix.tree.opts
+	// Never materialize on a read-only view — Open with the backbone
+	// option only reads the persisted parameter row anyway, but be
+	// explicit that a snapshot must not trigger writes.
+	opts.MaterializeBackbone = false
+	t, err := Open(shadow, hiddenTreeName(ix.name), opts)
+	if err != nil {
+		return nil, err
+	}
+	t.SetNow(ix.tree.Now())
+	return func(op string, args []int64, fn func(rid rel.RowID) bool) error {
+		q, err := opQuery(op, args)
+		if err != nil {
+			return err
+		}
+		return t.IntersectingFunc(q, func(id int64) bool {
+			return fn(rel.RowID(id))
+		})
+	}, nil
 }
 
 // Drop implements sqldb.CustomIndex.

@@ -146,7 +146,7 @@ func (n *aggNode) Row() []int64 { return n.out }
 
 // buildAggregate compiles one aggregate-projecting select block into its
 // pipeline sink and output column names.
-func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}) (rowNode, []string, error) {
+func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}, v *execView) (rowNode, []string, error) {
 	plan, err := e.planSelect(&SelectStmt{
 		Items: []SelectItem{{Star: true}},
 		From:  s.From,
@@ -154,6 +154,11 @@ func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}) (ro
 	}, binds)
 	if err != nil {
 		return nil, nil, err
+	}
+	if v != nil {
+		if err := rewirePlan(plan, v); err != nil {
+			return nil, nil, err
+		}
 	}
 	var states []*aggState
 	var cols []string

@@ -79,6 +79,19 @@ type ExplainStmt struct {
 	Analyze bool
 }
 
+// BeginStmt is BEGIN [TRANSACTION|WORK]: open an explicit transaction
+// with snapshot-isolated reads and optimistic, first-committer-wins
+// writes (see txn.go).
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT [TRANSACTION|WORK]: validate and apply the open
+// transaction's buffered writes.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK [TRANSACTION|WORK]: discard the open
+// transaction's buffered writes.
+type RollbackStmt struct{}
+
 func (*CreateTableStmt) stmt()      {}
 func (*CreateIndexStmt) stmt()      {}
 func (*CreateCollectionStmt) stmt() {}
@@ -88,6 +101,9 @@ func (*InsertStmt) stmt()           {}
 func (*DeleteStmt) stmt()           {}
 func (*SelectStmt) stmt()           {}
 func (*ExplainStmt) stmt()          {}
+func (*BeginStmt) stmt()            {}
+func (*CommitStmt) stmt()           {}
+func (*RollbackStmt) stmt()         {}
 
 // SelectItem is one projection: an expression, or a * / alias.* wildcard.
 type SelectItem struct {

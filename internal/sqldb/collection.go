@@ -83,8 +83,14 @@ func (e *Engine) CustomIndexByName(name string) (CustomIndex, bool) {
 // same configuration.
 func (e *Engine) CreateCollection(name, method string, params map[string]string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.createCollectionLocked(name, method, params)
+	if e.txn != nil {
+		e.mu.Unlock()
+		return errTxnOpen
+	}
+	err := e.createCollectionLocked(name, method, params)
+	seq, cerr := e.commitWriteLocked()
+	e.mu.Unlock()
+	return firstErr(err, cerr, e.db.Store().WaitDurable(seq))
 }
 
 func (e *Engine) createCollectionLocked(name, method string, params map[string]string) error {
@@ -122,8 +128,14 @@ func (e *Engine) createCollectionLocked(name, method string, params map[string]s
 // DROP TABLE cascade, its access-method index and storage.
 func (e *Engine) DropCollection(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.dropCollectionLocked(name)
+	if e.txn != nil {
+		e.mu.Unlock()
+		return errTxnOpen
+	}
+	err := e.dropCollectionLocked(name)
+	seq, cerr := e.commitWriteLocked()
+	e.mu.Unlock()
+	return firstErr(err, cerr, e.db.Store().WaitDurable(seq))
 }
 
 func (e *Engine) dropCollectionLocked(name string) error {
@@ -172,33 +184,55 @@ func (e *Engine) CollectionMethod(name string) (string, bool) {
 
 // --- programmatic DML with domain-index maintenance ----------------------
 
+// firstErr returns the first non-nil error: operation error, then commit
+// error, then durability-wait error — the precedence every auto-commit
+// write path uses.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // InsertRow stores row in table with full domain-index maintenance — the
 // programmatic equivalent of INSERT INTO, minus the SQL parse. This is
-// the write path of the unified collection API.
+// the write path of the unified collection API. It always auto-commits,
+// even while a SQL transaction is open — programmatic writers are exactly
+// the concurrent writers the transaction's first-committer-wins
+// validation detects.
 func (e *Engine) InsertRow(table string, row []int64) (rel.RowID, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	tab, err := e.db.Table(table)
 	if err != nil {
+		e.mu.Unlock()
 		return 0, err
 	}
-	return e.insertRowLocked(table, tab, row)
+	rid, err := e.insertRowLocked(table, tab, row)
+	seq, cerr := e.commitWriteLocked()
+	e.mu.Unlock()
+	return rid, firstErr(err, cerr, e.db.Store().WaitDurable(seq))
 }
 
 // DeleteRowID removes the row at rid from table with full domain-index
-// maintenance.
+// maintenance. Auto-commits like InsertRow.
 func (e *Engine) DeleteRowID(table string, rid rel.RowID) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	tab, err := e.db.Table(table)
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	row, err := tab.GetRaw(rid)
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	return e.deleteRowLocked(table, tab, rid, row)
+	err = e.deleteRowLocked(table, tab, rid, row)
+	seq, cerr := e.commitWriteLocked()
+	e.mu.Unlock()
+	return firstErr(err, cerr, e.db.Store().WaitDurable(seq))
 }
 
 // BulkMaintainer is an optional CustomIndex capability: refresh the index
@@ -219,7 +253,13 @@ type BulkMaintainer interface {
 // otherwise refuse every later attach).
 func (e *Engine) BulkInsert(table string, rows [][]int64) ([]rel.RowID, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	rids, err := e.bulkInsertLocked(table, rows)
+	seq, cerr := e.commitWriteLocked()
+	e.mu.Unlock()
+	return rids, firstErr(err, cerr, e.db.Store().WaitDurable(seq))
+}
+
+func (e *Engine) bulkInsertLocked(table string, rows [][]int64) ([]rel.RowID, error) {
 	tab, err := e.db.Table(table)
 	if err != nil {
 		return nil, err

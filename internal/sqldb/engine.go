@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ritree/internal/obs"
@@ -43,6 +44,15 @@ type Engine struct {
 	custom     map[string]CustomIndex   // by index name
 	customByTb map[string][]CustomIndex // by table name
 
+	// viewLk guards the reference counts of execViews and the curView
+	// cache. It nests inside mu (mu → viewLk) but is also taken alone by
+	// releaseView, which runs on reader goroutines as cursors close.
+	viewLk  sync.Mutex
+	curView *execView
+	// txn is the open explicit transaction, nil outside BEGIN…COMMIT.
+	// Guarded by mu.
+	txn *txnState
+
 	// reg is the DB-level metrics registry statement telemetry publishes
 	// into (nil: metrics off). Guarded by mu.
 	reg *obs.Registry
@@ -50,8 +60,9 @@ type Engine struct {
 	tel telemetry
 	// sqlMet caches the registry handles of the per-statement counter
 	// families, so the per-statement observation performs no name
-	// concatenation or registry map lookups. Guarded by mu.
-	sqlMet *sqlMetrics
+	// concatenation or registry map lookups. Atomic: observeStmt runs on
+	// reader goroutines without mu since cursors stopped holding it.
+	sqlMet atomic.Pointer[sqlMetrics]
 	// capStats/capPlan carry the cursor counters of the statement
 	// currently executing under mu from execSelect/explainAnalyze back to
 	// Exec's observation point. capPlan is a thunk so the per-operator
@@ -75,22 +86,64 @@ func (e *Engine) DB() *rel.DB { return e.db }
 
 // Exec parses and executes one statement. binds supplies scalar bind
 // variables (int64 or int) and transient relations (Transient or
-// *Transient).
+// *Transient). Write statements outside an explicit transaction
+// auto-commit: their pages reach the WAL (group commit) before Exec
+// returns, and the cached snapshot view is invalidated so later readers
+// see them.
 func (e *Engine) Exec(sql string, binds map[string]interface{}) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	start := time.Now()
 	e.capStats, e.capPlan = ExecStats{}, nil
 	res, err := e.execStmt(st, binds)
+	var seq uint64
+	var cerr error
+	if e.txn == nil && stmtWrites(st) {
+		// Commit even when the statement failed: partially applied DML
+		// (e.g. a DELETE aborting mid-batch after a consistent prefix)
+		// must still land at a committed boundary before mu is released,
+		// or the next snapshot could capture torn pages.
+		seq, cerr = e.commitWriteLocked()
+	}
+	if err == nil {
+		e.observeStmt(sql, stmtKind(st), len(binds), time.Since(start), e.capStats, e.capPlan)
+	}
+	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	e.observeStmt(sql, stmtKind(st), len(binds), time.Since(start), e.capStats, e.capPlan)
+	if cerr != nil {
+		return nil, cerr
+	}
+	// Group-commit durability wait happens outside mu, so concurrent
+	// statements batch into the same fsync instead of serializing on it.
+	if werr := e.db.Store().WaitDurable(seq); werr != nil {
+		return nil, werr
+	}
 	return res, nil
+}
+
+// stmtWrites reports whether a statement (potentially) mutates storage
+// and therefore needs a commit boundary. COMMIT itself writes — it is
+// where buffered transaction ops are applied.
+func stmtWrites(st Statement) bool {
+	switch st.(type) {
+	case *SelectStmt, *ExplainStmt, *BeginStmt, *RollbackStmt:
+		return false
+	}
+	return true
+}
+
+// commitWriteLocked seals a write at its commit boundary: the cached
+// snapshot view is retired and the dirty pages are handed to the WAL's
+// group commit. The caller waits for durability after releasing mu.
+// Caller holds e.mu.
+func (e *Engine) commitWriteLocked() (uint64, error) {
+	e.invalidateViewLocked()
+	return e.db.Store().CommitAsync()
 }
 
 // MustExec is Exec for statements that cannot fail in tests and examples;
@@ -103,8 +156,25 @@ func (e *Engine) MustExec(sql string, binds map[string]interface{}) *Result {
 	return r
 }
 
+// errTxnOpen rejects DDL while an explicit transaction is open: catalog
+// changes cannot be buffered or validated by the content-checksum scheme.
+var errTxnOpen = fmt.Errorf("sql: DDL is not allowed inside a transaction (COMMIT or ROLLBACK first)")
+
 func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, error) {
+	if e.txn != nil {
+		switch st.(type) {
+		case *CreateTableStmt, *CreateIndexStmt, *DropStmt,
+			*CreateCollectionStmt, *DropCollectionStmt:
+			return nil, errTxnOpen
+		}
+	}
 	switch s := st.(type) {
+	case *BeginStmt:
+		return e.execBegin()
+	case *CommitStmt:
+		return e.execCommit()
+	case *RollbackStmt:
+		return e.execRollback()
 	case *CreateTableStmt:
 		if _, err := e.db.CreateTable(s.Name, s.Columns); err != nil {
 			return nil, err
@@ -137,8 +207,14 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 	case *DropCollectionStmt:
 		return &Result{}, e.dropCollectionLocked(s.Name)
 	case *InsertStmt:
+		if e.txn != nil {
+			return e.txnInsert(s, binds)
+		}
 		return e.execInsert(s, binds)
 	case *DeleteStmt:
+		if e.txn != nil {
+			return e.txnDelete(s, binds)
+		}
 		return e.execDelete(s, binds)
 	case *SelectStmt:
 		return e.execSelect(s, binds)
@@ -349,7 +425,12 @@ func (e *Engine) deleteRowLocked(table string, tab *rel.Table, rid rel.RowID, ro
 // plan tree annotated with the measured counters. The query's rows are
 // discarded; the plan text is the result. Caller holds e.mu.
 func (e *Engine) explainAnalyze(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
-	rows, err := e.buildRowsLocked(context.Background(), s, binds)
+	v, err := e.stmtViewLocked()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseView(v)
+	rows, err := e.buildRowsLocked(context.Background(), s, binds, v)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +450,12 @@ func (e *Engine) explainAnalyze(s *SelectStmt, binds map[string]interface{}) (*R
 // pipeline Query serves — Exec is now a drain-the-cursor wrapper over
 // the volcano executor. Caller holds e.mu.
 func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
-	rows, err := e.buildRowsLocked(context.Background(), s, binds)
+	v, err := e.stmtViewLocked()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseView(v)
+	rows, err := e.buildRowsLocked(context.Background(), s, binds, v)
 	if err != nil {
 		return nil, err
 	}

@@ -74,6 +74,17 @@ func (p *parser) statement() (Statement, error) {
 		return p.deleteStmt()
 	case p.keyword("select"):
 		return p.selectStmt()
+	// BEGIN/COMMIT/ROLLBACK are contextual keywords, statement-initial
+	// only, with an optional TRANSACTION or WORK noise word.
+	case p.keyword("begin"):
+		p.txnNoise()
+		return &BeginStmt{}, nil
+	case p.keyword("commit"):
+		p.txnNoise()
+		return &CommitStmt{}, nil
+	case p.keyword("rollback"):
+		p.txnNoise()
+		return &RollbackStmt{}, nil
 	case p.keyword("explain"):
 		// ANALYZE is a contextual keyword: EXPLAIN ANALYZE executes the
 		// query and annotates the plan with the measured operator stats.
@@ -88,6 +99,12 @@ func (p *parser) statement() (Statement, error) {
 		return &ExplainStmt{Query: sel.(*SelectStmt), Analyze: analyze}, nil
 	}
 	return nil, p.errf("unknown statement %q", p.cur().text)
+}
+
+func (p *parser) txnNoise() {
+	if !p.keyword("transaction") {
+		p.keyword("work")
+	}
 }
 
 func (p *parser) identifier() (string, error) {

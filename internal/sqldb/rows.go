@@ -20,12 +20,14 @@ import (
 //	}
 //	if err := rows.Err(); err != nil { ... }
 //
-// The cursor holds the engine's statement lock (and, through DB.Query,
-// the database read lock) until it is closed or exhausted — always call
-// Close (it is idempotent; Next auto-closes on exhaustion and error). A
-// cancelled ctx surfaces as Err() after Next returns false, including
-// mid-scan: the pipeline polls the context at every leaf row and
-// abandoning the cursor stops the suspended access-method scan.
+// The cursor holds NO lock while streaming: it reads from a pinned
+// page-store snapshot (see view.go), so concurrent writers commit freely
+// and the cursor keeps answering from its snapshot. Still always call
+// Close (it is idempotent; Next auto-closes on exhaustion and error) —
+// an open cursor pins its snapshot's pre-image retention. A cancelled
+// ctx surfaces as Err() after Next returns false, including mid-scan:
+// the pipeline polls the context at every leaf row and abandoning the
+// cursor stops the suspended access-method scan.
 type Rows struct {
 	root   rowNode
 	ec     *execCtx
@@ -148,9 +150,10 @@ func (r *Rows) OnClose(fn func()) { r.onClose(fn) }
 
 // Query parses and executes a SELECT statement, returning a streaming
 // cursor. Non-SELECT statements are rejected — use Exec. The engine's
-// statement lock is held until the cursor is closed or exhausted, so a
-// session must finish (or Close) one cursor before issuing the next
-// statement.
+// statement lock is held only while planning: the returned cursor reads
+// from a snapshot view pinned at the current committed state (or the
+// open transaction's view), so it never blocks concurrent writers and
+// concurrent writers never shift its results.
 func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interface{}) (*Rows, error) {
 	st, err := Parse(sql)
 	if err != nil {
@@ -161,33 +164,43 @@ func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interfa
 		return nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T (use Exec)", st)
 	}
 	e.mu.Lock()
-	rows, err := e.buildRowsLocked(ctx, sel, binds)
+	v, err := e.acquireViewLocked()
 	if err != nil {
 		e.mu.Unlock()
 		return nil, err
 	}
-	rows.onClose(e.mu.Unlock)
-	// Statement telemetry spans Query to Close. Closers run LIFO, so this
-	// observation fires before the statement lock above is released.
+	rows, err := e.buildRowsLocked(ctx, sel, binds, v)
+	if err != nil {
+		e.mu.Unlock()
+		e.releaseView(v)
+		return nil, err
+	}
+	rows.onClose(func() { e.releaseView(v) })
+	// Statement telemetry spans Query to Close. Closers run LIFO, so the
+	// observation fires before the view reference above is dropped.
 	start := time.Now()
 	nbinds := len(binds)
 	rows.onClose(func() {
 		e.observeStmt(sql, "select", nbinds, time.Since(start), rows.ec.stats.snapshot(), rows.PlanStats)
 	})
+	e.mu.Unlock()
 	return rows, nil
 }
 
 // buildRowsLocked compiles the union chain of s into a streaming
-// pipeline. Caller holds e.mu; the returned cursor releases nothing on
-// Close unless closers are registered.
-func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[string]interface{}) (*Rows, error) {
+// pipeline. When v is non-nil every compiled plan is rewired onto the
+// view's snapshot handles; a nil v leaves live handles, which is only
+// sound for statements that drain entirely under e.mu. Caller holds
+// e.mu; the returned cursor releases nothing on Close unless closers are
+// registered.
+func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[string]interface{}, v *execView) (*Rows, error) {
 	var branches []rowNode
 	var cols []string
 	for blk := s; blk != nil; blk = blk.Union {
 		var bn rowNode
 		var bcols []string
 		if isAggregate(blk) {
-			an, acols, err := e.buildAggregate(blk, binds)
+			an, acols, err := e.buildAggregate(blk, binds, v)
 			if err != nil {
 				return nil, err
 			}
@@ -196,6 +209,11 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 			plan, err := e.planSelect(blk, binds)
 			if err != nil {
 				return nil, err
+			}
+			if v != nil {
+				if err := rewirePlan(plan, v); err != nil {
+					return nil, err
+				}
 			}
 			bn, bcols = newProjectOverPlan(plan), plan.outCols
 		}

@@ -112,7 +112,7 @@ type sqlMetrics struct {
 
 // stmtKinds enumerates every value stmtKind can return, so the handle
 // maps are complete at build time.
-var stmtKinds = []string{"select", "insert", "delete", "explain", "ddl"}
+var stmtKinds = []string{"select", "insert", "delete", "explain", "txn", "ddl"}
 
 func newSQLMetrics(reg *obs.Registry) *sqlMetrics {
 	m := &sqlMetrics{
@@ -163,10 +163,10 @@ func (e *Engine) SetMetricsRegistry(reg *obs.Registry) {
 	defer e.mu.Unlock()
 	e.reg = reg
 	if reg == nil {
-		e.sqlMet = nil
+		e.sqlMet.Store(nil)
 		return
 	}
-	e.sqlMet = newSQLMetrics(reg)
+	e.sqlMet.Store(newSQLMetrics(reg))
 	for _, ci := range e.custom {
 		if mb, ok := ci.(MetricsBinder); ok {
 			mb.BindMetrics(reg, "index."+strings.ToLower(ci.Name()))
@@ -202,21 +202,24 @@ func stmtKind(st Statement) string {
 		return "delete"
 	case *ExplainStmt:
 		return "explain"
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return "txn"
 	default:
 		return "ddl"
 	}
 }
 
 // observeStmt records one finished statement: kind-keyed latency, the
-// cursor work counters, and (over threshold) a slow-query trace. Caller
-// holds e.mu — for cursors this is the close hook, which runs before the
-// statement lock is released. plan is a thunk (nil for plan-less
-// statements): the per-operator tree is snapshotted only when the
-// statement actually crossed the slow-query threshold, keeping the
-// always-on path free of that allocation.
+// cursor work counters, and (over threshold) a slow-query trace. It runs
+// without e.mu for cursors (the close hook fires on the reader's
+// goroutine now that cursors don't hold the statement lock), which is why
+// sqlMet is an atomic pointer and the telemetry ring has its own mutex.
+// plan is a thunk (nil for plan-less statements): the per-operator tree
+// is snapshotted only when the statement actually crossed the slow-query
+// threshold, keeping the always-on path free of that allocation.
 func (e *Engine) observeStmt(sql, kind string, nbinds int, d time.Duration, st ExecStats, plan func() PlanNodeStats) {
-	if e.sqlMet != nil {
-		e.sqlMet.observe(kind, d, st)
+	if m := e.sqlMet.Load(); m != nil {
+		m.observe(kind, d, st)
 	}
 	if th := e.tel.getThreshold(); th <= 0 || d < th {
 		return

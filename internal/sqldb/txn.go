@@ -1,0 +1,223 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ritree/internal/rel"
+)
+
+// Explicit transactions: BEGIN / COMMIT / ROLLBACK with snapshot-isolated
+// reads and optimistic, first-committer-wins writes.
+//
+// BEGIN pins a snapshot view (see view.go): every SELECT inside the
+// transaction answers from it, so reads are repeatable regardless of
+// concurrent auto-commit writers. INSERT and DELETE are buffered — DELETE
+// resolves its victims against the snapshot, INSERT records the row — and
+// nothing touches live storage until COMMIT. COMMIT validates that no
+// concurrent writer changed a touched table since BEGIN (compared by the
+// tables' content checksums, the same incrementally maintained XOR the
+// domain-index attach verification uses) and only then applies the
+// buffered operations; a validation failure aborts with ErrTxnConflict
+// and applies nothing. ROLLBACK discards the buffer.
+//
+// Scope and limits, deliberately documented rather than hidden:
+//
+//   - One transaction per Engine (session) at a time. SQL DML issued while
+//     it is open joins it, whichever goroutine issues it; programmatic
+//     collection writes (InsertRow, BulkInsert, DeleteRowID) stay
+//     auto-commit and are exactly the concurrent writers COMMIT detects.
+//   - Reads do not see the transaction's own buffered writes (snapshot
+//     semantics without a private workspace).
+//   - DDL (CREATE/DROP) is rejected inside a transaction.
+//   - Buffered inserts are validated against the table schema at
+//     statement time, but domain-index validation runs at COMMIT when the
+//     ops are applied; a mid-apply failure surfaces the error after a
+//     consistent prefix, like a DELETE aborting mid-batch.
+
+// ErrTxnConflict aborts a COMMIT whose touched tables were changed by a
+// concurrent writer after BEGIN: the first committer won.
+var ErrTxnConflict = errors.New("sql: transaction conflict: table changed since BEGIN (first committer wins)")
+
+// txnOp is one buffered mutation.
+type txnOp struct {
+	table string // lower-cased
+	del   bool
+	row   []int64
+	rid   rel.RowID // victims only
+}
+
+// txnState is an open transaction. All fields are guarded by e.mu.
+type txnState struct {
+	view    *execView
+	base    map[string]uint64 // content checksum per table at BEGIN
+	ops     []txnOp
+	touched map[string]bool
+	// deleted dedupes victims across the transaction's DELETE statements:
+	// the snapshot keeps serving a row this transaction already deleted,
+	// so a second WHERE match must not buffer it twice.
+	deleted map[string]map[rel.RowID]bool
+}
+
+// txnCounter bumps a txn.* metric. Caller holds e.mu (which guards e.reg).
+func (e *Engine) txnCounter(name string) {
+	if e.reg != nil {
+		e.reg.Counter(name).Inc()
+	}
+}
+
+func (e *Engine) execBegin() (*Result, error) {
+	if e.txn != nil {
+		return nil, fmt.Errorf("sql: a transaction is already open (COMMIT or ROLLBACK it first)")
+	}
+	v, err := e.acquireViewLocked()
+	if err != nil {
+		return nil, err
+	}
+	// The base checksums are read from the live tables, which equal the
+	// snapshot state: the view was pinned (or reused) at a committed
+	// boundary under e.mu, and no write has run since.
+	base := make(map[string]uint64)
+	for _, name := range e.db.Tables() {
+		tab, err := e.db.Table(name)
+		if err != nil {
+			e.releaseView(v)
+			return nil, err
+		}
+		base[strings.ToLower(name)] = tab.ContentChecksum()
+	}
+	e.txn = &txnState{
+		view:    v,
+		base:    base,
+		touched: make(map[string]bool),
+		deleted: make(map[string]map[rel.RowID]bool),
+	}
+	e.txnCounter("txn.begins")
+	return &Result{}, nil
+}
+
+func (e *Engine) execCommit() (*Result, error) {
+	t := e.txn
+	if t == nil {
+		return nil, fmt.Errorf("sql: COMMIT without an open transaction")
+	}
+	e.txn = nil
+	defer e.releaseView(t.view)
+	// First-committer-wins validation: any change to a touched table since
+	// BEGIN aborts. The checksum is content-derived, so it catches
+	// insert-then-delete churn that nets to the same row count.
+	for tl := range t.touched {
+		tab, err := e.db.Table(tl)
+		if err != nil {
+			e.txnCounter("txn.conflicts")
+			return nil, fmt.Errorf("%w: table %s was dropped", ErrTxnConflict, tl)
+		}
+		if tab.ContentChecksum() != t.base[tl] {
+			e.txnCounter("txn.conflicts")
+			return nil, fmt.Errorf("%w: table %s", ErrTxnConflict, tl)
+		}
+	}
+	var affected int64
+	for _, op := range t.ops {
+		tab, err := e.db.Table(op.table)
+		if err != nil {
+			return nil, err
+		}
+		if op.del {
+			err = e.deleteRowLocked(op.table, tab, op.rid, op.row)
+		} else {
+			_, err = e.insertRowLocked(op.table, tab, op.row)
+		}
+		if err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	e.txnCounter("txn.commits")
+	return &Result{Affected: affected}, nil
+}
+
+func (e *Engine) execRollback() (*Result, error) {
+	t := e.txn
+	if t == nil {
+		return nil, fmt.Errorf("sql: ROLLBACK without an open transaction")
+	}
+	e.txn = nil
+	e.releaseView(t.view)
+	e.txnCounter("txn.rollbacks")
+	return &Result{}, nil
+}
+
+// txnInsert buffers an INSERT: schema-validated now, index-validated when
+// COMMIT applies it. Caller holds e.mu with e.txn open.
+func (e *Engine) txnInsert(s *InsertStmt, binds map[string]interface{}) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Values) != tab.Schema().NumCols() {
+		return nil, fmt.Errorf("sql: INSERT supplies %d values, table %s has %d columns",
+			len(s.Values), s.Table, tab.Schema().NumCols())
+	}
+	row := make([]int64, len(s.Values))
+	for i, ex := range s.Values {
+		v, err := evalConst(ex, binds)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	tl := strings.ToLower(s.Table)
+	e.txn.ops = append(e.txn.ops, txnOp{table: tl, row: row})
+	e.txn.touched[tl] = true
+	return &Result{Affected: 1}, nil
+}
+
+// txnDelete buffers a DELETE: the WHERE clause is planned like a SELECT
+// and evaluated against the transaction's snapshot view, so the victim
+// set is repeatable. Caller holds e.mu with e.txn open.
+func (e *Engine) txnDelete(s *DeleteStmt, binds map[string]interface{}) (*Result, error) {
+	t := e.txn
+	sel := &SelectStmt{
+		Items: []SelectItem{{Star: true}},
+		From:  []TableRef{{Name: s.Table}},
+		Where: s.Where,
+	}
+	plan, err := e.planSelect(sel, binds)
+	if err != nil {
+		return nil, err
+	}
+	if err := rewirePlan(plan, t.view); err != nil {
+		return nil, err
+	}
+	stab, err := t.view.shadow.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	tl := strings.ToLower(s.Table)
+	dels := t.deleted[tl]
+	if dels == nil {
+		dels = make(map[rel.RowID]bool)
+		t.deleted[tl] = dels
+	}
+	width := stab.Schema().NumCols()
+	var n int64
+	err = drainPlan(plan, func(env []int64, rids []rel.RowID) bool {
+		rid := rids[0]
+		if dels[rid] {
+			return true // already deleted earlier in this transaction
+		}
+		dels[rid] = true
+		row := make([]int64, width)
+		copy(row, env[:width])
+		t.ops = append(t.ops, txnOp{table: tl, del: true, row: row, rid: rid})
+		n++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.touched[tl] = true
+	return &Result{Affected: n}, nil
+}

@@ -1,0 +1,293 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+)
+
+// Snapshot execution views: the machinery that lets a SELECT cursor run
+// to completion without holding any engine or database lock.
+//
+// A view pins a page-store snapshot at a committed boundary and opens a
+// read-only shadow rel.DB over it (pagestore.Snapshot implements Backend,
+// so the whole relational stack stacks on top unchanged). Plans compiled
+// for a cursor are then rewired onto the shadow's tables and indexes, and
+// every custom (domain) index is replaced by a snapshot-bound scan — an
+// access method either provides one through the SnapshotScanner
+// capability or is served by a fallback scan of the shadow base table.
+//
+// Views are reference-counted and cached: consecutive read statements
+// share one view, and any write statement invalidates the cache at its
+// commit boundary, so the next reader pins a fresh snapshot. A view (and
+// its snapshot's pre-image retention) lives exactly as long as the
+// cursors and transactions using it.
+
+// ScanFunc is a snapshot-bound operator scan: the Scan method of a
+// CustomIndex, detached from the live index and bound to one consistent
+// view of its storage. Implementations must be safe for concurrent use —
+// several cursors of one view may scan at once.
+type ScanFunc func(op string, args []int64, fn func(rid rel.RowID) bool) error
+
+// SnapshotScanner is an optional CustomIndex capability: produce an
+// operator scan bound to the given shadow (snapshot) database. It is
+// called under the engine's statement lock at a committed boundary, so
+// the index's in-memory state and the shadow's relational state describe
+// the same data; the returned ScanFunc must keep answering from that
+// state regardless of later writes to the live index.
+//
+// Indexes without the capability are served by a fallback that scans the
+// shadow base table and evaluates INTERSECTS / CONTAINS_POINT directly —
+// correct, but without the access method's pruning.
+type SnapshotScanner interface {
+	SnapshotScan(shadow *rel.DB) (ScanFunc, error)
+}
+
+// execView is one pinned snapshot of the database, shared by every cursor
+// (and transaction) reading from it. refs is guarded by Engine.viewMu.
+type execView struct {
+	snap    *pagestore.Snapshot
+	shadow  *rel.DB
+	customs map[string]*viewIndex // by lower-cased index name
+	refs    int
+}
+
+// viewIndex is the snapshot face of one custom index: identity and
+// operator advertisement delegate to the live index (immutable metadata),
+// scans run through the captured snapshot scan, and the NowKeeper clock
+// is frozen at view creation so a concurrent SetNow cannot shift answers
+// mid-cursor. Maintenance and Drop are refused — a view is read-only.
+type viewIndex struct {
+	live CustomIndex
+	scan ScanFunc
+	now  int64
+}
+
+func (vi *viewIndex) Name() string               { return vi.live.Name() }
+func (vi *viewIndex) Table() string              { return vi.live.Table() }
+func (vi *viewIndex) Columns() []string          { return vi.live.Columns() }
+func (vi *viewIndex) HasOperator(op string) bool { return vi.live.HasOperator(op) }
+
+func (vi *viewIndex) Scan(op string, args []int64, fn func(rid rel.RowID) bool) error {
+	return vi.scan(op, args, fn)
+}
+
+func (vi *viewIndex) OnInsert([]int64, rel.RowID) error {
+	return fmt.Errorf("sql: internal: maintenance routed to a read-only snapshot view of index %s", vi.live.Name())
+}
+
+func (vi *viewIndex) OnDelete([]int64, rel.RowID) error {
+	return fmt.Errorf("sql: internal: maintenance routed to a read-only snapshot view of index %s", vi.live.Name())
+}
+
+func (vi *viewIndex) Drop() error {
+	return fmt.Errorf("sql: internal: drop routed to a read-only snapshot view of index %s", vi.live.Name())
+}
+
+// SetNow implements NowKeeper as a no-op: the view's clock is frozen.
+func (vi *viewIndex) SetNow(int64) {}
+
+// Now implements NowKeeper with the clock captured at view creation (0
+// when the live index keeps none, matching the executor's default).
+func (vi *viewIndex) Now() int64 { return vi.now }
+
+// newExecViewLocked pins the current committed state as a view. Caller
+// holds e.mu, which is what guarantees the committed-boundary requirement
+// of AcquireSnapshot (every write statement commits before releasing it).
+func (e *Engine) newExecViewLocked() (*execView, error) {
+	st := e.db.Store()
+	snap, err := st.AcquireSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	shadowStore, err := pagestore.New(snap, pagestore.Options{
+		PageSize:  st.PageSize(),
+		CacheSize: st.CacheSize(),
+	})
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	shadow, err := rel.OpenDB(shadowStore, e.db.CatalogRoot())
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	v := &execView{snap: snap, shadow: shadow, customs: make(map[string]*viewIndex, len(e.custom)), refs: 1}
+	for name, ci := range e.custom {
+		vi := &viewIndex{live: ci}
+		if nk, ok := ci.(NowKeeper); ok {
+			vi.now = nk.Now()
+		}
+		if ss, ok := ci.(SnapshotScanner); ok {
+			vi.scan, err = ss.SnapshotScan(shadow)
+		} else {
+			vi.scan, err = shadowFallbackScan(shadow, ci, vi.now)
+		}
+		if err != nil {
+			snap.Release()
+			return nil, fmt.Errorf("sql: snapshot view of index %s: %w", ci.Name(), err)
+		}
+		v.customs[name] = vi
+	}
+	return v, nil
+}
+
+// shadowFallbackScan serves INTERSECTS / CONTAINS_POINT for an index
+// without the SnapshotScanner capability by scanning the shadow base
+// table — the rows are exactly the set the live index would report at the
+// snapshot, found the slow way.
+func shadowFallbackScan(shadow *rel.DB, ci CustomIndex, now int64) (ScanFunc, error) {
+	cols := ci.Columns()
+	if len(cols) != 2 {
+		return nil, fmt.Errorf("fallback scan needs (lower, upper) columns, index has %d", len(cols))
+	}
+	stab, err := shadow.Table(ci.Table())
+	if err != nil {
+		return nil, err
+	}
+	loPos := stab.Schema().ColIndex(cols[0])
+	hiPos := stab.Schema().ColIndex(cols[1])
+	if loPos < 0 || hiPos < 0 {
+		return nil, fmt.Errorf("fallback scan: columns %v not in %s", cols, ci.Table())
+	}
+	name := ci.Name()
+	return func(op string, args []int64, fn func(rid rel.RowID) bool) error {
+		var q interval.Interval
+		switch strings.ToLower(op) {
+		case opIntersects:
+			if len(args) != 2 {
+				return fmt.Errorf("sql: INTERSECTS needs (:lo, :hi), got %d args", len(args))
+			}
+			q = interval.New(args[0], args[1])
+		case "contains_point":
+			if len(args) != 1 {
+				return fmt.Errorf("sql: CONTAINS_POINT needs (:p), got %d args", len(args))
+			}
+			q = interval.Point(args[0])
+		default:
+			return fmt.Errorf("sql: snapshot view of index %s cannot serve operator %q", name, op)
+		}
+		return stab.Scan(func(rid rel.RowID, row []int64) bool {
+			iv := interval.New(row[loPos], row[hiPos])
+			if iv.Upper == interval.NowMarker {
+				iv.Upper = now
+				if !iv.Valid() {
+					return true
+				}
+			}
+			if iv.Intersects(q) {
+				return fn(rid)
+			}
+			return true
+		})
+	}, nil
+}
+
+// acquireViewLocked returns a referenced view for a read statement: the
+// open transaction's pinned view when one is active, else the cached
+// current view, else a freshly pinned one. Caller holds e.mu (which is
+// why reuse is sound — every write path invalidates the cache under it).
+// Pair with releaseView.
+func (e *Engine) acquireViewLocked() (*execView, error) {
+	if e.txn != nil {
+		e.viewLk.Lock()
+		e.txn.view.refs++
+		e.viewLk.Unlock()
+		return e.txn.view, nil
+	}
+	e.viewLk.Lock()
+	if v := e.curView; v != nil {
+		v.refs++
+		e.viewLk.Unlock()
+		return v, nil
+	}
+	e.viewLk.Unlock()
+	v, err := e.newExecViewLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Publish as the cache's own reference on top of the caller's.
+	e.viewLk.Lock()
+	v.refs++
+	e.curView = v
+	e.viewLk.Unlock()
+	return v, nil
+}
+
+// stmtViewLocked returns the view a materializing statement (Exec's
+// SELECT or EXPLAIN ANALYZE) should read from: the open transaction's
+// pinned view (referenced — pair with releaseView), or nil outside a
+// transaction. A nil view means live handles, which is sound there
+// because the whole statement drains under e.mu. Caller holds e.mu.
+func (e *Engine) stmtViewLocked() (*execView, error) {
+	if e.txn == nil {
+		return nil, nil
+	}
+	return e.acquireViewLocked()
+}
+
+// releaseView drops one reference; the last one releases the snapshot
+// (unpinning its pre-image retention). Runs without e.mu — cursors close
+// on the reader's goroutine.
+func (e *Engine) releaseView(v *execView) {
+	if v == nil {
+		return
+	}
+	e.viewLk.Lock()
+	v.refs--
+	free := v.refs == 0
+	e.viewLk.Unlock()
+	if free {
+		v.snap.Release()
+	}
+}
+
+// invalidateViewLocked retires the cached view at a write's commit
+// boundary: later readers pin a fresh snapshot. Cursors still running on
+// the old view keep it alive through their own references. Caller holds
+// e.mu.
+func (e *Engine) invalidateViewLocked() {
+	e.viewLk.Lock()
+	v := e.curView
+	e.curView = nil
+	e.viewLk.Unlock()
+	if v != nil {
+		e.releaseView(v)
+	}
+}
+
+// rewirePlan substitutes the live storage handles a freshly compiled plan
+// holds with the view's snapshot-bound ones: shadow tables, shadow
+// B+-tree indexes, and the snapshot faces of the custom indexes. The
+// executor reads every handle through the plan at Open time, so the
+// rewired plan never touches live storage.
+func rewirePlan(p *selectPlan, v *execView) error {
+	for _, sp := range p.sources {
+		if sp.tab != nil {
+			stab, err := v.shadow.Table(sp.tab.Name())
+			if err != nil {
+				return err
+			}
+			sp.tab = stab
+		}
+		if sp.ix != nil {
+			six, err := v.shadow.Index(sp.ix.Name())
+			if err != nil {
+				return err
+			}
+			sp.ix = six
+		}
+		if sp.custom != nil {
+			vi, ok := v.customs[strings.ToLower(sp.custom.Name())]
+			if !ok {
+				return fmt.Errorf("sql: internal: no snapshot view of index %s", sp.custom.Name())
+			}
+			sp.custom = vi
+		}
+	}
+	return nil
+}

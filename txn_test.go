@@ -1,0 +1,277 @@
+package ritree
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCursorNeverBlocksWriters is the PR's core acceptance: a reader
+// holding an open streaming cursor must never block a concurrent
+// InsertMany / Delete commit, and the cursor keeps answering from its
+// snapshot regardless.
+func TestCursorNeverBlocksWriters(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("resv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	rows := make([]IntervalRow, n)
+	for i := range rows {
+		rows[i] = IntervalRow{NewInterval(int64(i), int64(i)+10), int64(i)}
+	}
+	if err := c.InsertMany(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := db.Query(context.Background(),
+		"SELECT id FROM resv WHERE intersects(lower, upper, :a, :b)",
+		map[string]interface{}{"a": 0, "b": 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if !cur.Next() {
+		t.Fatalf("cursor empty: %v", cur.Err())
+	}
+
+	// With the cursor suspended mid-stream, writes must commit promptly.
+	done := make(chan error, 1)
+	go func() {
+		extra := make([]IntervalRow, 100)
+		for i := range extra {
+			extra[i] = IntervalRow{NewInterval(int64(n+i), int64(n+i)+10), int64(n + i)}
+		}
+		if err := c.InsertMany(extra); err != nil {
+			done <- err
+			return
+		}
+		_, err := c.Delete(NewInterval(0, 10), 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked behind an open cursor")
+	}
+
+	// The cursor's snapshot is unshifted: it drains exactly the original
+	// n rows — not the 100 inserted nor minus the 1 deleted.
+	got := 1
+	for cur.Next() {
+		got++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("snapshot cursor drained %d rows, want %d", got, n)
+	}
+	// A fresh cursor sees the writes.
+	if cnt := c.Count(); cnt != n+100-1 {
+		t.Fatalf("live count = %d, want %d", cnt, n+100-1)
+	}
+}
+
+// TestCloseWithOpenCursor: DB.Close must not panic or deadlock against an
+// open cursor; the cursor fails cleanly through Rows.Err.
+func TestCloseWithOpenCursor(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.CreateCollection("resv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]IntervalRow, 2000)
+	for i := range rows {
+		rows[i] = IntervalRow{NewInterval(int64(i), int64(i)+5), int64(i)}
+	}
+	if err := c.InsertMany(rows); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.Query(context.Background(),
+		"SELECT id FROM resv WHERE intersects(lower, upper, :a, :b)",
+		map[string]interface{}{"a": 0, "b": 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("cursor empty: %v", cur.Err())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	if cur.Err() == nil {
+		t.Fatal("cursor survived DB.Close without an error")
+	}
+	_ = cur.Close()
+}
+
+func TestTransactionCommitAndRollback(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("resv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(NewInterval(10, 20), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit applies buffered writes; reads inside the txn stay on the
+	// BEGIN snapshot and do not see them.
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Exec("INSERT INTO resv VALUES (30, 40, 2)", nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := txn.Exec("SELECT COUNT(*) FROM resv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0] != 1 {
+		t.Fatalf("read inside txn saw %d rows, want the BEGIN snapshot's 1", r.Rows[0][0])
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt := c.Count(); cnt != 2 {
+		t.Fatalf("count after commit = %d, want 2", cnt)
+	}
+
+	// Rollback discards.
+	txn, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Exec("DELETE FROM resv WHERE id = 1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt := c.Count(); cnt != 2 {
+		t.Fatalf("count after rollback = %d, want 2", cnt)
+	}
+
+	// Buffered DELETE resolves victims against the snapshot and applies
+	// at commit.
+	txn, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = txn.Exec("DELETE FROM resv WHERE id = 2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 1 {
+		t.Fatalf("buffered delete affected %d, want 1", r.Affected)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt := c.Count(); cnt != 1 {
+		t.Fatalf("count after delete commit = %d, want 1", cnt)
+	}
+}
+
+// TestTransactionConflict: a programmatic write that lands between BEGIN
+// and COMMIT on a touched table aborts the transaction — first committer
+// wins.
+func TestTransactionConflict(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c, err := db.CreateCollection("resv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(NewInterval(10, 20), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Exec("INSERT INTO resv VALUES (30, 40, 2)", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent auto-commit writer touches the same table first.
+	if err := c.Insert(NewInterval(50, 60), 3); err != nil {
+		t.Fatal(err)
+	}
+	err = txn.Commit()
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("Commit = %v, want ErrTxnConflict", err)
+	}
+	// The aborted transaction applied nothing: only rows 1 and 3 exist.
+	ids, err := c.Intersecting(NewInterval(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("rows after aborted commit = %v, want [1 3]", ids)
+	}
+
+	// A transaction whose touched tables saw no concurrent write still
+	// commits after unrelated activity.
+	txn, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Exec("INSERT INTO resv VALUES (70, 80, 4)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt := c.Count(); cnt != 3 {
+		t.Fatalf("count = %d, want 3", cnt)
+	}
+}
+
+func TestTransactionRejectsDDLAndNesting(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateCollection("resv"); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Rollback()
+	if _, err := txn.Exec("CREATE TABLE t2 (a, b)", nil); err == nil {
+		t.Fatal("DDL inside a transaction did not error")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("nested Begin did not error")
+	}
+	if _, err := db.CreateCollection("other"); err == nil {
+		t.Fatal("CreateCollection inside a transaction did not error")
+	}
+}
