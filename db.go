@@ -409,6 +409,16 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.eng.SetSlowQueryThresh
 // SlowQueryThreshold returns the current slow-query threshold.
 func (db *DB) SlowQueryThreshold() time.Duration { return db.eng.SlowQueryThreshold() }
 
+// SetMergeJoinEnabled toggles the interval merge join. When enabled (the
+// default), a SELECT joining two collections on a single ALLEN_* /
+// INTERSECTS predicate over their (lower, upper) columns executes as a
+// sweeping sort-merge join instead of index nested loops; EXPLAIN shows
+// the chosen strategy ("INTERVAL MERGE JOIN" vs "NESTED LOOPS"), and
+// Rows.Stats().JoinStrategy reports which one a cursor used. Disabling is
+// a planner escape hatch for workloads where nested loops win (tiny outer
+// side over a large indexed inner side).
+func (db *DB) SetMergeJoinEnabled(on bool) { db.eng.SetMergeJoinEnabled(on) }
+
 // SlowQueries drains the slow-query ring buffer, oldest first: every
 // captured statement carries its SQL text, bind count, duration, cursor
 // counters, and (for statements that ran a plan) the per-operator stats

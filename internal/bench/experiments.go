@@ -766,7 +766,7 @@ func AblationSkeleton(c Config) (*Table, error) {
 // Experiments lists every experiment id in run order.
 func Experiments() []string {
 	return []string{"table1", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"winlist", "hint", "hintopt", "collections", "reopen", "sqlstream", "mixed",
+		"winlist", "hint", "hintopt", "collections", "reopen", "sqlstream", "join", "mixed",
 		"ablation-minstep", "ablation-queryform", "ablation-skeleton"}
 }
 
@@ -801,6 +801,8 @@ func Run(id string, c Config) (*Table, error) {
 		return Reopen(c)
 	case "sqlstream":
 		return SQLStream(c)
+	case "join":
+		return Join(c)
 	case "mixed":
 		return Mixed(c)
 	case "ablation-minstep":

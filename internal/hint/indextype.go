@@ -580,6 +580,41 @@ func (ix *indexType) SnapshotScan(shadow *rel.DB) (sqldb.ScanFunc, error) {
 	}, nil
 }
 
+// OrderedScan implements sqldb.OrderedScanner: stream every indexed row id
+// in ascending order of the indexed lower bound, straight off the flat
+// storage's sorted original-class segments (see ScanStartOrdered). The
+// shift into index coordinates is monotone, so shifted order is true
+// order; the entry keys serve only as sort keys and the caller refetches
+// row values from the base table.
+func (ix *indexType) OrderedScan(fn func(rid rel.RowID) bool) error {
+	_, six := ix.view()
+	six.met.query()
+	if !six.ScanStartOrdered(func(_, _, id int64) bool { return fn(rel.RowID(id)) }) {
+		return fmt.Errorf("hint indextype: index layout cannot guarantee start order")
+	}
+	return nil
+}
+
+// SnapshotOrderedScan implements sqldb.SnapshotOrderedScanner: the
+// OrderedScan stream bound to the committed state being snapshotted, by
+// capturing the shards' published COW generations exactly as SnapshotScan
+// does. The shadow handle is only validated — the stream is id-only and
+// the caller reads row values through its own shadow table handle.
+func (ix *indexType) SnapshotOrderedScan(shadow *rel.DB) (sqldb.OrderedScanFunc, error) {
+	if _, err := shadow.Table(ix.table); err != nil {
+		return nil, err
+	}
+	_, six := ix.view()
+	gens := six.freeze()
+	return func(fn func(rid rel.RowID) bool) error {
+		six.met.query()
+		if !scanGensOrdered(gens, func(_, _, id int64) bool { return fn(rel.RowID(id)) }) {
+			return fmt.Errorf("hint indextype: index layout cannot guarantee start order")
+		}
+		return nil
+	}, nil
+}
+
 // ScanCount implements sqldb.OperatorCounter: operator hit counting
 // through the sharded index's parallel per-shard fan-out (one goroutine
 // per shard with the counts summed), which a single streaming callback

@@ -269,6 +269,13 @@ func (t *Tree) IntersectingFunc(q interval.Interval, fn func(id int64) bool) err
 		//   — one range scan on lowerIndex.
 		s.lo[0], s.lo[1] = w, math.MinInt64
 		s.hi[0], s.hi[1] = w, q.Upper
+		if w == NodeNow && t.now < q.Upper {
+			// A now-relative interval resolves to [lower, now]: one born in
+			// the future (lower > now) is empty and intersects nothing, the
+			// same rule the topological queries apply. Capping the scan at
+			// now enforces that and prunes the range.
+			s.hi[1] = t.now
+		}
 		err := t.lowerIx.Scan(s.lo[:], s.hi[:],
 			func(key []int64, _ rel.RowID) bool {
 				if !fn(key[2]) {

@@ -6,11 +6,10 @@ import (
 	"strings"
 )
 
-// Aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX without grouping —
-// the shapes a DBA would use to sanity-check interval relations
-// ("SELECT count(*) FROM Intervals WHERE node = 0"). A select block either
-// projects only aggregates or only scalars; GROUP BY is out of scope for
-// the reproduction.
+// Aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX — the shapes a DBA
+// would use to sanity-check interval relations ("SELECT count(*) FROM
+// Intervals WHERE node = 0"). Ungrouped blocks aggregate to one row here;
+// blocks with GROUP BY hash-partition in groupby.go.
 
 var aggregateNames = map[string]bool{"count": true, "sum": true, "min": true, "max": true}
 
@@ -81,7 +80,7 @@ func (a *aggState) result() (int64, error) {
 // filters and index scans still do their per-row work lazily underneath)
 // and computes the single output row; Next emits it once.
 type aggNode struct {
-	join   *joinNode
+	join   joinExec
 	env    []int64
 	states []*aggState
 	out    []int64
@@ -144,49 +143,69 @@ func (n *aggNode) Next(ec *execCtx) (bool, error) {
 func (n *aggNode) Close() error { return n.join.Close() }
 func (n *aggNode) Row() []int64 { return n.out }
 
-// buildAggregate compiles one aggregate-projecting select block into its
-// pipeline sink and output column names.
-func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}, v *execView) (rowNode, []string, error) {
+// newAggState compiles one aggregate call item into its accumulator.
+func newAggState(plan *selectPlan, call *CallExpr, binds map[string]interface{}) (*aggState, error) {
+	name := strings.ToLower(call.Name)
+	st := &aggState{name: name}
+	if call.Star {
+		if name != "count" {
+			return nil, fmt.Errorf("sql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(name))
+		}
+		return st, nil
+	}
+	if len(call.Args) != 1 {
+		return nil, fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
+	}
+	f, err := plan.compile(call.Args[0], binds, len(plan.sources)-1)
+	if err != nil {
+		return nil, err
+	}
+	st.arg = f
+	return st, nil
+}
+
+// planAggregateInput compiles the FROM/WHERE of an aggregating block as a
+// SELECT * plan, rewired onto the snapshot view when one is active.
+func (e *Engine) planAggregateInput(s *SelectStmt, binds map[string]interface{}, v *execView) (*selectPlan, error) {
 	plan, err := e.planSelect(&SelectStmt{
 		Items: []SelectItem{{Star: true}},
 		From:  s.From,
 		Where: s.Where,
 	}, binds)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if v != nil {
 		if err := rewirePlan(plan, v); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+	}
+	return plan, nil
+}
+
+// buildAggregate compiles one aggregate-projecting select block (no GROUP
+// BY) into its pipeline sink, output column names, and the underlying
+// source plan (the cursor reports its join strategy).
+func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}, v *execView) (rowNode, []string, *selectPlan, error) {
+	plan, err := e.planAggregateInput(s, binds, v)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	var states []*aggState
 	var cols []string
 	for _, item := range s.Items {
 		call, ok := item.Expr.(*CallExpr)
 		if !ok || !aggregateNames[strings.ToLower(call.Name)] {
-			return nil, nil, fmt.Errorf("sql: cannot mix aggregates and scalar expressions without GROUP BY (unsupported)")
+			return nil, nil, nil, fmt.Errorf("sql: cannot mix aggregates and scalar expressions without GROUP BY (unsupported)")
 		}
-		name := strings.ToLower(call.Name)
-		st := &aggState{name: name}
-		if call.Star {
-			if name != "count" {
-				return nil, nil, fmt.Errorf("sql: %s(*) is not valid; only COUNT(*)", strings.ToUpper(name))
-			}
-		} else {
-			if len(call.Args) != 1 {
-				return nil, nil, fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
-			}
-			f, err := plan.compile(call.Args[0], binds, len(plan.sources)-1)
-			if err != nil {
-				return nil, nil, err
-			}
-			st.arg = f
+		st, err := newAggState(plan, call, binds)
+		if err != nil {
+			return nil, nil, nil, err
 		}
 		states = append(states, st)
 		label := item.As
 		if label == "" {
-			label = name
+			label = strings.ToLower(call.Name)
 		}
 		cols = append(cols, label)
 	}
@@ -195,5 +214,5 @@ func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}, v *
 	if child := join.statsNode(); child != nil {
 		ns.children = []*nodeStats{child}
 	}
-	return &aggNode{join: join, env: env, states: states, ns: ns}, cols, nil
+	return &aggNode{join: join, env: env, states: states, ns: ns}, cols, plan, nil
 }

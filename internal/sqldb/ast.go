@@ -59,13 +59,14 @@ type DeleteStmt struct {
 }
 
 // SelectStmt is one SELECT block; Union chains UNION ALL branches.
-// Distinct applies to the block; OrderBy and Limit are parsed once, after
-// the whole union chain, and stored on the head block.
+// Distinct and GroupBy apply to the block; OrderBy and Limit are parsed
+// once, after the whole union chain, and stored on the head block.
 type SelectStmt struct {
 	Distinct bool
 	Items    []SelectItem
 	From     []TableRef
 	Where    Expr // nil when absent
+	GroupBy  []Expr
 	Union    *SelectStmt
 	OrderBy  []OrderItem
 	Limit    Expr // nil when absent; a constant expression

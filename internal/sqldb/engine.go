@@ -69,6 +69,10 @@ type Engine struct {
 	// tree is snapshotted only when slow-query capture actually fires.
 	capStats ExecStats
 	capPlan  func() PlanNodeStats
+	// mergeOff disables interval merge join planning (nested loops only):
+	// the benchmark/debug escape hatch. Zero value = merge join enabled.
+	// Guarded by mu.
+	mergeOff bool
 }
 
 // NewEngine creates an Engine over db.
@@ -83,6 +87,15 @@ func NewEngine(db *rel.DB) *Engine {
 
 // DB exposes the underlying relational database.
 func (e *Engine) DB() *rel.DB { return e.db }
+
+// SetMergeJoinEnabled toggles interval merge join planning. Disabled,
+// every two-source interval join runs as nested loops — the baseline the
+// join benchmarks compare against.
+func (e *Engine) SetMergeJoinEnabled(on bool) {
+	e.mu.Lock()
+	e.mergeOff = !on
+	e.mu.Unlock()
+}
 
 // Exec parses and executes one statement. binds supplies scalar bind
 // variables (int64 or int) and transient relations (Transient or

@@ -386,11 +386,22 @@ func (j *joinNode) Close() error {
 	return nil
 }
 
+// joinExec is the executable join of one compiled plan — the nested-loops
+// tree or the interval merge join — plus its plan-stats record.
+type joinExec interface {
+	execNode
+	statsNode() *nodeStats
+}
+
 // newJoinOverPlan builds the scan+filter+join pipeline of a compiled
 // plan, returning the join node and the shared env / rids the scans
 // populate. Every operator gets a nodeStats record labelled with its
-// EXPLAIN plan line, forming the tree EXPLAIN ANALYZE reports.
-func newJoinOverPlan(p *selectPlan) (*joinNode, []int64, []rel.RowID) {
+// EXPLAIN plan line, forming the tree EXPLAIN ANALYZE reports. Plans with
+// a mergeSpec execute as the interval merge join instead of nested loops.
+func newJoinOverPlan(p *selectPlan) (joinExec, []int64, []rel.RowID) {
+	if p.merge != nil {
+		return newMergeJoinNode(p)
+	}
 	env := make([]int64, p.envSize)
 	rids := make([]rel.RowID, len(p.sources))
 	srcs := make([]execNode, len(p.sources))

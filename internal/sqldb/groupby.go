@@ -1,0 +1,234 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GROUP BY: hash aggregation. The block's FROM/WHERE compile to the same
+// join pipeline a plain select uses (including the interval merge join);
+// the hashAggNode sink partitions the joined rows by the encoded GROUP BY
+// key values and folds each partition through per-group aggregate states.
+// Groups emit in first-appearance order — deterministic without an ORDER
+// BY, which keeps the crosscheck tests simple.
+
+// exprEqual reports structural equality of two parsed expressions, with
+// SQL's case-insensitivity for identifiers. It decides whether a scalar
+// select item restates a GROUP BY expression.
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *NumberExpr:
+		y, ok := b.(*NumberExpr)
+		return ok && x.Value == y.Value
+	case *BindExpr:
+		y, ok := b.(*BindExpr)
+		return ok && x.Name == y.Name
+	case *ColumnExpr:
+		y, ok := b.(*ColumnExpr)
+		return ok && strings.EqualFold(x.Table, y.Table) && strings.EqualFold(x.Column, y.Column)
+	case *UnaryExpr:
+		y, ok := b.(*UnaryExpr)
+		return ok && x.Op == y.Op && exprEqual(x.X, y.X)
+	case *BinaryExpr:
+		y, ok := b.(*BinaryExpr)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *BetweenExpr:
+		y, ok := b.(*BetweenExpr)
+		return ok && x.Not == y.Not && exprEqual(x.X, y.X) && exprEqual(x.Lo, y.Lo) && exprEqual(x.Hi, y.Hi)
+	case *CallExpr:
+		y, ok := b.(*CallExpr)
+		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// groupItem is one compiled select item of a grouped block: either a
+// GROUP BY expression restated (keyIdx >= 0) or an aggregate template
+// cloned per group.
+type groupItem struct {
+	keyIdx int       // index into the group key values; -1 for aggregates
+	agg    *aggState // template: name + compiled arg, never accumulated
+}
+
+// groupState is one hash partition: its key values (emitted for scalar
+// items) and one accumulator per aggregate item.
+type groupState struct {
+	keys []int64
+	aggs []*aggState
+}
+
+// hashAggNode is the GROUP BY sink — a pipeline breaker like aggNode, but
+// hash-partitioned: Open drains the source join once, folding every row
+// into its group's accumulators; Next emits one row per group in
+// first-appearance order.
+type hashAggNode struct {
+	join   joinExec
+	env    []int64
+	keyFns []evalFn
+	items  []groupItem
+	groups map[string]*groupState
+	order  []*groupState
+	out    []int64
+	pos    int
+	ns     *nodeStats
+}
+
+func (n *hashAggNode) statsNode() *nodeStats { return n.ns }
+
+func (n *hashAggNode) Open(ec *execCtx) error {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
+	n.groups = make(map[string]*groupState)
+	n.order, n.pos = nil, 0
+	if err := n.join.Open(ec); err != nil {
+		return err
+	}
+	var drained int64
+	var key []byte // reused encoding buffer (see distinctNode)
+	keys := make([]int64, len(n.keyFns))
+	for {
+		ok, err := n.join.Next(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		drained++
+		key = key[:0]
+		for i, f := range n.keyFns {
+			v := f(n.env)
+			keys[i] = v
+			u := uint64(v)
+			key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+		g, ok := n.groups[string(key)]
+		if !ok {
+			g = &groupState{keys: append([]int64(nil), keys...)}
+			for _, it := range n.items {
+				if it.agg != nil {
+					g.aggs = append(g.aggs, &aggState{name: it.agg.name, arg: it.agg.arg})
+				} else {
+					g.aggs = append(g.aggs, nil)
+				}
+			}
+			n.groups[string(key)] = g
+			n.order = append(n.order, g)
+		}
+		for _, st := range g.aggs {
+			if st != nil {
+				st.add(n.env)
+			}
+		}
+	}
+	_ = n.join.Close()
+	ec.stats.spillRows.Add(drained)
+	n.ns.addSpill(drained)
+	ec.stats.groupedRows.Add(int64(len(n.order)))
+	n.out = make([]int64, len(n.items))
+	return nil
+}
+
+func (n *hashAggNode) Next(ec *execCtx) (bool, error) {
+	if n.pos >= len(n.order) {
+		return false, nil
+	}
+	g := n.order[n.pos]
+	n.pos++
+	for i, it := range n.items {
+		if it.agg != nil {
+			v, err := g.aggs[i].result()
+			if err != nil {
+				return false, err
+			}
+			n.out[i] = v
+		} else {
+			n.out[i] = g.keys[it.keyIdx]
+		}
+	}
+	n.ns.addRowsOut(1)
+	return true, nil
+}
+
+func (n *hashAggNode) Close() error {
+	n.groups, n.order = nil, nil
+	return n.join.Close()
+}
+
+func (n *hashAggNode) Row() []int64 { return n.out }
+
+// buildGroupBy compiles one GROUP BY block into its hash-aggregate sink,
+// output column names, and the underlying source plan.
+func (e *Engine) buildGroupBy(s *SelectStmt, binds map[string]interface{}, v *execView) (rowNode, []string, *selectPlan, error) {
+	plan, err := e.planAggregateInput(s, binds, v)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	maxSrc := len(plan.sources) - 1
+	keyFns := make([]evalFn, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		if call, ok := g.(*CallExpr); ok && aggregateNames[strings.ToLower(call.Name)] {
+			return nil, nil, nil, fmt.Errorf("sql: aggregate %s is not allowed in GROUP BY", strings.ToUpper(call.Name))
+		}
+		f, err := plan.compile(g, binds, maxSrc)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		keyFns[i] = f
+	}
+	var items []groupItem
+	var cols []string
+	for idx, item := range s.Items {
+		if item.Star {
+			return nil, nil, nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
+		}
+		label := item.As
+		if call, ok := item.Expr.(*CallExpr); ok && aggregateNames[strings.ToLower(call.Name)] {
+			st, err := newAggState(plan, call, binds)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			items = append(items, groupItem{keyIdx: -1, agg: st})
+			if label == "" {
+				label = strings.ToLower(call.Name)
+			}
+			cols = append(cols, label)
+			continue
+		}
+		keyIdx := -1
+		for i, g := range s.GroupBy {
+			if exprEqual(item.Expr, g) {
+				keyIdx = i
+				break
+			}
+		}
+		if keyIdx < 0 {
+			return nil, nil, nil, fmt.Errorf("sql: select item %d is neither an aggregate nor a GROUP BY expression", idx+1)
+		}
+		items = append(items, groupItem{keyIdx: keyIdx})
+		if label == "" {
+			if c, ok := item.Expr.(*ColumnExpr); ok {
+				label = strings.ToLower(c.Column)
+			} else {
+				label = fmt.Sprintf("expr%d", idx+1)
+			}
+		}
+		cols = append(cols, label)
+	}
+	join, env, _ := newJoinOverPlan(plan)
+	ns := &nodeStats{label: "HASH GROUP BY"}
+	if child := join.statsNode(); child != nil {
+		ns.children = []*nodeStats{child}
+	}
+	return &hashAggNode{join: join, env: env, keyFns: keyFns, items: items, ns: ns}, cols, plan, nil
+}

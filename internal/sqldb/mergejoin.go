@@ -1,0 +1,678 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ritree/internal/interval"
+	"ritree/internal/rel"
+)
+
+// The interval merge join: the sweeping-based sort-merge join of Piatov
+// et al., "Cache-Efficient Sweeping-Based Interval Joins for Extended
+// Allen Relation Predicates" (PAPERS.md), specialized per relation. Both
+// inputs arrive in ascending lower-bound order — zero-sort off a
+// start-sorted domain index through the OrderedScanner capability, or by
+// an explicit sort of the source's ordinary access path — and a single
+// forward sweep over the merged start/end events maintains the set of
+// intervals whose span covers the sweep line in a gapless (dense
+// array) active set. Each emitted pair costs O(1) beyond the predicate
+// check, so the join runs in O(n log n + output) worst case and
+// O(n + output) when both feeds are index-ordered, against the
+// O(n * probe) of index nested loops.
+//
+// Relation specialization follows the paper's §4 dissection:
+//
+//   - BEFORE / AFTER pair a whole prefix of one side (ordered by upper
+//     bound) with each row of the other — no active set at all;
+//   - relations that fix the later-starting side (OVERLAPS, MEETS,
+//     CONTAINS, FINISHED_BY, STARTS, EQUALS, STARTED_BY) emit at each
+//     right start against the active left set;
+//   - their inverses (DURING, FINISHES, OVERLAPPED_BY, MET_BY) emit at
+//     each left start against the active right set;
+//   - INTERSECTS emits in both directions unconditionally — every active
+//     partner at a start event intersects the starting interval by
+//     construction.
+//
+// The sweep assumes valid intervals (Lower <= Upper). Query-side rows
+// violating that fault exactly like the nested-loops paths; subject-side
+// violations (possible only in unchecked transient collections) denote no
+// time span and are dropped as residuals.
+
+// gaplessSet is the sweep's active set: dense parallel arrays of the
+// active intervals' bounds and block-row indexes (cache-friendly linear
+// scans, no tombstones), plus a direct-addressed slot table by block-row
+// index for O(1) endpoint-ordered eviction via swap-with-last.
+type gaplessSet struct {
+	lo, hi []int64
+	row    []int32
+	slot   []int32 // block row -> dense slot; -1 when absent
+}
+
+func (g *gaplessSet) init(n int) {
+	g.lo, g.hi, g.row = g.lo[:0], g.hi[:0], g.row[:0]
+	g.slot = make([]int32, n)
+	for i := range g.slot {
+		g.slot[i] = -1
+	}
+}
+
+func (g *gaplessSet) add(r int32, lo, hi int64) {
+	g.slot[r] = int32(len(g.row))
+	g.lo = append(g.lo, lo)
+	g.hi = append(g.hi, hi)
+	g.row = append(g.row, r)
+}
+
+func (g *gaplessSet) remove(r int32) {
+	s := g.slot[r]
+	if s < 0 {
+		return
+	}
+	last := int32(len(g.row) - 1)
+	moved := g.row[last]
+	g.lo[s], g.hi[s], g.row[s] = g.lo[last], g.hi[last], g.row[last]
+	g.slot[moved] = s
+	g.lo, g.hi, g.row = g.lo[:last], g.hi[:last], g.row[:last]
+	g.slot[r] = -1
+}
+
+func (g *gaplessSet) size() int { return len(g.row) }
+
+// mjSide is one materialized, lower-bound-ordered join input: the full
+// rows (for env binding and post filters), the join bounds in dedicated
+// arrays (the sweep touches only these — the cache layout the paper's
+// gapless hash is about), and a by-upper-bound permutation driving
+// endpoint-ordered eviction and the BEFORE/AFTER prefix modes.
+type mjSide struct {
+	sp      *srcPlan
+	w       int
+	rows    []int64
+	rids    []rel.RowID
+	lo, hi  []int64
+	byHi    []int32
+	n       int
+	scan    OrderedScanFunc // nil: explicit sort fallback
+	ordered bool            // this drain actually used the ordered feed
+	ns      *nodeStats
+}
+
+func (s *mjSide) release() {
+	s.rows, s.rids, s.lo, s.hi, s.byHi, s.n = nil, nil, nil, nil, nil, 0
+}
+
+func (s *mjSide) sortByLo() {
+	sort.Stable(sideByLo{s})
+}
+
+// sideByLo sorts a side's parallel arrays in place by lower bound.
+type sideByLo struct{ s *mjSide }
+
+func (b sideByLo) Len() int           { return b.s.n }
+func (b sideByLo) Less(i, j int) bool { return b.s.lo[i] < b.s.lo[j] }
+func (b sideByLo) Swap(i, j int) {
+	s := b.s
+	s.lo[i], s.lo[j] = s.lo[j], s.lo[i]
+	s.hi[i], s.hi[j] = s.hi[j], s.hi[i]
+	s.rids[i], s.rids[j] = s.rids[j], s.rids[i]
+	ri, rj := s.rows[i*s.w:(i+1)*s.w], s.rows[j*s.w:(j+1)*s.w]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (s *mjSide) buildByHi() {
+	s.byHi = make([]int32, s.n)
+	for i := range s.byHi {
+		s.byHi[i] = int32(i)
+	}
+	hi := s.hi
+	sort.Slice(s.byHi, func(i, j int) bool { return hi[s.byHi[i]] < hi[s.byHi[j]] })
+}
+
+// sweep emission modes.
+const (
+	modeSweep  = iota // event sweep with active set(s)
+	modeBefore        // prefix of left (by upper) per right row
+	modeAfter         // prefix of right (by upper) per left row
+)
+
+// mjMatch is a specialized relation predicate between a subject interval
+// s and a query interval b, evaluated only for pairs the sweep already
+// proved co-active (or prefix-ordered).
+type mjMatch func(sLo, sHi, bLo, bHi int64) bool
+
+// mergeJoinNode executes a selectPlan with a non-nil mergeSpec. It is a
+// pipeline breaker on both inputs: Open drains and orders the two sides,
+// Next sweeps lazily — the active sets advance only as pairs are pulled,
+// so a LIMIT or early Close stops mid-sweep.
+type mergeJoinNode struct {
+	p    *selectPlan
+	m    *mergeSpec
+	env  []int64
+	rids []rel.RowID
+
+	left, right mjSide
+
+	mode   int
+	emitL  bool // emit at left starts, scanning the active right set
+	emitR  bool // emit at right starts, scanning the active left set
+	matchL mjMatch
+	matchR mjMatch
+
+	activeL, activeR gaplessSet
+	li, ri           int // next start event per side
+	le, re           int // next end event per side (index into byHi)
+	peak             int64
+
+	// Current emission scan: a started row paired lazily against a stable
+	// snapshot of the opposite active set (events advance only after the
+	// scan drains, so the dense arrays cannot move under it) or against a
+	// byHi prefix in the BEFORE/AFTER modes.
+	scanning  bool
+	scanOnR   bool // scanning the active/prefix right set (fixed left row)
+	fixed     int32
+	scanPos   int
+	scanLen   int
+	prefixLen int
+
+	opened bool
+	done   bool
+	ns     *nodeStats
+}
+
+// newMergeJoinNode builds the merge-join pipeline of a compiled plan.
+func newMergeJoinNode(p *selectPlan) (*mergeJoinNode, []int64, []rel.RowID) {
+	n := &mergeJoinNode{
+		p:    p,
+		m:    p.merge,
+		env:  make([]int64, p.envSize),
+		rids: make([]rel.RowID, len(p.sources)),
+	}
+	n.left.sp = p.sources[p.merge.left]
+	n.right.sp = p.sources[p.merge.right]
+	for _, side := range [2]*mjSide{&n.left, &n.right} {
+		if side.sp.mjOrderedIx != nil && side.sp.tab != nil {
+			side.scan = orderedScanOf(side.sp.mjOrderedIx)
+		}
+		s := side
+		side.ns = &nodeStats{labelFn: func() string { return mjFeedLabel(s) }}
+	}
+	op := p.merge.opName
+	n.ns = &nodeStats{
+		labelFn:  func() string { return "INTERVAL MERGE JOIN (" + op + ")" },
+		children: []*nodeStats{n.left.ns, n.right.ns},
+	}
+	n.configure()
+	return n, n.env, n.rids
+}
+
+// mjFeedLabel names a feed after the drain that actually ran (the sort
+// fallback engages dynamically when a snapshot view offers no ordered
+// stream): the flag is set by Open and survives Close, so EXPLAIN ANALYZE
+// renders what happened.
+func mjFeedLabel(s *mjSide) string {
+	if s.ordered && s.sp.mjOrderedIx != nil {
+		return fmt.Sprintf("ORDERED DOMAIN INDEX SCAN %s (LOWER)", strings.ToUpper(s.sp.mjOrderedIx.Name()))
+	}
+	return "SORT BY LOWER (" + accessLine(s.sp) + ")"
+}
+
+// configure specializes the sweep for the plan's relation.
+func (n *mergeJoinNode) configure() {
+	if n.m.intersect {
+		n.emitL, n.emitR = true, true
+		return
+	}
+	switch n.m.rel {
+	case interval.Before:
+		n.mode = modeBefore
+	case interval.After:
+		n.mode = modeAfter
+	case interval.Overlaps:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo < bLo && bLo < sHi && sHi < bHi }
+	case interval.FinishedBy:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo < bLo && sHi == bHi }
+	case interval.Contains:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo < bLo && bHi < sHi }
+	case interval.Starts:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo == bLo && sHi < bHi }
+	case interval.Equals:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo == bLo && sHi == bHi }
+	case interval.StartedBy:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sLo == bLo && bHi < sHi }
+	case interval.Meets:
+		n.emitR = true
+		n.matchR = func(sLo, sHi, bLo, bHi int64) bool { return sHi == bLo && sLo < bLo && sHi < bHi }
+	case interval.During:
+		n.emitL = true
+		n.matchL = func(sLo, sHi, bLo, bHi int64) bool { return bLo < sLo && sHi < bHi }
+	case interval.Finishes:
+		n.emitL = true
+		n.matchL = func(sLo, sHi, bLo, bHi int64) bool { return bLo < sLo && sHi == bHi }
+	case interval.OverlappedBy:
+		n.emitL = true
+		n.matchL = func(sLo, sHi, bLo, bHi int64) bool { return bLo < sLo && sLo < bHi && bHi < sHi }
+	case interval.MetBy:
+		n.emitL = true
+		n.matchL = func(sLo, sHi, bLo, bHi int64) bool { return sLo == bHi && bLo < sLo && bHi < sHi }
+	}
+}
+
+func (n *mergeJoinNode) statsNode() *nodeStats { return n.ns }
+
+func (n *mergeJoinNode) Open(ec *execCtx) error {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
+	n.reset()
+	n.left.ordered, n.right.ordered = false, false
+	if err := n.drainSide(ec, &n.left, true); err != nil {
+		return err
+	}
+	if err := n.drainSide(ec, &n.right, false); err != nil {
+		return err
+	}
+	// The eviction streams exist only for maintained active sets; the
+	// prefix modes order their prefix side by upper bound.
+	if n.emitR || n.mode == modeBefore {
+		n.left.buildByHi()
+	}
+	if n.emitL || n.mode == modeAfter {
+		n.right.buildByHi()
+	}
+	if n.emitR {
+		n.activeL.init(n.left.n)
+	}
+	if n.emitL {
+		n.activeR.init(n.right.n)
+	}
+	n.opened = true
+	return nil
+}
+
+func (n *mergeJoinNode) reset() {
+	n.left.release()
+	n.right.release()
+	n.activeL, n.activeR = gaplessSet{}, gaplessSet{}
+	n.li, n.ri, n.le, n.re = 0, 0, 0, 0
+	n.peak, n.prefixLen = 0, 0
+	n.scanning, n.done, n.opened = false, false, false
+}
+
+// drainSide materializes one input in ascending lower-bound order:
+// through the side's ordered index stream when one is wired (already
+// sorted — zero sort work), else by draining the source's access path and
+// sorting, with the sorted rows accounted as spills. Subject-side
+// now-relative rows resolve against the side's NowKeeper clock (frozen by
+// the view under snapshot cursors); invalid results are dropped exactly
+// like the nested-loops Allen runner drops them.
+func (n *mergeJoinNode) drainSide(ec *execCtx, side *mjSide, subject bool) error {
+	sp := side.sp
+	side.w = len(sp.cols)
+	now := int64(0)
+	if subject && sp.mjNowIx != nil {
+		if nk, ok := sp.mjNowIx.(NowKeeper); ok {
+			now = nk.Now()
+		}
+	}
+	add := func(rid rel.RowID, row []int64) {
+		ec.stats.leafRows.Add(1)
+		side.ns.addLeafRows(1)
+		copy(n.env[sp.base:sp.base+side.w], row)
+		for _, f := range sp.filters {
+			if f(n.env) == 0 {
+				ec.stats.residualDrops.Add(1)
+				side.ns.addResidual(1)
+				return
+			}
+		}
+		lo, hi := row[sp.mjLo], row[sp.mjHi]
+		if subject {
+			if hi == interval.NowMarker {
+				hi = now
+			}
+			if lo > hi {
+				// Born in the future of the evaluation time (or malformed):
+				// consumed, never emitted — the accessAllen runner's rule.
+				ec.stats.residualDrops.Add(1)
+				side.ns.addResidual(1)
+				return
+			}
+		} else if lo > hi {
+			// Query-side bounds fault like allenQuery on the residual and
+			// index-served paths — the answer must not depend on the join
+			// strategy. (Query-side NowMarker stays a plain magnitude, as
+			// those paths treat it.)
+			if n.m.intersect {
+				panic(sqlRuntimeError{fmt.Sprintf("INTERSECTS got the inverted query interval [%d, %d]", lo, hi)})
+			}
+			if _, err := allenQuery(n.m.rel, lo, hi); err != nil {
+				panic(sqlRuntimeError{err.Error()})
+			}
+		}
+		side.rows = append(side.rows, row...)
+		side.rids = append(side.rids, rid)
+		side.lo = append(side.lo, lo)
+		side.hi = append(side.hi, hi)
+		side.n++
+		side.ns.addRowsOut(1)
+	}
+
+	if side.scan != nil && sp.tab != nil {
+		ec.stats.indexProbes.Add(1)
+		side.ns.addProbes(1)
+		buf := make([]int64, sp.tab.Schema().NumCols())
+		prev, seen := int64(0), false
+		mono := true
+		var inner error
+		err := side.scan(func(rid rel.RowID) bool {
+			if inner = ctxErr(ec.ctx); inner != nil {
+				return false
+			}
+			if inner = sp.tab.GetRawInto(rid, buf); inner != nil {
+				return false
+			}
+			if seen && buf[sp.mjLo] < prev {
+				mono = false
+			}
+			prev, seen = buf[sp.mjLo], true
+			add(rid, buf)
+			return true
+		})
+		if inner != nil {
+			return inner
+		}
+		if err != nil {
+			return err
+		}
+		side.ordered = mono
+		if !mono {
+			// Defensive: an ordered stream that lied still joins correctly.
+			side.sortByLo()
+			n.countSort(ec, side)
+		}
+		return nil
+	}
+
+	if sp.coll != nil {
+		for ri, row := range sp.coll.Rows {
+			if err := ctxErr(ec.ctx); err != nil {
+				return err
+			}
+			if len(row) != side.w {
+				return fmt.Errorf("sql: collection :%s row %d has %d columns, want %d",
+					sp.ref.Collection, ri, len(row), side.w)
+			}
+			add(0, row)
+		}
+	} else {
+		var inner error
+		err := sp.tab.Scan(func(rid rel.RowID, row []int64) bool {
+			if inner = ctxErr(ec.ctx); inner != nil {
+				return false
+			}
+			add(rid, row)
+			return true
+		})
+		if inner != nil {
+			return inner
+		}
+		if err != nil {
+			return err
+		}
+	}
+	side.sortByLo()
+	n.countSort(ec, side)
+	return nil
+}
+
+// countSort accounts an explicit sort of one feed: the sorted rows are
+// both sweep sort-rows (the join-level counter benches watch) and spills
+// of the feed node (the materialization EXPLAIN ANALYZE shows).
+func (n *mergeJoinNode) countSort(ec *execCtx, side *mjSide) {
+	ec.stats.spillRows.Add(int64(side.n))
+	ec.stats.sweepSortRows.Add(int64(side.n))
+	side.ns.addSpill(int64(side.n))
+}
+
+func (n *mergeJoinNode) notePeak(ec *execCtx) {
+	if p := int64(n.activeL.size() + n.activeR.size()); p > n.peak {
+		n.peak = p
+		storeMax(&ec.stats.sweepActivePeak, p)
+		n.ns.setActive(p)
+	}
+}
+
+func (n *mergeJoinNode) Next(ec *execCtx) (bool, error) {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
+	if n.done || !n.opened {
+		return false, nil
+	}
+	for {
+		if err := ctxErr(ec.ctx); err != nil {
+			return false, err
+		}
+		if n.scanning {
+			l, r, ok := n.nextPair()
+			if !ok {
+				n.scanning = false
+			} else {
+				ec.stats.sweepPairs.Add(1)
+				n.ns.addPairs(1)
+				n.bindPair(l, r)
+				pass := true
+				for _, f := range n.m.post {
+					if f(n.env) == 0 {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					n.ns.addRowsOut(1)
+					return true, nil
+				}
+				ec.stats.residualDrops.Add(1)
+				n.ns.addResidual(1)
+				continue
+			}
+		}
+		if !n.advance(ec) {
+			n.done = true
+			return false, nil
+		}
+	}
+}
+
+// bindPair lands a pair's rows in the shared env/rids, exactly as the
+// nested-loops scans would have.
+func (n *mergeJoinNode) bindPair(l, r int32) {
+	ls, rs := n.left.sp, n.right.sp
+	copy(n.env[ls.base:ls.base+n.left.w], n.left.rows[int(l)*n.left.w:])
+	copy(n.env[rs.base:rs.base+n.right.w], n.right.rows[int(r)*n.right.w:])
+	n.rids[n.m.left] = n.left.rids[l]
+	n.rids[n.m.right] = n.right.rids[r]
+}
+
+// nextPair lazily yields the next matching pair of the current scan.
+func (n *mergeJoinNode) nextPair() (int32, int32, bool) {
+	switch n.mode {
+	case modeBefore:
+		if n.scanPos < n.scanLen {
+			l := n.left.byHi[n.scanPos]
+			n.scanPos++
+			return l, n.fixed, true
+		}
+		return 0, 0, false
+	case modeAfter:
+		if n.scanPos < n.scanLen {
+			r := n.right.byHi[n.scanPos]
+			n.scanPos++
+			return n.fixed, r, true
+		}
+		return 0, 0, false
+	}
+	if n.scanOnR {
+		s := n.fixed
+		sLo, sHi := n.left.lo[s], n.left.hi[s]
+		for n.scanPos < n.scanLen {
+			i := n.scanPos
+			n.scanPos++
+			if n.matchL == nil || n.matchL(sLo, sHi, n.activeR.lo[i], n.activeR.hi[i]) {
+				return s, n.activeR.row[i], true
+			}
+		}
+		return 0, 0, false
+	}
+	b := n.fixed
+	bLo, bHi := n.right.lo[b], n.right.hi[b]
+	for n.scanPos < n.scanLen {
+		i := n.scanPos
+		n.scanPos++
+		if n.matchR == nil || n.matchR(n.activeL.lo[i], n.activeL.hi[i], bLo, bHi) {
+			return n.activeL.row[i], b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// advance processes sweep events until an emission scan starts (true) or
+// the sweep completes (false). Event order at equal values: starts before
+// ends (touching intervals are co-active in the closed model), left
+// starts before right starts (so equal-lower pairs emit exactly once, at
+// the right start).
+func (n *mergeJoinNode) advance(ec *execCtx) bool {
+	switch n.mode {
+	case modeBefore:
+		return n.advanceBefore()
+	case modeAfter:
+		return n.advanceAfter()
+	}
+	L, R := &n.left, &n.right
+	for {
+		if (!n.emitR || n.ri >= R.n) && (!n.emitL || n.li >= L.n) {
+			return false
+		}
+		const (
+			evLS = iota
+			evRS
+			evLE
+			evRE
+			evNone
+		)
+		pick, pv := evNone, int64(0)
+		better := func(ev int, v int64) bool {
+			if pick == evNone {
+				return true
+			}
+			if v != pv {
+				return v < pv
+			}
+			return ev < pick // starts before ends, left start before right
+		}
+		if n.li < L.n && better(evLS, L.lo[n.li]) {
+			pick, pv = evLS, L.lo[n.li]
+		}
+		if n.ri < R.n && better(evRS, R.lo[n.ri]) {
+			pick, pv = evRS, R.lo[n.ri]
+		}
+		if n.emitR && n.le < L.n {
+			if v := L.hi[L.byHi[n.le]]; better(evLE, v) {
+				pick, pv = evLE, v
+			}
+		}
+		if n.emitL && n.re < R.n {
+			if v := R.hi[R.byHi[n.re]]; better(evRE, v) {
+				pick, pv = evRE, v
+			}
+		}
+		switch pick {
+		case evLS:
+			r := int32(n.li)
+			n.li++
+			if n.emitR {
+				n.activeL.add(r, L.lo[r], L.hi[r])
+				n.notePeak(ec)
+			}
+			if n.emitL && n.activeR.size() > 0 {
+				n.scanning, n.scanOnR = true, true
+				n.fixed, n.scanPos, n.scanLen = r, 0, n.activeR.size()
+				return true
+			}
+		case evRS:
+			r := int32(n.ri)
+			n.ri++
+			if n.emitL {
+				n.activeR.add(r, R.lo[r], R.hi[r])
+				n.notePeak(ec)
+			}
+			if n.emitR && n.activeL.size() > 0 {
+				n.scanning, n.scanOnR = true, false
+				n.fixed, n.scanPos, n.scanLen = r, 0, n.activeL.size()
+				return true
+			}
+		case evLE:
+			n.activeL.remove(L.byHi[n.le])
+			n.le++
+		case evRE:
+			n.activeR.remove(R.byHi[n.re])
+			n.re++
+		case evNone:
+			return false
+		}
+	}
+}
+
+// advanceBefore pairs each right row with the prefix of left rows (in
+// upper-bound order) that end strictly before it starts: BEFORE in
+// O(n + output), no active set.
+func (n *mergeJoinNode) advanceBefore() bool {
+	L, R := &n.left, &n.right
+	for n.ri < R.n {
+		b := int32(n.ri)
+		n.ri++
+		for n.prefixLen < L.n && L.hi[L.byHi[n.prefixLen]] < R.lo[b] {
+			n.prefixLen++
+		}
+		if n.prefixLen > 0 {
+			n.scanning, n.scanOnR = true, false
+			n.fixed, n.scanPos, n.scanLen = b, 0, n.prefixLen
+			return true
+		}
+	}
+	return false
+}
+
+// advanceAfter is the mirror: each left row against the prefix of right
+// rows ending strictly before it starts.
+func (n *mergeJoinNode) advanceAfter() bool {
+	L, R := &n.left, &n.right
+	for n.li < L.n {
+		s := int32(n.li)
+		n.li++
+		for n.prefixLen < R.n && R.hi[R.byHi[n.prefixLen]] < L.lo[s] {
+			n.prefixLen++
+		}
+		if n.prefixLen > 0 {
+			n.scanning, n.scanOnR = true, true
+			n.fixed, n.scanPos, n.scanLen = s, 0, n.prefixLen
+			return true
+		}
+	}
+	return false
+}
+
+func (n *mergeJoinNode) Close() error {
+	n.reset()
+	n.done = true
+	return nil
+}

@@ -124,7 +124,7 @@ var reserved = map[string]bool{
 	"into": true, "values": true, "delete": true, "create": true, "table": true,
 	"index": true, "drop": true, "on": true, "order": true, "by": true,
 	"asc": true, "desc": true, "explain": true, "as": true, "is": true,
-	"indextype": true, "distinct": true, "limit": true,
+	"indextype": true, "distinct": true, "limit": true, "group": true,
 }
 
 func (p *parser) createStmt() (Statement, error) {
@@ -431,6 +431,21 @@ func (p *parser) selectBlock() (*SelectStmt, error) {
 			return nil, err
 		}
 		st.Where = w
+	}
+	if p.keyword("group") {
+		if !p.keyword("by") {
+			return nil, p.errf("expected BY after GROUP")
+		}
+		for {
+			g, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, g)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
 	}
 	if p.keyword("union") {
 		if !p.keyword("all") {

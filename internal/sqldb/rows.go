@@ -196,15 +196,33 @@ func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interfa
 func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[string]interface{}, v *execView) (*Rows, error) {
 	var branches []rowNode
 	var cols []string
+	strategy := ""
+	// noteStrategy folds one block's plan into the cursor-level join
+	// strategy: merge wins over nested loops, which wins over none.
+	noteStrategy := func(plan *selectPlan) {
+		if plan.merge != nil {
+			strategy = "merge"
+		} else if len(plan.sources) > 1 && strategy != "merge" {
+			strategy = "nested_loops"
+		}
+	}
 	for blk := s; blk != nil; blk = blk.Union {
 		var bn rowNode
 		var bcols []string
-		if isAggregate(blk) {
-			an, acols, err := e.buildAggregate(blk, binds, v)
+		if len(blk.GroupBy) > 0 {
+			gn, gcols, plan, err := e.buildGroupBy(blk, binds, v)
+			if err != nil {
+				return nil, err
+			}
+			bn, bcols = gn, gcols
+			noteStrategy(plan)
+		} else if isAggregate(blk) {
+			an, acols, plan, err := e.buildAggregate(blk, binds, v)
 			if err != nil {
 				return nil, err
 			}
 			bn, bcols = an, acols
+			noteStrategy(plan)
 		} else {
 			plan, err := e.planSelect(blk, binds)
 			if err != nil {
@@ -216,6 +234,7 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 				}
 			}
 			bn, bcols = newProjectOverPlan(plan), plan.outCols
+			noteStrategy(plan)
 		}
 		if blk.Distinct {
 			bn = &distinctNode{in: bn, ns: statsOver("DISTINCT", bn)}
@@ -240,13 +259,7 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 		}
 		root = cn
 	}
-	if len(s.OrderBy) > 0 {
-		keys, err := sortKeys(s.OrderBy, cols)
-		if err != nil {
-			return nil, err
-		}
-		root = &sortNode{in: root, keys: keys, ns: statsOver("SORT ORDER BY", root)}
-	}
+	var limit int64 = -1
 	if s.Limit != nil {
 		n, err := evalConst(s.Limit, binds)
 		if err != nil {
@@ -255,11 +268,34 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 		if n < 0 {
 			return nil, fmt.Errorf("sql: LIMIT must not be negative, got %d", n)
 		}
+		limit = n
+	}
+	if len(s.OrderBy) > 0 {
+		keys, err := sortKeys(s.OrderBy, cols)
+		if err != nil {
+			return nil, err
+		}
+		if limit >= 0 {
+			// ORDER BY + LIMIT k fuse into a bounded top-k heap: O(n log k)
+			// and k retained rows instead of a full sort feeding a limit.
+			k := limit
+			ns := statsOver("", root)
+			ns.labelFn = func() string { return fmt.Sprintf("SORT TOP-K %d", k) }
+			root = &topKNode{in: root, keys: keys, k: k, ns: ns}
+			limit = -1
+		} else {
+			root = &sortNode{in: root, keys: keys, ns: statsOver("SORT ORDER BY", root)}
+		}
+	}
+	if limit >= 0 {
+		n := limit
 		ns := statsOver("", root)
 		ns.labelFn = func() string { return fmt.Sprintf("LIMIT %d", n) }
 		root = &limitNode{in: root, n: n, ns: ns}
 	}
-	return &Rows{root: root, ec: &execCtx{ctx: ctx}, cols: cols, planRoot: statsNodeOf(root)}, nil
+	ec := &execCtx{ctx: ctx}
+	ec.stats.joinStrategy = strategy
+	return &Rows{root: root, ec: ec, cols: cols, planRoot: statsNodeOf(root)}, nil
 }
 
 // statsNodeOf extracts the plan-stats record of a node (nil when it has

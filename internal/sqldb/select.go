@@ -59,12 +59,36 @@ type srcPlan struct {
 	allenHiPos int
 
 	filters []evalFn // predicates checked once this source is bound
+
+	// Interval merge join feed (selectPlan.merge non-nil): mjLo/mjHi are
+	// the join interval's column positions within cols; mjOrderedIx is the
+	// domain index streaming this side in lower-bound order (nil: explicit
+	// sort fallback); mjNowIx is the NowKeeper index whose clock resolves
+	// now-relative rows when this side is the subject.
+	mjLo, mjHi  int
+	mjOrderedIx CustomIndex
+	mjNowIx     CustomIndex
+}
+
+// mergeSpec describes an interval merge join between two sources: the
+// predicate linking them (one of the 13 extended Allen relations, or
+// plain INTERSECTS), which source binds the subject (lower, upper)
+// arguments and which the query arguments, and the residual filters that
+// reference both sides.
+type mergeSpec struct {
+	rel       interval.Relation
+	intersect bool // plain INTERSECTS instead of an exact Allen relation
+	opName    string
+	left      int // source index of the subject (args[0:2]) side
+	right     int // source index of the query (args[2:4]) side
+	post      []evalFn
 }
 
 // selectPlan is a compiled single SELECT block.
 type selectPlan struct {
 	eng     *Engine
 	sources []*srcPlan
+	merge   *mergeSpec // non-nil: interval merge join instead of nested loops
 	project []evalFn
 	outCols []string
 	envSize int
@@ -144,33 +168,48 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 		c.maxSrc = m
 	}
 
-	// Choose an access path per source, in FROM order (left-deep nested
-	// loops, as the paper's plans are forced via optimizer hints).
-	for i, sp := range p.sources {
-		if sp.kind == accessCollection {
-			continue
-		}
-		if err := e.chooseAccess(p, sp, i, conjuncts, binds); err != nil {
+	// Interval merge join first: exactly two sources linked by one
+	// interval predicate sweep together instead of nested-looping — the
+	// sort-merge interval join of Piatov et al. (PAPERS.md). Detection
+	// claims the linking conjunct; everything else becomes a per-side or
+	// post-join filter below.
+	if len(p.sources) == 2 && !e.mergeOff {
+		if err := p.detectMergeJoin(conjuncts); err != nil {
 			return nil, err
 		}
 	}
 
-	// Attach every remaining conjunct as a filter at the last source it
-	// references (access-predicate conjuncts are kept as residual filters:
-	// cheap, and required for multi-node range pairs, §4.3).
-	for _, c := range conjuncts {
-		if c.used {
-			continue
+	if p.merge == nil {
+		// Choose an access path per source, in FROM order (left-deep nested
+		// loops, as the paper's plans are forced via optimizer hints).
+		for i, sp := range p.sources {
+			if sp.kind == accessCollection {
+				continue
+			}
+			if err := e.chooseAccess(p, sp, i, conjuncts, binds); err != nil {
+				return nil, err
+			}
 		}
-		at := c.maxSrc
-		if at < 0 {
-			at = 0
+
+		// Attach every remaining conjunct as a filter at the last source it
+		// references (access-predicate conjuncts are kept as residual filters:
+		// cheap, and required for multi-node range pairs, §4.3).
+		for _, c := range conjuncts {
+			if c.used {
+				continue
+			}
+			at := c.maxSrc
+			if at < 0 {
+				at = 0
+			}
+			f, err := p.compile(c.ex, binds, at)
+			if err != nil {
+				return nil, err
+			}
+			p.sources[at].filters = append(p.sources[at].filters, f)
 		}
-		f, err := p.compile(c.ex, binds, at)
-		if err != nil {
-			return nil, err
-		}
-		p.sources[at].filters = append(p.sources[at].filters, f)
+	} else if err := p.attachMergeFilters(conjuncts, binds); err != nil {
+		return nil, err
 	}
 
 	// Projection.
@@ -208,6 +247,155 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 		p.outCols = append(p.outCols, name)
 	}
 	return p, nil
+}
+
+// detectMergeJoin looks for a single interval predicate — ALLEN_X or
+// INTERSECTS over four plain column arguments, (lower, upper) of one
+// source and (lower, upper) of the other — and claims it as the merge
+// join's linking conjunct. Each side then records its feed: the ordered
+// stream of a domain index on exactly the join columns when one offers
+// the OrderedScanner capability, the explicit sort fallback otherwise.
+func (p *selectPlan) detectMergeJoin(conjuncts []*conjunct) error {
+	for _, c := range conjuncts {
+		call, ok := c.ex.(*CallExpr)
+		if !ok || c.used || len(call.Args) != 4 {
+			continue
+		}
+		r, isAllen := allenRelation(call.Name)
+		if !isAllen && strings.ToLower(call.Name) != opIntersects {
+			continue
+		}
+		var si, pos [4]int
+		cols := true
+		for k, a := range call.Args {
+			ce, isCol := a.(*ColumnExpr)
+			if !isCol {
+				cols = false
+				break
+			}
+			s, slot, err := p.resolve(ce)
+			if err != nil {
+				return err
+			}
+			si[k], pos[k] = s, slot-p.sources[s].base
+		}
+		if !cols || si[0] != si[1] || si[2] != si[3] || si[0] == si[2] {
+			continue
+		}
+		m := &mergeSpec{
+			rel:       r,
+			intersect: !isAllen,
+			opName:    strings.ToUpper(call.Name),
+			left:      si[0],
+			right:     si[2],
+		}
+		ls, rs := p.sources[m.left], p.sources[m.right]
+		ls.mjLo, ls.mjHi = pos[0], pos[1]
+		rs.mjLo, rs.mjHi = pos[2], pos[3]
+		for _, sp := range [2]*srcPlan{ls, rs} {
+			if sp.tab == nil {
+				continue
+			}
+			for _, ci := range p.eng.customByTb[strings.ToLower(sp.tab.Name())] {
+				idxCols := ci.Columns()
+				if sp.mjOrderedIx == nil && len(idxCols) == 2 &&
+					strings.EqualFold(idxCols[0], sp.cols[sp.mjLo]) &&
+					strings.EqualFold(idxCols[1], sp.cols[sp.mjHi]) {
+					if _, ok := ci.(OrderedScanner); ok {
+						sp.mjOrderedIx = ci
+					}
+				}
+				if sp.mjNowIx == nil {
+					if _, ok := ci.(NowKeeper); ok {
+						sp.mjNowIx = ci
+					}
+				}
+			}
+		}
+		c.used = true
+		p.merge = m
+		return nil
+	}
+	return nil
+}
+
+// sourceMask returns a bitmask of the source indexes ex references.
+func (p *selectPlan) sourceMask(ex Expr) (uint, error) {
+	var mask uint
+	var walk func(Expr) error
+	walk = func(ex Expr) error {
+		switch x := ex.(type) {
+		case *ColumnExpr:
+			si, _, err := p.resolve(x)
+			if err != nil {
+				return err
+			}
+			mask |= 1 << uint(si)
+		case *UnaryExpr:
+			return walk(x.X)
+		case *BinaryExpr:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *BetweenExpr:
+			for _, sub := range []Expr{x.X, x.Lo, x.Hi} {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			}
+		case *CallExpr:
+			for _, a := range x.Args {
+				if err := walk(a); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(ex); err != nil {
+		return 0, err
+	}
+	return mask, nil
+}
+
+// attachMergeFilters distributes the non-linking conjuncts of a merge
+// join: single-source conjuncts filter that side's feed before it enters
+// the sweep, conjuncts over both sides run post-join on each emitted
+// pair, and source-free conjuncts gate the left feed (any side works —
+// a constant false empties the join either way).
+func (p *selectPlan) attachMergeFilters(conjuncts []*conjunct, binds map[string]interface{}) error {
+	last := len(p.sources) - 1
+	for _, c := range conjuncts {
+		if c.used {
+			continue
+		}
+		mask, err := p.sourceMask(c.ex)
+		if err != nil {
+			return err
+		}
+		switch mask {
+		case 0, 1 << uint(p.merge.left):
+			f, err := p.compile(c.ex, binds, p.merge.left)
+			if err != nil {
+				return err
+			}
+			p.sources[p.merge.left].filters = append(p.sources[p.merge.left].filters, f)
+		case 1 << uint(p.merge.right):
+			f, err := p.compile(c.ex, binds, last)
+			if err != nil {
+				return err
+			}
+			p.sources[p.merge.right].filters = append(p.sources[p.merge.right].filters, f)
+		default:
+			f, err := p.compile(c.ex, binds, last)
+			if err != nil {
+				return err
+			}
+			p.merge.post = append(p.merge.post, f)
+		}
+	}
+	return nil
 }
 
 // maxSource returns the highest source index referenced by ex (-1 if none).
@@ -797,15 +985,23 @@ func (e *Engine) explain(s *SelectStmt, binds map[string]interface{}) (string, e
 	var sb strings.Builder
 	sb.WriteString("SELECT STATEMENT\n")
 	indent := 1
-	if s.Limit != nil {
+	switch {
+	case s.Limit != nil && len(s.OrderBy) > 0:
+		// ORDER BY + LIMIT k execute as one fused top-k heap sink.
+		n, err := evalConst(s.Limit, binds)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%sSORT TOP-K %d\n", strings.Repeat("  ", indent), n)
+		indent++
+	case s.Limit != nil:
 		n, err := evalConst(s.Limit, binds)
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&sb, "%sLIMIT %d\n", strings.Repeat("  ", indent), n)
 		indent++
-	}
-	if len(s.OrderBy) > 0 {
+	case len(s.OrderBy) > 0:
 		sb.WriteString(strings.Repeat("  ", indent) + "SORT ORDER BY\n")
 		indent++
 	}
@@ -814,30 +1010,73 @@ func (e *Engine) explain(s *SelectStmt, binds map[string]interface{}) (string, e
 		indent++
 	}
 	for blk := s; blk != nil; blk = blk.Union {
-		plan, err := e.planSelect(blk, binds)
-		if err != nil {
-			return "", err
-		}
 		bi := indent
 		if blk.Distinct {
 			sb.WriteString(strings.Repeat("  ", bi) + "DISTINCT\n")
 			bi++
 		}
-		printJoin(&sb, plan.sources, bi)
+		if len(blk.GroupBy) > 0 || isAggregate(blk) {
+			// Grouped and aggregating blocks plan their FROM/WHERE as a
+			// SELECT * input under the aggregation sink, exactly as
+			// execution does.
+			plan, err := e.planSelect(&SelectStmt{
+				Items: []SelectItem{{Star: true}},
+				From:  blk.From,
+				Where: blk.Where,
+			}, binds)
+			if err != nil {
+				return "", err
+			}
+			sink := "AGGREGATE"
+			if len(blk.GroupBy) > 0 {
+				sink = "HASH GROUP BY"
+			}
+			sb.WriteString(strings.Repeat("  ", bi) + sink + "\n")
+			printJoin(&sb, plan, bi+1)
+			continue
+		}
+		plan, err := e.planSelect(blk, binds)
+		if err != nil {
+			return "", err
+		}
+		printJoin(&sb, plan, bi)
 	}
 	return sb.String(), nil
 }
 
-// printJoin renders the left-deep nested-loop tree NL(NL(s0,s1),s2)...
-func printJoin(sb *strings.Builder, sources []*srcPlan, indent int) {
+// printJoin renders a block's join tree: the interval merge join with its
+// two ordered feeds, or the left-deep nested-loop tree NL(NL(s0,s1),s2).
+func printJoin(sb *strings.Builder, p *selectPlan, indent int) {
+	if p.merge != nil {
+		fmt.Fprintf(sb, "%sINTERVAL MERGE JOIN (%s)\n", strings.Repeat("  ", indent), p.merge.opName)
+		pad := strings.Repeat("  ", indent+1)
+		sb.WriteString(pad + mergeFeedLine(p.sources[p.merge.left]) + "\n")
+		sb.WriteString(pad + mergeFeedLine(p.sources[p.merge.right]) + "\n")
+		return
+	}
+	printNested(sb, p.sources, indent)
+}
+
+// printNested renders the left-deep nested-loop tree NL(NL(s0,s1),s2)...
+func printNested(sb *strings.Builder, sources []*srcPlan, indent int) {
 	pad := strings.Repeat("  ", indent)
 	if len(sources) == 1 {
 		sb.WriteString(pad + accessLine(sources[0]) + "\n")
 		return
 	}
 	sb.WriteString(pad + "NESTED LOOPS\n")
-	printJoin(sb, sources[:len(sources)-1], indent+1)
+	printNested(sb, sources[:len(sources)-1], indent+1)
 	sb.WriteString(strings.Repeat("  ", indent+1) + accessLine(sources[len(sources)-1]) + "\n")
+}
+
+// mergeFeedLine names one merge-join feed: a zero-sort ordered stream off
+// a start-sorted domain index, or an explicit sort over the source's
+// ordinary access path.
+func mergeFeedLine(sp *srcPlan) string {
+	if sp.mjOrderedIx != nil {
+		return fmt.Sprintf("ORDERED DOMAIN INDEX SCAN %s (LOWER)", strings.ToUpper(sp.mjOrderedIx.Name()))
+	}
+	return "SORT BY LOWER (" + accessLine(sp) + ")"
 }
 
 // evalConst evaluates an expression that may reference only literals and

@@ -23,24 +23,47 @@ import (
 // (EXPLAIN ANALYZE).
 
 // cursorStats is the live, atomically updated form of ExecStats.
+// joinStrategy is a plain string: it is decided once at plan time, before
+// the cursor is handed out, and never written afterwards.
 type cursorStats struct {
-	leafRows      atomic.Int64
-	rowsOut       atomic.Int64
-	indexProbes   atomic.Int64
-	joinRebinds   atomic.Int64
-	residualDrops atomic.Int64
-	spillRows     atomic.Int64
+	leafRows        atomic.Int64
+	rowsOut         atomic.Int64
+	indexProbes     atomic.Int64
+	joinRebinds     atomic.Int64
+	residualDrops   atomic.Int64
+	spillRows       atomic.Int64
+	sweepPairs      atomic.Int64
+	sweepActivePeak atomic.Int64
+	sweepSortRows   atomic.Int64
+	groupedRows     atomic.Int64
+	joinStrategy    string
+}
+
+// storeMax raises a to at least v (several merge nodes of one cursor —
+// UNION ALL branches — may race on the shared peak).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // snapshot copies the counters into the exported value form.
 func (c *cursorStats) snapshot() ExecStats {
 	return ExecStats{
-		LeafRows:      c.leafRows.Load(),
-		RowsOut:       c.rowsOut.Load(),
-		IndexProbes:   c.indexProbes.Load(),
-		JoinRebinds:   c.joinRebinds.Load(),
-		ResidualDrops: c.residualDrops.Load(),
-		SpillRows:     c.spillRows.Load(),
+		LeafRows:        c.leafRows.Load(),
+		RowsOut:         c.rowsOut.Load(),
+		IndexProbes:     c.indexProbes.Load(),
+		JoinRebinds:     c.joinRebinds.Load(),
+		ResidualDrops:   c.residualDrops.Load(),
+		SpillRows:       c.spillRows.Load(),
+		SweepPairs:      c.sweepPairs.Load(),
+		SweepActivePeak: c.sweepActivePeak.Load(),
+		SweepSortRows:   c.sweepSortRows.Load(),
+		GroupedRows:     c.groupedRows.Load(),
+		JoinStrategy:    c.joinStrategy,
 	}
 }
 
@@ -67,8 +90,25 @@ type ExecStats struct {
 	// region, or a scan filter) — work the index could not avoid.
 	ResidualDrops int64
 	// SpillRows is the number of rows materialized by pipeline-breaking
-	// sinks (SORT ORDER BY buffers, aggregate input rows).
+	// sinks (SORT ORDER BY buffers, aggregate input rows, merge-join feed
+	// sorts).
 	SpillRows int64
+	// SweepPairs counts the candidate pairs the interval merge join's
+	// sweep examined (emitted rows plus post-filter drops).
+	SweepPairs int64
+	// SweepActivePeak is the largest combined active-set population the
+	// sweep reached — the join's working-set high-water mark.
+	SweepActivePeak int64
+	// SweepSortRows counts rows the merge join had to explicitly sort
+	// because a feed offered no ordered index stream; 0 means every feed
+	// came pre-sorted off its domain index.
+	SweepSortRows int64
+	// GroupedRows is the number of groups hash aggregation produced.
+	GroupedRows int64
+	// JoinStrategy names the join algorithm the plan used: "merge" for the
+	// interval merge join, "nested_loops" for multi-source plans joined by
+	// nested loops, "" for single-source plans. Benches assert on it.
+	JoinStrategy string
 }
 
 // nodeStats is the per-operator record of the pipeline. All fields are
@@ -89,6 +129,8 @@ type nodeStats struct {
 	rebinds  atomic.Int64
 	residual atomic.Int64
 	spill    atomic.Int64
+	pairs    atomic.Int64 // merge-join sweep pairs examined
+	active   atomic.Int64 // merge-join active-set peak
 	elapsed  atomic.Int64 // wall ns; recorded only under EXPLAIN ANALYZE
 	children []*nodeStats
 }
@@ -121,6 +163,16 @@ func (n *nodeStats) addResidual(d int64) {
 func (n *nodeStats) addSpill(d int64) {
 	if n != nil {
 		n.spill.Add(d)
+	}
+}
+func (n *nodeStats) addPairs(d int64) {
+	if n != nil {
+		n.pairs.Add(d)
+	}
+}
+func (n *nodeStats) setActive(v int64) {
+	if n != nil {
+		n.active.Store(v)
 	}
 }
 
@@ -157,8 +209,13 @@ type PlanNodeStats struct {
 	Residual int64
 	// Rebinds counts inner re-opens (join operators only).
 	Rebinds int64
-	// Spill counts materialized rows (sort/aggregate sinks only).
+	// Spill counts materialized rows (sort/aggregate sinks, merge-join
+	// feed sorts).
 	Spill int64
+	// Pairs counts the sweep's examined pairs and ActivePeak its largest
+	// active-set population (interval merge join nodes only).
+	Pairs      int64
+	ActivePeak int64
 	// Elapsed is the operator's cumulative wall time, populated only for
 	// timed executions (EXPLAIN ANALYZE); zero otherwise.
 	Elapsed time.Duration
@@ -177,14 +234,16 @@ func (n *nodeStats) labelName() string {
 // snapshotNode converts a nodeStats tree into its value form.
 func snapshotNode(n *nodeStats) PlanNodeStats {
 	s := PlanNodeStats{
-		Label:    n.labelName(),
-		RowsOut:  n.rowsOut.Load(),
-		LeafRows: n.leafRows.Load(),
-		Probes:   n.probes.Load(),
-		Residual: n.residual.Load(),
-		Rebinds:  n.rebinds.Load(),
-		Spill:    n.spill.Load(),
-		Elapsed:  time.Duration(n.elapsed.Load()),
+		Label:      n.labelName(),
+		RowsOut:    n.rowsOut.Load(),
+		LeafRows:   n.leafRows.Load(),
+		Probes:     n.probes.Load(),
+		Residual:   n.residual.Load(),
+		Rebinds:    n.rebinds.Load(),
+		Spill:      n.spill.Load(),
+		Pairs:      n.pairs.Load(),
+		ActivePeak: n.active.Load(),
+		Elapsed:    time.Duration(n.elapsed.Load()),
 	}
 	for _, c := range n.children {
 		s.Children = append(s.Children, snapshotNode(c))
@@ -224,6 +283,12 @@ func renderNode(sb *strings.Builder, s PlanNodeStats, indent int) {
 	}
 	if s.Spill > 0 {
 		fmt.Fprintf(sb, " spill=%d", s.Spill)
+	}
+	if s.Pairs > 0 {
+		fmt.Fprintf(sb, " pairs=%d", s.Pairs)
+	}
+	if s.ActivePeak > 0 {
+		fmt.Fprintf(sb, " active=%d", s.ActivePeak)
 	}
 	if s.Elapsed > 0 {
 		fmt.Fprintf(sb, " time=%s", s.Elapsed.Round(time.Microsecond))

@@ -250,9 +250,19 @@ func TestAllenResidualOverTransient(t *testing.T) {
 func TestExplainShowsPipelineSinks(t *testing.T) {
 	e := streamEngine(t, 1)
 	r := mustExec(t, e, "EXPLAIN SELECT DISTINCT a FROM t ORDER BY a LIMIT 5", nil)
-	for _, want := range []string{"LIMIT 5", "SORT ORDER BY", "DISTINCT"} {
+	// ORDER BY + LIMIT fuse into the top-k sink; each alone keeps its
+	// dedicated plan line.
+	for _, want := range []string{"SORT TOP-K 5", "DISTINCT"} {
 		if !strings.Contains(r.Plan, want) {
 			t.Fatalf("plan missing %q:\n%s", want, r.Plan)
 		}
+	}
+	r = mustExec(t, e, "EXPLAIN SELECT a FROM t LIMIT 5", nil)
+	if !strings.Contains(r.Plan, "LIMIT 5") {
+		t.Fatalf("plan missing %q:\n%s", "LIMIT 5", r.Plan)
+	}
+	r = mustExec(t, e, "EXPLAIN SELECT a FROM t ORDER BY a", nil)
+	if !strings.Contains(r.Plan, "SORT ORDER BY") {
+		t.Fatalf("plan missing %q:\n%s", "SORT ORDER BY", r.Plan)
 	}
 }

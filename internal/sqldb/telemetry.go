@@ -105,7 +105,10 @@ func (t *telemetry) drain() []SlowQuery {
 type sqlMetrics struct {
 	reg                                                        *obs.Registry
 	leafRows, rowsOut, indexProbes, joinRebinds, residualDrops *obs.Counter
-	spillRows                                                  *obs.Counter
+	spillRows, groupedRows                                     *obs.Counter
+	joinMerge, joinNested                                      *obs.Counter
+	sweepPairs, sweepSortRows                                  *obs.Counter
+	joinLatency, sweepActivePeak                               *obs.Histogram
 	stmt                                                       map[string]*obs.Counter
 	latency                                                    map[string]*obs.Histogram
 }
@@ -123,8 +126,18 @@ func newSQLMetrics(reg *obs.Registry) *sqlMetrics {
 		joinRebinds:   reg.Counter("sql.join_rebinds"),
 		residualDrops: reg.Counter("sql.residual_drops"),
 		spillRows:     reg.Counter("sql.spill_rows"),
-		stmt:          make(map[string]*obs.Counter, len(stmtKinds)),
-		latency:       make(map[string]*obs.Histogram, len(stmtKinds)),
+		groupedRows:   reg.Counter("sql.grouped_rows"),
+		joinMerge:     reg.Counter("sql.join.merge"),
+		joinNested:    reg.Counter("sql.join.nested_loops"),
+		sweepPairs:    reg.Counter("sql.join_sweep.pairs"),
+		sweepSortRows: reg.Counter("sql.join_sweep.sort_rows"),
+		joinLatency:   reg.Histogram("sql.latency.join"),
+		// active_peak is a histogram, not a counter: each joining cursor
+		// contributes one sample, so the distribution of working-set
+		// high-water marks across queries stays visible.
+		sweepActivePeak: reg.Histogram("sql.join_sweep.active_peak"),
+		stmt:            make(map[string]*obs.Counter, len(stmtKinds)),
+		latency:         make(map[string]*obs.Histogram, len(stmtKinds)),
 	}
 	for _, k := range stmtKinds {
 		m.stmt[k] = reg.Counter("sql.stmt." + k)
@@ -151,6 +164,23 @@ func (m *sqlMetrics) observe(kind string, d time.Duration, st ExecStats) {
 	m.joinRebinds.Add(st.JoinRebinds)
 	m.residualDrops.Add(st.ResidualDrops)
 	m.spillRows.Add(st.SpillRows)
+	m.groupedRows.Add(st.GroupedRows)
+	m.sweepPairs.Add(st.SweepPairs)
+	m.sweepSortRows.Add(st.SweepSortRows)
+	// Joining cursors additionally feed the per-strategy counters and the
+	// join-latency histogram (ROADMAP: per-kind join latency).
+	switch st.JoinStrategy {
+	case "merge":
+		m.joinMerge.Inc()
+	case "nested_loops":
+		m.joinNested.Inc()
+	default:
+		return
+	}
+	m.joinLatency.Record(d.Nanoseconds())
+	if st.SweepActivePeak > 0 {
+		m.sweepActivePeak.Record(st.SweepActivePeak)
+	}
 }
 
 // SetMetricsRegistry configures the registry statement telemetry and

@@ -1,0 +1,118 @@
+package sqldb
+
+import "sort"
+
+// topKNode fuses ORDER BY + LIMIT k into one bounded sink: a max-heap of
+// the k best rows seen so far (heap root = current worst survivor). Each
+// input row either displaces the root or is dropped immediately, so the
+// sink runs in O(n log k) and retains k rows instead of materializing and
+// sorting the whole input. Open drains the input — like sortNode it is a
+// pipeline breaker — then sorts the k survivors for in-order emission.
+type topKNode struct {
+	in   rowNode
+	keys []sortKey
+	k    int64
+	rows [][]int64
+	pos  int
+	ns   *nodeStats
+}
+
+func (n *topKNode) statsNode() *nodeStats { return n.ns }
+
+// less orders rows by the ORDER BY keys (ties keep input order stable via
+// the caller's choice of sort).
+func (n *topKNode) less(a, b []int64) bool {
+	for _, k := range n.keys {
+		av, bv := a[k.idx], b[k.idx]
+		if av != bv {
+			if k.desc {
+				return av > bv
+			}
+			return av < bv
+		}
+	}
+	return false
+}
+
+// siftDown restores the max-heap property at i over n.rows[:size]: every
+// parent sorts after (or equal to) its children, so rows[0] is the worst
+// retained row.
+func (n *topKNode) siftDown(i, size int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < size && n.less(n.rows[worst], n.rows[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < size && n.less(n.rows[worst], n.rows[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		n.rows[i], n.rows[worst] = n.rows[worst], n.rows[i]
+		i = worst
+	}
+}
+
+func (n *topKNode) Open(ec *execCtx) error {
+	if start := ec.startTimer(); !start.IsZero() {
+		defer n.ns.timeFrom(start)
+	}
+	n.rows, n.pos = nil, 0
+	if n.k <= 0 {
+		return nil // TOP-K 0: never open the input
+	}
+	if err := n.in.Open(ec); err != nil {
+		return err
+	}
+	for {
+		ok, err := n.in.Next(ec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		row := n.in.Row()
+		if int64(len(n.rows)) < n.k {
+			n.rows = append(n.rows, append([]int64(nil), row...))
+			if int64(len(n.rows)) == n.k {
+				for i := len(n.rows)/2 - 1; i >= 0; i-- {
+					n.siftDown(i, len(n.rows))
+				}
+			}
+			continue
+		}
+		// Heap is full: a row survives only by beating the current worst.
+		if n.less(row, n.rows[0]) {
+			copy(n.rows[0], row)
+			n.siftDown(0, len(n.rows))
+		}
+	}
+	_ = n.in.Close()
+	// Only the retained rows are materialized — that bound is the whole
+	// point of the fused sink, and what the spill counter reports.
+	ec.stats.spillRows.Add(int64(len(n.rows)))
+	n.ns.addSpill(int64(len(n.rows)))
+	// SliceStable cannot recover input order here (the heap shuffled it),
+	// but ties already fought for survival through the same comparator, so
+	// a plain sort of the survivors is all the ordering the sink promises.
+	sort.Slice(n.rows, func(i, j int) bool { return n.less(n.rows[i], n.rows[j]) })
+	return nil
+}
+
+func (n *topKNode) Next(ec *execCtx) (bool, error) {
+	if n.pos >= len(n.rows) {
+		return false, nil
+	}
+	n.pos++
+	n.ns.addRowsOut(1)
+	return true, nil
+}
+
+func (n *topKNode) Close() error {
+	n.rows = nil
+	return n.in.Close()
+}
+
+func (n *topKNode) Row() []int64 { return n.rows[n.pos-1] }

@@ -46,6 +46,28 @@ type SnapshotScanner interface {
 	SnapshotScan(shadow *rel.DB) (ScanFunc, error)
 }
 
+// OrderedScanFunc streams every row id a custom index covers in ascending
+// order of the indexed interval's lower bound. fn returning false stops
+// the stream. Implementations must be safe for concurrent use.
+type OrderedScanFunc func(fn func(rid rel.RowID) bool) error
+
+// OrderedScanner is an optional CustomIndex capability: stream the indexed
+// row ids in ascending lower-bound order, the feed of the interval merge
+// join (which otherwise falls back to an explicit sort of the source).
+// Access methods that already keep start-sorted storage — HINT's flat
+// layout — serve it zero-sort.
+type OrderedScanner interface {
+	OrderedScan(fn func(rid rel.RowID) bool) error
+}
+
+// SnapshotOrderedScanner is the snapshot face of OrderedScanner: produce
+// an ordered stream bound to the given shadow (snapshot) database, under
+// the same committed-boundary contract as SnapshotScanner. Indexes with
+// OrderedScanner but not this capability sort under snapshot views.
+type SnapshotOrderedScanner interface {
+	SnapshotOrderedScan(shadow *rel.DB) (OrderedScanFunc, error)
+}
+
 // execView is one pinned snapshot of the database, shared by every cursor
 // (and transaction) reading from it. refs is guarded by Engine.viewMu.
 type execView struct {
@@ -61,9 +83,10 @@ type execView struct {
 // is frozen at view creation so a concurrent SetNow cannot shift answers
 // mid-cursor. Maintenance and Drop are refused — a view is read-only.
 type viewIndex struct {
-	live CustomIndex
-	scan ScanFunc
-	now  int64
+	live    CustomIndex
+	scan    ScanFunc
+	ordered OrderedScanFunc // nil: no snapshot-bound ordered stream
+	now     int64
 }
 
 func (vi *viewIndex) Name() string               { return vi.live.Name() }
@@ -126,6 +149,11 @@ func (e *Engine) newExecViewLocked() (*execView, error) {
 			vi.scan, err = ss.SnapshotScan(shadow)
 		} else {
 			vi.scan, err = shadowFallbackScan(shadow, ci, vi.now)
+		}
+		if err == nil {
+			if os, ok := ci.(SnapshotOrderedScanner); ok {
+				vi.ordered, err = os.SnapshotOrderedScan(shadow)
+			}
 		}
 		if err != nil {
 			snap.Release()
@@ -288,6 +316,37 @@ func rewirePlan(p *selectPlan, v *execView) error {
 			}
 			sp.custom = vi
 		}
+		// Merge-join feed handles swap onto their snapshot faces too: the
+		// ordered stream and the frozen now-clock must describe the same
+		// committed state as the shadow tables.
+		if sp.mjOrderedIx != nil {
+			vi, ok := v.customs[strings.ToLower(sp.mjOrderedIx.Name())]
+			if !ok {
+				return fmt.Errorf("sql: internal: no snapshot view of index %s", sp.mjOrderedIx.Name())
+			}
+			sp.mjOrderedIx = vi
+		}
+		if sp.mjNowIx != nil {
+			vi, ok := v.customs[strings.ToLower(sp.mjNowIx.Name())]
+			if !ok {
+				return fmt.Errorf("sql: internal: no snapshot view of index %s", sp.mjNowIx.Name())
+			}
+			sp.mjNowIx = vi
+		}
+	}
+	return nil
+}
+
+// orderedScanOf resolves the ordered-stream face of a custom index: the
+// snapshot-bound stream of a view face (nil when the access method keeps
+// none), the live OrderedScanner method otherwise. A nil result sends the
+// merge join down its explicit-sort fallback.
+func orderedScanOf(ci CustomIndex) OrderedScanFunc {
+	switch x := ci.(type) {
+	case *viewIndex:
+		return x.ordered
+	case OrderedScanner:
+		return x.OrderedScan
 	}
 	return nil
 }

@@ -165,7 +165,7 @@ func TestExplainAnalyzeJoinCounters(t *testing.T) {
 	}
 	// Leaf rows: 3 from the collection iterator + 15 from the inner index
 	// scans. One inner probe and one rebind per outer row.
-	want := ExecStats{LeafRows: 18, RowsOut: 15, IndexProbes: 3, JoinRebinds: 3}
+	want := ExecStats{LeafRows: 18, RowsOut: 15, IndexProbes: 3, JoinRebinds: 3, JoinStrategy: "nested_loops"}
 	if st := rows.Stats(); st != want {
 		t.Fatalf("Rows.Stats() = %+v, want %+v", st, want)
 	}
