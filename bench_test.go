@@ -1,4 +1,4 @@
-package ritree
+package ritree_test
 
 // testing.B benchmarks, one per table/figure of the paper's evaluation
 // (§6). These run the same harness as cmd/ribench at a CI-friendly scale
@@ -15,6 +15,8 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+
+	"ritree"
 
 	"ritree/internal/bench"
 	"ritree/internal/interval"
@@ -387,7 +389,7 @@ func BenchmarkAblationSkeleton(b *testing.B) {
 // single-statement insert, O(log_b n) I/Os). Allocation counts are part
 // of the contract: they keep the hot-path garbage regressions visible.
 func BenchmarkCoreInsert(b *testing.B) {
-	idx, err := New()
+	idx, err := ritree.New()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -397,7 +399,7 @@ func BenchmarkCoreInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := rng.Int63n(1 << 20)
-		if err := idx.Insert(NewInterval(lo, lo+rng.Int63n(2048)), int64(i)); err != nil {
+		if err := idx.Insert(ritree.NewInterval(lo, lo+rng.Int63n(2048)), int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -408,18 +410,18 @@ func BenchmarkCoreInsert(b *testing.B) {
 // in internal/ritree (transient node collections and scan bounds reused
 // across queries).
 func BenchmarkCoreIntersecting(b *testing.B) {
-	idx, err := New()
+	idx, err := ritree.New()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer idx.Close()
 	rng := rand.New(rand.NewSource(2))
 	n := 50000
-	ivs := make([]Interval, n)
+	ivs := make([]ritree.Interval, n)
 	ids := make([]int64, n)
 	for i := range ivs {
 		lo := rng.Int63n(1 << 20)
-		ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+		ivs[i] = ritree.NewInterval(lo, lo+rng.Int63n(2048))
 		ids[i] = int64(i)
 	}
 	if err := idx.BulkLoad(ivs, ids); err != nil {
@@ -430,7 +432,7 @@ func BenchmarkCoreIntersecting(b *testing.B) {
 	var total int64
 	for i := 0; i < b.N; i++ {
 		lo := rng.Int63n(1 << 20)
-		n, err := idx.CountIntersecting(NewInterval(lo, lo+5000))
+		n, err := idx.CountIntersecting(ritree.NewInterval(lo, lo+5000))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -447,17 +449,17 @@ func BenchmarkCoreIntersecting(b *testing.B) {
 func BenchmarkCoreHINTIntersecting(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(bname("shards", float64(shards), "HINT"), func(b *testing.B) {
-			idx, err := NewHINT(WithHINTShards(shards))
+			idx, err := ritree.NewHINT(ritree.WithHINTShards(shards))
 			if err != nil {
 				b.Fatal(err)
 			}
 			rng := rand.New(rand.NewSource(2))
 			n := 50000
-			ivs := make([]Interval, n)
+			ivs := make([]ritree.Interval, n)
 			ids := make([]int64, n)
 			for i := range ivs {
 				lo := rng.Int63n(1 << 20)
-				ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+				ivs[i] = ritree.NewInterval(lo, lo+rng.Int63n(2048))
 				ids[i] = int64(i)
 			}
 			if err := idx.BulkLoad(ivs, ids); err != nil {
@@ -468,7 +470,7 @@ func BenchmarkCoreHINTIntersecting(b *testing.B) {
 			var total int64
 			for i := 0; i < b.N; i++ {
 				lo := rng.Int63n(1 << 20)
-				n, err := idx.CountIntersecting(NewInterval(lo, lo+5000))
+				n, err := idx.CountIntersecting(ritree.NewInterval(lo, lo+5000))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -484,7 +486,7 @@ func BenchmarkCoreHINTIntersecting(b *testing.B) {
 // BenchmarkCoreHINTInsert measures incremental insertion into the
 // main-memory HINT (sorted overlay path).
 func BenchmarkCoreHINTInsert(b *testing.B) {
-	idx, err := NewHINT()
+	idx, err := ritree.NewHINT()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -493,7 +495,7 @@ func BenchmarkCoreHINTInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := rng.Int63n(1 << 20)
-		if err := idx.Insert(NewInterval(lo, lo+rng.Int63n(2048)), int64(i)); err != nil {
+		if err := idx.Insert(ritree.NewInterval(lo, lo+rng.Int63n(2048)), int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -549,22 +551,22 @@ func f1s(v float64) string {
 // coverage for the volcano executor (ribench -exp sqlstream is the
 // full-scale version). The LIMIT variant must do O(k) leaf work.
 func BenchmarkSQLStreamLimit(b *testing.B) {
-	db, err := OpenMemory()
+	db, err := ritree.OpenMemory()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	c, err := db.CreateCollection("iv", AccessMethod(AccessMethodHINT))
+	c, err := db.CreateCollection("iv", ritree.AccessMethod(ritree.AccessMethodHINT))
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
 	n := 50000
-	ivs := make([]Interval, n)
+	ivs := make([]ritree.Interval, n)
 	ids := make([]int64, n)
 	for i := range ivs {
 		lo := rng.Int63n(1 << 20)
-		ivs[i] = NewInterval(lo, lo+rng.Int63n(2048))
+		ivs[i] = ritree.NewInterval(lo, lo+rng.Int63n(2048))
 		ids[i] = int64(i)
 	}
 	if err := c.BulkLoad(ivs, ids); err != nil {

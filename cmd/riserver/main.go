@@ -1,0 +1,113 @@
+// Command riserver serves one ritree database over TCP using the wire
+// protocol in internal/wire, so any Go program can reach the full SQL
+// surface — DDL, DML with binds, the ALLEN_* interval operators,
+// transactions, streaming SELECT cursors — through database/sql with the
+// ritree/driver package:
+//
+//	riserver [-listen 127.0.0.1:7432] [-db file.pages] [-metrics :7433]
+//
+//	db, _ := sql.Open("ritree", "tcp://127.0.0.1:7432")
+//
+// With -db the database is file-backed and write-ahead logged exactly
+// like ritree.Open; without it the server hosts a fresh in-memory
+// database. -metrics mounts the DB's observability handler (/metrics,
+// /debug/vars, /debug/pprof) on a second listener; the snapshot includes
+// the server's own families — server.connections, server.sessions.active,
+// server.bytes.in/out, and per-message-type latency histograms
+// (server.latency.query, .fetch, ...) — alongside sql.*, wal.* and
+// pagestore.*.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, sessions
+// finish their in-flight request and are drained (open cursors released,
+// in-flight transactions rolled back), and the database — including its
+// WAL — is closed before the process exits. -drain-timeout bounds the
+// wait before remaining connections are severed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ritree"
+	"ritree/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7432", "address to serve the wire protocol on")
+	dbPath := flag.String("db", "", "page file to open or create (default: in-memory)")
+	metricsAddr := flag.String("metrics", "", "address for the metrics/debug HTTP handler (default: disabled)")
+	planCache := flag.Int("plan-cache", -1, "plan cache size in entries, 0 disables (default: engine default)")
+	slow := flag.Duration("slow", 0, "slow-query capture threshold (default: disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown wait before severing connections")
+	flag.Parse()
+
+	var db *ritree.DB
+	var err error
+	if *dbPath == "" {
+		db, err = ritree.OpenMemory()
+	} else {
+		db, err = ritree.Open(*dbPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riserver:", err)
+		os.Exit(1)
+	}
+	if *planCache >= 0 {
+		db.SetPlanCacheSize(*planCache)
+	}
+	if *slow > 0 {
+		db.SetSlowQueryThreshold(*slow)
+	}
+
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: db.MetricsHandler()}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("riserver: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("riserver: metrics on http://%s/metrics", *metricsAddr)
+	}
+
+	srv := server.New(db, server.Options{Logf: server.StdLogf})
+
+	// Graceful shutdown: drain sessions, then close the DB (and its WAL).
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("riserver: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+		done <- err
+	}()
+
+	log.Printf("riserver: serving %s on %s", storageDesc(*dbPath), *listen)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "riserver:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "riserver:", err)
+		os.Exit(1)
+	}
+}
+
+func storageDesc(path string) string {
+	if path == "" {
+		return "in-memory database"
+	}
+	return path
+}

@@ -64,7 +64,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"database/sql"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +75,7 @@ import (
 	"strings"
 	"time"
 
+	ritreedriver "ritree/driver"
 	"ritree/internal/hint"
 	"ritree/internal/obs"
 	"ritree/internal/pagestore"
@@ -82,8 +86,17 @@ import (
 
 func main() {
 	dbPath := flag.String("db", "", "page file to open or create (default: in-memory)")
+	connect := flag.String("connect", "", "connect to a riserver (tcp://host:port) instead of opening a local database")
 	repair := flag.Bool("repair", false, "skip domain-index auto-attach on open (recovery mode: DML will NOT maintain domain indexes; DROP INDEX broken definitions, then reopen normally)")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runRemote(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, "risql:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var st *pagestore.Store
 	var db *rel.DB
@@ -450,4 +463,186 @@ func printHelp() {
 	fmt.Println("  ROLLBACK; discards. \\begin \\commit \\rollback are shorthands. DDL and")
 	fmt.Println("  CREATE/DROP COLLECTION are rejected inside a transaction. The wal.* and")
 	fmt.Println("  txn.* families in \\metrics trace commits, fsync batching and conflicts.")
+}
+
+// runRemote is the -connect mode: the whole session runs through the
+// database/sql driver against a riserver, pinned to one connection so
+// BEGIN/COMMIT state lives in one server session. The local-only meta
+// commands (\tables, \stats, \slow, \reset) are unavailable; \metrics
+// fetches the server's registry snapshot over the wire.
+func runRemote(dsn string) error {
+	db, err := sql.Open("ritree", dsn)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ctx := context.Background()
+	conn, err := db.Conn(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.PingContext(ctx); err != nil {
+		return err
+	}
+
+	fmt.Printf("risql — connected to %s\n", dsn)
+	fmt.Println(`type SQL ending with ';', or \begin \commit \rollback \metrics \help \q`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			cmd, _ := trimmed, ""
+			if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+				cmd = trimmed[:i]
+			}
+			switch cmd {
+			case `\q`, `\quit`:
+				return nil
+			case `\begin`, `\commit`, `\rollback`:
+				runRemoteStatement(ctx, conn, strings.ToUpper(cmd[1:])+";")
+			case `\metrics`:
+				printRemoteMetrics(conn)
+			case `\help`:
+				printHelp()
+			case `\tables`, `\collections`, `\stats`, `\slow`, `\reset`:
+				fmt.Println(`  not available over a connection (server-local); use \metrics`)
+			default:
+				fmt.Println(`  unknown command; try \begin \commit \rollback \metrics \help \q`)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		for {
+			stmt, rest, ok := splitStatement(buf.String())
+			if !ok {
+				break
+			}
+			buf.Reset()
+			buf.WriteString(rest)
+			if !blankSQL(strings.TrimSuffix(stmt, ";")) {
+				runRemoteStatement(ctx, conn, stmt)
+			}
+		}
+		if blankSQL(buf.String()) {
+			buf.Reset()
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+// runRemoteStatement executes one statement over the pinned connection.
+// SELECTs (and EXPLAIN, which the driver answers as a "plan" text
+// column) stream through QueryContext; everything else goes through
+// ExecContext.
+func runRemoteStatement(ctx context.Context, conn *sql.Conn, stmt string) {
+	isCursor := false
+	if st, err := sqldb.Parse(stmt); err == nil {
+		switch st.(type) {
+		case *sqldb.SelectStmt, *sqldb.ExplainStmt:
+			isCursor = true
+		}
+	}
+	if !isCursor {
+		res, err := conn.ExecContext(ctx, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		n, _ := res.RowsAffected()
+		fmt.Printf("ok (%d rows affected)\n", n)
+		return
+	}
+	rows, err := conn.QueryContext(ctx, stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-12s", c)
+	}
+	fmt.Println()
+	vals := make([]interface{}, len(cols))
+	ptrs := make([]interface{}, len(cols))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	n := 0
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			switch x := v.(type) {
+			case int64:
+				fmt.Printf("%-12d", x)
+			case string:
+				fmt.Print(x)
+			case []byte:
+				fmt.Print(string(x))
+			default:
+				fmt.Printf("%-12v", x)
+			}
+		}
+		fmt.Println()
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("(%d rows)\n", n)
+}
+
+// printRemoteMetrics fetches the server's metrics snapshot through the
+// driver's raw-connection hook and pretty-prints the JSON.
+func printRemoteMetrics(conn *sql.Conn) {
+	var js string
+	err := conn.Raw(func(dc interface{}) error {
+		mf, ok := dc.(ritreedriver.MetricsFetcher)
+		if !ok {
+			return fmt.Errorf("connection does not expose server metrics")
+		}
+		var merr error
+		js, merr = mf.ServerMetrics()
+		return merr
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, []byte(js), "  ", "  ") != nil {
+		fmt.Println(js)
+		return
+	}
+	fmt.Println("  " + pretty.String())
 }

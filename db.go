@@ -401,6 +401,25 @@ func (db *DB) Metrics() MetricsSnapshot { return db.reg.Snapshot() }
 // any mux; the handler holds no locks beyond atomic counter reads.
 func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.reg) }
 
+// MetricsRegistry exposes the registry itself so embedding layers (the
+// wire server) can publish their own metric families into the same
+// Snapshot the SQL and pagestore counters land in.
+func (db *DB) MetricsRegistry() *obs.Registry { return db.reg }
+
+// SetPlanCacheSize caps the SQL plan cache at n entries (default
+// sqldb.DefaultPlanCacheSize); 0 disables plan caching entirely.
+// Cacheable SELECT plans are keyed by statement text and re-instantiated
+// per execution with fresh binds, so repeated prepared-statement
+// execution skips parse and plan work; hits, misses, and evictions
+// surface as the "sql.plancache.*" counters and through PlanCacheStats.
+func (db *DB) SetPlanCacheSize(n int) { db.eng.SetPlanCacheSize(n) }
+
+// PlanCacheStats reports the plan cache's lifetime hit/miss/eviction
+// counts and its current entry count.
+func (db *DB) PlanCacheStats() (hits, misses, evictions int64, entries int) {
+	return db.eng.PlanCacheStats()
+}
+
 // SetSlowQueryThreshold arms the slow-query log: any statement at or
 // above d lands in a bounded ring buffer drained by SlowQueries. Zero
 // disables capture (the default unless WithSlowQueryThreshold was given).

@@ -1,0 +1,132 @@
+// Command wireclient is a stock database/sql program speaking to a
+// riserver — the acceptance proof that the wire surface needs nothing
+// but the driver import. It runs DDL, bound INSERTs through a prepared
+// statement, an indexed interval SELECT, an ALLEN operator, a streaming
+// LIMIT query, EXPLAIN, and a BEGIN/COMMIT transaction, checking every
+// result. Exit status 0 means the whole surface worked over the wire.
+//
+//	riserver -listen 127.0.0.1:7432 &
+//	wireclient -dsn tcp://127.0.0.1:7432
+//
+// With -dsn mem:// the same program runs fully embedded — identical
+// behavior is the point.
+package main
+
+import (
+	"database/sql"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	_ "ritree/driver"
+)
+
+func main() {
+	dsn := flag.String("dsn", "tcp://127.0.0.1:7432", "ritree DSN (tcp://host:port, mem:// or file://path)")
+	flag.Parse()
+
+	db, err := sql.Open("ritree", *dsn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		log.Fatalf("ping %s: %v", *dsn, err)
+	}
+
+	must := func(q string, args ...interface{}) {
+		if _, err := db.Exec(q, args...); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	must("CREATE TABLE resv (room int, arrival int, departure int)")
+	must("CREATE INDEX resv_iv ON resv (arrival, departure) INDEXTYPE IS ritree")
+
+	// Bound inserts through a prepared statement: positional args map to
+	// the named binds in first-appearance order.
+	stmt, err := db.Prepare("INSERT INTO resv VALUES (:room, :arr, :dep)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for room := 1; room <= 50; room++ {
+		if _, err := stmt.Exec(room, room*10, room*10+25); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stmt.Close()
+
+	// Indexed intersection query.
+	var rooms []int64
+	rows, err := db.Query(
+		"SELECT room FROM resv WHERE intersects(arrival, departure, :lo, :hi) ORDER BY room", 100, 130)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var r int64
+		if err := rows.Scan(&r); err != nil {
+			log.Fatal(err)
+		}
+		rooms = append(rooms, r)
+	}
+	rows.Close()
+	if len(rooms) == 0 {
+		log.Fatal("intersection query returned no rooms")
+	}
+	fmt.Printf("rooms overlapping [100, 130]: %v\n", rooms)
+
+	// An Allen §4.5 operator over the same index.
+	var during int64
+	if err := db.QueryRow(
+		"SELECT count(*) FROM resv WHERE allen_during(arrival, departure, :lo, :hi)", 95, 300,
+	).Scan(&during); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reservations strictly during [95, 300]: %d\n", during)
+
+	// Streaming LIMIT: closing after k rows stops the server-side scan.
+	lim, err := db.Query("SELECT room FROM resv LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for lim.Next() {
+		n++
+	}
+	lim.Close()
+	if n != 3 {
+		log.Fatalf("LIMIT 3 returned %d rows", n)
+	}
+
+	// EXPLAIN comes back as a text plan column.
+	var firstLine string
+	if err := db.QueryRow("EXPLAIN SELECT room FROM resv WHERE intersects(arrival, departure, 1, 2)").
+		Scan(&firstLine); err != nil {
+		log.Fatal(err)
+	}
+	if !strings.Contains(firstLine, "SELECT STATEMENT") {
+		log.Fatalf("unexpected EXPLAIN header %q", firstLine)
+	}
+
+	// A transaction: buffered writes, visible only after COMMIT.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO resv VALUES (99, 1000, 1010)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	var count int64
+	if err := db.QueryRow("SELECT count(*) FROM resv WHERE room = 99").Scan(&count); err != nil {
+		log.Fatal(err)
+	}
+	if count != 1 {
+		log.Fatalf("committed row not visible: count = %d", count)
+	}
+
+	fmt.Println("wireclient: all checks passed")
+}

@@ -767,6 +767,7 @@ func AblationSkeleton(c Config) (*Table, error) {
 func Experiments() []string {
 	return []string{"table1", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"winlist", "hint", "hintopt", "collections", "reopen", "sqlstream", "join", "mixed",
+		"wire",
 		"ablation-minstep", "ablation-queryform", "ablation-skeleton"}
 }
 
@@ -805,6 +806,8 @@ func Run(id string, c Config) (*Table, error) {
 		return Join(c)
 	case "mixed":
 		return Mixed(c)
+	case "wire":
+		return Wire(c)
 	case "ablation-minstep":
 		return AblationMinStep(c)
 	case "ablation-queryform":

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ritree"
+	_ "ritree/driver" // registers the "ritree" database/sql driver
+	"ritree/internal/server"
+	"ritree/internal/workload"
+)
+
+// The "wire" experiment measures what PR 9 adds on top of the embedded
+// engine: the same database served over TCP through the database/sql
+// driver. An in-process riserver hosts the one DB the embedded side
+// queries directly, so the two sides must return identical rows — every
+// query's (count, id-sum) checksum is compared and a mismatch fails the
+// run. Three workloads: indexed point SELECTs (per-query round-trip
+// cost), streaming LIMIT-k scans (the Fetch protocol must preserve
+// early-stop — the asserted leaf-row ceiling), and the point workload
+// over N parallel driver connections (sessions share one engine).
+
+const (
+	wirePointQueries = 200
+	wireLimitK       = 10
+	wireLimitScans   = 100
+)
+
+// Wire runs driver-vs-embedded throughput and latency comparisons.
+func Wire(c Config) (*Table, error) {
+	c = c.WithDefaults()
+	t := &Table{
+		ID:     "wire",
+		Title:  "wire protocol (riserver + database/sql driver) vs embedded",
+		Header: []string{"workload", "path", "conns", "queries/s", "ms/query", "rows"},
+		Notes: []string{
+			"one in-process riserver hosts the same DB the embedded side queries directly;",
+			fmt.Sprintf("point: %d indexed intersection SELECTs via prepared statements;", wirePointQueries),
+			fmt.Sprintf("limit: %d streaming SELECT ... LIMIT %d scans (early-stop asserted", wireLimitScans, wireLimitK),
+			"via the server's leaf-row counter); parallel: the point workload across",
+			"driver connections. Every query's (count, id-sum) checksum must match the",
+			"embedded run — the parity self-check of the row-identical acceptance bar.",
+		},
+	}
+
+	rdb, err := ritree.OpenMemory()
+	if err != nil {
+		return nil, err
+	}
+	defer rdb.Close()
+
+	n := c.scaled(20000)
+	spec := workload.Spec{Kind: workload.D1, N: n, D: 2000}
+	ivs := workload.Generate(spec, c.Seed)
+	c.logf("  wire: loading n=%d...", n)
+	if _, err := rdb.Exec("CREATE TABLE iv (lower int, upper int, id int)", nil); err != nil {
+		return nil, err
+	}
+	if _, err := rdb.Exec("CREATE INDEX iv_ix ON iv (lower, upper) INDEXTYPE IS ritree", nil); err != nil {
+		return nil, err
+	}
+	for i, iv := range ivs {
+		_, err := rdb.Exec("INSERT INTO iv VALUES (:lo, :hi, :id)",
+			map[string]interface{}{"lo": iv.Lower, "hi": iv.Upper, "id": int64(i)})
+		if err != nil {
+			return nil, err
+		}
+	}
+	queries := workload.Queries(wirePointQueries, 4000, c.Seed+1)
+
+	srv := server.New(rdb, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sdb, err := sql.Open("ritree", "tcp://"+ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer sdb.Close()
+
+	// Embedded baseline: prepared-equivalent (the plan cache serves the
+	// repeats) point queries straight into the engine.
+	const pointSQL = "SELECT id FROM iv WHERE intersects(lower, upper, :lo, :hi)"
+	embSums := make([]wireSum, len(queries))
+	embPoint, err := timed(func() error {
+		for i, q := range queries {
+			s, err := embeddedChecksum(rdb, pointSQL, q.Lower, q.Upper)
+			if err != nil {
+				return err
+			}
+			embSums[i] = s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addWireRow(t, "point", "embedded", 1, len(queries), embPoint, embSums)
+
+	// Wire: same statements through one prepared database/sql statement.
+	stmt, err := sdb.Prepare(pointSQL)
+	if err != nil {
+		return nil, err
+	}
+	wireSums := make([]wireSum, len(queries))
+	wirePoint, err := timed(func() error {
+		for i, q := range queries {
+			s, err := driverChecksum(stmt, q.Lower, q.Upper)
+			if err != nil {
+				return err
+			}
+			wireSums[i] = s
+		}
+		return nil
+	})
+	stmt.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := assertParity("point", embSums, wireSums); err != nil {
+		return nil, err
+	}
+	addWireRow(t, "point", "wire", 1, len(queries), wirePoint, wireSums)
+
+	// Streaming LIMIT-k: the wire path must early-stop the server-side
+	// scan, so the leaf rows consumed per scan stay O(k), not O(n).
+	const limitSQL = "SELECT id FROM iv LIMIT 10"
+	leafBefore := rdb.Metrics().Counter("sql.leaf_rows")
+	embLimit, embLimitSums, err := runLimitScans(func() (wireSum, error) {
+		return embeddedChecksum(rdb, limitSQL)
+	})
+	if err != nil {
+		return nil, err
+	}
+	addWireRow(t, "limit", "embedded", 1, wireLimitScans, embLimit, embLimitSums)
+	wireLimit, wireLimitSums, err := runLimitScans(func() (wireSum, error) {
+		return driverQueryChecksum(sdb, limitSQL)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := assertParity("limit", embLimitSums, wireLimitSums); err != nil {
+		return nil, err
+	}
+	leafPerScan := float64(rdb.Metrics().Counter("sql.leaf_rows")-leafBefore) / float64(2*wireLimitScans)
+	if leafPerScan >= float64(n)/2 {
+		return nil, fmt.Errorf("wire: LIMIT %d scans consumed %.0f leaf rows each — early-stop lost", wireLimitK, leafPerScan)
+	}
+	addWireRow(t, "limit", "wire", 1, wireLimitScans, wireLimit, wireLimitSums)
+
+	// Parallel connections: the point workload split across a pool.
+	for _, conns := range []int{4, 8} {
+		sdb.SetMaxOpenConns(conns)
+		sums := make([]wireSum, len(queries))
+		elapsed, err := timed(func() error {
+			var wg sync.WaitGroup
+			var firstErr atomic.Value
+			per := (len(queries) + conns - 1) / conns
+			for w := 0; w < conns; w++ {
+				lo, hi := w*per, (w+1)*per
+				if hi > len(queries) {
+					hi = len(queries)
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						s, err := driverQueryChecksum(sdb, pointSQL, queries[i].Lower, queries[i].Upper)
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+						sums[i] = s
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+			if err, ok := firstErr.Load().(error); ok {
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := assertParity(fmt.Sprintf("parallel-%d", conns), embSums, sums); err != nil {
+			return nil, err
+		}
+		addWireRow(t, "parallel", "wire", conns, len(queries), elapsed, sums)
+	}
+
+	t.AddObs("server", rdb.Metrics().Counters)
+	return t, nil
+}
+
+// wireSum is one query's parity checksum.
+type wireSum struct {
+	count int64
+	sum   int64
+}
+
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+func embeddedChecksum(rdb *ritree.DB, q string, args ...int64) (wireSum, error) {
+	binds := pointBinds(args)
+	rows, err := rdb.Query(context.Background(), q, binds)
+	if err != nil {
+		return wireSum{}, err
+	}
+	defer rows.Close()
+	var s wireSum
+	for rows.Next() {
+		s.count++
+		s.sum += rows.Row()[0]
+	}
+	return s, rows.Err()
+}
+
+func driverChecksum(stmt *sql.Stmt, args ...int64) (wireSum, error) {
+	rows, err := stmt.Query(int64Args(args)...)
+	if err != nil {
+		return wireSum{}, err
+	}
+	return drainChecksum(rows)
+}
+
+func driverQueryChecksum(sdb *sql.DB, q string, args ...int64) (wireSum, error) {
+	rows, err := sdb.Query(q, int64Args(args)...)
+	if err != nil {
+		return wireSum{}, err
+	}
+	return drainChecksum(rows)
+}
+
+func drainChecksum(rows *sql.Rows) (wireSum, error) {
+	defer rows.Close()
+	var s wireSum
+	for rows.Next() {
+		var id int64
+		if err := rows.Scan(&id); err != nil {
+			return s, err
+		}
+		s.count++
+		s.sum += id
+	}
+	return s, rows.Err()
+}
+
+func pointBinds(args []int64) map[string]interface{} {
+	if len(args) == 0 {
+		return nil
+	}
+	return map[string]interface{}{"lo": args[0], "hi": args[1]}
+}
+
+func int64Args(args []int64) []interface{} {
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		out[i] = a
+	}
+	return out
+}
+
+func runLimitScans(scan func() (wireSum, error)) (time.Duration, []wireSum, error) {
+	sums := make([]wireSum, wireLimitScans)
+	elapsed, err := timed(func() error {
+		for i := range sums {
+			s, err := scan()
+			if err != nil {
+				return err
+			}
+			sums[i] = s
+		}
+		return nil
+	})
+	return elapsed, sums, err
+}
+
+func assertParity(workload string, a, b []wireSum) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("wire parity (%s): %d vs %d queries", workload, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("wire parity (%s) query %d: embedded (count=%d sum=%d) vs wire (count=%d sum=%d)",
+				workload, i, a[i].count, a[i].sum, b[i].count, b[i].sum)
+		}
+	}
+	return nil
+}
+
+func addWireRow(t *Table, workload, path string, conns, queries int, elapsed time.Duration, sums []wireSum) {
+	var rows int64
+	for _, s := range sums {
+		rows += s.count
+	}
+	secs := elapsed.Seconds()
+	t.AddRow(workload, path, d0(int64(conns)),
+		f1(float64(queries)/secs),
+		f3(secs*1000/float64(queries)),
+		d0(rows))
+}

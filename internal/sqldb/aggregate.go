@@ -156,7 +156,7 @@ func newAggState(plan *selectPlan, call *CallExpr, binds map[string]interface{})
 	if len(call.Args) != 1 {
 		return nil, fmt.Errorf("sql: aggregate %s takes exactly one argument", strings.ToUpper(name))
 	}
-	f, err := plan.compile(call.Args[0], binds, len(plan.sources)-1)
+	f, err := plan.compile(call.Args[0], len(plan.sources)-1)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +209,10 @@ func (e *Engine) buildAggregate(s *SelectStmt, binds map[string]interface{}, v *
 		}
 		cols = append(cols, label)
 	}
-	join, env, _ := newJoinOverPlan(plan)
+	join, env, _, err := newJoinOverPlan(plan, binds)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	ns := &nodeStats{label: "AGGREGATE"}
 	if child := join.statsNode(); child != nil {
 		ns.children = []*nodeStats{child}

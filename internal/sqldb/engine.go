@@ -73,6 +73,9 @@ type Engine struct {
 	// the benchmark/debug escape hatch. Zero value = merge join enabled.
 	// Guarded by mu.
 	mergeOff bool
+	// plans caches compiled SELECT plans by SQL text (see plancache.go).
+	// Guarded by mu.
+	plans *planCache
 }
 
 // NewEngine creates an Engine over db.
@@ -82,6 +85,7 @@ func NewEngine(db *rel.DB) *Engine {
 		indexTypes: make(map[string]IndexTypeHandler),
 		custom:     make(map[string]CustomIndex),
 		customByTb: make(map[string][]CustomIndex),
+		plans:      newPlanCache(DefaultPlanCacheSize),
 	}
 }
 
@@ -94,6 +98,8 @@ func (e *Engine) DB() *rel.DB { return e.db }
 func (e *Engine) SetMergeJoinEnabled(on bool) {
 	e.mu.Lock()
 	e.mergeOff = !on
+	// Cached plans baked the other strategy in; they must not survive.
+	e.bumpPlanEpochLocked()
 	e.mu.Unlock()
 }
 
@@ -111,7 +117,7 @@ func (e *Engine) Exec(sql string, binds map[string]interface{}) (*Result, error)
 	e.mu.Lock()
 	start := time.Now()
 	e.capStats, e.capPlan = ExecStats{}, nil
-	res, err := e.execStmt(st, binds)
+	res, err := e.execStmt(st, sql, binds)
 	var seq uint64
 	var cerr error
 	if e.txn == nil && stmtWrites(st) {
@@ -173,13 +179,22 @@ func (e *Engine) MustExec(sql string, binds map[string]interface{}) *Result {
 // changes cannot be buffered or validated by the content-checksum scheme.
 var errTxnOpen = fmt.Errorf("sql: DDL is not allowed inside a transaction (COMMIT or ROLLBACK first)")
 
-func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, error) {
+func (e *Engine) execStmt(st Statement, sql string, binds map[string]interface{}) (*Result, error) {
 	if e.txn != nil {
 		switch st.(type) {
 		case *CreateTableStmt, *CreateIndexStmt, *DropStmt,
 			*CreateCollectionStmt, *DropCollectionStmt:
 			return nil, errTxnOpen
 		}
+	}
+	// Any DDL changes the catalog that cached plans compiled against;
+	// purge up front (even a failed DDL may have partially mutated — a
+	// cascade drop aborting midway — so purging unconditionally is the
+	// safe order).
+	switch st.(type) {
+	case *CreateTableStmt, *CreateIndexStmt, *DropStmt,
+		*CreateCollectionStmt, *DropCollectionStmt:
+		e.bumpPlanEpochLocked()
 	}
 	switch s := st.(type) {
 	case *BeginStmt:
@@ -230,10 +245,10 @@ func (e *Engine) execStmt(st Statement, binds map[string]interface{}) (*Result, 
 		}
 		return e.execDelete(s, binds)
 	case *SelectStmt:
-		return e.execSelect(s, binds)
+		return e.execSelect(s, sql, binds)
 	case *ExplainStmt:
 		if s.Analyze {
-			return e.explainAnalyze(s.Query, binds)
+			return e.explainAnalyze(s.Query, sql, binds)
 		}
 		plan, err := e.explain(s.Query, binds)
 		if err != nil {
@@ -395,7 +410,7 @@ func (e *Engine) execDelete(s *DeleteStmt, binds map[string]interface{}) (*Resul
 		row []int64
 	}
 	var victims []victim
-	err = drainPlan(plan, func(env []int64, rids []rel.RowID) bool {
+	err = drainPlan(plan, binds, func(env []int64, rids []rel.RowID) bool {
 		row := make([]int64, tab.Schema().NumCols())
 		copy(row, env[:len(row)])
 		victims = append(victims, victim{rids[0], row})
@@ -437,13 +452,13 @@ func (e *Engine) deleteRowLocked(table string, tab *rel.Table, rid rel.RowID, ro
 // cursor would use, with per-operator timing enabled — and renders the
 // plan tree annotated with the measured counters. The query's rows are
 // discarded; the plan text is the result. Caller holds e.mu.
-func (e *Engine) explainAnalyze(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
+func (e *Engine) explainAnalyze(s *SelectStmt, sql string, binds map[string]interface{}) (*Result, error) {
 	v, err := e.stmtViewLocked()
 	if err != nil {
 		return nil, err
 	}
 	defer e.releaseView(v)
-	rows, err := e.buildRowsLocked(context.Background(), s, binds, v)
+	rows, err := e.buildRowsLocked(context.Background(), s, sql, binds, v)
 	if err != nil {
 		return nil, err
 	}
@@ -456,19 +471,24 @@ func (e *Engine) explainAnalyze(s *SelectStmt, binds map[string]interface{}) (*R
 	}
 	ps := rows.PlanStats()
 	e.capStats, e.capPlan = rows.Stats(), func() PlanNodeStats { return ps }
-	return &Result{Plan: ps.Render()}, nil
+	plan := ps.Render()
+	if rows.cachedPlan {
+		plan = strings.Replace(plan, "SELECT STATEMENT (ANALYZED)",
+			"SELECT STATEMENT (ANALYZED) (cached plan)", 1)
+	}
+	return &Result{Plan: plan}, nil
 }
 
 // execSelect materializes a SELECT by draining the same streaming
 // pipeline Query serves — Exec is now a drain-the-cursor wrapper over
 // the volcano executor. Caller holds e.mu.
-func (e *Engine) execSelect(s *SelectStmt, binds map[string]interface{}) (*Result, error) {
+func (e *Engine) execSelect(s *SelectStmt, sql string, binds map[string]interface{}) (*Result, error) {
 	v, err := e.stmtViewLocked()
 	if err != nil {
 		return nil, err
 	}
 	defer e.releaseView(v)
-	rows, err := e.buildRowsLocked(context.Background(), s, binds, v)
+	rows, err := e.buildRowsLocked(context.Background(), s, sql, binds, v)
 	if err != nil {
 		return nil, err
 	}

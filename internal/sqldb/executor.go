@@ -395,14 +395,19 @@ type joinExec interface {
 
 // newJoinOverPlan builds the scan+filter+join pipeline of a compiled
 // plan, returning the join node and the shared env / rids the scans
-// populate. Every operator gets a nodeStats record labelled with its
+// populate. The env carries the plan's bind tail, filled from this
+// execution's binds — the only per-execution state a (possibly cached)
+// plan needs. Every operator gets a nodeStats record labelled with its
 // EXPLAIN plan line, forming the tree EXPLAIN ANALYZE reports. Plans with
 // a mergeSpec execute as the interval merge join instead of nested loops.
-func newJoinOverPlan(p *selectPlan) (joinExec, []int64, []rel.RowID) {
+func newJoinOverPlan(p *selectPlan, binds map[string]interface{}) (joinExec, []int64, []rel.RowID, error) {
 	if p.merge != nil {
-		return newMergeJoinNode(p)
+		return newMergeJoinNode(p, binds)
 	}
-	env := make([]int64, p.envSize)
+	env := make([]int64, p.envLen())
+	if err := p.fillBinds(env, binds); err != nil {
+		return nil, nil, nil, err
+	}
 	rids := make([]rel.RowID, len(p.sources))
 	srcs := make([]execNode, len(p.sources))
 	scanStats := make([]*nodeStats, len(p.sources))
@@ -419,7 +424,7 @@ func newJoinOverPlan(p *selectPlan) (joinExec, []int64, []rel.RowID) {
 	if len(srcs) > 1 {
 		j.ns = &nodeStats{label: "NESTED LOOPS", children: scanStats}
 	}
-	return j, env, rids
+	return j, env, rids, nil
 }
 
 // projectNode computes the output row of one select block.
@@ -430,9 +435,12 @@ type projectNode struct {
 	out     []int64
 }
 
-func newProjectOverPlan(p *selectPlan) *projectNode {
-	join, env, _ := newJoinOverPlan(p)
-	return &projectNode{in: join, project: p.project, env: env, out: make([]int64, len(p.project))}
+func newProjectOverPlan(p *selectPlan, binds map[string]interface{}) (*projectNode, error) {
+	join, env, _, err := newJoinOverPlan(p, binds)
+	if err != nil {
+		return nil, err
+	}
+	return &projectNode{in: join, project: p.project, env: env, out: make([]int64, len(p.project))}, nil
 }
 
 func (n *projectNode) Open(ec *execCtx) error { return n.in.Open(ec) }
@@ -674,7 +682,7 @@ func (n *limitNode) Row() []int64 { return n.in.Row() }
 // emit for each joined row. DELETE uses it to collect victims; SELECT
 // streams through the Rows cursor instead. Runtime faults in compiled
 // expressions surface as errors.
-func drainPlan(plan *selectPlan, emit func(env []int64, rids []rel.RowID) bool) (err error) {
+func drainPlan(plan *selectPlan, binds map[string]interface{}, emit func(env []int64, rids []rel.RowID) bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(sqlRuntimeError); ok {
@@ -684,7 +692,10 @@ func drainPlan(plan *selectPlan, emit func(env []int64, rids []rel.RowID) bool) 
 			panic(r)
 		}
 	}()
-	join, env, rids := newJoinOverPlan(plan)
+	join, env, rids, err := newJoinOverPlan(plan, binds)
+	if err != nil {
+		return err
+	}
 	ec := &execCtx{ctx: context.Background()}
 	if err := join.Open(ec); err != nil {
 		return err

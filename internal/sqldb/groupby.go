@@ -180,7 +180,7 @@ func (e *Engine) buildGroupBy(s *SelectStmt, binds map[string]interface{}, v *ex
 		if call, ok := g.(*CallExpr); ok && aggregateNames[strings.ToLower(call.Name)] {
 			return nil, nil, nil, fmt.Errorf("sql: aggregate %s is not allowed in GROUP BY", strings.ToUpper(call.Name))
 		}
-		f, err := plan.compile(g, binds, maxSrc)
+		f, err := plan.compile(g, maxSrc)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -225,7 +225,10 @@ func (e *Engine) buildGroupBy(s *SelectStmt, binds map[string]interface{}, v *ex
 		}
 		cols = append(cols, label)
 	}
-	join, env, _ := newJoinOverPlan(plan)
+	join, env, _, err := newJoinOverPlan(plan, binds)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	ns := &nodeStats{label: "HASH GROUP BY"}
 	if child := join.statsNode(); child != nil {
 		ns.children = []*nodeStats{child}

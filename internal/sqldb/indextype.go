@@ -154,6 +154,8 @@ func (e *Engine) attachLocked(ci CustomIndex) error {
 	e.custom[name] = ci
 	tb := strings.ToLower(ci.Table())
 	e.customByTb[tb] = append(e.customByTb[tb], ci)
+	// A new domain index changes what chooseAccess can pick.
+	e.bumpPlanEpochLocked()
 	if e.reg != nil {
 		if mb, ok := ci.(MetricsBinder); ok {
 			mb.BindMetrics(e.reg, "index."+name)
@@ -214,6 +216,7 @@ func (e *Engine) dropCustomIndex(ci CustomIndex) error {
 	}
 	name := strings.ToLower(ci.Name())
 	delete(e.custom, name)
+	e.bumpPlanEpochLocked()
 	tb := strings.ToLower(ci.Table())
 	list := e.customByTb[tb]
 	for i, cand := range list {

@@ -134,3 +134,23 @@ func isIdentStart(r rune) bool {
 func isIdentPart(r rune) bool {
 	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
+
+// BindNames returns the distinct :name bind variables of src in order of
+// first appearance (lower-cased, without the colon). The database/sql
+// driver uses this to map positional arguments onto the engine's
+// named-bind API.
+func BindNames(src string) ([]string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	seen := make(map[string]bool)
+	for _, tk := range toks {
+		if tk.kind == tkBind && !seen[tk.text] {
+			seen[tk.text] = true
+			names = append(names, tk.text)
+		}
+	}
+	return names, nil
+}

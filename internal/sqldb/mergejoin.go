@@ -183,12 +183,18 @@ type mergeJoinNode struct {
 }
 
 // newMergeJoinNode builds the merge-join pipeline of a compiled plan.
-func newMergeJoinNode(p *selectPlan) (*mergeJoinNode, []int64, []rel.RowID) {
+// The bind tail is filled up front: drainSide evaluates per-side filters
+// against n.env before the sweep starts, so bind slots must hold this
+// execution's values from the beginning.
+func newMergeJoinNode(p *selectPlan, binds map[string]interface{}) (*mergeJoinNode, []int64, []rel.RowID, error) {
 	n := &mergeJoinNode{
 		p:    p,
 		m:    p.merge,
-		env:  make([]int64, p.envSize),
+		env:  make([]int64, p.envLen()),
 		rids: make([]rel.RowID, len(p.sources)),
+	}
+	if err := p.fillBinds(n.env, binds); err != nil {
+		return nil, nil, nil, err
 	}
 	n.left.sp = p.sources[p.merge.left]
 	n.right.sp = p.sources[p.merge.right]
@@ -205,7 +211,7 @@ func newMergeJoinNode(p *selectPlan) (*mergeJoinNode, []int64, []rel.RowID) {
 		children: []*nodeStats{n.left.ns, n.right.ns},
 	}
 	n.configure()
-	return n, n.env, n.rids
+	return n, n.env, n.rids, nil
 }
 
 // mjFeedLabel names a feed after the drain that actually ran (the sort

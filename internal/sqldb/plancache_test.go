@@ -1,0 +1,153 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func planCacheEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	mustExec(t, e, "CREATE TABLE t (k int, v int)", nil)
+	mustExec(t, e, "CREATE INDEX tk ON t (k)", nil)
+	for i := 0; i < 50; i++ {
+		mustExec(t, e, "INSERT INTO t VALUES (:k, :v)",
+			map[string]interface{}{"k": i % 10, "v": i})
+	}
+	return e
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	e := planCacheEngine(t)
+	h0, m0, _, _ := e.PlanCacheStats()
+
+	q := "SELECT v FROM t WHERE k = :k"
+	r1 := mustExec(t, e, q, map[string]interface{}{"k": 3})
+	h1, m1, _, n1 := e.PlanCacheStats()
+	if h1 != h0 || m1 != m0+1 || n1 == 0 {
+		t.Fatalf("after first run: hits %d->%d misses %d->%d entries %d", h0, h1, m0, m1, n1)
+	}
+
+	// Same text, different bind: must hit and still honor the new bind.
+	r2 := mustExec(t, e, q, map[string]interface{}{"k": 7})
+	h2, m2, _, _ := e.PlanCacheStats()
+	if h2 != h1+1 || m2 != m1 {
+		t.Fatalf("after second run: hits %d->%d misses %d->%d", h1, h2, m1, m2)
+	}
+	if len(r1.Rows) != 5 || len(r2.Rows) != 5 {
+		t.Fatalf("row counts: %d, %d", len(r1.Rows), len(r2.Rows))
+	}
+	for _, row := range r2.Rows {
+		if row[0]%10 != 7 {
+			t.Fatalf("cached plan ignored new bind: v=%d", row[0])
+		}
+	}
+}
+
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	e := planCacheEngine(t)
+	q := "SELECT v FROM t WHERE k = 1"
+	mustExec(t, e, q, nil)
+	if _, _, _, n := e.PlanCacheStats(); n == 0 {
+		t.Fatal("no entry cached")
+	}
+	mustExec(t, e, "CREATE TABLE u (a int)", nil)
+	if _, _, _, n := e.PlanCacheStats(); n != 0 {
+		t.Fatalf("DDL did not purge the cache: %d entries", n)
+	}
+	// Replan after the purge counts as a fresh miss and still answers.
+	_, m0, _, _ := e.PlanCacheStats()
+	r := mustExec(t, e, q, nil)
+	if _, m1, _, _ := e.PlanCacheStats(); m1 != m0+1 {
+		t.Fatalf("misses %d->%d", m0, m1)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows after replan: %d", len(r.Rows))
+	}
+}
+
+func TestPlanCacheDisableAndResize(t *testing.T) {
+	e := planCacheEngine(t)
+	e.SetPlanCacheSize(0)
+	mustExec(t, e, "SELECT v FROM t WHERE k = 1", nil)
+	mustExec(t, e, "SELECT v FROM t WHERE k = 1", nil)
+	h, m, _, n := e.PlanCacheStats()
+	if h != 0 || m != 0 || n != 0 {
+		t.Fatalf("disabled cache still active: hits=%d misses=%d entries=%d", h, m, n)
+	}
+
+	// Cap of 2: three distinct statements evict the oldest.
+	e.SetPlanCacheSize(2)
+	mustExec(t, e, "SELECT v FROM t WHERE k = 1", nil)
+	mustExec(t, e, "SELECT v FROM t WHERE k = 2", nil)
+	mustExec(t, e, "SELECT v FROM t WHERE k = 3", nil)
+	_, _, ev, n := e.PlanCacheStats()
+	if n != 2 || ev != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 2/1", n, ev)
+	}
+	// The evicted (oldest) statement misses again.
+	_, m0, _, _ := e.PlanCacheStats()
+	mustExec(t, e, "SELECT v FROM t WHERE k = 1", nil)
+	if _, m1, _, _ := e.PlanCacheStats(); m1 != m0+1 {
+		t.Fatalf("evicted entry did not miss: misses %d->%d", m0, m1)
+	}
+}
+
+func TestPlanCacheIneligibleStatements(t *testing.T) {
+	e := planCacheEngine(t)
+	h0, m0, _, n0 := e.PlanCacheStats()
+	// Aggregates and GROUP BY are not cacheable and must not touch the
+	// counters either.
+	mustExec(t, e, "SELECT count(*) FROM t", nil)
+	mustExec(t, e, "SELECT k, count(*) FROM t GROUP BY k", nil)
+	h1, m1, _, n1 := e.PlanCacheStats()
+	if h1 != h0 || m1 != m0 || n1 != n0 {
+		t.Fatalf("ineligible statements moved cache stats: %d/%d/%d -> %d/%d/%d",
+			h0, m0, n0, h1, m1, n1)
+	}
+}
+
+func TestPlanCacheExplainAnalyzeAnnotation(t *testing.T) {
+	e := planCacheEngine(t)
+	q := "EXPLAIN ANALYZE SELECT v FROM t WHERE k = 2"
+	r1 := mustExec(t, e, q, nil)
+	if strings.Contains(r1.Plan, "(cached plan)") {
+		t.Fatalf("first run claims cached plan:\n%s", r1.Plan)
+	}
+	r2 := mustExec(t, e, q, nil)
+	if !strings.Contains(r2.Plan, "SELECT STATEMENT (ANALYZED) (cached plan)") {
+		t.Fatalf("second run missing cached-plan annotation:\n%s", r2.Plan)
+	}
+}
+
+func TestPlanCacheJoinAndUnion(t *testing.T) {
+	e := planCacheEngine(t)
+	mustExec(t, e, "CREATE TABLE s (k int, w int)", nil)
+	for i := 0; i < 10; i++ {
+		mustExec(t, e, "INSERT INTO s VALUES (:k, :w)",
+			map[string]interface{}{"k": i, "w": i * 100})
+	}
+	join := "SELECT t.v, s.w FROM t, s WHERE t.k = s.k AND s.k = :k"
+	r1 := mustExec(t, e, join, map[string]interface{}{"k": 4})
+	r2 := mustExec(t, e, join, map[string]interface{}{"k": 4})
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("join rows differ: %d vs %d", len(r1.Rows), len(r2.Rows))
+	}
+	union := "SELECT v FROM t WHERE k = :a UNION ALL SELECT v FROM t WHERE k = :b"
+	binds := map[string]interface{}{"a": 1, "b": 2}
+	u1 := mustExec(t, e, union, binds)
+	u2 := mustExec(t, e, union, binds)
+	if len(u1.Rows) != 10 || len(u2.Rows) != 10 {
+		t.Fatalf("union rows: %d, %d (want 10)", len(u1.Rows), len(u2.Rows))
+	}
+}
+
+func TestPlanCacheMissingBindOnHit(t *testing.T) {
+	e := planCacheEngine(t)
+	q := "SELECT v FROM t WHERE k = :k"
+	mustExec(t, e, q, map[string]interface{}{"k": 1})
+	// A cached plan instantiated without its bind must still error.
+	if _, err := e.Exec(q, nil); err == nil {
+		t.Fatal("missing bind on cache hit did not error")
+	}
+}

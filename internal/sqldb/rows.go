@@ -37,9 +37,15 @@ type Rows struct {
 	closed bool
 	// planRoot is the root of the per-operator stats tree (PlanStats).
 	planRoot *nodeStats
+	// cachedPlan records that this cursor executes a plan-cache hit (an
+	// EXPLAIN ANALYZE annotation and a driver-visible fact).
+	cachedPlan bool
 	// closers run once on Close, LIFO — lock releases pushed by Query.
 	closers []func()
 }
+
+// CachedPlan reports whether this cursor reused a cached plan.
+func (r *Rows) CachedPlan() bool { return r.cachedPlan }
 
 // Columns names the projected columns.
 func (r *Rows) Columns() []string { return r.cols }
@@ -169,7 +175,7 @@ func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interfa
 		e.mu.Unlock()
 		return nil, err
 	}
-	rows, err := e.buildRowsLocked(ctx, sel, binds, v)
+	rows, err := e.buildRowsLocked(ctx, sel, sql, binds, v)
 	if err != nil {
 		e.mu.Unlock()
 		e.releaseView(v)
@@ -193,7 +199,45 @@ func (e *Engine) Query(ctx context.Context, sql string, binds map[string]interfa
 // sound for statements that drain entirely under e.mu. Caller holds
 // e.mu; the returned cursor releases nothing on Close unless closers are
 // registered.
-func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[string]interface{}, v *execView) (*Rows, error) {
+//
+// sqlText keys the plan cache: eligible statements (stmtCacheable) reuse
+// their compiled per-block plans across executions, always through a
+// clone — rewirePlan mutates storage handles in place, so the cached
+// template must stay pristine.
+func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, sqlText string, binds map[string]interface{}, v *execView) (*Rows, error) {
+	var cached []*selectPlan
+	cacheHit := false
+	cacheKey := ""
+	if sqlText != "" && e.plans.enabled() && stmtCacheable(s) {
+		cacheKey = sqlText
+		cached, cacheHit = e.plans.get(cacheKey)
+		if m := e.sqlMet.Load(); m != nil {
+			if cacheHit {
+				m.planHits.Inc()
+			} else {
+				m.planMisses.Inc()
+			}
+		}
+	}
+	var templates []*selectPlan
+	blockIdx := 0
+	// nextPlan supplies one plain block's executable plan: a clone of the
+	// cached template on a hit, a fresh compilation (with a pristine clone
+	// recorded for the cache) otherwise.
+	nextPlan := func(blk *SelectStmt) (*selectPlan, error) {
+		defer func() { blockIdx++ }()
+		if cacheHit {
+			return clonePlan(cached[blockIdx]), nil
+		}
+		plan, err := e.planSelect(blk, binds)
+		if err != nil {
+			return nil, err
+		}
+		if cacheKey != "" {
+			templates = append(templates, clonePlan(plan))
+		}
+		return plan, nil
+	}
 	var branches []rowNode
 	var cols []string
 	strategy := ""
@@ -224,7 +268,7 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 			bn, bcols = an, acols
 			noteStrategy(plan)
 		} else {
-			plan, err := e.planSelect(blk, binds)
+			plan, err := nextPlan(blk)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +277,11 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 					return nil, err
 				}
 			}
-			bn, bcols = newProjectOverPlan(plan), plan.outCols
+			pn, err := newProjectOverPlan(plan, binds)
+			if err != nil {
+				return nil, err
+			}
+			bn, bcols = pn, plan.outCols
 			noteStrategy(plan)
 		}
 		if blk.Distinct {
@@ -293,9 +341,16 @@ func (e *Engine) buildRowsLocked(ctx context.Context, s *SelectStmt, binds map[s
 		ns.labelFn = func() string { return fmt.Sprintf("LIMIT %d", n) }
 		root = &limitNode{in: root, n: n, ns: ns}
 	}
+	if cacheKey != "" && !cacheHit {
+		if evicted := e.plans.put(cacheKey, templates); evicted > 0 {
+			if m := e.sqlMet.Load(); m != nil {
+				m.planEvictions.Add(evicted)
+			}
+		}
+	}
 	ec := &execCtx{ctx: ctx}
 	ec.stats.joinStrategy = strategy
-	return &Rows{root: root, ec: ec, cols: cols, planRoot: statsNodeOf(root)}, nil
+	return &Rows{root: root, ec: ec, cols: cols, planRoot: statsNodeOf(root), cachedPlan: cacheHit}, nil
 }
 
 // statsNodeOf extracts the plan-stats record of a node (nil when it has

@@ -84,7 +84,11 @@ type mergeSpec struct {
 	post      []evalFn
 }
 
-// selectPlan is a compiled single SELECT block.
+// selectPlan is a compiled single SELECT block. Compiled expressions
+// never capture bind values: every :name reference reads an env slot in
+// the bind tail (after all source columns), filled per execution by
+// fillBinds. That is what makes a plan reusable — and cacheable — across
+// executions with different binds.
 type selectPlan struct {
 	eng     *Engine
 	sources []*srcPlan
@@ -92,6 +96,42 @@ type selectPlan struct {
 	project []evalFn
 	outCols []string
 	envSize int
+	// bindSlots maps a bind name to its slot in the env's bind tail; the
+	// absolute env position is envSize + slot. envSize is final before any
+	// compile call (source bases are assigned first), so positions are
+	// stable for the plan's lifetime.
+	bindSlots map[string]int
+}
+
+// bindSlot returns the absolute env position of bind :name, allocating a
+// tail slot on first reference.
+func (p *selectPlan) bindSlot(name string) int {
+	if p.bindSlots == nil {
+		p.bindSlots = make(map[string]int)
+	}
+	slot, ok := p.bindSlots[name]
+	if !ok {
+		slot = len(p.bindSlots)
+		p.bindSlots[name] = slot
+	}
+	return p.envSize + slot
+}
+
+// envLen is the full env width: all source columns plus the bind tail.
+func (p *selectPlan) envLen() int { return p.envSize + len(p.bindSlots) }
+
+// fillBinds writes this execution's bind values into env's bind tail.
+// Planning no longer consumes scalar binds, so a missing or mistyped
+// bind surfaces here — when the plan is instantiated.
+func (p *selectPlan) fillBinds(env []int64, binds map[string]interface{}) error {
+	for name, slot := range p.bindSlots {
+		v, err := bindScalar(binds, name)
+		if err != nil {
+			return err
+		}
+		env[p.envSize+slot] = v
+	}
+	return nil
 }
 
 type conjunct struct {
@@ -186,7 +226,7 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 			if sp.kind == accessCollection {
 				continue
 			}
-			if err := e.chooseAccess(p, sp, i, conjuncts, binds); err != nil {
+			if err := e.chooseAccess(p, sp, i, conjuncts); err != nil {
 				return nil, err
 			}
 		}
@@ -202,13 +242,13 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 			if at < 0 {
 				at = 0
 			}
-			f, err := p.compile(c.ex, binds, at)
+			f, err := p.compile(c.ex, at)
 			if err != nil {
 				return nil, err
 			}
 			p.sources[at].filters = append(p.sources[at].filters, f)
 		}
-	} else if err := p.attachMergeFilters(conjuncts, binds); err != nil {
+	} else if err := p.attachMergeFilters(conjuncts); err != nil {
 		return nil, err
 	}
 
@@ -231,7 +271,7 @@ func (e *Engine) planSelect(s *SelectStmt, binds map[string]interface{}) (*selec
 			}
 			continue
 		}
-		f, err := p.compile(item.Expr, binds, len(p.sources)-1)
+		f, err := p.compile(item.Expr, len(p.sources)-1)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +404,7 @@ func (p *selectPlan) sourceMask(ex Expr) (uint, error) {
 // the sweep, conjuncts over both sides run post-join on each emitted
 // pair, and source-free conjuncts gate the left feed (any side works —
 // a constant false empties the join either way).
-func (p *selectPlan) attachMergeFilters(conjuncts []*conjunct, binds map[string]interface{}) error {
+func (p *selectPlan) attachMergeFilters(conjuncts []*conjunct) error {
 	last := len(p.sources) - 1
 	for _, c := range conjuncts {
 		if c.used {
@@ -376,19 +416,19 @@ func (p *selectPlan) attachMergeFilters(conjuncts []*conjunct, binds map[string]
 		}
 		switch mask {
 		case 0, 1 << uint(p.merge.left):
-			f, err := p.compile(c.ex, binds, p.merge.left)
+			f, err := p.compile(c.ex, p.merge.left)
 			if err != nil {
 				return err
 			}
 			p.sources[p.merge.left].filters = append(p.sources[p.merge.left].filters, f)
 		case 1 << uint(p.merge.right):
-			f, err := p.compile(c.ex, binds, last)
+			f, err := p.compile(c.ex, last)
 			if err != nil {
 				return err
 			}
 			p.sources[p.merge.right].filters = append(p.sources[p.merge.right].filters, f)
 		default:
-			f, err := p.compile(c.ex, binds, last)
+			f, err := p.compile(c.ex, last)
 			if err != nil {
 				return err
 			}
@@ -474,18 +514,16 @@ func (p *selectPlan) resolve(c *ColumnExpr) (int, int, error) {
 }
 
 // compile turns ex into an evalFn. Columns of sources > maxSrc are
-// rejected (they are not bound yet at evaluation time).
-func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) (evalFn, error) {
+// rejected (they are not bound yet at evaluation time). Bind references
+// compile to env-slot reads (see bindSlot), never to captured values.
+func (p *selectPlan) compile(ex Expr, maxSrc int) (evalFn, error) {
 	switch x := ex.(type) {
 	case *NumberExpr:
 		v := x.Value
 		return func([]int64) int64 { return v }, nil
 	case *BindExpr:
-		v, err := bindScalar(binds, x.Name)
-		if err != nil {
-			return nil, err
-		}
-		return func([]int64) int64 { return v }, nil
+		slot := p.bindSlot(x.Name)
+		return func(env []int64) int64 { return env[slot] }, nil
 	case *ColumnExpr:
 		si, slot, err := p.resolve(x)
 		if err != nil {
@@ -496,7 +534,7 @@ func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) 
 		}
 		return func(env []int64) int64 { return env[slot] }, nil
 	case *UnaryExpr:
-		f, err := p.compile(x.X, binds, maxSrc)
+		f, err := p.compile(x.X, maxSrc)
 		if err != nil {
 			return nil, err
 		}
@@ -505,15 +543,15 @@ func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) 
 		}
 		return func(env []int64) int64 { return b2i(f(env) == 0) }, nil
 	case *BetweenExpr:
-		xf, err := p.compile(x.X, binds, maxSrc)
+		xf, err := p.compile(x.X, maxSrc)
 		if err != nil {
 			return nil, err
 		}
-		lf, err := p.compile(x.Lo, binds, maxSrc)
+		lf, err := p.compile(x.Lo, maxSrc)
 		if err != nil {
 			return nil, err
 		}
-		hf, err := p.compile(x.Hi, binds, maxSrc)
+		hf, err := p.compile(x.Hi, maxSrc)
 		if err != nil {
 			return nil, err
 		}
@@ -524,11 +562,11 @@ func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) 
 			return b2i(in != not)
 		}, nil
 	case *BinaryExpr:
-		lf, err := p.compile(x.L, binds, maxSrc)
+		lf, err := p.compile(x.L, maxSrc)
 		if err != nil {
 			return nil, err
 		}
-		rf, err := p.compile(x.R, binds, maxSrc)
+		rf, err := p.compile(x.R, maxSrc)
 		if err != nil {
 			return nil, err
 		}
@@ -579,7 +617,7 @@ func (p *selectPlan) compile(ex Expr, binds map[string]interface{}, maxSrc int) 
 			}
 			fns := make([]evalFn, 4)
 			for i, a := range x.Args {
-				f, err := p.compile(a, binds, maxSrc)
+				f, err := p.compile(a, maxSrc)
 				if err != nil {
 					return nil, err
 				}
@@ -682,7 +720,7 @@ func (p *selectPlan) sargable(c *conjunct, si int, col string) (string, Expr, Ex
 }
 
 // chooseAccess selects the cheapest available access path for source si.
-func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*conjunct, binds map[string]interface{}) error {
+func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*conjunct) error {
 	// Extensible indexing first: an operator conjunct served by a domain
 	// index on this table (paper §5).
 	for _, c := range conjuncts {
@@ -721,7 +759,7 @@ func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*c
 					argOK = false
 					break
 				}
-				f, err := p.compile(a, binds, si-1)
+				f, err := p.compile(a, si-1)
 				if err != nil {
 					return err
 				}
@@ -782,7 +820,7 @@ func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*c
 					argOK = false
 					break
 				}
-				f, err := p.compile(a, binds, si-1)
+				f, err := p.compile(a, si-1)
 				if err != nil {
 					return err
 				}
@@ -925,21 +963,21 @@ func (e *Engine) chooseAccess(p *selectPlan, sp *srcPlan, si int, conjuncts []*c
 	sp.kind = accessIndexRange
 	sp.ix = best.ix
 	for _, ex := range best.eqEx {
-		f, err := p.compile(ex, binds, si-1)
+		f, err := p.compile(ex, si-1)
 		if err != nil {
 			return err
 		}
 		sp.eq = append(sp.eq, f)
 	}
 	for _, ex := range best.lowEx {
-		f, err := p.compile(ex, binds, si-1)
+		f, err := p.compile(ex, si-1)
 		if err != nil {
 			return err
 		}
 		sp.lows = append(sp.lows, f)
 	}
 	for _, ex := range best.hiEx {
-		f, err := p.compile(ex, binds, si-1)
+		f, err := p.compile(ex, si-1)
 		if err != nil {
 			return err
 		}

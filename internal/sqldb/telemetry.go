@@ -109,6 +109,9 @@ type sqlMetrics struct {
 	joinMerge, joinNested                                      *obs.Counter
 	sweepPairs, sweepSortRows                                  *obs.Counter
 	joinLatency, sweepActivePeak                               *obs.Histogram
+	planHits, planMisses, planEvictions                        *obs.Counter
+	viewsPinned, viewsReleased                                 *obs.Counter
+	viewsActive                                                *obs.Gauge
 	stmt                                                       map[string]*obs.Counter
 	latency                                                    map[string]*obs.Histogram
 }
@@ -136,8 +139,18 @@ func newSQLMetrics(reg *obs.Registry) *sqlMetrics {
 		// contributes one sample, so the distribution of working-set
 		// high-water marks across queries stays visible.
 		sweepActivePeak: reg.Histogram("sql.join_sweep.active_peak"),
-		stmt:            make(map[string]*obs.Counter, len(stmtKinds)),
-		latency:         make(map[string]*obs.Histogram, len(stmtKinds)),
+		planHits:        reg.Counter("sql.plancache.hits"),
+		planMisses:      reg.Counter("sql.plancache.misses"),
+		planEvictions:   reg.Counter("sql.plancache.evictions"),
+		// Snapshot-view lifecycle: active is the leak detector — every
+		// pinned view must eventually be released, so a drained engine
+		// (no cursors, no transaction, cache invalidated) reads 0 or 1
+		// (the cached current view).
+		viewsPinned:   reg.Counter("sql.views.pinned"),
+		viewsReleased: reg.Counter("sql.views.released"),
+		viewsActive:   reg.Gauge("sql.views.active"),
+		stmt:          make(map[string]*obs.Counter, len(stmtKinds)),
+		latency:       make(map[string]*obs.Histogram, len(stmtKinds)),
 	}
 	for _, k := range stmtKinds {
 		m.stmt[k] = reg.Counter("sql.stmt." + k)

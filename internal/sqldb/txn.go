@@ -203,7 +203,7 @@ func (e *Engine) txnDelete(s *DeleteStmt, binds map[string]interface{}) (*Result
 	}
 	width := stab.Schema().NumCols()
 	var n int64
-	err = drainPlan(plan, func(env []int64, rids []rel.RowID) bool {
+	err = drainPlan(plan, binds, func(env []int64, rids []rel.RowID) bool {
 		rid := rids[0]
 		if dels[rid] {
 			return true // already deleted earlier in this transaction

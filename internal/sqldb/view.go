@@ -161,6 +161,10 @@ func (e *Engine) newExecViewLocked() (*execView, error) {
 		}
 		v.customs[name] = vi
 	}
+	if m := e.sqlMet.Load(); m != nil {
+		m.viewsPinned.Inc()
+		m.viewsActive.Add(1)
+	}
 	return v, nil
 }
 
@@ -271,6 +275,11 @@ func (e *Engine) releaseView(v *execView) {
 	e.viewLk.Unlock()
 	if free {
 		v.snap.Release()
+		// sqlMet is an atomic pointer for exactly this path: no e.mu here.
+		if m := e.sqlMet.Load(); m != nil {
+			m.viewsReleased.Inc()
+			m.viewsActive.Add(-1)
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendString(AppendUvarint(nil, 42), "SELECT 1")
+	if err := WriteFrame(&buf, MsgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	typ, got, err := ReadFrame(r)
+	if err != nil || typ != MsgQuery || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: typ=%#x err=%v", typ, err)
+	}
+	typ, got, err = ReadFrame(r)
+	if err != nil || typ != MsgPing || len(got) != 0 {
+		t.Fatalf("frame 2: typ=%#x len=%d err=%v", typ, len(got), err)
+	}
+}
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	b := AppendVarint(nil, -12345)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendString(b, "héllo")
+	b = AppendStrings(b, []string{"a", "b", "c"})
+	b = AppendBinds(b, map[string]int64{"k": -7, "v": 9})
+
+	r := NewReader(b)
+	if v := r.Varint(); v != -12345 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<40 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if s := r.String(); s != "héllo" {
+		t.Fatalf("string = %q", s)
+	}
+	if ss := r.Strings(); !reflect.DeepEqual(ss, []string{"a", "b", "c"}) {
+		t.Fatalf("strings = %v", ss)
+	}
+	binds := r.Binds()
+	if binds["k"] != -7 || binds["v"] != 9 || len(binds) != 2 {
+		t.Fatalf("binds = %v", binds)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestRowBatchRoundTrip(t *testing.T) {
+	rows := [][]int64{{1, -2, 3}, {4, 5, -6}}
+	got, done, err := DecodeRowBatch(EncodeRowBatch(rows, true), 3)
+	if err != nil || !done || !reflect.DeepEqual(got, rows) {
+		t.Fatalf("rows=%v done=%v err=%v", got, done, err)
+	}
+	got, done, err = DecodeRowBatch(EncodeRowBatch(nil, false), 3)
+	if err != nil || done || len(got) != 0 {
+		t.Fatalf("empty batch: rows=%v done=%v err=%v", got, done, err)
+	}
+}
+
+func TestTruncatedPayloads(t *testing.T) {
+	full := AppendString(nil, "hello world")
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("no error at cut %d", cut)
+		}
+	}
+	// A corrupt count must not cause a giant allocation.
+	b := AppendUvarint(nil, 1<<40)
+	if ss := NewReader(b).Strings(); ss != nil {
+		t.Fatal("corrupt string count decoded")
+	}
+	if _, _, err := DecodeRowBatch(append([]byte{0}, AppendUvarint(nil, 1<<40)...), 2); err == nil {
+		t.Fatal("corrupt row count decoded")
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	err := DecodeErr(EncodeErr(CodeTxnConflict, "conflict: table t changed"))
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != CodeTxnConflict || we.Msg != "conflict: table t changed" {
+		t.Fatalf("err = %#v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(AppendUvarint(nil, MaxFrame+1))
+	if _, _, err := ReadFrame(bufio.NewReader(&buf)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
