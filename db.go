@@ -47,6 +47,9 @@ type DB struct {
 	eng   *sqldb.Engine
 	reg   *obs.Registry
 	cols  map[string]*Collection
+	// persistSnaps: Flush/Close write HINT index snapshots before the
+	// page flush (file-backed databases with WithIndexSnapshots on).
+	persistSnaps bool
 }
 
 // Built-in access method names for CreateCollection.
@@ -86,7 +89,7 @@ func openMemoryCfg(cfg *config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDB(st, rdb, cfg, false)
+	return newDB(st, rdb, cfg, false, false)
 }
 
 func openPathCfg(path string, cfg *config) (*DB, error) {
@@ -116,16 +119,16 @@ func openPathCfg(path string, cfg *config) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newDB(st, rdb, cfg, false)
+		return newDB(st, rdb, cfg, false, true)
 	}
 	rdb, err := rel.OpenDB(st, 1)
 	if err != nil {
 		return nil, err
 	}
-	return newDB(st, rdb, cfg, true)
+	return newDB(st, rdb, cfg, true, true)
 }
 
-func newDB(st *pagestore.Store, rdb *rel.DB, cfg *config, reopened bool) (*DB, error) {
+func newDB(st *pagestore.Store, rdb *rel.DB, cfg *config, reopened, fileBacked bool) (*DB, error) {
 	// Every DB carries its own metrics registry: the page store, the SQL
 	// executor, and each collection's access method publish into one
 	// per-database family. The registry is attached before the catalog
@@ -140,6 +143,7 @@ func newDB(st *pagestore.Store, rdb *rel.DB, cfg *config, reopened bool) (*DB, e
 	ritcore.RegisterIndexType(eng)
 	hint.RegisterIndexType(eng)
 	hint.RegisterShardedIndexType(eng, 0)
+	eng.SetIndexSnapshotsEnabled(cfg.indexSnapshots)
 	if reopened {
 		// Re-attach every collection and domain index recorded in the
 		// catalog, so DML maintains them across session boundaries. Failing
@@ -150,7 +154,11 @@ func newDB(st *pagestore.Store, rdb *rel.DB, cfg *config, reopened bool) (*DB, e
 			return nil, err
 		}
 	}
-	return &DB{store: st, rdb: rdb, eng: eng, reg: reg, cols: make(map[string]*Collection)}, nil
+	return &DB{
+		store: st, rdb: rdb, eng: eng, reg: reg,
+		cols:         make(map[string]*Collection),
+		persistSnaps: cfg.indexSnapshots && fileBacked,
+	}, nil
 }
 
 // collectionName constrains collection names to SQL identifiers, so a
@@ -445,18 +453,41 @@ func (db *DB) SetMergeJoinEnabled(on bool) { db.eng.SetMergeJoinEnabled(on) }
 // draining clears it.
 func (db *DB) SlowQueries() []SlowQuery { return db.eng.SlowQueries() }
 
-// Flush writes all dirty pages to the backing store.
+// SetCheckpointThreshold makes commits checkpoint the page store (flush
+// every dirty page and reset the write-ahead log) whenever the WAL
+// exceeds bytes, bounding both the sidecar log's size on disk and the
+// redo-replay time of the next Open. bytes <= 0 (the default) disables
+// the trigger; the "wal.checkpoints" counter reports how often it
+// fired. Meaningful for file-backed databases; harmless elsewhere.
+func (db *DB) SetCheckpointThreshold(bytes int64) {
+	db.store.SetCheckpointThreshold(bytes)
+}
+
+// Flush writes all dirty pages to the backing store, persisting index
+// snapshots first on file-backed databases (see WithIndexSnapshots).
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.persistSnaps {
+		if err := db.eng.PersistIndexSnapshots(); err != nil {
+			return err
+		}
+	}
 	return db.rdb.Flush()
 }
 
-// Close flushes and closes the database. Collection handles are invalid
-// afterwards. Cursors still open when Close runs do not block it and do
-// not panic: their next read fails cleanly and surfaces through Rows.Err.
+// Close flushes and closes the database, persisting index snapshots
+// first on file-backed databases (see WithIndexSnapshots). Collection
+// handles are invalid afterwards. Cursors still open when Close runs do
+// not block it and do not panic: their next read fails cleanly and
+// surfaces through Rows.Err.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.persistSnaps {
+		if err := db.eng.PersistIndexSnapshots(); err != nil {
+			return err
+		}
+	}
 	return db.rdb.Close()
 }

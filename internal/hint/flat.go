@@ -196,6 +196,27 @@ func sortSegment(s []entry, c int) {
 	})
 }
 
+// installFlat installs externally reconstructed flat storage (the
+// snapshot load path, see snapshot.go) wholesale: the index must be
+// freshly constructed (empty overlay, zero counters). The per-level
+// bitmaps are recomputed from the count tables so queries can skip empty
+// partitions exactly as after an Optimize.
+func (x *Index) installFlat(flat []flatLevel, count, entries, replicas int64) {
+	x.flat = flat
+	x.count, x.entries, x.replicas, x.overlay = count, entries, replicas, 0
+	for l := 0; l <= x.m; l++ {
+		words := x.nonempty[l]
+		for c := 0; c < numSubs; c++ {
+			cnt := flat[l].subs[c].cnt
+			for i := range cnt {
+				if cnt[i] > 0 {
+					words[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		}
+	}
+}
+
 // --- nonempty-partition bitmaps -----------------------------------------
 
 func (x *Index) setBit(l int, idx int64) {

@@ -104,11 +104,20 @@ func registerIndexType(e *sqldb.Engine, name string, shards int) {
 	e.RegisterIndexType(name, sqldb.IndexTypeFuncs{
 		Create: build,
 		Attach: build,
-		// Nothing persists in the page store, so dropping an unattached
-		// definition's storage is a no-op (the fallback would pointlessly
-		// rebuild the index from the heap just to release it).
-		DropStorage: func(*sqldb.Engine, string, string, []string) error { return nil },
+		// The only persisted storage is the snapshot blob; dropping an
+		// unattached definition just releases that (DeleteBlob tolerates a
+		// missing one).
+		DropStorage: func(e *sqldb.Engine, indexName, table string, cols []string) error {
+			return e.DB().DeleteBlob(snapshotBlobName(indexName))
+		},
 	})
+}
+
+// snapshotBlobName is the rel blob key under which an index's persisted
+// snapshot lives (index names are folded like the engine folds
+// identifiers).
+func snapshotBlobName(indexName string) string {
+	return "hintsnap." + strings.ToLower(indexName)
 }
 
 // hintParams are the tunable knobs of the hint / hint_sharded
@@ -174,6 +183,7 @@ type indexType struct {
 	shards int
 	hp     hintParams
 	tab    *rel.Table
+	rdb    *rel.DB // owning database: snapshot blobs live here
 	// mu protects the (off, ix) pair across trigger maintenance and
 	// geometry rebuilds. Scans take it only long enough to grab the pair
 	// (see view) and then run lock-free over the Sharded index's
@@ -186,6 +196,12 @@ type indexType struct {
 	// ix wholesale) re-attach the same counter family.
 	reg       *obs.Registry
 	regPrefix string
+	// Snapshot-path accounting: snapMet holds the bound counters once
+	// BindMetrics ran; snapPend accumulates events from before the binding
+	// (attach happens first) and is flushed into the counters by it. Both
+	// guarded by mu.
+	snapMet  *snapMetrics
+	snapPend snapTally
 }
 
 func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shards int, params map[string]string) (*indexType, error) {
@@ -217,6 +233,14 @@ func newIndexType(e *sqldb.Engine, indexName, table string, cols []string, shard
 		shards: shards,
 		hp:     hp,
 		tab:    tab,
+		rdb:    e.DB(),
+	}
+	// The fast attach path: adopt a persisted snapshot (plus a heap-tail
+	// replay when the table moved on) instead of rebuilding. Any doubt
+	// about the snapshot falls through to the rebuild below — the
+	// snapshot is an optimization, never an authority.
+	if e.IndexSnapshotsEnabled() && ix.tryLoadSnapshot() {
+		return ix, nil
 	}
 	// Backfill from existing rows, sizing the domain to the data.
 	if err := ix.rebuild(); err != nil {
@@ -347,16 +371,174 @@ func (x *indexType) rebuild() error {
 	return nil
 }
 
+// snapAddLocked folds snapshot-path events into the bound counters, or
+// into the pending tally when no registry is bound yet (attach runs
+// before BindMetrics). Callers hold ix.mu or own the not-yet-published
+// index.
+func (ix *indexType) snapAddLocked(t snapTally) {
+	if ix.snapMet != nil {
+		ix.snapMet.add(t)
+		return
+	}
+	ix.snapPend.merge(t)
+}
+
+// tryLoadSnapshot attempts the snapshot attach path: decode the persisted
+// blob, validate it against the configuration and the base table's
+// content stamp, and install it — replaying any heap tail written after
+// the snapshot into the sorted overlay. It reports false (after counting
+// a rebuild fallback, unless there simply was no snapshot) whenever the
+// snapshot cannot be trusted; the caller then rebuilds from the heap.
+func (ix *indexType) tryLoadSnapshot() bool {
+	data, found, err := ix.rdb.GetBlob(snapshotBlobName(ix.name))
+	if !found {
+		return false // nothing persisted: a plain rebuild, not a fallback
+	}
+	if err != nil {
+		ix.snapAddLocked(snapTally{fallbacks: 1})
+		return false
+	}
+	s, info, err := decodeSnapshot(data)
+	if err != nil {
+		ix.snapAddLocked(snapTally{fallbacks: 1})
+		return false
+	}
+	// The snapshot must describe the index this configuration would build:
+	// same shard fan-out, same level override, and a domain at least as
+	// wide as the bits floor demands. Its exact bits may differ from what
+	// a fresh rebuild would pick (the data moved since) — that is fine as
+	// long as every current row still fits, which the tail replay checks.
+	levels := DefaultLevels
+	if ix.hp.levels > 0 {
+		levels = ix.hp.levels
+	}
+	if levels > info.bits {
+		levels = info.bits
+	}
+	if info.shards != ix.shards || info.m != levels || (ix.hp.minBits > 0 && info.bits < ix.hp.minBits) {
+		ix.snapAddLocked(snapTally{fallbacks: 1})
+		return false
+	}
+	var tail int64
+	if ix.tab.RowCount() != info.tableRows || ix.tab.ContentChecksum() != info.tableChk {
+		if tail, err = ix.replayTail(s, info); err != nil {
+			ix.snapAddLocked(snapTally{fallbacks: 1})
+			return false
+		}
+	}
+	ix.off, ix.ix = info.off, s
+	if ix.reg != nil {
+		s.SetMetrics(ix.reg, ix.regPrefix)
+	}
+	ix.snapAddLocked(snapTally{loads: 1, bytes: int64(len(data)), tailRows: tail})
+	return true
+}
+
+// replayTail reconciles a stale snapshot with the current heap: every
+// snapshotted interval must survive in the heap unmodified (verified by
+// membership and by re-deriving the snapshot's content checksum from the
+// surviving rows), and every other heap row is a tail insert replayed
+// into the sorted overlay. Deletes or in-place changes of snapshotted
+// rows cannot be reconciled — the snapshot holds replicas the stream
+// cannot cheaply retract — so they error and force the full rebuild.
+func (ix *indexType) replayTail(s *Sharded, info snapshotInfo) (int64, error) {
+	type iv struct{ lo, hi int64 }
+	snap := make(map[int64]iv, info.tableRows)
+	if !s.ScanStartOrdered(func(lo, hi, id int64) bool {
+		snap[id] = iv{lo, hi}
+		return true
+	}) {
+		return 0, fmt.Errorf("hint: snapshot layout is not scannable")
+	}
+	if int64(len(snap)) != info.tableRows {
+		return 0, fmt.Errorf("hint: snapshot indexes %d rows, stamp says %d", len(snap), info.tableRows)
+	}
+	domMax := s.DomainMax()
+	var newIvs []interval.Interval
+	var newIDs []int64
+	var seen int64
+	var seenChk uint64
+	var replayErr error
+	err := ix.tab.Scan(func(rid rel.RowID, row []int64) bool {
+		lo, hi := row[ix.loPos], row[ix.hiPos]
+		if replayErr = checkRow(lo, hi); replayErr != nil {
+			return false
+		}
+		shifted := lo - info.off
+		if shifted < 0 || shifted > domMax {
+			replayErr = fmt.Errorf("hint: tail row outside snapshot domain")
+			return false
+		}
+		siv := interval.New(shifted, sat(hi)-info.off)
+		if sv, in := snap[int64(rid)]; in {
+			if sv.lo != siv.Lower || sv.hi != siv.Upper {
+				replayErr = fmt.Errorf("hint: snapshotted row %d changed", rid)
+				return false
+			}
+			seen++
+			seenChk ^= rel.RowChecksum(row, rid)
+			return true
+		}
+		newIvs = append(newIvs, siv)
+		newIDs = append(newIDs, int64(rid))
+		return true
+	})
+	if err == nil {
+		err = replayErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	if seen != info.tableRows || seenChk != info.tableChk {
+		return 0, fmt.Errorf("hint: snapshotted rows missing from heap (%d of %d survive)", seen, info.tableRows)
+	}
+	if len(newIDs) > 0 {
+		if err := s.BulkInsert(newIvs, newIDs); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(newIDs)), nil
+}
+
+// PersistSnapshot implements sqldb.SnapshotPersister: fold the overlay
+// into the flat layout and write it as a rel blob, stamped with the base
+// table's current row count and content checksum. An index whose layout
+// is not representable (a level left in overlay form by the
+// int32-overflow guard) deletes any existing snapshot instead — a stamp
+// must never outlive the bytes it vouches for.
+func (ix *indexType) PersistSnapshot() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.ix.Optimize()
+	data, ok := encodeSnapshot(ix.ix, ix.off, ix.tab.RowCount(), ix.tab.ContentChecksum())
+	if !ok {
+		return ix.rdb.DeleteBlob(snapshotBlobName(ix.name))
+	}
+	if err := ix.rdb.PutBlob(snapshotBlobName(ix.name), data); err != nil {
+		return err
+	}
+	ix.snapAddLocked(snapTally{persists: 1, bytes: int64(len(data))})
+	return nil
+}
+
 // BindMetrics implements sqldb.MetricsBinder: the engine calls it with
 // the DB's registry and an "index.<name>" prefix when the index is
 // created or re-attached, wiring the HINT query-shape counters into the
 // same family as the executor and page-store metrics. The binding
-// survives geometry rebuilds.
+// survives geometry rebuilds. Snapshot events recorded before the binding
+// (the attach itself) flush into the counters here.
 func (ix *indexType) BindMetrics(reg *obs.Registry, prefix string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.reg, ix.regPrefix = reg, prefix
 	ix.ix.SetMetrics(reg, prefix)
+	if reg == nil {
+		ix.snapMet = nil
+		return
+	}
+	ix.snapMet = newSnapMetrics(reg, prefix)
+	ix.snapMet.add(ix.snapPend)
+	ix.snapPend = snapTally{}
 }
 
 // Name implements sqldb.CustomIndex.
@@ -634,13 +816,13 @@ func (ix *indexType) ScanCount(op string, args []int64) (int64, error) {
 	return six.CountIntersecting(interval.New(sat(qlo)-off, sat(qhi)-off))
 }
 
-// Drop implements sqldb.CustomIndex: main-memory storage is simply
-// released.
+// Drop implements sqldb.CustomIndex: the main-memory storage is released
+// and the persisted snapshot (if any) removed with it.
 func (ix *indexType) Drop() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.ix.Clear()
-	return nil
+	return ix.rdb.DeleteBlob(snapshotBlobName(ix.name))
 }
 
 // BackingIndex exposes the hidden HINT (for statistics in tests and

@@ -53,6 +53,49 @@ func (m *indexMetrics) flush(t *queryTally) {
 	m.overlayRuns.Add(t.overlayRuns)
 }
 
+// snapTally accumulates snapshot-path events (attach loads, rebuild
+// fallbacks, bytes read/written, tail rows replayed, persists) before a
+// registry is bound; merge folds one tally into another.
+type snapTally struct {
+	loads, fallbacks, bytes, tailRows, persists int64
+}
+
+func (t *snapTally) merge(o snapTally) {
+	t.loads += o.loads
+	t.fallbacks += o.fallbacks
+	t.bytes += o.bytes
+	t.tailRows += o.tailRows
+	t.persists += o.persists
+}
+
+// snapMetrics are the bound counter handles of the snapshot family:
+// "<prefix>.snapshot.loads" (attaches served from a snapshot),
+// ".snapshot.rebuild_fallbacks" (snapshots discarded for a full rebuild),
+// ".snapshot.bytes" (snapshot bytes read or written), ".snapshot.tail_rows"
+// (heap-tail rows replayed on top of a loaded snapshot), and
+// ".snapshot.persists" (snapshots written).
+type snapMetrics struct {
+	loads, fallbacks, bytes, tailRows, persists *obs.Counter
+}
+
+func newSnapMetrics(reg *obs.Registry, prefix string) *snapMetrics {
+	return &snapMetrics{
+		loads:     reg.Counter(prefix + ".snapshot.loads"),
+		fallbacks: reg.Counter(prefix + ".snapshot.rebuild_fallbacks"),
+		bytes:     reg.Counter(prefix + ".snapshot.bytes"),
+		tailRows:  reg.Counter(prefix + ".snapshot.tail_rows"),
+		persists:  reg.Counter(prefix + ".snapshot.persists"),
+	}
+}
+
+func (m *snapMetrics) add(t snapTally) {
+	m.loads.Add(t.loads)
+	m.fallbacks.Add(t.fallbacks)
+	m.bytes.Add(t.bytes)
+	m.tailRows.Add(t.tailRows)
+	m.persists.Add(t.persists)
+}
+
 // SetMetrics mirrors the index's query counters into reg under prefix
 // (e.g. "index.resv_iv"). Pass reg == nil to detach. Not safe to call
 // concurrently with queries on a bare Index; Sharded.SetMetrics takes the

@@ -1,0 +1,96 @@
+package hint
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"ritree/internal/interval"
+	"ritree/internal/pagestore"
+	"ritree/internal/rel"
+	"ritree/internal/sqldb"
+)
+
+// TestSnapshotDecomposition is a manual profiling aid (run with
+// -run Decomposition -v -timeout 0 RIBENCH_DECOMP=1).
+func TestSnapshotDecomposition(t *testing.T) {
+	if os.Getenv("RIBENCH_DECOMP") == "" {
+		t.Skip("set RIBENCH_DECOMP=1 to run")
+	}
+	n := 1000000
+	f, _ := os.CreateTemp("", "decomp-*.pages")
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	open := func() *pagestore.Store {
+		be, err := pagestore.OpenFileBackend(path, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := pagestore.New(be, pagestore.Options{PageSize: 2048, CacheSize: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := open()
+	db, _ := rel.CreateDB(st)
+	eng := sqldb.NewEngine(db)
+	RegisterIndexType(eng)
+	eng.MustExec("CREATE TABLE sv (lo int, hi int, id int)", nil)
+	tab, _ := db.Table("sv")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		lo := rng.Int63n(1 << 20)
+		hi := lo + rng.Int63n(2000)
+		tab.Insert([]int64{lo, hi, int64(i)})
+	}
+	eng.MustExec("CREATE INDEX sv_mm ON sv (lo, hi) INDEXTYPE IS hint", nil)
+	t0 := time.Now()
+	if err := eng.PersistIndexSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("persist: %v", time.Since(t0))
+	db.Close()
+
+	// Cold: GetBlob
+	st = open()
+	db2, _ := rel.OpenDB(st, 1)
+	t0 = time.Now()
+	data, found, err := db2.GetBlob("hintsnap.sv_mm")
+	if err != nil || !found {
+		t.Fatal(found, err)
+	}
+	t.Logf("GetBlob: %v (%d bytes, %d phys reads)", time.Since(t0), len(data), st.Stats().PhysicalReads)
+	t0 = time.Now()
+	s, _, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("decode: %v (entries=%d)", time.Since(t0), s.Entries())
+
+	// Cold: rebuild pieces
+	st = open()
+	db3, _ := rel.OpenDB(st, 1)
+	tab3, _ := db3.Table("sv")
+	t0 = time.Now()
+	var lows, highs, ids []int64
+	tab3.Scan(func(rid rel.RowID, row []int64) bool {
+		lows = append(lows, row[0])
+		highs = append(highs, row[1])
+		ids = append(ids, int64(rid))
+		return true
+	})
+	t.Logf("heap scan: %v (%d rows, %d phys reads)", time.Since(t0), len(lows), st.Stats().PhysicalReads)
+	t0 = time.Now()
+	ix, _ := NewSharded(Options{Bits: 22, Levels: 10, Shards: 1})
+	ivs := make([]interval.Interval, len(lows))
+	for i := range lows {
+		ivs[i] = interval.New(lows[i], highs[i])
+	}
+	if err := ix.BulkLoad(ivs, ids); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BulkLoad: %v", time.Since(t0))
+}

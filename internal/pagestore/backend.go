@@ -96,6 +96,24 @@ func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
 	return err
 }
 
+// ReadRange implements RangeReader: one positioned read covering every
+// page of the span. Pages past EOF read as zeroes, like ReadPage.
+func (b *FileBackend) ReadRange(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(buf)%b.pageSize != 0 {
+		return fmt.Errorf("pagestore: range read buffer size %d, want a multiple of %d", len(buf), b.pageSize)
+	}
+	n, err := b.f.ReadAt(buf, int64(id)*int64(b.pageSize))
+	if n < len(buf) {
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
 // WritePage implements Backend.
 func (b *FileBackend) WritePage(id PageID, buf []byte) error {
 	b.mu.Lock()

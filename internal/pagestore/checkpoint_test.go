@@ -1,0 +1,116 @@
+package pagestore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ritree/internal/obs"
+)
+
+func TestCheckpointThresholdResetsWAL(t *testing.T) {
+	w := NewMemWAL()
+	s, err := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 32, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg, "")
+	// Threshold far above one commit's batch: the first commits accumulate.
+	s.SetCheckpointThreshold(4096)
+	id, _ := s.Allocate()
+	for i := 0; i < 3; i++ {
+		writePage(t, s, id, 0, byte(i+1))
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() == 0 {
+		t.Fatal("WAL empty before the threshold was reached — test premise lost")
+	}
+	if got := reg.Snapshot().Counter("wal.checkpoints"); got != 0 {
+		t.Fatalf("wal.checkpoints = %d before threshold, want 0", got)
+	}
+	// Push the log over the threshold: the triggering commit must
+	// checkpoint inline, leaving an empty WAL and a durable backend.
+	for w.Len() > 0 {
+		writePage(t, s, id, 0, 0xee)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Snapshot().Counter("wal.checkpoints"); got != 1 {
+		t.Fatalf("wal.checkpoints = %d after threshold crossing, want 1", got)
+	}
+	// The checkpointed state must be readable without any WAL replay.
+	s2, err := New(s.backend, Options{PageSize: 256, CacheSize: 32, WAL: NewMemWAL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data()[0] != 0xee {
+		t.Fatalf("checkpointed page reads %#x, want 0xee", p.Data()[0])
+	}
+	p.Release()
+}
+
+func TestCheckpointThresholdDisabledByDefault(t *testing.T) {
+	w := NewMemWAL()
+	s, err := New(NewMemBackend(), Options{PageSize: 256, CacheSize: 32, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	for i := 0; i < 10; i++ {
+		writePage(t, s, id, 0, byte(i))
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() == 0 {
+		t.Fatal("WAL reset without a threshold configured")
+	}
+}
+
+func TestFileWALSizeTracksAppendsAndReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Size() != 0 {
+		t.Fatalf("fresh WAL size = %d", w.Size())
+	}
+	data := make([]byte, 128)
+	if err := w.AppendPage(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(13+128) + 5 // page record framing + commit record
+	if w.Size() != want {
+		t.Fatalf("size = %d, want %d", w.Size(), want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening derives the size from the file.
+	w2, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Size() != want {
+		t.Fatalf("reopened size = %d, want %d", w2.Size(), want)
+	}
+	if err := w2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Size() != 0 {
+		t.Fatalf("size after Reset = %d", w2.Size())
+	}
+}

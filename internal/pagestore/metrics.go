@@ -22,6 +22,7 @@ type storeMetrics struct {
 	walFsyncs          *obs.Counter
 	walBatchedCommits  *obs.Counter
 	walResets          *obs.Counter
+	walCheckpoints     *obs.Counter
 	walRecoveredCommit *obs.Counter
 	walRecoveredPages  *obs.Counter
 }
@@ -35,6 +36,18 @@ func (m *storeMetrics) logicalRead() {
 func (m *storeMetrics) physicalRead() {
 	if m != nil {
 		m.physicalReads.Inc()
+	}
+}
+
+func (m *storeMetrics) logicalReadN(n int64) {
+	if m != nil {
+		m.logicalReads.Add(n)
+	}
+}
+
+func (m *storeMetrics) physicalReadN(n int64) {
+	if m != nil {
+		m.physicalReads.Add(n)
 	}
 }
 
@@ -87,6 +100,14 @@ func (m *storeMetrics) walReset() {
 	}
 }
 
+// walCheckpoint records one checkpoint triggered by the WAL size
+// threshold (every checkpoint also shows up in wal.resets).
+func (m *storeMetrics) walCheckpoint() {
+	if m != nil {
+		m.walCheckpoints.Inc()
+	}
+}
+
 // SetMetrics mirrors the store's I/O counters into reg under prefix
 // (empty: "pagestore"): "<prefix>.logical_reads" and so on. Counter
 // resolution is get-or-create, so several stores may aggregate into one
@@ -116,6 +137,7 @@ func (s *Store) SetMetrics(reg *obs.Registry, prefix string) {
 		walFsyncs:          reg.Counter("wal.fsyncs"),
 		walBatchedCommits:  reg.Counter("wal.batched_commits"),
 		walResets:          reg.Counter("wal.resets"),
+		walCheckpoints:     reg.Counter("wal.checkpoints"),
 		walRecoveredCommit: reg.Counter("wal.recovered_commits"),
 		walRecoveredPages:  reg.Counter("wal.recovered_pages"),
 	}

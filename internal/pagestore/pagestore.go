@@ -59,6 +59,14 @@ type Backend interface {
 	Close() error
 }
 
+// RangeReader is an optional Backend capability: fill buf (a whole number
+// of pages) with the contents of the consecutive pages starting at id in
+// one call. Backends over seekable media implement it so bulk sequential
+// reads cost one I/O per span instead of one per page.
+type RangeReader interface {
+	ReadRange(id PageID, buf []byte) error
+}
+
 // Stats holds the I/O counters exposed by a Store. All counters are
 // monotonically increasing until ResetStats.
 type Stats struct {
@@ -177,6 +185,10 @@ type Store struct {
 	wal     WAL
 	epoch   uint64 // commits so far; snapshots observe state as of an epoch
 	mutated bool   // a page/allocator mutation happened since the last commit
+	// ckptThreshold > 0 makes CommitAsync checkpoint (flush + WAL reset)
+	// whenever the WAL has grown past that many bytes, bounding replay
+	// time after a crash. See SetCheckpointThreshold.
+	ckptThreshold int64
 	// snaps counts live snapshots per acquire epoch; versions holds the
 	// stashed pre-images they read (see BeginWrite and Snapshot.ReadPage).
 	snaps    map[uint64]int
@@ -566,6 +578,83 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	return s.handleFor(f), nil
 }
 
+// ReadPagesInto copies the len(buf)/PageSize consecutive pages starting
+// at id into buf without caching them: resident frames (dirty pages
+// included) are served from memory, and every maximal uncached span is
+// read from the backend — in one ranged call when it supports RangeReader.
+// Bulk sequential readers (blob chains, one-shot scans) use it so a scan
+// larger than the buffer cache does not evict the working set page by
+// page, and so a multi-megabyte read costs a handful of ranged I/Os
+// instead of one call per page. Under the simulated read latency, each
+// backend call counts as one seek.
+func (s *Store) ReadPagesInto(id PageID, buf []byte) error {
+	ps := s.opts.PageSize
+	n := len(buf) / ps
+	if n < 1 || len(buf)%ps != 0 {
+		return fmt.Errorf("pagestore: ReadPagesInto buffer is %d bytes, want a positive multiple of the %d-byte page size", len(buf), ps)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if id == InvalidPage || id >= s.next || PageID(n) > s.next-id {
+		s.mu.Unlock()
+		return fmt.Errorf("pagestore: get of invalid page %d", id+PageID(n)-1)
+	}
+	s.stats.LogicalReads += int64(n)
+	s.obsm.logicalReadN(int64(n))
+	rr, ranged := s.backend.(RangeReader)
+	var seeks int64
+	for i := 0; i < n; {
+		pid := id + PageID(i)
+		if f, ok := s.frames[pid]; ok {
+			copy(buf[i*ps:(i+1)*ps], f.data)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n {
+			if _, ok := s.frames[id+PageID(j)]; ok {
+				break
+			}
+			j++
+		}
+		span := buf[i*ps : j*ps]
+		var err error
+		if ranged && j-i > 1 {
+			err = rr.ReadRange(pid, span)
+		} else {
+			for k := i; k < j && err == nil; k++ {
+				err = s.backend.ReadPage(id+PageID(k), span[(k-i)*ps:(k-i+1)*ps])
+			}
+		}
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.stats.PhysicalReads += int64(j - i)
+		s.obsm.physicalReadN(int64(j - i))
+		seeks++
+		i = j
+	}
+	lat := s.latency
+	s.mu.Unlock()
+	if lat > 0 && seeks > 0 {
+		time.Sleep(lat * time.Duration(seeks))
+	}
+	return nil
+}
+
+// PageBound returns the exclusive upper bound of currently valid page
+// ids: every allocated page's id is below it. Sequential readers use it
+// to clamp speculative ranged reads.
+func (s *Store) PageBound() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
 // pinLocked marks f in use. Frames stay resident in the LRU list while
 // pinned — eviction skips them by pin count — so a pin/release cycle is
 // a MoveToFront instead of a Remove + PushFront pair; the latter
@@ -703,8 +792,34 @@ func (s *Store) CommitAsync() (uint64, error) {
 	s.mutated = false
 	s.appendSeq.Store(seq)
 	s.obsm.walCommit(pages + 1)
+	if s.ckptThreshold > 0 && s.wal.Size() >= s.ckptThreshold {
+		// The WAL has outgrown the threshold: checkpoint now. flushAllLocked
+		// writes every dirty page, syncs the backend, and resets the WAL, so
+		// this commit (and all before it) is durable without an fsync of the
+		// log; returning seq 0 makes the caller's WaitDurable a no-op.
+		if err := s.flushAllLocked(); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+		s.syncedSeq.Store(seq)
+		s.obsm.walCheckpoint()
+		s.mu.Unlock()
+		return 0, nil
+	}
 	s.mu.Unlock()
 	return seq, nil
+}
+
+// SetCheckpointThreshold makes commits checkpoint the store (flush all
+// dirty pages and reset the WAL) whenever the log exceeds n bytes,
+// bounding both WAL size on disk and redo-replay time after a crash.
+// n <= 0 (the default) disables the trigger. The checkpoint runs inline
+// in the committing call, so a threshold trades occasional commit
+// latency for a bounded log.
+func (s *Store) SetCheckpointThreshold(n int64) {
+	s.mu.Lock()
+	s.ckptThreshold = n
+	s.mu.Unlock()
 }
 
 // WaitDurable blocks until commit sequence seq (from CommitAsync) is

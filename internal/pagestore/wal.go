@@ -30,6 +30,9 @@ type WAL interface {
 	// Reset discards the log contents (after a checkpoint has made the
 	// backend itself durable).
 	Reset() error
+	// Size reports the current log size in bytes (appended, not
+	// necessarily synced). Drives the store's checkpoint threshold.
+	Size() int64
 	// Replay feeds every page image of every complete commit batch, in log
 	// order, to apply. Incomplete or corrupt tails are not errors: replay
 	// stops there and reports Torn. pageSize guards against mismatched logs.
@@ -175,6 +178,8 @@ func (w *MemWAL) Syncs() int64 { return w.syncs }
 // Len returns the current log size in bytes.
 func (w *MemWAL) Len() int { return len(w.log) }
 
+func (w *MemWAL) Size() int64 { return int64(len(w.log)) }
+
 // Bytes returns the raw log contents (borrowed; for tests that simulate
 // torn writes by truncating).
 func (w *MemWAL) Bytes() []byte { return w.log }
@@ -196,6 +201,7 @@ func (w *MemWAL) Close() error { return nil }
 type FileWAL struct {
 	f    *os.File
 	path string
+	size int64 // bytes appended; mirrors the file size so Size avoids a stat
 }
 
 // OpenFileWAL opens (creating if absent) the WAL file at path.
@@ -204,11 +210,12 @@ func OpenFileWAL(path string) (*FileWAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &FileWAL{f: f, path: path}, nil
+	return &FileWAL{f: f, path: path, size: end}, nil
 }
 
 // Path returns the WAL file path.
@@ -216,16 +223,20 @@ func (w *FileWAL) Path() string { return w.path }
 
 func (w *FileWAL) AppendPage(id PageID, data []byte) error {
 	buf := appendPageRecord(make([]byte, 0, 13+len(data)), id, data)
-	_, err := w.f.Write(buf)
+	n, err := w.f.Write(buf)
+	w.size += int64(n)
 	return err
 }
 
 func (w *FileWAL) AppendCommit() error {
-	_, err := w.f.Write(appendCommitRecord(nil))
+	n, err := w.f.Write(appendCommitRecord(nil))
+	w.size += int64(n)
 	return err
 }
 
 func (w *FileWAL) Sync() error { return w.f.Sync() }
+
+func (w *FileWAL) Size() int64 { return w.size }
 
 func (w *FileWAL) Reset() error {
 	if err := w.f.Truncate(0); err != nil {
@@ -234,6 +245,7 @@ func (w *FileWAL) Reset() error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	w.size = 0
 	return w.f.Sync()
 }
 

@@ -404,6 +404,7 @@ func (w *faultWAL) Sync() error {
 }
 
 func (w *faultWAL) Reset() error { return w.inner.Reset() }
+func (w *faultWAL) Size() int64  { return w.inner.Size() }
 func (w *faultWAL) Replay(ps int, apply func(PageID, []byte) error) (RecoveryStats, error) {
 	return w.inner.Replay(ps, apply)
 }

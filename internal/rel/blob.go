@@ -1,0 +1,239 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ritree/internal/pagestore"
+)
+
+// Named blobs are uninterpreted byte strings stored in the database file
+// alongside tables and indexes. Each blob lives in a chain of blob pages
+// (same layout as catalog pages, distinct type byte) whose root is
+// recorded in the catalog, so blobs ride the store's WAL, snapshot, and
+// checkpoint machinery like every other relation. The SQL layer uses them
+// to persist index snapshots; a torn or half-written blob is detected by
+// the reader's own framing (page type + length checks here, checksums in
+// the payload format above).
+//
+// Blob page layout:
+//
+//	offset 0:  type byte (blobPageType)
+//	offset 4:  next page id (uint32)
+//	offset 8:  payload byte count in this page (uint32)
+//	offset 12: total chain payload bytes (uint32, root page only; a
+//	           preallocation hint — 0 on chains written before it existed)
+//	offset 16: payload
+const (
+	blobPageType   = byte(5)
+	blobHeaderSize = 16
+)
+
+// PutBlob stores data under name, replacing any previous contents, and
+// persists the catalog. An empty payload is a valid blob.
+func (db *DB) PutBlob(name string, data []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == "" {
+		return fmt.Errorf("rel: empty blob name")
+	}
+	root, err := db.writeChain(db.blobs[name], blobPageType, data)
+	if err != nil {
+		return err
+	}
+	db.blobs[name] = root
+	return db.saveCatalog()
+}
+
+// GetBlob returns the contents of the named blob. found is false when no
+// blob of that name exists; a structurally damaged chain returns an error.
+func (db *DB) GetBlob(name string) (data []byte, found bool, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	root, ok := db.blobs[name]
+	if !ok {
+		return nil, false, nil
+	}
+	data, err = db.readChain(root, blobPageType)
+	if err != nil {
+		return nil, true, err
+	}
+	return data, true, nil
+}
+
+// DeleteBlob removes the named blob and frees its pages. Deleting a blob
+// that does not exist is a no-op.
+func (db *DB) DeleteBlob(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	root, ok := db.blobs[name]
+	if !ok {
+		return nil
+	}
+	if err := db.freeChain(root); err != nil {
+		return err
+	}
+	delete(db.blobs, name)
+	return db.saveCatalog()
+}
+
+// BlobNames returns the names of all stored blobs, sorted.
+func (db *DB) BlobNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.blobs))
+	for n := range db.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeChain writes payload into the page chain rooted at root (InvalidPage
+// for a fresh chain), allocating pages as the payload grows and freeing
+// leftovers as it shrinks, and returns the chain root. The chain always has
+// at least one page so the root stays stable across rewrites.
+func (db *DB) writeChain(root pagestore.PageID, ptype byte, payload []byte) (pagestore.PageID, error) {
+	chunk := db.st.PageSize() - blobHeaderSize
+	if root == pagestore.InvalidPage {
+		var err error
+		root, err = db.st.Allocate()
+		if err != nil {
+			return pagestore.InvalidPage, err
+		}
+	}
+	totalLen := len(payload)
+	pid := root
+	prev := pagestore.InvalidPage
+	freeFrom := pagestore.InvalidPage
+	for len(payload) > 0 || pid == root {
+		if pid == pagestore.InvalidPage {
+			var err error
+			pid, err = db.st.Allocate()
+			if err != nil {
+				return pagestore.InvalidPage, err
+			}
+			pp, err := db.st.GetMut(prev)
+			if err != nil {
+				return pagestore.InvalidPage, err
+			}
+			setCatNext(pp.Data(), pid)
+			pp.Release()
+		}
+		p, err := db.st.GetMut(pid)
+		if err != nil {
+			return pagestore.InvalidPage, err
+		}
+		d := p.Data()
+		// Freshly allocated pages are zeroed, so next reads InvalidPage on
+		// them and walks the previous chain tail on rewrites.
+		next := catNext(d)
+		d[0] = ptype
+		if pid == root {
+			binary.LittleEndian.PutUint32(d[12:16], uint32(totalLen))
+		}
+		n := len(payload)
+		if n > chunk {
+			n = chunk
+		}
+		binary.LittleEndian.PutUint32(d[8:12], uint32(n))
+		copy(d[blobHeaderSize:], payload[:n])
+		payload = payload[n:]
+		if len(payload) == 0 {
+			setCatNext(d, pagestore.InvalidPage)
+			freeFrom = next
+		}
+		p.Release()
+		prev = pid
+		pid = next
+		if len(payload) == 0 {
+			break
+		}
+	}
+	for freeFrom != pagestore.InvalidPage {
+		p, err := db.st.Get(freeFrom)
+		if err != nil {
+			return pagestore.InvalidPage, err
+		}
+		next := catNext(p.Data())
+		p.Release()
+		if err := db.st.Free(freeFrom); err != nil {
+			return pagestore.InvalidPage, err
+		}
+		freeFrom = next
+	}
+	return root, nil
+}
+
+// readChain concatenates the payload of the chain rooted at root, checking
+// the page type and per-page length framing. Chains are read through the
+// store's cache-bypassing path: a multi-megabyte blob (an index snapshot,
+// say) would otherwise sweep the entire buffer cache on open, and the
+// chain's pages are never re-read after this one pass anyway. Pages are
+// fetched in speculative batches of consecutive ids — writeChain allocates
+// chains in order, so the guess almost always holds and a big blob costs a
+// few ranged I/Os; whenever the next pointer leaves the batch, the rest of
+// the batch is discarded and reading restarts at the actual page, so a
+// fragmented chain is merely slower, never misread. The root page's
+// total-length field preallocates the result; it is only a hint, so a
+// stale or zero value costs reallocation, never correctness.
+func (db *DB) readChain(root pagestore.PageID, ptype byte) ([]byte, error) {
+	const batchPages = 64
+	ps := db.st.PageSize()
+	bound := db.st.PageBound()
+	scratch := make([]byte, batchPages*ps)
+	var payload []byte
+	var base pagestore.PageID
+	var have, idx int // scratch holds pages base .. base+have-1; idx is next
+	pid := root
+	for pid != pagestore.InvalidPage {
+		if idx >= have || pid != base+pagestore.PageID(idx) {
+			k := batchPages
+			if pid < bound && int(bound-pid) < k {
+				k = int(bound - pid)
+			}
+			if k < 1 {
+				k = 1 // out-of-range id: a single-page read reports it
+			}
+			if err := db.st.ReadPagesInto(pid, scratch[:k*ps]); err != nil {
+				return nil, err
+			}
+			base, have, idx = pid, k, 0
+		}
+		d := scratch[idx*ps : (idx+1)*ps]
+		idx++
+		if d[0] != ptype {
+			return nil, fmt.Errorf("rel: page %d is not a blob page", pid)
+		}
+		n := int(binary.LittleEndian.Uint32(d[8:12]))
+		if n > ps-blobHeaderSize {
+			return nil, fmt.Errorf("rel: corrupt blob page %d", pid)
+		}
+		if pid == root {
+			if hint := int(binary.LittleEndian.Uint32(d[12:16])); hint > 0 && hint <= 1<<30 {
+				payload = make([]byte, 0, hint)
+			}
+		}
+		payload = append(payload, d[blobHeaderSize:blobHeaderSize+n]...)
+		pid = catNext(d)
+	}
+	return payload, nil
+}
+
+// freeChain releases every page of the chain rooted at root.
+func (db *DB) freeChain(root pagestore.PageID) error {
+	for root != pagestore.InvalidPage {
+		p, err := db.st.Get(root)
+		if err != nil {
+			return err
+		}
+		next := catNext(p.Data())
+		p.Release()
+		if err := db.st.Free(root); err != nil {
+			return err
+		}
+		root = next
+	}
+	return nil
+}

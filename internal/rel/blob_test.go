@@ -1,0 +1,104 @@
+package rel
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ritree/internal/pagestore"
+)
+
+func TestBlobPutGetDelete(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 512, CacheSize: 128})
+	db, err := CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := db.GetBlob("none"); found || err != nil {
+		t.Fatalf("missing blob: found=%v err=%v", found, err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Sizes spanning sub-page, exactly-one-payload, and multi-page chains.
+	for _, n := range []int{0, 1, 495, 496, 497, 5000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := db.PutBlob("b", data); err != nil {
+			t.Fatalf("put %d bytes: %v", n, err)
+		}
+		got, found, err := db.GetBlob("b")
+		if err != nil || !found {
+			t.Fatalf("get %d bytes: found=%v err=%v", n, found, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d-byte blob round-trips to %d bytes", n, len(got))
+		}
+	}
+	if err := db.DeleteBlob("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := db.GetBlob("b"); found {
+		t.Fatal("blob survives DeleteBlob")
+	}
+	if err := db.DeleteBlob("b"); err != nil {
+		t.Fatal("DeleteBlob of a missing blob must be a no-op, got", err)
+	}
+}
+
+func TestBlobRewriteShrinkFreesPages(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 512, CacheSize: 128})
+	db, err := CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.NumAllocated()
+	big := make([]byte, 40<<10)
+	if err := db.PutBlob("b", big); err != nil {
+		t.Fatal(err)
+	}
+	grown := st.NumAllocated()
+	if grown <= before {
+		t.Fatal("big blob allocated no pages")
+	}
+	// Shrinking the blob must release the chain tail back to the allocator.
+	if err := db.PutBlob("b", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if after := st.NumAllocated(); after >= grown {
+		t.Fatalf("shrink kept %d pages allocated (was %d)", after, grown)
+	}
+	got, _, err := db.GetBlob("b")
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("after shrink: %q, %v", got, err)
+	}
+}
+
+func TestBlobSurvivesReopen(t *testing.T) {
+	st := pagestore.NewMem(pagestore.Options{PageSize: 512, CacheSize: 128})
+	db, err := CreateDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("snapshot"), 700)
+	if err := db.PutBlob("hintsnap.a", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBlob("hintsnap.b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDB(st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := db2.BlobNames(); !reflect.DeepEqual(names, []string{"hintsnap.a", "hintsnap.b"}) {
+		t.Fatalf("BlobNames = %v", names)
+	}
+	got, found, err := db2.GetBlob("hintsnap.a")
+	if err != nil || !found || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened blob: found=%v len=%d err=%v", found, len(got), err)
+	}
+}

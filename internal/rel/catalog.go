@@ -45,6 +45,11 @@ type catCustomIndex struct {
 	Params map[string]string `json:"params,omitempty"`
 }
 
+type catBlob struct {
+	Name string `json:"name"`
+	Root uint32 `json:"root"`
+}
+
 type catalogData struct {
 	Tables  []catTable `json:"tables"`
 	Indexes []catIndex `json:"indexes"`
@@ -54,6 +59,9 @@ type catalogData struct {
 	// this field existed simply yields none — both directions stay
 	// compatible.
 	CustomIndexes []catCustomIndex `json:"custom_indexes,omitempty"`
+	// Blobs persists named blob chain roots (index snapshots). Same
+	// omitempty compatibility contract as CustomIndexes.
+	Blobs []catBlob `json:"blobs,omitempty"`
 }
 
 func (db *DB) saveCatalog() error {
@@ -89,6 +97,12 @@ func (db *DB) saveCatalog() error {
 	}
 	sort.Slice(data.CustomIndexes, func(i, j int) bool {
 		return data.CustomIndexes[i].Name < data.CustomIndexes[j].Name
+	})
+	for name, root := range db.blobs {
+		data.Blobs = append(data.Blobs, catBlob{Name: name, Root: uint32(root)})
+	}
+	sort.Slice(data.Blobs, func(i, j int) bool {
+		return data.Blobs[i].Name < data.Blobs[j].Name
 	})
 	payload, err := json.Marshal(&data)
 	if err != nil {
@@ -227,6 +241,9 @@ func (db *DB) loadCatalog() error {
 			Columns:   cc.Columns,
 			Params:    cc.Params,
 		}
+	}
+	for _, b := range data.Blobs {
+		db.blobs[b.Name] = pagestore.PageID(b.Root)
 	}
 	return nil
 }

@@ -20,7 +20,8 @@ type DB struct {
 	st       *pagestore.Store
 	tables   map[string]*Table
 	indexes  map[string]*Index
-	customIx map[string]CustomIndexDef // persisted domain-index definitions (§5)
+	customIx map[string]CustomIndexDef   // persisted domain-index definitions (§5)
+	blobs    map[string]pagestore.PageID // named blob chain roots (index snapshots)
 	catRoot  pagestore.PageID
 }
 
@@ -35,6 +36,7 @@ func CreateDB(st *pagestore.Store) (*DB, error) {
 		tables:   make(map[string]*Table),
 		indexes:  make(map[string]*Index),
 		customIx: make(map[string]CustomIndexDef),
+		blobs:    make(map[string]pagestore.PageID),
 		catRoot:  root,
 	}
 	if err := db.saveCatalog(); err != nil {
@@ -51,6 +53,7 @@ func OpenDB(st *pagestore.Store, catRoot pagestore.PageID) (*DB, error) {
 		tables:   make(map[string]*Table),
 		indexes:  make(map[string]*Index),
 		customIx: make(map[string]CustomIndexDef),
+		blobs:    make(map[string]pagestore.PageID),
 		catRoot:  catRoot,
 	}
 	if err := db.loadCatalog(); err != nil {

@@ -73,6 +73,11 @@ type Engine struct {
 	// the benchmark/debug escape hatch. Zero value = merge join enabled.
 	// Guarded by mu.
 	mergeOff bool
+	// ixSnapOff disables persisted index snapshots: PersistIndexSnapshots
+	// becomes a no-op and indextypes skip their snapshot fast path on
+	// attach. Atomic (not mu): indextype attach code reads it while the
+	// engine already holds mu. Zero value = snapshots enabled.
+	ixSnapOff atomic.Bool
 	// plans caches compiled SELECT plans by SQL text (see plancache.go).
 	// Guarded by mu.
 	plans *planCache
@@ -91,6 +96,18 @@ func NewEngine(db *rel.DB) *Engine {
 
 // DB exposes the underlying relational database.
 func (e *Engine) DB() *rel.DB { return e.db }
+
+// SetIndexSnapshotsEnabled toggles persisted index snapshots. Disabled,
+// PersistIndexSnapshots does nothing and attaching indextypes ignore any
+// persisted snapshot, always rebuilding from the heap. No plan epoch bump:
+// snapshots change how an index is materialized at attach time, never
+// what a cached plan would choose.
+func (e *Engine) SetIndexSnapshotsEnabled(on bool) { e.ixSnapOff.Store(!on) }
+
+// IndexSnapshotsEnabled reports whether persisted index snapshots are
+// enabled (the default). Safe to call while the engine holds its
+// statement lock — indextype attach implementations consult it.
+func (e *Engine) IndexSnapshotsEnabled() bool { return !e.ixSnapOff.Load() }
 
 // SetMergeJoinEnabled toggles interval merge join planning. Disabled,
 // every two-source interval join runs as nested loops — the baseline the

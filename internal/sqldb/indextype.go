@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"ritree/internal/rel"
 )
@@ -127,6 +128,62 @@ type CustomIndex interface {
 	Scan(op string, args []int64, fn func(rid rel.RowID) bool) error
 	// Drop destroys the index storage.
 	Drop() error
+}
+
+// SnapshotPersister is the persistence capability of a custom index
+// (alongside MetricsBinder and the maintenance triggers): an index
+// implementing it can write a point-in-time snapshot of its in-memory
+// storage into the database file, to be adopted by a later session's
+// attach instead of a full rebuild. PersistIndexSnapshots drives it on
+// DB.Flush/Close.
+type SnapshotPersister interface {
+	// PersistSnapshot writes (or refreshes) the index's snapshot, stamped
+	// against the base table's current content, or removes it when the
+	// index's current form is not representable. It runs under the
+	// engine's statement lock at a committed boundary, so the stamp and
+	// the heap agree.
+	PersistSnapshot() error
+}
+
+// PersistIndexSnapshots asks every attached custom index implementing
+// SnapshotPersister to write its snapshot, then seals the resulting page
+// mutations at a commit boundary and waits for durability. It is a no-op
+// when snapshots are disabled (SetIndexSnapshotsEnabled(false)).
+//
+// Snapshots are not schema: the catalog definitions are untouched and no
+// plan-cache epoch is bumped — commitWriteLocked retires only the cached
+// snapshot view, exactly like DML, so cached plans stay valid across a
+// persist.
+func (e *Engine) PersistIndexSnapshots() error {
+	if !e.IndexSnapshotsEnabled() {
+		return nil
+	}
+	e.mu.Lock()
+	var err error
+	persisted := false
+	for _, ci := range e.custom {
+		sp, ok := ci.(SnapshotPersister)
+		if !ok {
+			continue
+		}
+		if err = sp.PersistSnapshot(); err != nil {
+			break
+		}
+		persisted = true
+	}
+	var seq uint64
+	if persisted {
+		var cerr error
+		seq, cerr = e.commitWriteLocked()
+		if err == nil {
+			err = cerr
+		}
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.db.Store().WaitDurable(seq)
 }
 
 // RegisterIndexType makes a user-defined indextype available to
@@ -292,9 +349,16 @@ func (e *Engine) AttachCatalogIndexes() error {
 			return fmt.Errorf("sql: indextype %q of catalog index %s does not support attach (handler implements no Attacher); it cannot serve a reopened database",
 				def.IndexType, def.Name)
 		}
+		start := time.Now()
 		ci, err := at.AttachIndex(e, def.Name, def.Table, def.Columns, def.Params)
 		if err != nil {
 			return fmt.Errorf("sql: attaching catalog index %s (indextype %s): %w", def.Name, def.IndexType, err)
+		}
+		// Attach latency is the cold-start cost a snapshot load is meant to
+		// collapse; the histogram makes the snapshot-vs-rebuild difference
+		// visible per attach (one sample per index).
+		if e.reg != nil {
+			e.reg.Histogram("index.attach_ns").Record(time.Since(start).Nanoseconds())
 		}
 		if err := e.attachLocked(ci); err != nil {
 			return err

@@ -135,13 +135,14 @@ func Point(p int64) Interval { return interval.Point(p) }
 func ClassifyRelation(a, b Interval) Relation { return interval.Classify(a, b) }
 
 type config struct {
-	path        string
-	pageSize    int
-	cacheSize   int
-	readLatency time.Duration
-	slowQuery   time.Duration
-	treeName    string
-	treeOpts    ritcore.Options
+	path           string
+	pageSize       int
+	cacheSize      int
+	readLatency    time.Duration
+	slowQuery      time.Duration
+	treeName       string
+	treeOpts       ritcore.Options
+	indexSnapshots bool
 }
 
 // Option configures Open, OpenMemory, New and OpenIndex.
@@ -175,11 +176,25 @@ func WithSlowQueryThreshold(d time.Duration) Option {
 // named explicitly.
 func WithTreeName(name string) Option { return func(c *config) { c.treeName = name } }
 
+// WithIndexSnapshots toggles persisted index snapshots (default on).
+// When enabled on a file-backed database, Flush and Close persist each
+// HINT collection's optimized in-memory layout next to its heap, and a
+// later Open deserializes that snapshot — replaying only the rows
+// written after it — instead of rebuilding the index from every heap
+// row. A snapshot that fails validation (checksum, geometry, torn
+// write) is discarded and the index rebuilds in full, so correctness
+// never depends on the snapshot. Pass false to always rebuild on attach
+// and to skip writing snapshots.
+func WithIndexSnapshots(on bool) Option {
+	return func(c *config) { c.indexSnapshots = on }
+}
+
 func applyOptions(opts []Option) *config {
 	cfg := &config{
-		pageSize:  pagestore.DefaultPageSize,
-		cacheSize: pagestore.DefaultCacheSize,
-		treeName:  "intervals",
+		pageSize:       pagestore.DefaultPageSize,
+		cacheSize:      pagestore.DefaultCacheSize,
+		treeName:       "intervals",
+		indexSnapshots: true,
 	}
 	for _, o := range opts {
 		o(cfg)
